@@ -1,0 +1,62 @@
+// Command aedb runs a standalone Always Encrypted server: enclave, HGS,
+// engine and the TDS wire protocol on a TCP listener. It periodically prints
+// the enclave's crash-dump view (counters only — enclave memory is stripped,
+// §3.3) and the engine's operation counters.
+//
+// Because trust anchors (HGS signing key, enclave author ID) live in memory,
+// aedb is intended for same-machine experimentation; the in-process tools
+// (aesql, tpccbench, examples/) bundle client and server together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"alwaysencrypted/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:14330", "TCP listen address")
+	enclaveThreads := flag.Int("enclave-threads", 4, "enclave worker threads (§4.6)")
+	syncEnclave := flag.Bool("sync-enclave", false, "call the enclave synchronously (disable the §4.6 queue)")
+	noCTR := flag.Bool("no-ctr", false, "disable constant-time recovery (§4.5)")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+	flag.Parse()
+
+	srv, err := core.StartServer(core.ServerConfig{
+		Listen:             *listen,
+		EnclaveThreads:     *enclaveThreads,
+		SynchronousEnclave: *syncEnclave,
+		DisableCTR:         *noCTR,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aedb:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("aedb: serving on %s (enclave threads=%d, CTR=%v)\n", srv.Addr(), *enclaveThreads, !*noCTR)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\naedb: shutting down")
+			return
+		case <-tick:
+			st := srv.Enclave.Dump()
+			scans, seeks, execs := srv.Engine.Stats()
+			fmt.Printf("aedb: execs=%d scans=%d seeks=%d | enclave sessions=%d ceks=%d evals=%d queue=%d sleeps=%d\n",
+				execs, scans, seeks, st.Sessions, st.InstalledCEKs, st.Evaluations, st.QueueTasks, st.WorkerSleeps)
+		}
+	}
+}

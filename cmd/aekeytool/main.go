@@ -1,0 +1,72 @@
+// Command aekeytool automates the client-side key provisioning of §2.4.1:
+// it generates a column master key (RSA) and a column encryption key
+// (32-byte AES root), wraps the CEK under the CMK with RSA-OAEP, signs the
+// metadata, and prints the CREATE COLUMN MASTER KEY / CREATE COLUMN
+// ENCRYPTION KEY statements of Figure 1 ready to run against a server.
+//
+// The CMK private key is written as PEM to -keyout (keep it in your key
+// provider; it must never reach the server).
+package main
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/keys"
+)
+
+func main() {
+	cmkName := flag.String("cmk", "MyCMK", "column master key name")
+	cekName := flag.String("cek", "MyCEK", "column encryption key name")
+	keyPath := flag.String("path", "https://vault.example/keys/mycmk", "key provider path (URI)")
+	provider := flag.String("provider", keys.ProviderVault, "key store provider name")
+	enclave := flag.Bool("enclave", true, "allow enclave computations (ENCLAVE_COMPUTATIONS)")
+	keyOut := flag.String("keyout", "", "write the CMK private key PEM here (default: stdout note only)")
+	flag.Parse()
+
+	cmkKey, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		fatal(err)
+	}
+	vault := keys.NewMemoryVault(*provider)
+	vault.ImportKey(*keyPath, cmkKey)
+
+	cmk, err := keys.ProvisionCMK(vault, *cmkName, *keyPath, *enclave)
+	if err != nil {
+		fatal(err)
+	}
+	cek, _, err := keys.ProvisionCEK(vault, cmk, *cekName)
+	if err != nil {
+		fatal(err)
+	}
+
+	enclClause := ""
+	if *enclave {
+		enclClause = fmt.Sprintf(",\n  ENCLAVE_COMPUTATIONS (SIGNATURE = 0x%x)", cmk.Signature)
+	}
+	fmt.Printf("-- run against the server:\nCREATE COLUMN MASTER KEY %s WITH (\n  KEY_STORE_PROVIDER_NAME = N'%s',\n  KEY_PATH = N'%s'%s)\n\n",
+		*cmkName, *provider, *keyPath, enclClause)
+	val := cek.PrimaryValue()
+	fmt.Printf("CREATE COLUMN ENCRYPTION KEY %s WITH VALUES (\n  COLUMN_MASTER_KEY = %s,\n  ALGORITHM = 'RSA_OAEP',\n  ENCRYPTED_VALUE = 0x%x,\n  SIGNATURE = 0x%x)\n",
+		*cekName, *cmkName, val.EncryptedValue, val.Signature)
+
+	if *keyOut != "" {
+		der := x509.MarshalPKCS1PrivateKey(cmkKey)
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "RSA PRIVATE KEY", Bytes: der})
+		if err := os.WriteFile(*keyOut, pemBytes, 0o600); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\n-- CMK private key written to %s (keep it in your key provider)\n", *keyOut)
+	} else {
+		fmt.Fprintln(os.Stderr, "\n-- no -keyout given: CMK private key discarded (demo mode)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aekeytool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command aesql is an interactive SQL shell with an embedded Always
+// Encrypted deployment: on startup it boots the enclave, HGS and engine,
+// provisions a demo column master key ("DemoCMK", enclave-enabled) and
+// column encryption key ("DemoCEK"), and connects with Always Encrypted on.
+//
+// Try:
+//
+//	CREATE TABLE t (id int PRIMARY KEY, ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = DemoCEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'));
+//	INSERT INTO t (id, ssn) VALUES (@i, @s);   -- prompts for parameters
+//	SELECT * FROM t WHERE ssn = @s;
+//
+// Meta commands: \stats (enclave counters), \raw <query> (run on a non-AE
+// connection: the adversary's view), \quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+func main() {
+	srv, err := core.StartServer(core.ServerConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starting server:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	admin := core.NewKeyAdmin(srv)
+	if err := admin.CreateMasterKey("DemoCMK", true); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := admin.CreateColumnKey("DemoCEK", "DemoCMK"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db, err := srv.Connect(core.ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	raw, err := srv.Connect(core.ClientConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer raw.Close()
+
+	fmt.Printf("always-encrypted shell — server %s, keys DemoCMK/DemoCEK provisioned\n", srv.Addr())
+	fmt.Println(`type SQL (single line), \raw <sql> for the adversary's view, \stats, \quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("ae> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\stats`:
+			st := srv.Enclave.Dump()
+			fmt.Printf("enclave: sessions=%d ceks=%d exprs=%d evals=%d conversions=%d queueTasks=%d sleeps=%d\n",
+				st.Sessions, st.InstalledCEKs, st.RegisteredExprs, st.Evaluations,
+				st.Conversions, st.QueueTasks, st.WorkerSleeps)
+			scans, seeks, execs := srv.Engine.Stats()
+			fmt.Printf("engine:  scans=%d seeks=%d execs=%d\n", scans, seeks, execs)
+			continue
+		case strings.HasPrefix(line, `\raw `):
+			run(raw, strings.TrimPrefix(line, `\raw `), sc)
+			continue
+		default:
+			run(db, line, sc)
+		}
+	}
+}
+
+// run executes one statement, prompting for any @parameters.
+func run(db *core.DB, query string, sc *bufio.Scanner) {
+	args := map[string]core.Value{}
+	for _, name := range paramNames(query) {
+		fmt.Printf("  @%s = ", name)
+		if !sc.Scan() {
+			return
+		}
+		args[name] = parseValue(strings.TrimSpace(sc.Text()))
+	}
+	rows, err := db.Exec(query, args)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(rows.Columns) > 0 {
+		fmt.Println(strings.Join(rows.Columns, " | "))
+		for _, row := range rows.Values {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = renderValue(v)
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(rows.Values))
+	} else {
+		fmt.Printf("ok (%d affected)\n", rows.Affected)
+	}
+}
+
+// paramNames extracts distinct @names in order of appearance.
+func paramNames(query string) []string {
+	var names []string
+	seen := map[string]bool{}
+	for i := 0; i < len(query); i++ {
+		if query[i] != '@' {
+			continue
+		}
+		j := i + 1
+		for j < len(query) && (isIdent(query[j])) {
+			j++
+		}
+		if j > i+1 {
+			name := query[i+1 : j]
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+		i = j
+	}
+	return names
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// parseValue interprets the user's input: integers, floats, NULL, or text.
+func parseValue(s string) core.Value {
+	if strings.EqualFold(s, "null") {
+		return core.Null()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return core.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return core.Float(f)
+	}
+	return core.Str(strings.Trim(s, "'"))
+}
+
+func renderValue(v core.Value) string {
+	if v.Kind == sqltypes.KindBytes {
+		b := v.B
+		if len(b) > 16 {
+			b = b[:16]
+		}
+		return fmt.Sprintf("0x%x… (%d bytes ciphertext)", b, len(v.B))
+	}
+	return v.String()
+}

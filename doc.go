@@ -1,0 +1,12 @@
+// Package alwaysencrypted is a from-scratch Go reproduction of "Azure SQL
+// Database Always Encrypted" (Antonopoulos et al., SIGMOD 2020): a
+// column-granularity encrypted relational database in which the server is
+// untrusted, an enclave evaluates rich predicates (equality, range, LIKE)
+// over IND-CPA (randomized) ciphertext, and key material never leaves the
+// trusted client/enclave boundary.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the public façade is internal/core, runnable binaries are
+// under cmd/, worked examples under examples/, and bench_test.go in this
+// directory regenerates every figure of the paper's evaluation (§5).
+package alwaysencrypted

@@ -1,0 +1,112 @@
+// Banking demonstrates the lifecycle features of §2.4.2 on a financial
+// dataset (the §1.2 customer profile): online initial encryption of an
+// existing plaintext column through the enclave — no client round trip of
+// the data, the AEv1 pain point — followed by a CEK rotation to a new key,
+// and finally a crash with an in-flight transaction over the encrypted
+// range index, showing deferred-transaction recovery (§4.5) resolve once
+// the client reconnects and supplies keys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alwaysencrypted/internal/core"
+)
+
+func main() {
+	srv, err := core.StartServer(core.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	admin := core.NewKeyAdmin(srv)
+	must(admin.CreateMasterKey("BankCMK", true))
+	must(admin.CreateColumnKey("AcctCEK", "BankCMK"))
+	must(admin.CreateColumnKey("AcctCEK2", "BankCMK"))
+
+	db, err := srv.Connect(core.ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	must(err)
+	defer db.Close()
+
+	// The bank has been running unencrypted; compliance now requires the
+	// account-holder column protected.
+	_, err = db.Exec("CREATE TABLE accounts (acct_id int PRIMARY KEY, holder varchar(40), balance float)", nil)
+	must(err)
+	holders := []string{"Ada Lovelace", "Alan Turing", "Grace Hopper", "Kurt Gödel", "Emmy Noether"}
+	for i, h := range holders {
+		_, err := db.Exec("INSERT INTO accounts (acct_id, holder, balance) VALUES (@i, @h, @b)",
+			map[string]core.Value{"i": core.Int(int64(i + 1)), "h": core.Str(h), "b": core.Float(1000 * float64(i+1))})
+		must(err)
+	}
+	fmt.Printf("loaded %d accounts in plaintext\n", len(holders))
+
+	// --- Online initial encryption (§2.4.2) ---
+	// One DDL statement; the driver transparently authorizes it by sealing
+	// the statement hash with the session secret (§3.2), and the enclave
+	// re-encrypts every cell in place. AEv1 would have required a round trip
+	// of the whole column to the client.
+	ddl := "ALTER TABLE accounts ALTER COLUMN holder varchar(40) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = AcctCEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')"
+	_, err = db.Exec(ddl, nil)
+	must(err)
+	fmt.Println("holder column encrypted in place through the enclave (no client data round trip)")
+
+	// Queries keep working transparently.
+	rows, err := db.Exec("SELECT acct_id, balance FROM accounts WHERE holder = @h",
+		map[string]core.Value{"h": core.Str("Alan Turing")})
+	must(err)
+	fmt.Printf("lookup by encrypted holder: acct %d, balance %.0f\n",
+		rows.Values[0][0].I, rows.Values[0][1].F)
+
+	// --- CEK rotation (§2.4.2) ---
+	rotate := "ALTER TABLE accounts ALTER COLUMN holder varchar(40) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = AcctCEK2, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')"
+	_, err = db.Exec(rotate, nil)
+	must(err)
+	rows, err = db.Exec("SELECT acct_id FROM accounts WHERE holder = @h",
+		map[string]core.Value{"h": core.Str("Grace Hopper")})
+	must(err)
+	fmt.Printf("CEK rotated AcctCEK → AcctCEK2 online; lookups still work (%d row)\n", len(rows.Values))
+
+	// --- Crash with an in-flight transaction over an encrypted index ---
+	_, err = db.Exec("CREATE INDEX ix_holder ON accounts (holder)", nil)
+	must(err)
+	must(db.Begin())
+	_, err = db.Exec("INSERT INTO accounts (acct_id, holder, balance) VALUES (@i, @h, @b)",
+		map[string]core.Value{"i": core.Int(99), "h": core.Str("In Flight"), "b": core.Float(1)})
+	must(err)
+	// ...the process dies before COMMIT. The restarted enclave holds no keys.
+	srv.Engine.Crash()
+	must(srv.RestartEnclave())
+	rep := srv.Engine.Recover()
+	fmt.Printf("\ncrash + enclave restart: recovery deferred %d txn(s) — logical undo of the encrypted index needs keys (§4.5)\n",
+		len(rep.DeferredTxns))
+	fmt.Printf("with constant-time recovery, the database is fully available: %d locks held\n", rep.LocksHeld)
+
+	// A cleaner pass without keys keeps retrying...
+	if resolved, _ := srv.Engine.ResolveDeferred(); resolved == 0 {
+		fmt.Println("version cleaner retried and backed off: keys not yet available")
+	}
+
+	// ...until a client reconnects. The first enclave query re-attests and
+	// re-installs AcctCEK2 over the secure channel; then the cleaner finishes.
+	db2, err := srv.Connect(core.ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	must(err)
+	defer db2.Close()
+	_, err = db2.Exec("SELECT acct_id FROM accounts WHERE holder = @h",
+		map[string]core.Value{"h": core.Str("Ada Lovelace")})
+	must(err)
+	resolved, err := srv.Engine.ResolveDeferred()
+	must(err)
+	fmt.Printf("client reconnected and supplied keys: cleaner resolved %d deferred txn(s)\n", resolved)
+
+	rows, err = db2.Exec("SELECT COUNT(*) FROM accounts", nil)
+	must(err)
+	fmt.Printf("account count after recovery: %d (the in-flight insert was rolled back)\n", rows.Values[0][0].I)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module alwaysencrypted
+
+go 1.22

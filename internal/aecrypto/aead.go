@@ -1,0 +1,251 @@
+// Package aecrypto implements the cell-level cryptography used by Always
+// Encrypted: the AEAD_AES_256_CBC_HMAC_SHA_256 authenticated encryption
+// algorithm in both its randomized and deterministic variants, the
+// HMAC-SHA256 derivation of the encryption/MAC/IV keys from the 32-byte
+// column encryption key (CEK) root, and the RSA-OAEP wrapping and RSA-PSS
+// signing used for the key hierarchy.
+//
+// The ciphertext layout matches the shipped SQL Server algorithm:
+//
+//	version(1) || authentication tag(32) || IV(16) || AES-256-CBC ciphertext
+//
+// where the authentication tag is HMAC-SHA256 over
+// version || IV || ciphertext || versionByteLength.
+package aecrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+)
+
+// EncryptionType selects between the two cell encryption schemes of §2.3.
+type EncryptionType int
+
+const (
+	// Randomized encryption uses AES-CBC with a random IV; it is IND-CPA
+	// secure and supports no server-side operations without an enclave.
+	Randomized EncryptionType = 1
+	// Deterministic encryption derives the IV from the plaintext so equal
+	// plaintexts map to equal ciphertexts, enabling equality over ciphertext
+	// at the cost of leaking the frequency distribution of the column.
+	Deterministic EncryptionType = 2
+)
+
+func (t EncryptionType) String() string {
+	switch t {
+	case Randomized:
+		return "RANDOMIZED"
+	case Deterministic:
+		return "DETERMINISTIC"
+	default:
+		return fmt.Sprintf("EncryptionType(%d)", int(t))
+	}
+}
+
+// AlgorithmName is the only cell encryption algorithm supported today; the
+// DDL requires it to be spelled out so the scheme remains extensible (§2.2).
+const AlgorithmName = "AEAD_AES_256_CBC_HMAC_SHA_256"
+
+const (
+	// KeySize is the size in bytes of a column encryption key root.
+	KeySize = 32
+	// versionByte is the format version of the ciphertext envelope.
+	versionByte = 0x01
+	blockSize   = aes.BlockSize // 16
+	tagSize     = sha256.Size   // 32
+	// MinCiphertextSize is the smallest well-formed envelope: a version
+	// byte, a tag, an IV and one AES block.
+	MinCiphertextSize = 1 + tagSize + blockSize + blockSize
+)
+
+// Errors returned by Decrypt and the envelope parsers.
+var (
+	ErrInvalidCiphertext = errors.New("aecrypto: malformed ciphertext envelope")
+	ErrAuthFailed        = errors.New("aecrypto: HMAC validation failed (ciphertext corrupt or wrong key)")
+	ErrInvalidKeySize    = errors.New("aecrypto: column encryption key must be 32 bytes")
+)
+
+// keyDerivationSalt mirrors the SQL Server derivation strings; the root CEK
+// never encrypts data directly, three purpose-bound keys are derived from it.
+func keyDerivationSalt(purpose string) []byte {
+	s := "Microsoft SQL Server cell " + purpose +
+		" key with encryption algorithm:" + AlgorithmName + " and key length:256"
+	// SQL Server hashes the UTF-16LE encoding of the derivation string.
+	out := make([]byte, 0, len(s)*2)
+	for _, r := range s {
+		out = append(out, byte(r), byte(r>>8))
+	}
+	return out
+}
+
+func deriveKey(root []byte, purpose string) []byte {
+	m := hmac.New(sha256.New, root)
+	m.Write(keyDerivationSalt(purpose))
+	return m.Sum(nil)
+}
+
+// CellKey holds the three derived keys for one CEK root. Deriving once and
+// reusing the CellKey amortizes the three HMAC invocations across cells.
+type CellKey struct {
+	encKey []byte // AES-256 key
+	macKey []byte // HMAC-SHA256 key for the authentication tag
+	ivKey  []byte // HMAC-SHA256 key for deterministic IVs
+}
+
+// NewCellKey derives the encryption, MAC and IV keys from a 32-byte CEK root.
+func NewCellKey(root []byte) (*CellKey, error) {
+	if len(root) != KeySize {
+		return nil, ErrInvalidKeySize
+	}
+	return &CellKey{
+		encKey: deriveKey(root, "encryption"),
+		macKey: deriveKey(root, "MAC"),
+		ivKey:  deriveKey(root, "IV"),
+	}, nil
+}
+
+// MustCellKey is NewCellKey for keys known to be well-formed (tests, fixtures).
+func MustCellKey(root []byte) *CellKey {
+	k, err := NewCellKey(root)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// GenerateKey returns a fresh random 32-byte CEK root.
+func GenerateKey() ([]byte, error) {
+	k := make([]byte, KeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("aecrypto: generating CEK: %w", err)
+	}
+	return k, nil
+}
+
+// Encrypt seals plaintext under the cell key. For Deterministic the IV is
+// HMAC(ivKey, plaintext) truncated to the block size, so equal plaintexts
+// yield identical envelopes; for Randomized the IV is drawn from crypto/rand.
+func (k *CellKey) Encrypt(plaintext []byte, typ EncryptionType) ([]byte, error) {
+	iv := make([]byte, blockSize)
+	switch typ {
+	case Deterministic:
+		m := hmac.New(sha256.New, k.ivKey)
+		m.Write(plaintext)
+		copy(iv, m.Sum(nil))
+	case Randomized:
+		if _, err := rand.Read(iv); err != nil {
+			return nil, fmt.Errorf("aecrypto: generating IV: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("aecrypto: unknown encryption type %d", typ)
+	}
+	return k.encryptWithIV(plaintext, iv)
+}
+
+func (k *CellKey) encryptWithIV(plaintext, iv []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.encKey)
+	if err != nil {
+		return nil, err
+	}
+	padded := pkcs7Pad(plaintext, blockSize)
+	ct := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(ct, padded)
+
+	out := make([]byte, 0, 1+tagSize+blockSize+len(ct))
+	out = append(out, versionByte)
+	out = append(out, make([]byte, tagSize)...) // tag placeholder
+	out = append(out, iv...)
+	out = append(out, ct...)
+	copy(out[1:1+tagSize], k.tag(iv, ct))
+	return out, nil
+}
+
+// tag computes the authentication tag over version || IV || ciphertext ||
+// versionByteLength, exactly as the shipped algorithm does.
+func (k *CellKey) tag(iv, ct []byte) []byte {
+	m := hmac.New(sha256.New, k.macKey)
+	m.Write([]byte{versionByte})
+	m.Write(iv)
+	m.Write(ct)
+	m.Write([]byte{0x01}) // length of the version byte field
+	return m.Sum(nil)
+}
+
+// Decrypt authenticates and opens an envelope produced by Encrypt. The HMAC
+// is verified in constant time before any decryption happens; per §2.3 the
+// HMAC is a usability feature that lets clients tell legitimate ciphertext
+// from garbage.
+func (k *CellKey) Decrypt(envelope []byte) ([]byte, error) {
+	if len(envelope) < MinCiphertextSize || envelope[0] != versionByte {
+		return nil, ErrInvalidCiphertext
+	}
+	tag := envelope[1 : 1+tagSize]
+	iv := envelope[1+tagSize : 1+tagSize+blockSize]
+	ct := envelope[1+tagSize+blockSize:]
+	if len(ct)%blockSize != 0 || len(ct) == 0 {
+		return nil, ErrInvalidCiphertext
+	}
+	if subtle.ConstantTimeCompare(tag, k.tag(iv, ct)) != 1 {
+		return nil, ErrAuthFailed
+	}
+	block, err := aes.NewCipher(k.encKey)
+	if err != nil {
+		return nil, err
+	}
+	padded := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(padded, ct)
+	return pkcs7Unpad(padded, blockSize)
+}
+
+// Verify reports whether the envelope is well formed and authenticates under
+// the cell key without decrypting it.
+func (k *CellKey) Verify(envelope []byte) bool {
+	if len(envelope) < MinCiphertextSize || envelope[0] != versionByte {
+		return false
+	}
+	tag := envelope[1 : 1+tagSize]
+	iv := envelope[1+tagSize : 1+tagSize+blockSize]
+	ct := envelope[1+tagSize+blockSize:]
+	if len(ct)%blockSize != 0 || len(ct) == 0 {
+		return false
+	}
+	return subtle.ConstantTimeCompare(tag, k.tag(iv, ct)) == 1
+}
+
+// CiphertextLen reports the envelope size produced for a plaintext of n bytes.
+func CiphertextLen(n int) int {
+	padded := (n/blockSize + 1) * blockSize
+	return 1 + tagSize + blockSize + padded
+}
+
+func pkcs7Pad(b []byte, size int) []byte {
+	n := size - len(b)%size
+	out := make([]byte, len(b)+n)
+	copy(out, b)
+	for i := len(b); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+func pkcs7Unpad(b []byte, size int) ([]byte, error) {
+	if len(b) == 0 || len(b)%size != 0 {
+		return nil, ErrInvalidCiphertext
+	}
+	n := int(b[len(b)-1])
+	if n == 0 || n > size || n > len(b) {
+		return nil, ErrInvalidCiphertext
+	}
+	for _, c := range b[len(b)-n:] {
+		if int(c) != n {
+			return nil, ErrInvalidCiphertext
+		}
+	}
+	return b[:len(b)-n], nil
+}

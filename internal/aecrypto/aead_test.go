@@ -1,0 +1,328 @@
+package aecrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) *CellKey {
+	t.Helper()
+	root, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewCellKey(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRoundTripRandomized(t *testing.T) {
+	k := testKey(t)
+	for _, pt := range [][]byte{nil, {}, []byte("x"), []byte("hello always encrypted"), bytes.Repeat([]byte{0xab}, 4096)} {
+		ct, err := k.Encrypt(pt, Randomized)
+		if err != nil {
+			t.Fatalf("encrypt: %v", err)
+		}
+		got, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) && !(len(got) == 0 && len(pt) == 0) {
+			t.Fatalf("roundtrip mismatch: got %q want %q", got, pt)
+		}
+	}
+}
+
+func TestRoundTripDeterministic(t *testing.T) {
+	k := testKey(t)
+	pt := []byte("social-security-number-123-45-6789")
+	ct, err := k.Encrypt(pt, Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("roundtrip mismatch")
+	}
+}
+
+// TestDeterministicEquality is the Figure 2 property: DET preserves equality
+// of whole values, so equal plaintexts produce identical envelopes.
+func TestDeterministicEquality(t *testing.T) {
+	k := testKey(t)
+	a1, _ := k.Encrypt([]byte("Seattle"), Deterministic)
+	a2, _ := k.Encrypt([]byte("Seattle"), Deterministic)
+	b, _ := k.Encrypt([]byte("Zurich"), Deterministic)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("DET: equal plaintexts must produce equal ciphertexts")
+	}
+	if bytes.Equal(a1, b) {
+		t.Fatal("DET: distinct plaintexts must produce distinct ciphertexts")
+	}
+}
+
+// TestDeterministicWholeValue verifies the §2.3 claim that our DET is more
+// secure than AES-ECB: repeating a 16-byte block inside one value must not
+// yield repeating ciphertext blocks.
+func TestDeterministicWholeValue(t *testing.T) {
+	k := testKey(t)
+	block := bytes.Repeat([]byte{0x42}, 16)
+	pt := append(append([]byte{}, block...), block...) // two identical blocks
+	ct, err := k.Encrypt(pt, Deterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := ct[1+tagSize+blockSize:]
+	if bytes.Equal(body[:16], body[16:32]) {
+		t.Fatal("identical plaintext blocks leaked as identical ciphertext blocks (ECB-like)")
+	}
+}
+
+func TestRandomizedNondeterminism(t *testing.T) {
+	k := testKey(t)
+	a, _ := k.Encrypt([]byte("Seattle"), Randomized)
+	b, _ := k.Encrypt([]byte("Seattle"), Randomized)
+	if bytes.Equal(a, b) {
+		t.Fatal("RND: two encryptions of the same plaintext must differ")
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	k := testKey(t)
+	ct, _ := k.Encrypt([]byte("payload"), Randomized)
+	for _, idx := range []int{0, 1, 1 + tagSize, 1 + tagSize + blockSize, len(ct) - 1} {
+		tampered := append([]byte{}, ct...)
+		tampered[idx] ^= 0x01
+		if _, err := k.Decrypt(tampered); err == nil {
+			t.Fatalf("tampering at byte %d was not detected", idx)
+		}
+	}
+}
+
+func TestDecryptRejectsWrongKey(t *testing.T) {
+	k1, k2 := testKey(t), testKey(t)
+	ct, _ := k1.Encrypt([]byte("payload"), Randomized)
+	if _, err := k2.Decrypt(ct); err == nil {
+		t.Fatal("decryption under the wrong key must fail authentication")
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	k := testKey(t)
+	if _, err := k.Decrypt(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := k.Decrypt([]byte{versionByte}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	garbage := make([]byte, MinCiphertextSize)
+	garbage[0] = versionByte
+	if _, err := k.Decrypt(garbage); err == nil {
+		t.Fatal("unauthenticated garbage accepted (the HMAC usability feature of §2.3)")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	k := testKey(t)
+	ct, _ := k.Encrypt([]byte("v"), Deterministic)
+	if !k.Verify(ct) {
+		t.Fatal("Verify rejected a valid envelope")
+	}
+	ct[len(ct)-1] ^= 1
+	if k.Verify(ct) {
+		t.Fatal("Verify accepted a tampered envelope")
+	}
+}
+
+func TestCiphertextLen(t *testing.T) {
+	k := testKey(t)
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 100} {
+		pt := make([]byte, n)
+		ct, err := k.Encrypt(pt, Randomized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(ct), CiphertextLen(n); got != want {
+			t.Fatalf("CiphertextLen(%d) = %d, actual envelope %d", n, want, got)
+		}
+	}
+}
+
+func TestNewCellKeyRejectsBadSize(t *testing.T) {
+	if _, err := NewCellKey(make([]byte, 16)); err == nil {
+		t.Fatal("16-byte root accepted")
+	}
+	if _, err := NewCellKey(nil); err == nil {
+		t.Fatal("nil root accepted")
+	}
+}
+
+func TestDerivedKeysDistinct(t *testing.T) {
+	root, _ := GenerateKey()
+	k := MustCellKey(root)
+	if bytes.Equal(k.encKey, k.macKey) || bytes.Equal(k.encKey, k.ivKey) || bytes.Equal(k.macKey, k.ivKey) {
+		t.Fatal("derived keys must be pairwise distinct")
+	}
+	if bytes.Equal(k.encKey, root) {
+		t.Fatal("encryption key must not equal the root CEK")
+	}
+}
+
+// Property: encrypt/decrypt round-trips for arbitrary byte strings under both
+// schemes, and DET is a deterministic function of the plaintext.
+func TestQuickRoundTrip(t *testing.T) {
+	root, _ := GenerateKey()
+	k := MustCellKey(root)
+	prop := func(pt []byte, det bool) bool {
+		typ := Randomized
+		if det {
+			typ = Deterministic
+		}
+		ct, err := k.Encrypt(pt, typ)
+		if err != nil {
+			return false
+		}
+		got, err := k.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, pt) && !(len(got) == 0 && len(pt) == 0) {
+			return false
+		}
+		if det {
+			ct2, err := k.Encrypt(pt, typ)
+			if err != nil || !bytes.Equal(ct, ct2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PKCS7 pad/unpad is an identity on arbitrary inputs.
+func TestQuickPKCS7(t *testing.T) {
+	prop := func(b []byte) bool {
+		padded := pkcs7Pad(b, blockSize)
+		if len(padded)%blockSize != 0 || len(padded) <= len(b) {
+			return false
+		}
+		out, err := pkcs7Unpad(padded, blockSize)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, b) || (len(out) == 0 && len(b) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKCS7UnpadRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 15),
+		append(make([]byte, 15), 0x00), // pad length 0
+		append(make([]byte, 15), 0x11), // pad length 17 > block
+		append(bytes.Repeat([]byte{9}, 15), 0x02),        // inconsistent fill
+		{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 2}, // wrong run
+	}
+	for i, c := range cases {
+		if _, err := pkcs7Unpad(c, blockSize); err == nil {
+			t.Fatalf("case %d: malformed padding accepted", i)
+		}
+	}
+}
+
+func TestWrapUnwrapCEK(t *testing.T) {
+	cmk, err := GenerateRSAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cek, _ := GenerateKey()
+	wrapped, err := WrapKey(&cmk.PublicKey, cek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnwrapKey(cmk, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cek) {
+		t.Fatal("CEK wrap/unwrap mismatch")
+	}
+	other, _ := GenerateRSAKey()
+	if _, err := UnwrapKey(other, wrapped); err == nil {
+		t.Fatal("unwrap under wrong CMK succeeded")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key, err := GenerateRSAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("CMK metadata: provider=VAULT path=https://vault/keys/k1 enclave=true")
+	sig, err := Sign(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySignature(&key.PublicKey, msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySignature(&key.PublicKey, append(msg, '!'), sig); err == nil {
+		t.Fatal("signature verified over altered message")
+	}
+}
+
+func BenchmarkEncryptRandomized(b *testing.B) {
+	root, _ := GenerateKey()
+	k := MustCellKey(root)
+	pt := make([]byte, 64)
+	rand.Read(pt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Encrypt(pt, Randomized); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptDeterministic(b *testing.B) {
+	root, _ := GenerateKey()
+	k := MustCellKey(root)
+	pt := make([]byte, 64)
+	rand.Read(pt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Encrypt(pt, Deterministic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	root, _ := GenerateKey()
+	k := MustCellKey(root)
+	pt := make([]byte, 64)
+	rand.Read(pt)
+	ct, _ := k.Encrypt(pt, Randomized)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

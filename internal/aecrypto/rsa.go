@@ -1,0 +1,70 @@
+package aecrypto
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"fmt"
+)
+
+// CEKWrapAlgorithm is the only CEK wrapping algorithm supported; the DDL
+// requires it to be named explicitly so the scheme stays extensible (§2.2).
+const CEKWrapAlgorithm = "RSA_OAEP"
+
+// RSAKeyBits is the modulus size used for column master keys and for the
+// signing keys of the attestation chain. 2048 keeps tests fast while
+// remaining a realistic deployment size.
+const RSAKeyBits = 2048
+
+// GenerateRSAKey creates a fresh RSA private key for CMKs, enclave identity
+// keys, and attestation signing keys.
+func GenerateRSAKey() (*rsa.PrivateKey, error) {
+	key, err := rsa.GenerateKey(rand.Reader, RSAKeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("aecrypto: generating RSA key: %w", err)
+	}
+	return key, nil
+}
+
+// WrapKey encrypts a CEK root under a column master key with RSA-OAEP
+// (SHA-256). The result is the ENCRYPTED_VALUE stored in the CEK metadata.
+func WrapKey(cmk *rsa.PublicKey, cek []byte) ([]byte, error) {
+	out, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, cmk, cek, nil)
+	if err != nil {
+		return nil, fmt.Errorf("aecrypto: wrapping CEK: %w", err)
+	}
+	return out, nil
+}
+
+// UnwrapKey decrypts an RSA-OAEP wrapped CEK with the CMK private key. Only
+// trusted components (client driver, enclave) ever hold the arguments.
+func UnwrapKey(cmk *rsa.PrivateKey, wrapped []byte) ([]byte, error) {
+	out, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, cmk, wrapped, nil)
+	if err != nil {
+		return nil, fmt.Errorf("aecrypto: unwrapping CEK: %w", err)
+	}
+	return out, nil
+}
+
+// Sign produces an RSA-PSS (SHA-256) signature. It is used to sign CMK
+// metadata with the CMK itself (so the untrusted server cannot tamper with
+// the enclave-computations flag, §2.2), to sign wrapped CEK values, and by
+// the attestation chain (§4.2).
+func Sign(key *rsa.PrivateKey, message []byte) ([]byte, error) {
+	digest := sha256.Sum256(message)
+	sig, err := rsa.SignPSS(rand.Reader, key, crypto.SHA256, digest[:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("aecrypto: signing: %w", err)
+	}
+	return sig, nil
+}
+
+// VerifySignature checks an RSA-PSS (SHA-256) signature.
+func VerifySignature(key *rsa.PublicKey, message, sig []byte) error {
+	digest := sha256.Sum256(message)
+	if err := rsa.VerifyPSS(key, crypto.SHA256, digest[:], sig, nil); err != nil {
+		return fmt.Errorf("aecrypto: signature verification failed: %w", err)
+	}
+	return nil
+}

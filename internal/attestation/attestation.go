@@ -1,0 +1,308 @@
+// Package attestation implements the attestation protocol of §4.2 against a
+// simulated Host Guardian Service (HGS). The moving parts mirror the paper:
+//
+//   - HGS measures host health from a TCG log (here, a synthetic boot
+//     measurement standing in for TPM quotes) against a pre-registered
+//     whitelist and issues a health certificate signed with the HGS signing
+//     key; the certificate embeds the host (hypervisor) signing key.
+//   - The host signs the enclave report, which carries the author ID (hash
+//     of the key that signed the enclave binary), the binary hash, enclave
+//     and host version numbers, and a hash of the enclave's RSA public key.
+//   - Diffie–Hellman key exchange (ECDH P-256) is folded into attestation:
+//     the enclave's DH public key is signed by the enclave's RSA key, and
+//     the client derives the shared secret after the four-step chain-of-
+//     trust verification.
+//
+// Only the root of trust is synthetic; everything the client checks — who
+// signed what, version floors, key-hash consistency — follows the paper.
+package attestation
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"alwaysencrypted/internal/aecrypto"
+)
+
+// Errors returned by attestation verification; each corresponds to one link
+// of the §4.2 chain of trust.
+var (
+	ErrHostNotRegistered  = errors.New("attestation: host TCG log not in HGS whitelist")
+	ErrBadHealthCert      = errors.New("attestation: health certificate not signed by HGS")
+	ErrBadReportSignature = errors.New("attestation: enclave report not signed by host key")
+	ErrUntrustedAuthor    = errors.New("attestation: enclave author ID not trusted")
+	ErrStaleVersion       = errors.New("attestation: enclave or host version below required floor")
+	ErrKeyHashMismatch    = errors.New("attestation: enclave public key does not match report hash")
+	ErrBadDHSignature     = errors.New("attestation: enclave DH public key signature invalid")
+)
+
+// Measurement is a SHA-256 digest used for TCG logs, binaries and keys.
+type Measurement [sha256.Size]byte
+
+// Measure hashes arbitrary bytes into a Measurement.
+func Measure(b []byte) Measurement { return sha256.Sum256(b) }
+
+// HealthCertificate is issued by HGS for a whitelisted host; it embeds the
+// host (hypervisor) signing key (§4.2: "contains a signing key possessed by
+// the host hypervisor").
+type HealthCertificate struct {
+	HostMeasurement Measurement
+	HostKeyDER      []byte // PKIX-encoded host signing public key
+	Signature       []byte // by the HGS signing key
+}
+
+func (c *HealthCertificate) payload() []byte {
+	buf := make([]byte, 0, len(c.HostMeasurement)+len(c.HostKeyDER)+16)
+	buf = append(buf, "HGS-HEALTH-CERT\x00"...)
+	buf = append(buf, c.HostMeasurement[:]...)
+	buf = append(buf, c.HostKeyDER...)
+	return buf
+}
+
+// HostKey decodes the embedded host signing public key.
+func (c *HealthCertificate) HostKey() (*rsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(c.HostKeyDER)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: decoding host key: %w", err)
+	}
+	k, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("attestation: host key is not RSA")
+	}
+	return k, nil
+}
+
+// Report is the enclave measurement produced when SQL asks Windows to
+// measure the enclave (§4.2).
+type Report struct {
+	AuthorID       Measurement // hash of the public key that signed the enclave binary
+	BinaryHash     Measurement // hash of the enclave binary
+	EnclaveVersion int
+	HostVersion    int
+	EnclaveKeyHash Measurement // hash of the enclave's RSA public key (DER)
+	EnclaveDHPub   []byte      // ECDH P-256 public key bytes
+}
+
+// Payload returns the canonical byte serialization covered by the host's
+// report signature.
+func (r *Report) Payload() []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, 160+len(r.EnclaveDHPub)))
+	buf.WriteString("VBS-ENCLAVE-REPORT\x00")
+	buf.Write(r.AuthorID[:])
+	buf.Write(r.BinaryHash[:])
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], uint64(r.EnclaveVersion))
+	buf.Write(v[:])
+	binary.BigEndian.PutUint64(v[:], uint64(r.HostVersion))
+	buf.Write(v[:])
+	buf.Write(r.EnclaveKeyHash[:])
+	buf.Write(r.EnclaveDHPub)
+	return buf.Bytes()
+}
+
+// Info is the attestation information SQL Server returns to the client as
+// part of sp_describe_parameter_encryption output (§4.2): the health
+// certificate, the signed report, the enclave's public key and the DH
+// signature made with the enclave's RSA key.
+type Info struct {
+	HealthCert      HealthCertificate
+	Report          Report
+	ReportSignature []byte // by the host signing key
+	EnclaveKeyDER   []byte // the enclave's RSA public key
+	DHSignature     []byte // over the enclave DH public key, by the enclave RSA key
+}
+
+// HGS simulates the Host Guardian Service: a whitelist of host measurements
+// and a signing key. Its "API is exposed over https" in production; here the
+// methods stand in for those endpoints.
+type HGS struct {
+	mu        sync.RWMutex
+	signing   *rsa.PrivateKey
+	whitelist map[Measurement]bool
+}
+
+// NewHGS creates an HGS instance with a fresh signing key.
+func NewHGS() (*HGS, error) {
+	key, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		return nil, err
+	}
+	return &HGS{signing: key, whitelist: make(map[Measurement]bool)}, nil
+}
+
+// SigningKey returns the HGS public signing key; clients fetch this by
+// querying HGS directly (§4.2 step 1).
+func (h *HGS) SigningKey() *rsa.PublicKey { return &h.signing.PublicKey }
+
+// RegisterHost whitelists a host's TCG log (the offline registration step).
+func (h *HGS) RegisterHost(tcgLog []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.whitelist[Measure(tcgLog)] = true
+}
+
+// UnregisterHost removes a host, modelling fleet rotation or compromise.
+func (h *HGS) UnregisterHost(tcgLog []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.whitelist, Measure(tcgLog))
+}
+
+// AttestHost checks the TCG log against the whitelist and, on a match,
+// issues a health certificate embedding the host's signing key.
+func (h *HGS) AttestHost(tcgLog []byte, hostKey *rsa.PublicKey) (*HealthCertificate, error) {
+	m := Measure(tcgLog)
+	h.mu.RLock()
+	ok := h.whitelist[m]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, ErrHostNotRegistered
+	}
+	der, err := x509.MarshalPKIXPublicKey(hostKey)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: encoding host key: %w", err)
+	}
+	cert := &HealthCertificate{HostMeasurement: m, HostKeyDER: der}
+	sig, err := aecrypto.Sign(h.signing, cert.payload())
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+	return cert, nil
+}
+
+// Host models the hypervisor of the machine running SQL Server: it holds the
+// host signing key and the boot-time TCG log, and signs enclave reports.
+type Host struct {
+	signing *rsa.PrivateKey
+	tcgLog  []byte
+	Version int
+}
+
+// NewHost boots a host with the given TCG log and version.
+func NewHost(tcgLog []byte, version int) (*Host, error) {
+	key, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		return nil, err
+	}
+	log := make([]byte, len(tcgLog))
+	copy(log, tcgLog)
+	return &Host{signing: key, tcgLog: log, Version: version}, nil
+}
+
+// TCGLog returns the host's boot measurement log.
+func (h *Host) TCGLog() []byte { return h.tcgLog }
+
+// SigningKey returns the host's public signing key.
+func (h *Host) SigningKey() *rsa.PublicKey { return &h.signing.PublicKey }
+
+// SignReport signs an enclave report with the host signing key (the VBS
+// platform's role in §4.2).
+func (h *Host) SignReport(r *Report) ([]byte, error) {
+	return aecrypto.Sign(h.signing, r.Payload())
+}
+
+// Policy is what the client trusts: the HGS signing key, the enclave author
+// IDs it accepts, and minimum version floors (§4.2 bases enclave health on
+// the signing key rather than the binary hash, plus version numbers that can
+// be raised after a security update).
+type Policy struct {
+	HGSKey            *rsa.PublicKey
+	TrustedAuthorIDs  []Measurement
+	MinEnclaveVersion int
+	MinHostVersion    int
+}
+
+// Verify runs the client-side chain-of-trust checks of §4.2 and, on success,
+// derives the shared secret from the client's DH private key and the
+// enclave's DH public key carried in the report.
+func (p *Policy) Verify(info *Info, clientDH *ecdh.PrivateKey) ([32]byte, error) {
+	var secret [32]byte
+
+	// Step 1: health certificate is signed by the HGS signing key.
+	if err := aecrypto.VerifySignature(p.HGSKey, info.HealthCert.payload(), info.HealthCert.Signature); err != nil {
+		return secret, ErrBadHealthCert
+	}
+	hostKey, err := info.HealthCert.HostKey()
+	if err != nil {
+		return secret, err
+	}
+
+	// Step 2: the enclave report is signed by the host signing key embedded
+	// in the health certificate.
+	if err := aecrypto.VerifySignature(hostKey, info.Report.Payload(), info.ReportSignature); err != nil {
+		return secret, ErrBadReportSignature
+	}
+
+	// Step 3: the enclave is healthy — trusted author ID and version floors.
+	trusted := false
+	for _, id := range p.TrustedAuthorIDs {
+		if id == info.Report.AuthorID {
+			trusted = true
+			break
+		}
+	}
+	if !trusted {
+		return secret, ErrUntrustedAuthor
+	}
+	if info.Report.EnclaveVersion < p.MinEnclaveVersion || info.Report.HostVersion < p.MinHostVersion {
+		return secret, ErrStaleVersion
+	}
+
+	// Step 4: the returned enclave public key matches the hash embedded in
+	// the report, and the enclave DH public key is signed by it.
+	if Measure(info.EnclaveKeyDER) != info.Report.EnclaveKeyHash {
+		return secret, ErrKeyHashMismatch
+	}
+	pub, err := x509.ParsePKIXPublicKey(info.EnclaveKeyDER)
+	if err != nil {
+		return secret, fmt.Errorf("attestation: decoding enclave key: %w", err)
+	}
+	enclaveKey, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return secret, errors.New("attestation: enclave key is not RSA")
+	}
+	if err := aecrypto.VerifySignature(enclaveKey, info.Report.EnclaveDHPub, info.DHSignature); err != nil {
+		return secret, ErrBadDHSignature
+	}
+
+	// Derive the shared secret; the enclave already holds it (§4.2).
+	peer, err := ecdh.P256().NewPublicKey(info.Report.EnclaveDHPub)
+	if err != nil {
+		return secret, fmt.Errorf("attestation: decoding enclave DH key: %w", err)
+	}
+	shared, err := clientDH.ECDH(peer)
+	if err != nil {
+		return secret, fmt.Errorf("attestation: ECDH: %w", err)
+	}
+	return DeriveSecret(shared), nil
+}
+
+// DeriveSecret hashes raw ECDH output into the 32-byte session secret used
+// for the driver↔enclave secure channel.
+func DeriveSecret(shared []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("AE-SESSION-SECRET\x00"))
+	h.Write(shared)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// NewClientDH generates the client's ephemeral DH keypair sent along with
+// the sp_describe_parameter_encryption call.
+func NewClientDH() (*ecdh.PrivateKey, error) {
+	key, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: generating client DH key: %w", err)
+	}
+	return key, nil
+}

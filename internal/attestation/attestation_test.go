@@ -1,0 +1,247 @@
+package attestation
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"testing"
+
+	"alwaysencrypted/internal/aecrypto"
+)
+
+// testFixture wires up a full attestation chain: HGS, a registered host, and
+// a synthetic enclave identity, mirroring what the enclave package does.
+type testFixture struct {
+	hgs        *HGS
+	host       *Host
+	enclaveRSA *enclaveIdentity
+	policy     Policy
+}
+
+type enclaveIdentity struct {
+	keyDER   []byte
+	dhPriv   *ecdh.PrivateKey
+	report   Report
+	signKey  func(msg []byte) []byte
+	authorID Measurement
+}
+
+func newFixture(t *testing.T) *testFixture {
+	t.Helper()
+	hgs, err := NewHGS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcg := []byte("boot-sequence: uefi -> hyperv 10.0")
+	host, err := NewHost(tcg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hgs.RegisterHost(tcg)
+
+	// Synthetic enclave identity: RSA keypair at load + ECDH keypair.
+	rsaKey, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := x509.MarshalPKIXPublicKey(&rsaKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authorKey, _ := aecrypto.GenerateRSAKey()
+	authorDER, _ := x509.MarshalPKIXPublicKey(&authorKey.PublicKey)
+	authorID := Measure(authorDER)
+
+	id := &enclaveIdentity{
+		keyDER: der,
+		dhPriv: dh,
+		report: Report{
+			AuthorID:       authorID,
+			BinaryHash:     Measure([]byte("enclave-binary-v2")),
+			EnclaveVersion: 2,
+			HostVersion:    10,
+			EnclaveKeyHash: Measure(der),
+			EnclaveDHPub:   dh.PublicKey().Bytes(),
+		},
+		signKey: func(msg []byte) []byte {
+			sig, err := aecrypto.Sign(rsaKey, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sig
+		},
+		authorID: authorID,
+	}
+	return &testFixture{
+		hgs:        hgs,
+		host:       host,
+		enclaveRSA: id,
+		policy: Policy{
+			HGSKey:            hgs.SigningKey(),
+			TrustedAuthorIDs:  []Measurement{authorID},
+			MinEnclaveVersion: 2,
+			MinHostVersion:    10,
+		},
+	}
+}
+
+func (f *testFixture) info(t *testing.T) *Info {
+	t.Helper()
+	cert, err := f.hgs.AttestHost(f.host.TCGLog(), f.host.SigningKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := f.host.SignReport(&f.enclaveRSA.report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Info{
+		HealthCert:      *cert,
+		Report:          f.enclaveRSA.report,
+		ReportSignature: sig,
+		EnclaveKeyDER:   f.enclaveRSA.keyDER,
+		DHSignature:     f.enclaveRSA.signKey(f.enclaveRSA.report.EnclaveDHPub),
+	}
+}
+
+func TestFullChainSucceedsAndSecretsAgree(t *testing.T) {
+	f := newFixture(t)
+	info := f.info(t)
+	clientDH, err := NewClientDH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := f.policy.Verify(info, clientDH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enclave side derives the same secret from the client's DH public key.
+	peer, err := ecdh.P256().NewPublicKey(clientDH.PublicKey().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := f.enclaveRSA.dhPriv.ECDH(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DeriveSecret(shared) != secret {
+		t.Fatal("client and enclave derived different session secrets")
+	}
+}
+
+func TestUnregisteredHostRejectedByHGS(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.hgs.AttestHost([]byte("rogue boot log"), f.host.SigningKey()); !errors.Is(err, ErrHostNotRegistered) {
+		t.Fatalf("err = %v, want ErrHostNotRegistered", err)
+	}
+	f.hgs.UnregisterHost(f.host.TCGLog())
+	if _, err := f.hgs.AttestHost(f.host.TCGLog(), f.host.SigningKey()); !errors.Is(err, ErrHostNotRegistered) {
+		t.Fatalf("after unregister: err = %v", err)
+	}
+}
+
+func TestForgedHealthCertRejected(t *testing.T) {
+	f := newFixture(t)
+	info := f.info(t)
+	// A strong adversary substitutes its own "HGS": signature no longer
+	// verifies under the real HGS key the client trusts.
+	info.HealthCert.Signature[0] ^= 1
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrBadHealthCert) {
+		t.Fatalf("err = %v, want ErrBadHealthCert", err)
+	}
+}
+
+func TestTamperedReportRejected(t *testing.T) {
+	f := newFixture(t)
+	info := f.info(t)
+	info.Report.EnclaveVersion = 99 // inflate version without re-signing
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrBadReportSignature) {
+		t.Fatalf("err = %v, want ErrBadReportSignature", err)
+	}
+}
+
+func TestUntrustedAuthorRejected(t *testing.T) {
+	f := newFixture(t)
+	f.enclaveRSA.report.AuthorID = Measure([]byte("evil corp signing key"))
+	info := f.info(t) // host re-signs the altered report: signature is valid
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrUntrustedAuthor) {
+		t.Fatalf("err = %v, want ErrUntrustedAuthor", err)
+	}
+}
+
+func TestStaleVersionRejected(t *testing.T) {
+	f := newFixture(t)
+	f.enclaveRSA.report.EnclaveVersion = 1 // below the client's floor of 2;
+	info := f.info(t)                      // models the §4.2 security-update flow
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("err = %v, want ErrStaleVersion", err)
+	}
+}
+
+func TestEnclaveKeySubstitutionRejected(t *testing.T) {
+	f := newFixture(t)
+	info := f.info(t)
+	// The server swaps in a key it controls; the hash in the signed report
+	// no longer matches.
+	otherKey, _ := aecrypto.GenerateRSAKey()
+	otherDER, _ := x509.MarshalPKIXPublicKey(&otherKey.PublicKey)
+	info.EnclaveKeyDER = otherDER
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrKeyHashMismatch) {
+		t.Fatalf("err = %v, want ErrKeyHashMismatch", err)
+	}
+}
+
+func TestForgedDHSignatureRejected(t *testing.T) {
+	f := newFixture(t)
+	info := f.info(t)
+	info.DHSignature[10] ^= 0xff
+	clientDH, _ := NewClientDH()
+	if _, err := f.policy.Verify(info, clientDH); !errors.Is(err, ErrBadDHSignature) {
+		t.Fatalf("err = %v, want ErrBadDHSignature", err)
+	}
+}
+
+func TestHealthCertHostKeyDecode(t *testing.T) {
+	f := newFixture(t)
+	cert, err := f.hgs.AttestHost(f.host.TCGLog(), f.host.SigningKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cert.HostKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(f.host.SigningKey().N) != 0 {
+		t.Fatal("decoded host key differs")
+	}
+}
+
+func TestReportPayloadCoversAllFields(t *testing.T) {
+	f := newFixture(t)
+	base := f.enclaveRSA.report.Payload()
+	mutations := []func(r *Report){
+		func(r *Report) { r.AuthorID[0] ^= 1 },
+		func(r *Report) { r.BinaryHash[0] ^= 1 },
+		func(r *Report) { r.EnclaveVersion++ },
+		func(r *Report) { r.HostVersion++ },
+		func(r *Report) { r.EnclaveKeyHash[0] ^= 1 },
+		func(r *Report) { r.EnclaveDHPub = append([]byte{}, r.EnclaveDHPub...); r.EnclaveDHPub[0] ^= 1 },
+	}
+	for i, mutate := range mutations {
+		r := f.enclaveRSA.report
+		mutate(&r)
+		if string(r.Payload()) == string(base) {
+			t.Fatalf("mutation %d not reflected in payload (field unsigned)", i)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package btree implements the B+-tree used for both index flavors of §3.1:
+//
+//   - Equality indexes on DET columns order keys by ciphertext bytes
+//     (BinaryOrder), supporting equality lookups but not ranges.
+//   - Range indexes on enclave-enabled RND columns store ciphertext but
+//     order it by plaintext value, routing every comparison to the enclave
+//     (EnclaveOrder), exactly as Figure 4 illustrates for inserting key 7.
+//
+// Keys are composite ([][]byte components) so mixed indexes like TPC-C's
+// CUSTOMER_NC1(C_W_ID, C_D_ID, C_LAST, C_FIRST, C_ID) — with only C_LAST
+// encrypted — compare each component under its own order. The vast majority
+// of index machinery (node search, splits, iteration) is oblivious to
+// encryption; only the comparator differs, mirroring §3.1.2's note that
+// latching, locking and page splits remain unaffected.
+//
+// Deletion is lazy (no rebalancing): removed entries leave leaves sparse,
+// which keeps logical undo — the operation recovery performs — simple while
+// preserving all ordering invariants.
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alwaysencrypted/internal/storage"
+)
+
+// ColumnOrder orders one key component given its two encodings.
+type ColumnOrder interface {
+	Compare(a, b []byte) (int, error)
+}
+
+// ColumnOrderFunc adapts a function to ColumnOrder.
+type ColumnOrderFunc func(a, b []byte) (int, error)
+
+// Compare implements ColumnOrder.
+func (f ColumnOrderFunc) Compare(a, b []byte) (int, error) { return f(a, b) }
+
+// BinaryOrder compares raw bytes: the order of plaintext canonical encodings
+// (which are order-preserving) and of DET ciphertext (which preserves only
+// equality — hence equality indexes support no range lookups, §3.1.1).
+type BinaryOrder struct{}
+
+// Compare implements ColumnOrder.
+func (BinaryOrder) Compare(a, b []byte) (int, error) { return bytes.Compare(a, b), nil }
+
+// EnclaveComparer is the slice of the enclave API the tree needs; satisfied
+// by *enclave.Enclave.
+type EnclaveComparer interface {
+	Compare(cekName string, a, b []byte) (int, error)
+}
+
+// EnclaveOrder routes component comparisons to the enclave, which decrypts
+// and returns the plaintext ordering in the clear (§3.1.2). The ordering
+// disclosure is the designed leakage of Figure 5.
+type EnclaveOrder struct {
+	CEK     string
+	Enclave EnclaveComparer
+}
+
+// Compare implements ColumnOrder.
+func (o EnclaveOrder) Compare(a, b []byte) (int, error) {
+	return o.Enclave.Compare(o.CEK, a, b)
+}
+
+// KeyComparator orders composite keys component-wise. A key with fewer
+// components than the comparator acts as a prefix: comparison covers only
+// the shared components, which gives Seek its prefix semantics.
+type KeyComparator struct {
+	Cols []ColumnOrder
+}
+
+// Compare orders two composite keys. NULL components (empty) sort first.
+func (kc *KeyComparator) Compare(a, b [][]byte) (int, error) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n > len(kc.Cols) {
+		return 0, fmt.Errorf("btree: key has %d components, comparator %d", n, len(kc.Cols))
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case len(a[i]) == 0 && len(b[i]) == 0:
+			continue
+		case len(a[i]) == 0:
+			return -1, nil
+		case len(b[i]) == 0:
+			return 1, nil
+		}
+		c, err := kc.Cols[i].Compare(a[i], b[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// Entry is one index record: a composite key plus the heap row it points to.
+type Entry struct {
+	Key [][]byte
+	Row storage.RowID
+}
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicate = errors.New("btree: duplicate key in unique index")
+	// ErrInvalidated is returned by every operation after the index was
+	// invalidated by forced deferred-transaction resolution (§4.5).
+	ErrInvalidated = errors.New("btree: index invalidated; rebuild required")
+)
+
+const maxEntries = 64 // fan-out; splits at maxEntries+1
+
+// Tree is the B+-tree. A coarse tree latch serializes structural changes;
+// reads take the shared latch. (Fine-grained latching is orthogonal to the
+// encryption design and elided.)
+type Tree struct {
+	mu     sync.RWMutex
+	cmp    *KeyComparator
+	root   *node
+	unique bool
+	size   int
+	// comparisons counts comparator invocations (atomic: readers under the
+	// shared latch also compare); the leakage harness uses it, and it shows
+	// how much work routes through the enclave.
+	comparisons atomic.Uint64
+	invalidated bool
+}
+
+type node struct {
+	leaf bool
+	// entries holds the records of a leaf.
+	entries []Entry
+	// seps are full (key, row) separators of an inner node: seps[i] is the
+	// first entry of children[i+1]. Carrying the row id keeps descent exact
+	// for duplicate keys that straddle a split boundary.
+	seps     []Entry
+	children []*node // inner only
+	next     *node   // leaf chain
+}
+
+// New creates a tree with the given component orders.
+func New(cmp *KeyComparator, unique bool) *Tree {
+	return &Tree{cmp: cmp, root: &node{leaf: true}, unique: unique}
+}
+
+// Len reports the number of entries.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Comparisons reports how many component comparisons have been performed.
+func (t *Tree) Comparisons() uint64 {
+	return t.comparisons.Load()
+}
+
+// Invalidate marks the index unusable (forced resolution of deferred
+// transactions skips logical undo and invalidates the index instead, §4.5).
+func (t *Tree) Invalidate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.invalidated = true
+	t.root = &node{leaf: true}
+	t.size = 0
+}
+
+// Invalidated reports whether the index has been invalidated.
+func (t *Tree) Invalidated() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.invalidated
+}
+
+// SwapEnclave repoints every EnclaveOrder component at a new comparer. A
+// restarted enclave holds no keys; the index structure survives (physical
+// redo) but comparisons route to the new instance.
+func (t *Tree) SwapEnclave(ec EnclaveComparer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, c := range t.cmp.Cols {
+		if eo, ok := c.(EnclaveOrder); ok {
+			eo.Enclave = ec
+			t.cmp.Cols[i] = eo
+		}
+	}
+}
+
+// compareFull orders (key, row) pairs: ties on the key break on the row id,
+// making every entry unique in non-unique indexes.
+func (t *Tree) compareFull(aKey [][]byte, aRow storage.RowID, bKey [][]byte, bRow storage.RowID) (int, error) {
+	t.comparisons.Add(1)
+	c, err := t.cmp.Compare(aKey, bKey)
+	if err != nil || c != 0 {
+		return c, err
+	}
+	switch {
+	case aRow < bRow:
+		return -1, nil
+	case aRow > bRow:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Insert adds an entry. For unique indexes a key collision (regardless of
+// row) returns ErrDuplicate.
+func (t *Tree) Insert(key [][]byte, row storage.RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.invalidated {
+		return ErrInvalidated
+	}
+	if t.unique {
+		ent, found, err := t.lookupLocked(key)
+		if err != nil {
+			return err
+		}
+		if found && ent.Row != row {
+			return ErrDuplicate
+		}
+		if found && ent.Row == row {
+			return nil
+		}
+	}
+	newChild, newSep, err := t.insertNode(t.root, key, row)
+	if err != nil {
+		return err
+	}
+	if newChild != nil {
+		t.root = &node{
+			leaf:     false,
+			seps:     []Entry{newSep},
+			children: []*node{t.root, newChild},
+		}
+	}
+	t.size++
+	return nil
+}
+
+// insertNode descends, splitting full children on the way back up. Returns
+// the new right sibling and its separator when this node split.
+func (t *Tree) insertNode(n *node, key [][]byte, row storage.RowID) (*node, Entry, error) {
+	if n.leaf {
+		i, err := t.leafInsertPos(n, key, row)
+		if err != nil {
+			return nil, Entry{}, err
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = Entry{Key: key, Row: row}
+		if len(n.entries) <= maxEntries {
+			return nil, Entry{}, nil
+		}
+		// Split the leaf.
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, entries: append([]Entry(nil), n.entries[mid:]...), next: n.next}
+		n.entries = n.entries[:mid]
+		n.next = right
+		return right, right.entries[0], nil
+	}
+
+	ci, err := t.childIndex(n, key, row)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	newChild, newSep, err := t.insertNode(n.children[ci], key, row)
+	if err != nil || newChild == nil {
+		return nil, Entry{}, err
+	}
+	n.seps = append(n.seps, Entry{})
+	copy(n.seps[ci+1:], n.seps[ci:])
+	n.seps[ci] = newSep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.children) <= maxEntries {
+		return nil, Entry{}, nil
+	}
+	// Split the inner node.
+	midSep := len(n.seps) / 2
+	promoted := n.seps[midSep]
+	right := &node{
+		leaf:     false,
+		seps:     append([]Entry(nil), n.seps[midSep+1:]...),
+		children: append([]*node(nil), n.children[midSep+1:]...),
+	}
+	n.seps = n.seps[:midSep]
+	n.children = n.children[:midSep+1]
+	return right, promoted, nil
+}
+
+// leafInsertPos finds the sorted position for (key,row) in a leaf.
+func (t *Tree) leafInsertPos(n *node, key [][]byte, row storage.RowID) (int, error) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, err := t.compareFull(n.entries[mid].Key, n.entries[mid].Row, key, row)
+		if err != nil {
+			return 0, err
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// childIndex picks the child to descend into for (key,row): the first child
+// whose separator exceeds the full (key, row) pair.
+func (t *Tree) childIndex(n *node, key [][]byte, row storage.RowID) (int, error) {
+	i := 0
+	for ; i < len(n.seps); i++ {
+		c, err := t.compareFull(key, row, n.seps[i].Key, n.seps[i].Row)
+		if err != nil {
+			return 0, err
+		}
+		if c < 0 {
+			break
+		}
+	}
+	return i, nil
+}
+
+// lookupLocked finds any entry with exactly this key (unique index check).
+func (t *Tree) lookupLocked(key [][]byte) (Entry, bool, error) {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		for ; i < len(n.seps); i++ {
+			t.comparisons.Add(1)
+			c, err := t.cmp.Compare(key, n.seps[i].Key)
+			if err != nil {
+				return Entry{}, false, err
+			}
+			if c < 0 {
+				break
+			}
+		}
+		n = n.children[i]
+	}
+	// The first matching entry may be in this leaf or the next (separator
+	// boundaries split equal keys by row id).
+	for n != nil {
+		for i := range n.entries {
+			t.comparisons.Add(1)
+			c, err := t.cmp.Compare(n.entries[i].Key, key)
+			if err != nil {
+				return Entry{}, false, err
+			}
+			if c == 0 {
+				return n.entries[i], true, nil
+			}
+			if c > 0 {
+				return Entry{}, false, nil
+			}
+		}
+		n = n.next
+	}
+	return Entry{}, false, nil
+}
+
+// Delete removes the entry (key, row); it reports whether it was present.
+// This is exactly the logical-undo operation of §4.5: navigating the tree
+// requires comparisons, which for encrypted range indexes require enclave
+// keys — when they are missing, the error propagates and the caller defers
+// the transaction.
+func (t *Tree) Delete(key [][]byte, row storage.RowID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.invalidated {
+		return false, ErrInvalidated
+	}
+	n := t.root
+	for !n.leaf {
+		ci, err := t.childIndex(n, key, row)
+		if err != nil {
+			return false, err
+		}
+		n = n.children[ci]
+	}
+	for leaf := n; leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			c, err := t.compareFull(leaf.entries[i].Key, leaf.entries[i].Row, key, row)
+			if err != nil {
+				return false, err
+			}
+			if c == 0 {
+				leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+				t.size--
+				return true, nil
+			}
+			if c > 0 {
+				return false, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// SeekGE returns up to limit entries with key >= the search key (prefix
+// semantics), in order. limit <= 0 means no limit. filter is applied to
+// entries before they count toward the limit.
+func (t *Tree) SeekGE(key [][]byte, limit int) ([]Entry, error) {
+	return t.scan(key, nil, true, false, limit)
+}
+
+// ScanRange returns entries in [lo, hi] with the given inclusivity. Either
+// bound may be nil for open-ended scans. The bounds may be key prefixes.
+func (t *Tree) ScanRange(lo, hi [][]byte, loInc, hiInc bool, limit int) ([]Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.invalidated {
+		return nil, ErrInvalidated
+	}
+	var out []Entry
+	start := t.root
+	var err error
+	var leaf *node
+	if lo != nil {
+		leaf, err = t.descendToLeaf(lo)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		leaf = leftmostLeaf(start)
+	}
+	for ; leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			e := &leaf.entries[i]
+			if lo != nil {
+				t.comparisons.Add(1)
+				c, err := t.cmp.Compare(e.Key, lo)
+				if err != nil {
+					return nil, err
+				}
+				if c < 0 || (c == 0 && !loInc) {
+					continue
+				}
+			}
+			if hi != nil {
+				t.comparisons.Add(1)
+				c, err := t.cmp.Compare(e.Key, hi)
+				if err != nil {
+					return nil, err
+				}
+				if c > 0 || (c == 0 && !hiInc) {
+					return out, nil
+				}
+			}
+			out = append(out, Entry{Key: e.Key, Row: e.Row})
+			if limit > 0 && len(out) >= limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// scan is the shared implementation behind SeekGE.
+func (t *Tree) scan(lo, hi [][]byte, loInc, hiInc bool, limit int) ([]Entry, error) {
+	return t.ScanRange(lo, hi, loInc, hiInc, limit)
+}
+
+// SeekExact returns all entries whose key (or key prefix) equals the search
+// key — the equality lookup path for both index flavors.
+func (t *Tree) SeekExact(key [][]byte, limit int) ([]Entry, error) {
+	return t.ScanRange(key, key, true, true, limit)
+}
+
+// descendToLeaf walks inner nodes toward the first leaf that may contain
+// keys >= search key. Must be called with the tree latch held.
+func (t *Tree) descendToLeaf(key [][]byte) (*node, error) {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		for ; i < len(n.seps); i++ {
+			t.comparisons.Add(1)
+			c, err := t.cmp.Compare(key, n.seps[i].Key)
+			if err != nil {
+				return nil, err
+			}
+			if c <= 0 {
+				// Equal prefixes may start in the left child.
+				break
+			}
+		}
+		n = n.children[i]
+	}
+	return n, nil
+}
+
+func leftmostLeaf(n *node) *node {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n
+}
+
+// Ascend visits every entry in order until fn returns false.
+func (t *Tree) Ascend(fn func(e Entry) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.invalidated {
+		return ErrInvalidated
+	}
+	for leaf := leftmostLeaf(t.root); leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			if !fn(leaf.entries[i]) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies ordering within and across leaves — used by
+// property tests. It returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var prev *Entry
+	count := 0
+	for leaf := leftmostLeaf(t.root); leaf != nil; leaf = leaf.next {
+		for i := range leaf.entries {
+			e := &leaf.entries[i]
+			count++
+			if prev != nil {
+				c, err := t.compareFull(prev.Key, prev.Row, e.Key, e.Row)
+				if err != nil {
+					return err
+				}
+				if c >= 0 {
+					return fmt.Errorf("btree: entries out of order: %v !< %v", prev.Row, e.Row)
+				}
+			}
+			prev = e
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d entries reachable", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+// Package core is the public façade of the Always Encrypted reproduction:
+// it assembles the full Figure 3 deployment — enclave, attestation
+// infrastructure (HGS + host), database engine, TDS server — behind a small
+// API, and provides the client-side pieces (key provisioning helper, AE
+// driver connections) that downstream applications program against.
+//
+// Quickstart:
+//
+//	srv, _ := core.StartServer(core.ServerConfig{})
+//	defer srv.Close()
+//	admin := core.NewKeyAdmin(srv)
+//	admin.CreateMasterKey("MyCMK", true)
+//	admin.CreateColumnKey("MyCEK", "MyCMK")
+//	db, _ := srv.Connect(core.ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+//	db.Exec(`CREATE TABLE t (id int PRIMARY KEY, ssn varchar(11) ENCRYPTED WITH (...))`, nil)
+package core
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/engine"
+	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/tds"
+)
+
+// Value re-exports the SQL value constructors for application code.
+type Value = sqltypes.Value
+
+// Convenience constructors.
+func Int(v int64) Value       { return sqltypes.Int(v) }
+func Float(v float64) Value   { return sqltypes.Float(v) }
+func Str(v string) Value      { return sqltypes.Str(v) }
+func Bool(v bool) Value       { return sqltypes.Bool(v) }
+func Null() Value             { return sqltypes.Null() }
+func Datetime(us int64) Value { return sqltypes.Datetime(us) }
+
+// ServerConfig tunes the server deployment.
+type ServerConfig struct {
+	// Listen is the TCP address; empty means an ephemeral loopback port.
+	Listen string
+	// EnclaveThreads sets the enclave worker count (default 4, as in §5.1).
+	EnclaveThreads int
+	// SynchronousEnclave disables the §4.6 queue optimization.
+	SynchronousEnclave bool
+	// CTR enables constant-time recovery (§4.5). Default on.
+	DisableCTR bool
+	// EnclaveVersion stamps the enclave image (clients can set version
+	// floors in their attestation policy).
+	EnclaveVersion int
+}
+
+// Server is a running deployment.
+type Server struct {
+	Engine  *engine.Engine
+	Enclave *enclave.Enclave
+	TDS     *tds.Server
+
+	addr     string
+	listener net.Listener
+	policy   attestation.Policy
+	image    *enclave.Image
+	options  enclave.Options
+}
+
+// StartServer boots the enclave, registers the host with a fresh HGS, and
+// serves the TDS protocol on a TCP listener.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.EnclaveThreads == 0 {
+		cfg.EnclaveThreads = 4
+	}
+	if cfg.EnclaveVersion == 0 {
+		cfg.EnclaveVersion = 2
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+
+	authorKey, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		return nil, err
+	}
+	image, err := enclave.SignImage(authorKey, []byte("always-encrypted-es-enclave"), cfg.EnclaveVersion)
+	if err != nil {
+		return nil, err
+	}
+	spin := 20 * time.Microsecond
+	if runtime.NumCPU() == 1 {
+		// A spinning enclave worker on a single-core host steals the CPU
+		// from the host workers feeding it (§4.6's spin assumes a core to
+		// pin the enclave thread to).
+		spin = 2 * time.Microsecond
+	}
+	opts := enclave.Options{
+		Threads:      cfg.EnclaveThreads,
+		Synchronous:  cfg.SynchronousEnclave,
+		SpinDuration: spin,
+		CrossingCost: time.Microsecond,
+	}
+	encl, err := enclave.Load(image, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	hgs, err := attestation.NewHGS()
+	if err != nil {
+		encl.Close()
+		return nil, err
+	}
+	tcg := []byte("core-server-boot-measurement")
+	host, err := attestation.NewHost(tcg, 10)
+	if err != nil {
+		encl.Close()
+		return nil, err
+	}
+	hgs.RegisterHost(tcg)
+
+	eng := engine.New(engine.Config{
+		Enclave: encl, Host: host, HGS: hgs, CTR: !cfg.DisableCTR,
+	})
+	srv := &Server{
+		Engine:  eng,
+		Enclave: encl,
+		TDS:     tds.NewServer(eng),
+		image:   image,
+		options: opts,
+		policy: attestation.Policy{
+			HGSKey:            hgs.SigningKey(),
+			TrustedAuthorIDs:  []attestation.Measurement{image.AuthorID()},
+			MinEnclaveVersion: cfg.EnclaveVersion,
+			MinHostVersion:    10,
+		},
+	}
+	l, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		encl.Close()
+		return nil, err
+	}
+	srv.listener = l
+	srv.addr = l.Addr().String()
+	go srv.TDS.Serve(l)
+	return srv, nil
+}
+
+// Addr is the server's TCP address.
+func (s *Server) Addr() string { return s.addr }
+
+// Policy returns the attestation trust anchors clients should use. In a
+// real deployment the HGS key and author ID would be distributed out of
+// band; here the helper stands in for that channel.
+func (s *Server) Policy() attestation.Policy { return s.policy }
+
+// Close shuts the deployment down.
+func (s *Server) Close() {
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.TDS.Close()
+	s.Enclave.Close()
+}
+
+// RestartEnclave simulates a process restart of the enclave: a fresh
+// instance loads from the same signed image, with no installed CEKs and a
+// new identity keypair. Attestation keeps working (same author ID and
+// versions); clients must re-attest and re-install keys. Used together with
+// Engine.Crash/Recover to exercise the §4.5 recovery story.
+func (s *Server) RestartEnclave() error {
+	fresh, err := enclave.Load(s.image, 10, s.options)
+	if err != nil {
+		return err
+	}
+	old := s.Enclave
+	s.Enclave = fresh
+	s.Engine.ReplaceEnclave(fresh)
+	old.Close()
+	return nil
+}
+
+// ClientConfig configures application connections.
+type ClientConfig struct {
+	// AlwaysEncrypted turns the AE connection-string property on.
+	AlwaysEncrypted bool
+	// Providers resolves CMKs; use KeyAdmin.Registry() or your own.
+	Providers *keys.ProviderRegistry
+	// TrustedKeyPaths restricts acceptable CMK paths (§4.1).
+	TrustedKeyPaths []string
+	// DescribeCache enables client-side caching of describe results.
+	DescribeCache bool
+	// SharedCache is the process-wide CEK/describe cache; nil = private.
+	SharedCache *driver.Cache
+}
+
+// DB is an application connection.
+type DB struct {
+	Conn *driver.Conn
+}
+
+// Connect opens an application connection to the server.
+func (s *Server) Connect(cfg ClientConfig) (*DB, error) {
+	policy := s.policy
+	dcfg := driver.Config{
+		AlwaysEncrypted: cfg.AlwaysEncrypted,
+		Providers:       cfg.Providers,
+		TrustedKeyPaths: cfg.TrustedKeyPaths,
+		Policy:          &policy,
+		DescribeCache:   cfg.DescribeCache,
+	}
+	conn, err := driver.Dial(s.addr, dcfg, cfg.SharedCache)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Conn: conn}, nil
+}
+
+// Exec runs one parameterized statement.
+func (db *DB) Exec(query string, args map[string]Value) (*driver.Rows, error) {
+	return db.Conn.Exec(query, args)
+}
+
+// Begin/Commit/Rollback control transactions.
+func (db *DB) Begin() error    { return db.Conn.Begin() }
+func (db *DB) Commit() error   { return db.Conn.Commit() }
+func (db *DB) Rollback() error { return db.Conn.Rollback() }
+
+// Close closes the connection.
+func (db *DB) Close() error { return db.Conn.Close() }
+
+// KeyAdmin automates the client-side key provisioning of §2.4.1: it owns a
+// key provider (an in-memory vault standing in for Azure Key Vault), creates
+// CMKs and CEKs, and registers their metadata with the server through DDL.
+type KeyAdmin struct {
+	server   *Server
+	vault    *keys.MemoryVault
+	registry *keys.ProviderRegistry
+	paths    map[string]string
+}
+
+// NewKeyAdmin creates a key administration helper bound to a server.
+func NewKeyAdmin(s *Server) *KeyAdmin {
+	vault := keys.NewMemoryVault(keys.ProviderVault)
+	reg := keys.NewProviderRegistry()
+	reg.Register(vault)
+	return &KeyAdmin{server: s, vault: vault, registry: reg, paths: map[string]string{}}
+}
+
+// Registry returns the provider registry for ClientConfig.Providers.
+func (a *KeyAdmin) Registry() *keys.ProviderRegistry { return a.registry }
+
+// Vault exposes the underlying key store (tests, latency injection).
+func (a *KeyAdmin) Vault() *keys.MemoryVault { return a.vault }
+
+// KeyPath returns the provider path of a provisioned CMK.
+func (a *KeyAdmin) KeyPath(cmkName string) string { return a.paths[cmkName] }
+
+// CreateMasterKey generates a CMK in the vault and registers its (signed)
+// metadata with the server.
+func (a *KeyAdmin) CreateMasterKey(name string, enclaveEnabled bool) error {
+	path := "https://vault.local/keys/" + name
+	if _, err := a.vault.CreateKey(path); err != nil {
+		return err
+	}
+	cmk, err := keys.ProvisionCMK(a.vault, name, path, enclaveEnabled)
+	if err != nil {
+		return err
+	}
+	a.paths[name] = path
+	conn, err := a.adminConn()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enclClause := ""
+	if enclaveEnabled {
+		enclClause = fmt.Sprintf(", ENCLAVE_COMPUTATIONS (SIGNATURE = 0x%x)", cmk.Signature)
+	}
+	_, err = conn.Exec(fmt.Sprintf(
+		"CREATE COLUMN MASTER KEY %s WITH (KEY_STORE_PROVIDER_NAME = '%s', KEY_PATH = '%s'%s)",
+		name, keys.ProviderVault, path, enclClause), nil)
+	return err
+}
+
+// CreateColumnKey generates a CEK, wraps it under the named CMK and
+// registers the metadata with the server. The plaintext never leaves the
+// client side.
+func (a *KeyAdmin) CreateColumnKey(name, cmkName string) error {
+	path, ok := a.paths[cmkName]
+	if !ok {
+		return fmt.Errorf("core: unknown CMK %s", cmkName)
+	}
+	cmkMeta, err := keys.ProvisionCMK(a.vault, cmkName, path, true)
+	if err != nil {
+		return err
+	}
+	// Reuse the stored enclave setting: re-derive from catalog if present.
+	if stored, err := a.server.Engine.Catalog().CMK(cmkName); err == nil {
+		cmkMeta.EnclaveEnabled = stored.EnclaveEnabled
+	}
+	cek, _, err := keys.ProvisionCEK(a.vault, cmkMeta, name)
+	if err != nil {
+		return err
+	}
+	conn, err := a.adminConn()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	val := cek.PrimaryValue()
+	_, err = conn.Exec(fmt.Sprintf(
+		"CREATE COLUMN ENCRYPTION KEY %s WITH VALUES (COLUMN_MASTER_KEY = %s, ALGORITHM = 'RSA_OAEP', ENCRYPTED_VALUE = 0x%x, SIGNATURE = 0x%x)",
+		name, cmkName, val.EncryptedValue, val.Signature), nil)
+	return err
+}
+
+// RotateMasterKey performs a CMK rotation (§2.4.2): the CEK gains a second
+// wrapping under the new CMK, then the old wrapping is dropped. Data is not
+// re-encrypted.
+func (a *KeyAdmin) RotateMasterKey(cekName, oldCMK, newCMK string) error {
+	cat := a.server.Engine.Catalog()
+	cekMeta, err := cat.CEK(cekName)
+	if err != nil {
+		return err
+	}
+	oldMeta, err := cat.CMK(oldCMK)
+	if err != nil {
+		return err
+	}
+	newMeta, err := cat.CMK(newCMK)
+	if err != nil {
+		return err
+	}
+	// Begin: dual-wrap window.
+	rotated := *cekMeta
+	rotated.Values = append([]keys.CEKValue(nil), cekMeta.Values...)
+	if err := keys.BeginCMKRotation(a.vault, &rotated, oldMeta, newMeta); err != nil {
+		return err
+	}
+	cat.ReplaceCEK(&rotated)
+	// Complete: drop the old wrapping.
+	if err := keys.CompleteCMKRotation(&rotated, newCMK); err != nil {
+		return err
+	}
+	cat.ReplaceCEK(&rotated)
+	return nil
+}
+
+func (a *KeyAdmin) adminConn() (*driver.Conn, error) {
+	return driver.Dial(a.server.addr, driver.Config{Providers: a.registry}, nil)
+}
+
+// ClientSideInitialEncryption is the AEv1 tooling path of §2.4.2: it
+// encrypts an existing column by round-tripping every cell through this
+// client-side process (which holds the keys) — the slow path the paper's
+// customers found impractical for terabyte databases and that AEv2's
+// enclave-side ALTER TABLE replaces. It works without any enclave, e.g.
+// for DET columns under enclave-disabled CMKs.
+func (a *KeyAdmin) ClientSideInitialEncryption(table, column, cekName string, scheme sqltypes.EncScheme) error {
+	cek, err := a.server.Engine.Catalog().CEK(cekName)
+	if err != nil {
+		return err
+	}
+	val := cek.PrimaryValue()
+	if val == nil {
+		return fmt.Errorf("core: CEK %s has no values", cekName)
+	}
+	cmk, err := a.server.Engine.Catalog().CMK(val.CMKName)
+	if err != nil {
+		return err
+	}
+	root, err := a.vault.Unwrap(cmk.KeyPath, val.EncryptedValue)
+	if err != nil {
+		return err
+	}
+	cell, err := aecrypto.NewCellKey(root)
+	if err != nil {
+		return err
+	}
+	encType := aecrypto.Randomized
+	if scheme == sqltypes.SchemeDeterministic {
+		encType = aecrypto.Deterministic
+	}
+	to := sqltypes.EncType{Scheme: scheme, CEKName: cek.Name, EnclaveEnabled: cmk.EnclaveEnabled}
+	return a.server.Engine.AlterColumnClientSide(table, column, to, func(old []byte) ([]byte, error) {
+		// The "round trip": plaintext encoding in, ciphertext out, computed
+		// on the client with the client's keys.
+		return cell.Encrypt(old, encType)
+	})
+}

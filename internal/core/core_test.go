@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+func startServer(t *testing.T) (*Server, *KeyAdmin) {
+	t.Helper()
+	srv, err := StartServer(ServerConfig{EnclaveThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, NewKeyAdmin(srv)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	srv, admin := startServer(t)
+	if err := admin.CreateMasterKey("MyCMK", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateColumnKey("MyCEK", "MyCMK"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Figure 1's table.
+	if _, err := db.Exec(`CREATE TABLE T(id int PRIMARY KEY,
+		value int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK,
+		ENCRYPTION_TYPE = Randomized,
+		ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if _, err := db.Exec("INSERT INTO T (id, value) VALUES (@id, @v)",
+			map[string]Value{"id": Int(i), "v": Int(i * 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The paper's running example: select * from T where value = @v.
+	rows, err := db.Exec("SELECT * FROM T WHERE value = @v", map[string]Value{"v": Int(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Values) != 1 || rows.Values[0][0].I != 5 || rows.Values[0][1].I != 500 {
+		t.Fatalf("rows = %+v", rows.Values)
+	}
+	// Range through the enclave.
+	rows, err = db.Exec("SELECT id FROM T WHERE value BETWEEN @lo AND @hi",
+		map[string]Value{"lo": Int(300), "hi": Int(600)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Values) != 4 {
+		t.Fatalf("range rows = %d", len(rows.Values))
+	}
+}
+
+func TestServerSideCiphertextOnly(t *testing.T) {
+	srv, admin := startServer(t)
+	admin.CreateMasterKey("CMK", true)
+	admin.CreateColumnKey("CEK", "CMK")
+	db, _ := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	defer db.Close()
+	db.Exec(`CREATE TABLE s (id int PRIMARY KEY,
+		secret varchar(30) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+	if _, err := db.Exec("INSERT INTO s (id, secret) VALUES (@i, @s)",
+		map[string]Value{"i": Int(1), "s": Str("TOP-SECRET-VALUE")}); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary view: plain connection sees only ciphertext bytes.
+	plainDB, err := srv.Connect(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainDB.Close()
+	rows, err := plainDB.Exec("SELECT secret FROM s WHERE id = @i", map[string]Value{"i": Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows.Values[0][0]
+	if got.Kind != sqltypes.KindBytes || strings.Contains(string(got.B), "TOP-SECRET") {
+		t.Fatalf("server leaked plaintext: %v", got)
+	}
+}
+
+func TestCMKRotationViaAdmin(t *testing.T) {
+	srv, admin := startServer(t)
+	admin.CreateMasterKey("OldCMK", true)
+	admin.CreateMasterKey("NewCMK", true)
+	admin.CreateColumnKey("CEK", "OldCMK")
+	db, _ := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	defer db.Close()
+	db.Exec(`CREATE TABLE r (id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+	if _, err := db.Exec("INSERT INTO r (id, v) VALUES (@i, @v)",
+		map[string]Value{"i": Int(1), "v": Int(42)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := admin.RotateMasterKey("CEK", "OldCMK", "NewCMK"); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh connection (empty caches) resolves the CEK via the new CMK
+	// and reads the data without any re-encryption having happened.
+	db2, _ := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	defer db2.Close()
+	rows, err := db2.Exec("SELECT v FROM r WHERE id = @i", map[string]Value{"i": Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Values[0][0].I != 42 {
+		t.Fatalf("v = %v", rows.Values[0][0])
+	}
+	// Metadata now references only the new CMK.
+	cek, err := srv.Engine.Catalog().CEK("CEK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cek.Values) != 1 || cek.Values[0].CMKName != "NewCMK" {
+		t.Fatalf("cek values = %+v", cek.Values)
+	}
+}
+
+func TestTransactionsViaFacade(t *testing.T) {
+	srv, _ := startServer(t)
+	db, err := srv.Connect(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Exec("CREATE TABLE b (id int PRIMARY KEY, n int)", nil)
+	db.Exec("INSERT INTO b (id, n) VALUES (@i, @n)", map[string]Value{"i": Int(1), "n": Int(5)})
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	db.Exec("UPDATE b SET n = n + @d WHERE id = @i", map[string]Value{"d": Int(10), "i": Int(1)})
+	if err := db.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Exec("SELECT n FROM b WHERE id = @i", map[string]Value{"i": Int(1)})
+	if rows.Values[0][0].I != 5 {
+		t.Fatalf("n = %v", rows.Values[0][0])
+	}
+}
+
+// TestClientSideInitialEncryption exercises the AEv1 path (§2.4.2): a
+// plaintext column becomes DET-encrypted under an enclave-disabled CMK via
+// the client-side round-trip tool — no enclave involved at any point.
+func TestClientSideInitialEncryption(t *testing.T) {
+	srv, admin := startServer(t)
+	if err := admin.CreateMasterKey("V1CMK", false); err != nil { // enclave-DISABLED
+		t.Fatal(err)
+	}
+	if err := admin.CreateColumnKey("V1CEK", "V1CMK"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Exec("CREATE TABLE emp (id int PRIMARY KEY, ssn varchar(11))", nil)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := db.Exec("INSERT INTO emp (id, ssn) VALUES (@i, @s)",
+			map[string]Value{"i": Int(i), "s": Str(fmt.Sprintf("00%d-11-2222", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evalsBefore := srv.Enclave.Dump().Evaluations
+
+	if err := admin.ClientSideInitialEncryption("emp", "ssn", "V1CEK", sqltypes.SchemeDeterministic); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Enclave.Dump().Evaluations != evalsBefore {
+		t.Fatal("client-side encryption must not touch the enclave")
+	}
+	// Ciphertext server-side.
+	plain, _ := srv.Connect(ClientConfig{})
+	defer plain.Close()
+	raw, err := plain.Exec("SELECT ssn FROM emp WHERE id = @i", map[string]Value{"i": Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Values[0][0].Kind != sqltypes.KindBytes {
+		t.Fatal("ssn not encrypted")
+	}
+	// AEv1 functionality: equality over DET works without any enclave.
+	rows, err := db.Exec("SELECT id FROM emp WHERE ssn = @s",
+		map[string]Value{"s": Str("002-11-2222")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Values) != 1 || rows.Values[0][0].I != 2 {
+		t.Fatalf("rows = %+v", rows.Values)
+	}
+	// And transparent decryption on read.
+	rows, err = db.Exec("SELECT ssn FROM emp WHERE id = @i", map[string]Value{"i": Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Values[0][0].S != "003-11-2222" {
+		t.Fatalf("decrypted = %v", rows.Values[0][0])
+	}
+}

@@ -1,0 +1,21 @@
+package driver
+
+import (
+	"crypto/ecdh"
+
+	"alwaysencrypted/internal/attestation"
+)
+
+// dhState holds the client's ephemeral DH keypair for one attestation.
+type dhState struct {
+	priv     *ecdh.PrivateKey
+	pubBytes []byte
+}
+
+func newDH() (*dhState, error) {
+	priv, err := attestation.NewClientDH()
+	if err != nil {
+		return nil, err
+	}
+	return &dhState{priv: priv, pubBytes: priv.PublicKey().Bytes()}, nil
+}

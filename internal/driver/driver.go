@@ -1,0 +1,503 @@
+// Package driver is the AE-enabled client driver of §4.1 — the counterpart
+// of the enhanced ADO.NET/ODBC/JDBC drivers. Given a parameterized query
+// with plaintext arguments it:
+//
+//  1. invokes sp_describe_parameter_encryption (a real extra round trip —
+//     the overhead measured by the SQL-PT-AEConn configuration of §5);
+//  2. verifies attestation (§4.2) the first time the enclave is needed,
+//     deriving the shared session secret;
+//  3. resolves CEKs through client-side key providers — checking the CMK
+//     metadata signature and the trusted key path list, so a lying server
+//     cannot substitute keys (§4.1) — and caches the plaintext CEKs;
+//  4. encrypts parameters per the describe output, ships enclave CEKs over
+//     the secure channel with fresh nonces, and transparently authorizes
+//     enclave DDL by sealing the statement hash (§3.2);
+//  5. decrypts result cells before handing rows to the application.
+//
+// With Config.AlwaysEncrypted unset the driver behaves like a plain client
+// (the SQL-PT baseline): no describe call, no encryption.
+package driver
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/engine"
+	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/tds"
+)
+
+// Config is the connection configuration ("connection string").
+type Config struct {
+	// AlwaysEncrypted corresponds to the AE connection-string property: when
+	// false the driver never calls sp_describe_parameter_encryption (§4.1).
+	AlwaysEncrypted bool
+	// Providers resolves CMK key paths to key material.
+	Providers *keys.ProviderRegistry
+	// TrustedKeyPaths, when non-empty, restricts acceptable CMK key paths —
+	// the §4.1 defence against the server returning malicious key metadata.
+	TrustedKeyPaths []string
+	// Policy validates attestation; required for enclave queries.
+	Policy *attestation.Policy
+	// DescribeCache caches describe results per query text. Off by default:
+	// the paper's measured configuration pays the round trip every time, and
+	// §5.4.1 notes caching as the obvious future optimization.
+	DescribeCache bool
+	// CEKCacheTTL bounds the plaintext CEK cache (§4.1: "caches the
+	// decrypted CEKs for a duration that can be controlled by clients").
+	CEKCacheTTL time.Duration
+	// ForceEncrypted lists parameters the application requires to be
+	// encrypted; if the server claims they are plaintext, the driver refuses
+	// (§4.1's defence against a lying sp_describe output).
+	ForceEncrypted []string
+	// Now is a clock hook for cache-expiry tests.
+	Now func() time.Time
+}
+
+// Errors surfaced by the driver.
+var (
+	ErrUntrustedKeyPath  = errors.New("driver: CMK key path not in the trusted list")
+	ErrForcedEncryption  = errors.New("driver: server claims a force-encrypted parameter is plaintext")
+	ErrNoPolicy          = errors.New("driver: enclave query requires an attestation policy")
+	ErrCMKNotEnclaveable = errors.New("driver: CMK does not authorize enclave computations for this CEK")
+)
+
+// Conn is an AE-aware client connection. Not safe for concurrent use; open
+// one Conn per worker (the process-wide caches of §4.1 are modelled by
+// sharing a Cache across Conns).
+type Conn struct {
+	cfg    Config
+	tds    *tds.Conn
+	caches *Cache
+
+	secret    [32]byte
+	hasSecret bool
+	sid       uint64
+	nonce     uint64
+	// dh is the connection's ephemeral DH keypair, generated once and sent
+	// with describe calls until a shared secret is established (§4.2 folds
+	// the key exchange into attestation to save round trips).
+	dh *dhState
+
+	// installedCEKs tracks CEKs already shipped to the enclave under this
+	// session's secret.
+	installedCEKs map[string]bool
+
+	// Stats
+	DescribeCalls int
+	ExecCalls     int
+}
+
+// Cache holds the process-wide driver caches of §4.1: decrypted CEKs and
+// describe results, shared across the entire client process.
+type Cache struct {
+	mu        sync.Mutex
+	ceks      map[string]cekEntry
+	describes map[string]*tds.DescribeResp
+}
+
+type cekEntry struct {
+	root    []byte
+	cell    *aecrypto.CellKey
+	expires time.Time
+}
+
+// NewCache creates an empty shared cache.
+func NewCache() *Cache {
+	return &Cache{ceks: make(map[string]cekEntry), describes: make(map[string]*tds.DescribeResp)}
+}
+
+// Open wraps an established transport with driver logic. cache may be nil
+// for a private per-connection cache.
+func Open(nc net.Conn, cfg Config, cache *Cache) *Conn {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.CEKCacheTTL == 0 {
+		cfg.CEKCacheTTL = 2 * time.Hour
+	}
+	if cache == nil {
+		cache = NewCache()
+	}
+	return &Conn{cfg: cfg, tds: tds.NewConn(nc), caches: cache, installedCEKs: make(map[string]bool)}
+}
+
+// Dial connects over TCP.
+func Dial(addr string, cfg Config, cache *Cache) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("driver: dial: %w", err)
+	}
+	return Open(nc, cfg, cache), nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.tds.Close() }
+
+// Rows is a decrypted result set.
+type Rows struct {
+	Columns  []string
+	Values   [][]sqltypes.Value
+	Affected int
+}
+
+// Row returns row i (for tests and examples).
+func (r *Rows) Row(i int) []sqltypes.Value { return r.Values[i] }
+
+// Exec runs a parameterized statement with plaintext arguments, applying the
+// full transparency pipeline.
+func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error) {
+	c.ExecCalls++
+	if !c.cfg.AlwaysEncrypted {
+		// Plain connection: parameters travel as canonical encodings.
+		wire := make(map[string][]byte, len(args))
+		for name, v := range args {
+			wire[name] = v.Encode()
+		}
+		rs, err := c.tds.Exec(query, wire)
+		if err != nil {
+			return nil, err
+		}
+		return c.decodeResult(rs, nil)
+	}
+
+	desc, err := c.describe(query)
+	if err != nil {
+		return nil, err
+	}
+
+	// Enclave preparation: install CEKs and, for DDL, authorization.
+	if desc.Desc.NeedsEnclave {
+		if err := c.prepareEnclave(query, desc); err != nil {
+			return nil, err
+		}
+	}
+
+	wire, err := c.encryptParams(&desc.Desc, args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := c.tds.Exec(query, wire)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeResult(rs, desc)
+}
+
+// Begin, Commit and Rollback issue transaction-control statements.
+func (c *Conn) Begin() error    { _, err := c.Exec("BEGIN TRANSACTION", nil); return err }
+func (c *Conn) Commit() error   { _, err := c.Exec("COMMIT", nil); return err }
+func (c *Conn) Rollback() error { _, err := c.Exec("ROLLBACK", nil); return err }
+
+// describe performs (or serves from cache) the describe round trip,
+// including attestation on first enclave use.
+func (c *Conn) describe(query string) (*tds.DescribeResp, error) {
+	if c.cfg.DescribeCache {
+		c.caches.mu.Lock()
+		if d, ok := c.caches.describes[query]; ok {
+			c.caches.mu.Unlock()
+			return d, nil
+		}
+		c.caches.mu.Unlock()
+	}
+
+	var clientDHPub []byte
+	if !c.hasSecret {
+		if c.dh == nil {
+			dh, err := newDH()
+			if err != nil {
+				return nil, err
+			}
+			c.dh = dh
+		}
+		clientDHPub = c.dh.pubBytes
+	}
+	c.DescribeCalls++
+	resp, err := c.tds.Describe(query, clientDHPub)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Attestation != nil && c.dh != nil {
+		if c.cfg.Policy == nil {
+			return nil, ErrNoPolicy
+		}
+		secret, err := c.cfg.Policy.Verify(resp.Attestation, c.dh.priv)
+		if err != nil {
+			return nil, fmt.Errorf("driver: attestation failed, refusing to release keys: %w", err)
+		}
+		c.secret = secret
+		c.hasSecret = true
+		c.sid = resp.EnclaveSID
+		c.dh = nil
+		// The shared secret is cached for the connection; later describes
+		// skip the attestation protocol (§4.1).
+	}
+	if resp.Desc.NeedsEnclave && !c.hasSecret {
+		return nil, errors.New("driver: enclave required but no attestation was performed")
+	}
+	if c.cfg.DescribeCache {
+		c.caches.mu.Lock()
+		c.caches.describes[query] = resp
+		c.caches.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// prepareEnclave ships required CEKs (once per session) and authorizes
+// enclave DDL by sealing the statement hash with the session secret.
+func (c *Conn) prepareEnclave(query string, desc *tds.DescribeResp) error {
+	for _, name := range desc.Desc.EnclaveCEKs {
+		if c.installedCEKs[name] {
+			continue
+		}
+		root, _, err := c.resolveCEK(name, &desc.Desc, true)
+		if err != nil {
+			return err
+		}
+		c.nonce++
+		sealed, err := enclave.SealForSession(c.secret, c.nonce, "cek:"+name, root)
+		if err != nil {
+			return err
+		}
+		if err := c.tds.InstallCEK(name, c.nonce, sealed); err != nil {
+			return err
+		}
+		c.installedCEKs[name] = true
+	}
+	// Transparent DDL authorization: the application issued this statement
+	// through the driver, which constitutes client intent; the driver signs
+	// its hash so the enclave can demand proof from the server (§3.2).
+	if isAlterEncryption(query) {
+		h := sha256.Sum256([]byte(query))
+		c.nonce++
+		sealed, err := enclave.SealForSession(c.secret, c.nonce, "authorize-ddl", h[:])
+		if err != nil {
+			return err
+		}
+		if err := c.tds.Authorize(c.nonce, sealed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isAlterEncryption(query string) bool {
+	q := strings.ToUpper(strings.TrimSpace(query))
+	return strings.HasPrefix(q, "ALTER TABLE") && strings.Contains(q, "ALTER COLUMN")
+}
+
+// resolveCEK returns the plaintext CEK root and derived cell key, via the
+// cache or the key provider. forEnclave additionally checks that the CMK
+// authorizes enclave computations before the key is ever sent there.
+func (c *Conn) resolveCEK(name string, desc *engine.DescribeResult, forEnclave bool) ([]byte, *aecrypto.CellKey, error) {
+	now := c.cfg.Now()
+	c.caches.mu.Lock()
+	if e, ok := c.caches.ceks[name]; ok && now.Before(e.expires) {
+		c.caches.mu.Unlock()
+		if forEnclave {
+			if err := c.checkEnclaveAuthorized(name, desc); err != nil {
+				return nil, nil, err
+			}
+		}
+		return e.root, e.cell, nil
+	}
+	c.caches.mu.Unlock()
+
+	cekMeta, ok := desc.CEKs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("driver: server returned no metadata for CEK %s", name)
+	}
+	var lastErr error
+	for _, val := range cekMeta.Values {
+		cmk, ok := desc.CMKs[val.CMKName]
+		if !ok {
+			lastErr = fmt.Errorf("driver: missing CMK metadata %s", val.CMKName)
+			continue
+		}
+		root, err := c.unwrapViaCMK(&cmk, &val)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if forEnclave && !cmk.EnclaveEnabled {
+			return nil, nil, fmt.Errorf("%w: CEK %s via CMK %s", ErrCMKNotEnclaveable, name, cmk.Name)
+		}
+		cell, err := aecrypto.NewCellKey(root)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.caches.mu.Lock()
+		c.caches.ceks[name] = cekEntry{root: root, cell: cell, expires: now.Add(c.cfg.CEKCacheTTL)}
+		c.caches.mu.Unlock()
+		return root, cell, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("driver: CEK %s has no usable values", name)
+	}
+	return nil, nil, lastErr
+}
+
+// checkEnclaveAuthorized re-validates (on the cached path) that the CEK's
+// CMK permits enclave use.
+func (c *Conn) checkEnclaveAuthorized(name string, desc *engine.DescribeResult) error {
+	cekMeta, ok := desc.CEKs[name]
+	if !ok {
+		return fmt.Errorf("driver: no metadata for CEK %s", name)
+	}
+	for _, val := range cekMeta.Values {
+		if cmk, ok := desc.CMKs[val.CMKName]; ok && cmk.EnclaveEnabled {
+			// Verify the enclave flag is genuine before trusting it.
+			if err := c.verifyCMK(&cmk); err == nil {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: CEK %s", ErrCMKNotEnclaveable, name)
+}
+
+// unwrapViaCMK validates the CMK metadata (trusted path + signature) and
+// unwraps the CEK value through the provider.
+func (c *Conn) unwrapViaCMK(cmk *keys.CMKMetadata, val *keys.CEKValue) ([]byte, error) {
+	if err := c.verifyCMK(cmk); err != nil {
+		return nil, err
+	}
+	provider, err := c.cfg.Providers.Lookup(cmk.ProviderName)
+	if err != nil {
+		return nil, err
+	}
+	root, err := provider.Unwrap(cmk.KeyPath, val.EncryptedValue)
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// verifyCMK enforces the trusted key path list and the metadata signature.
+func (c *Conn) verifyCMK(cmk *keys.CMKMetadata) error {
+	if len(c.cfg.TrustedKeyPaths) > 0 {
+		trusted := false
+		for _, p := range c.cfg.TrustedKeyPaths {
+			if p == cmk.KeyPath {
+				trusted = true
+				break
+			}
+		}
+		if !trusted {
+			return fmt.Errorf("%w: %s", ErrUntrustedKeyPath, cmk.KeyPath)
+		}
+	}
+	// The metadata signature exists to bind the ENCLAVE_COMPUTATIONS setting
+	// to the key (§2.2). A CMK claiming enclave rights must carry a valid
+	// signature; an unsigned non-enclave CMK is acceptable (tampering it to
+	// "disabled" can only deny service, never leak keys).
+	if !cmk.EnclaveEnabled && len(cmk.Signature) == 0 {
+		return nil
+	}
+	provider, err := c.cfg.Providers.Lookup(cmk.ProviderName)
+	if err != nil {
+		return err
+	}
+	pub, err := provider.PublicKey(cmk.KeyPath)
+	if err != nil {
+		return err
+	}
+	return cmk.Verify(pub)
+}
+
+// encryptParams encodes and (where required) encrypts argument values per
+// the describe output.
+func (c *Conn) encryptParams(desc *engine.DescribeResult, args map[string]sqltypes.Value) (map[string][]byte, error) {
+	wire := make(map[string][]byte, len(args))
+	described := make(map[string]engine.ParamInfo, len(desc.Params))
+	for _, pi := range desc.Params {
+		described[pi.Name] = pi
+	}
+	for name, v := range args {
+		pi, ok := described[name]
+		if !ok {
+			// Parameter unused by the statement; send plaintext encoding.
+			wire[name] = v.Encode()
+			continue
+		}
+		if pi.Enc.IsPlaintext() {
+			for _, forced := range c.cfg.ForceEncrypted {
+				if forced == name {
+					return nil, fmt.Errorf("%w: @%s", ErrForcedEncryption, name)
+				}
+			}
+			wire[name] = v.Encode()
+			continue
+		}
+		if v.IsNull() {
+			wire[name] = nil
+			continue
+		}
+		_, cell, err := c.resolveCEK(pi.Enc.CEKName, desc, false)
+		if err != nil {
+			return nil, err
+		}
+		typ := aecrypto.Randomized
+		if pi.Enc.Scheme == sqltypes.SchemeDeterministic {
+			typ = aecrypto.Deterministic
+		}
+		ct, err := cell.Encrypt(v.Encode(), typ)
+		if err != nil {
+			return nil, err
+		}
+		wire[name] = ct
+	}
+	return wire, nil
+}
+
+// decodeResult decrypts and decodes a result set. desc supplies key
+// metadata; nil means no decryption is possible (plain connections return
+// ciphertext as VARBINARY, like a non-AE client would).
+func (c *Conn) decodeResult(rs *engine.ResultSet, desc *tds.DescribeResp) (*Rows, error) {
+	out := &Rows{Affected: rs.Affected}
+	for _, col := range rs.Columns {
+		out.Columns = append(out.Columns, col.Name)
+	}
+	for _, row := range rs.Rows {
+		vals := make([]sqltypes.Value, len(row))
+		for i, cell := range row {
+			meta := rs.Columns[i]
+			switch {
+			case len(cell) == 0:
+				vals[i] = sqltypes.Null()
+			case meta.Enc.IsPlaintext():
+				v, err := sqltypes.Decode(cell)
+				if err != nil {
+					return nil, fmt.Errorf("driver: decoding column %s: %w", meta.Name, err)
+				}
+				vals[i] = v
+			case desc == nil:
+				vals[i] = sqltypes.Bytes(cell) // no keys: raw ciphertext
+			default:
+				_, cellKey, err := c.resolveCEK(meta.Enc.CEKName, &desc.Desc, false)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := cellKey.Decrypt(cell)
+				if err != nil {
+					return nil, fmt.Errorf("driver: decrypting column %s: %w", meta.Name, err)
+				}
+				v, err := sqltypes.Decode(pt)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+		}
+		out.Values = append(out.Values, vals)
+	}
+	return out, nil
+}

@@ -1,0 +1,452 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/engine"
+	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/tds"
+)
+
+// serverEnv stands up a complete server: engine + enclave + HGS + TDS over
+// a TCP loopback listener, plus the client-side provider/vault and policy.
+type serverEnv struct {
+	t       testing.TB
+	addr    string
+	server  *tds.Server
+	engine  *engine.Engine
+	encl    *enclave.Enclave
+	vault   *keys.MemoryVault
+	reg     *keys.ProviderRegistry
+	policy  attestation.Policy
+	cmkPath map[string]string
+}
+
+func newServerEnv(t testing.TB) *serverEnv {
+	t.Helper()
+	env := &serverEnv{t: t, cmkPath: map[string]string{}}
+
+	authorKey, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, err := enclave.SignImage(authorKey, []byte("es-enclave"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.encl, err = enclave.Load(image, 10, enclave.Options{
+		Threads: 2, SpinDuration: 2 * time.Microsecond, CrossingCost: 50 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.encl.Close)
+
+	hgs, err := attestation.NewHGS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcg := []byte("driver-test-host")
+	host, err := attestation.NewHost(tcg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hgs.RegisterHost(tcg)
+	env.policy = attestation.Policy{
+		HGSKey:            hgs.SigningKey(),
+		TrustedAuthorIDs:  []attestation.Measurement{image.AuthorID()},
+		MinEnclaveVersion: 2,
+		MinHostVersion:    10,
+	}
+
+	env.engine = engine.New(engine.Config{Enclave: env.encl, Host: host, HGS: hgs, CTR: true})
+	env.server = tds.NewServer(env.engine)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.addr = l.Addr().String()
+	go env.server.Serve(l)
+	t.Cleanup(func() { l.Close(); env.server.Close() })
+
+	env.vault = keys.NewMemoryVault(keys.ProviderVault)
+	env.reg = keys.NewProviderRegistry()
+	env.reg.Register(env.vault)
+	return env
+}
+
+// provision creates keys + registers metadata via an admin connection.
+func (env *serverEnv) provision(cmkName, cekName string, enclaveEnabled bool) {
+	env.t.Helper()
+	path := "https://vault.test/keys/" + cmkName
+	env.cmkPath[cmkName] = path
+	if _, err := env.vault.CreateKey(path); err != nil {
+		env.t.Fatal(err)
+	}
+	cmk, err := keys.ProvisionCMK(env.vault, cmkName, path, enclaveEnabled)
+	if err != nil {
+		env.t.Fatal(err)
+	}
+	cek, _, err := keys.ProvisionCEK(env.vault, cmk, cekName)
+	if err != nil {
+		env.t.Fatal(err)
+	}
+	c := env.dial(Config{}) // plain admin connection for DDL
+	defer c.Close()
+	enclClause := ""
+	if enclaveEnabled {
+		enclClause = fmt.Sprintf(", ENCLAVE_COMPUTATIONS (SIGNATURE = 0x%x)", cmk.Signature)
+	}
+	if _, err := c.Exec(fmt.Sprintf(
+		"CREATE COLUMN MASTER KEY %s WITH (KEY_STORE_PROVIDER_NAME = '%s', KEY_PATH = '%s'%s)",
+		cmkName, keys.ProviderVault, path, enclClause), nil); err != nil {
+		env.t.Fatal(err)
+	}
+	val := cek.PrimaryValue()
+	if _, err := c.Exec(fmt.Sprintf(
+		"CREATE COLUMN ENCRYPTION KEY %s WITH VALUES (COLUMN_MASTER_KEY = %s, ALGORITHM = 'RSA_OAEP', ENCRYPTED_VALUE = 0x%x, SIGNATURE = 0x%x)",
+		cekName, cmkName, val.EncryptedValue, val.Signature), nil); err != nil {
+		env.t.Fatal(err)
+	}
+}
+
+// dial opens a driver connection with the given config, defaulting the
+// providers and policy.
+func (env *serverEnv) dial(cfg Config) *Conn {
+	env.t.Helper()
+	if cfg.Providers == nil {
+		cfg.Providers = env.reg
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = &env.policy
+	}
+	c, err := Dial(env.addr, cfg, nil)
+	if err != nil {
+		env.t.Fatal(err)
+	}
+	env.t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustExec(t *testing.T, c *Conn, q string, args map[string]sqltypes.Value) *Rows {
+	t.Helper()
+	rows, err := c.Exec(q, args)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return rows
+}
+
+// TestTransparencyEndToEnd is the paper's whole promise: the application
+// issues plaintext queries against encrypted columns and receives plaintext
+// results, with ciphertext everywhere in between.
+func TestTransparencyEndToEnd(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE customers (id int PRIMARY KEY,
+		name varchar(30) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'),
+		city varchar(30) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Deterministic, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+
+	c := env.dial(Config{AlwaysEncrypted: true})
+	people := []struct {
+		id   int64
+		name string
+		city string
+	}{
+		{1, "Ada Lovelace", "Seattle"},
+		{2, "Alan Turing", "Zurich"},
+		{3, "Grace Hopper", "Seattle"},
+	}
+	for _, p := range people {
+		mustExec(t, c, "INSERT INTO customers (id, name, city) VALUES (@id, @name, @city)",
+			map[string]sqltypes.Value{
+				"id": sqltypes.Int(p.id), "name": sqltypes.Str(p.name), "city": sqltypes.Str(p.city)})
+	}
+
+	// Equality on the RND column (enclave) — plaintext in, plaintext out.
+	rows := mustExec(t, c, "SELECT id, name FROM customers WHERE name = @n",
+		map[string]sqltypes.Value{"n": sqltypes.Str("Alan Turing")})
+	if len(rows.Values) != 1 || rows.Values[0][1].S != "Alan Turing" {
+		t.Fatalf("rows = %+v", rows.Values)
+	}
+	// Equality on the DET column — no enclave involved.
+	rows = mustExec(t, c, "SELECT id FROM customers WHERE city = @c",
+		map[string]sqltypes.Value{"c": sqltypes.Str("Seattle")})
+	if len(rows.Values) != 2 {
+		t.Fatalf("DET rows = %d", len(rows.Values))
+	}
+	// LIKE over the RND column through the enclave.
+	rows = mustExec(t, c, "SELECT name FROM customers WHERE name LIKE @p",
+		map[string]sqltypes.Value{"p": sqltypes.Str("A%")})
+	if len(rows.Values) != 2 {
+		t.Fatalf("LIKE rows = %d", len(rows.Values))
+	}
+
+	// The strong adversary check: a plain (non-AE) connection reading the
+	// table sees only ciphertext for the encrypted columns.
+	plain := env.dial(Config{})
+	raw := mustExec(t, plain, "SELECT id, name, city FROM customers WHERE id = @i",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if raw.Values[0][1].Kind != sqltypes.KindBytes {
+		t.Fatalf("server-side name column is not ciphertext: %v", raw.Values[0][1])
+	}
+	if strings.Contains(string(raw.Values[0][1].B), "Ada") {
+		t.Fatal("plaintext leaked into stored ciphertext")
+	}
+}
+
+// TestDescribeRoundTripCounting: AE connections pay one describe round trip
+// per execution; plain connections pay none; the describe cache removes the
+// repeat cost (the §5.4.1 "not fundamental" optimization).
+func TestDescribeRoundTripCounting(t *testing.T) {
+	env := newServerEnv(t)
+	admin := env.dial(Config{})
+	mustExec(t, admin, "CREATE TABLE t (id int PRIMARY KEY, v int)", nil)
+
+	plain := env.dial(Config{})
+	for i := int64(0); i < 5; i++ {
+		mustExec(t, plain, "INSERT INTO t (id, v) VALUES (@i, @v)",
+			map[string]sqltypes.Value{"i": sqltypes.Int(i), "v": sqltypes.Int(i)})
+	}
+	if plain.DescribeCalls != 0 {
+		t.Fatalf("plain connection made %d describe calls", plain.DescribeCalls)
+	}
+
+	ae := env.dial(Config{AlwaysEncrypted: true})
+	for i := 0; i < 5; i++ {
+		mustExec(t, ae, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	}
+	if ae.DescribeCalls != 5 {
+		t.Fatalf("AE connection made %d describe calls, want 5 (one per exec)", ae.DescribeCalls)
+	}
+
+	cached := env.dial(Config{AlwaysEncrypted: true, DescribeCache: true})
+	for i := 0; i < 5; i++ {
+		mustExec(t, cached, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	}
+	if cached.DescribeCalls != 1 {
+		t.Fatalf("cached AE connection made %d describe calls, want 1", cached.DescribeCalls)
+	}
+}
+
+// TestCEKCacheAvoidsVaultRoundTrips: §4.1 — the driver caches decrypted
+// CEKs; the vault sees a bounded number of calls regardless of query count.
+func TestCEKCacheAvoidsVaultRoundTrips(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE t (id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+
+	c := env.dial(Config{AlwaysEncrypted: true})
+	before := env.vault.Calls()
+	for i := int64(0); i < 20; i++ {
+		mustExec(t, c, "INSERT INTO t (id, v) VALUES (@i, @v)",
+			map[string]sqltypes.Value{"i": sqltypes.Int(i), "v": sqltypes.Int(i)})
+	}
+	calls := env.vault.Calls() - before
+	if calls > 4 {
+		t.Fatalf("vault called %d times for 20 executions; CEK cache broken", calls)
+	}
+
+	// Expiry forces a refresh.
+	now := time.Now()
+	c2 := env.dial(Config{AlwaysEncrypted: true, CEKCacheTTL: time.Minute,
+		Now: func() time.Time { now = now.Add(2 * time.Minute); return now }})
+	mustExec(t, c2, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	before = env.vault.Calls()
+	mustExec(t, c2, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if env.vault.Calls() == before {
+		t.Fatal("expired CEK cache entry was not refreshed")
+	}
+}
+
+// TestTrustedKeyPaths: the server substituting metadata pointing at an
+// attacker-controlled key path is refused (§4.1).
+func TestTrustedKeyPaths(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE t (id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Deterministic, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+
+	good := env.dial(Config{AlwaysEncrypted: true,
+		TrustedKeyPaths: []string{env.cmkPath["CMK1"]}})
+	mustExec(t, good, "INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1), "v": sqltypes.Int(1)})
+
+	bad := env.dial(Config{AlwaysEncrypted: true,
+		TrustedKeyPaths: []string{"https://vault.test/keys/OtherKey"}})
+	_, err := bad.Exec("INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(2), "v": sqltypes.Int(2)})
+	if !errors.Is(err, ErrUntrustedKeyPath) {
+		t.Fatalf("untrusted path: %v", err)
+	}
+}
+
+// TestForceEncryption: if the server lies that a force-encrypted parameter
+// is plaintext, the driver refuses to send it (§4.1).
+func TestForceEncryption(t *testing.T) {
+	env := newServerEnv(t)
+	admin := env.dial(Config{})
+	mustExec(t, admin, "CREATE TABLE t (id int PRIMARY KEY, v int)", nil) // v is NOT encrypted
+	c := env.dial(Config{AlwaysEncrypted: true, ForceEncrypted: []string{"v"}})
+	_, err := c.Exec("INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1), "v": sqltypes.Int(42)})
+	if !errors.Is(err, ErrForcedEncryption) {
+		t.Fatalf("forced encryption: %v", err)
+	}
+}
+
+// TestAttestationFailureWithholdsKeys: a client whose policy distrusts the
+// enclave author never releases keys.
+func TestAttestationFailureWithholdsKeys(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE t (id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+
+	badPolicy := env.policy
+	badPolicy.TrustedAuthorIDs = []attestation.Measurement{attestation.Measure([]byte("someone else"))}
+	c := env.dial(Config{AlwaysEncrypted: true, Policy: &badPolicy})
+	_, err := c.Exec("SELECT id FROM t WHERE v = @v", map[string]sqltypes.Value{"v": sqltypes.Int(1)})
+	if err == nil || !strings.Contains(err.Error(), "attestation") {
+		t.Fatalf("attestation failure: %v", err)
+	}
+	if env.encl.Dump().InstalledCEKs != 0 {
+		t.Fatal("keys reached the enclave despite failed attestation")
+	}
+}
+
+// TestOnlineInitialEncryptionViaDriver drives the §2.4.2 DDL fully through
+// the driver: the authorization sealing is transparent.
+func TestOnlineInitialEncryptionViaDriver(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, "CREATE TABLE pii (id int PRIMARY KEY, ssn varchar(11))", nil)
+	c := env.dial(Config{AlwaysEncrypted: true})
+	for i := int64(1); i <= 3; i++ {
+		mustExec(t, c, "INSERT INTO pii (id, ssn) VALUES (@i, @s)",
+			map[string]sqltypes.Value{"i": sqltypes.Int(i), "s": sqltypes.Str(fmt.Sprintf("00%d-00-000%d", i, i))})
+	}
+	mustExec(t, c, "ALTER TABLE pii ALTER COLUMN ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')", nil)
+
+	// Server-side: ciphertext.
+	plain := env.dial(Config{})
+	raw := mustExec(t, plain, "SELECT ssn FROM pii WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if raw.Values[0][0].Kind != sqltypes.KindBytes {
+		t.Fatal("ssn not encrypted after DDL")
+	}
+	// Driver-side: transparent decryption and enclave queries.
+	rows := mustExec(t, c, "SELECT ssn FROM pii WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if rows.Values[0][0].S != "001-00-0001" {
+		t.Fatalf("decrypted = %v", rows.Values[0][0])
+	}
+	rows = mustExec(t, c, "SELECT id FROM pii WHERE ssn = @s",
+		map[string]sqltypes.Value{"s": sqltypes.Str("002-00-0002")})
+	if len(rows.Values) != 1 || rows.Values[0][0].I != 2 {
+		t.Fatalf("post-encryption query = %+v", rows.Values)
+	}
+}
+
+// TestTransactionsOverWire exercises BEGIN/COMMIT/ROLLBACK through the
+// driver, including rollback on connection drop.
+func TestTransactionsOverWire(t *testing.T) {
+	env := newServerEnv(t)
+	admin := env.dial(Config{})
+	mustExec(t, admin, "CREATE TABLE t (id int PRIMARY KEY, v int)", nil)
+	mustExec(t, admin, "INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1), "v": sqltypes.Int(10)})
+
+	c := env.dial(Config{})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, "UPDATE t SET v = @v WHERE id = @i",
+		map[string]sqltypes.Value{"v": sqltypes.Int(99), "i": sqltypes.Int(1)})
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustExec(t, admin, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if rows.Values[0][0].I != 10 {
+		t.Fatalf("v = %v", rows.Values[0][0])
+	}
+
+	// Dropped connection mid-transaction rolls back server-side.
+	c2 := env.dial(Config{})
+	c2.Begin()
+	mustExec(t, c2, "UPDATE t SET v = @v WHERE id = @i",
+		map[string]sqltypes.Value{"v": sqltypes.Int(77), "i": sqltypes.Int(1)})
+	c2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rows = mustExec(t, admin, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+		if rows.Values[0][0].I == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("v = %v after connection drop", rows.Values[0][0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNullHandling: NULLs for encrypted columns travel unencrypted (absent).
+func TestNullHandling(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE t (id int PRIMARY KEY,
+		v varchar(10) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+	c := env.dial(Config{AlwaysEncrypted: true})
+	mustExec(t, c, "INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1), "v": sqltypes.Null()})
+	rows := mustExec(t, c, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if !rows.Values[0][0].IsNull() {
+		t.Fatalf("v = %v", rows.Values[0][0])
+	}
+	rows = mustExec(t, c, "SELECT id FROM t WHERE v IS NULL", nil)
+	if len(rows.Values) != 1 {
+		t.Fatalf("IS NULL rows = %d", len(rows.Values))
+	}
+}
+
+// TestSharedCacheAcrossConns: the process-wide caches of §4.1 are shared.
+func TestSharedCacheAcrossConns(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE t (id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Deterministic, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+
+	shared := NewCache()
+	cfg := Config{AlwaysEncrypted: true, Providers: env.reg, Policy: &env.policy}
+	c1, err := Dial(env.addr, cfg, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	mustExec(t, c1, "INSERT INTO t (id, v) VALUES (@i, @v)",
+		map[string]sqltypes.Value{"i": sqltypes.Int(1), "v": sqltypes.Int(1)})
+	before := env.vault.Calls()
+	c2, err := Dial(env.addr, cfg, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	mustExec(t, c2, "SELECT v FROM t WHERE id = @i", map[string]sqltypes.Value{"i": sqltypes.Int(1)})
+	if env.vault.Calls() != before {
+		t.Fatal("second connection hit the vault despite the shared CEK cache")
+	}
+}

@@ -1,0 +1,541 @@
+// Package enclave simulates the VBS enclave of Always Encrypted v2 (§2.1,
+// §4.2, §4.4, §4.6). The enclave is a hard security boundary inside the
+// untrusted server process: its private state (RSA identity key, session
+// secrets, installed column encryption keys, decrypted plaintext) lives only
+// in unexported fields behind a narrow message-based API, host-side code can
+// never read it, and crash dumps (Dump) expose only coarse counters.
+//
+// The substitution for real VBS: protection comes from the package boundary
+// and information-flow discipline rather than a hypervisor, so the code
+// paths, the leakage profile and the cost structure (boundary transitions,
+// queue+worker threading, per-comparison decryption) are preserved even
+// though the memory isolation is by construction rather than hardware.
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/exprsvc"
+)
+
+// Errors surfaced across the enclave boundary. They are deliberately coarse:
+// detailed failure state stays inside the enclave (§4.4.1 — we "leverage
+// structured exception handling to obtain coarse-grained information").
+var (
+	ErrBadImage        = errors.New("enclave: image signature invalid")
+	ErrNoSession       = errors.New("enclave: unknown session")
+	ErrReplayedNonce   = errors.New("enclave: nonce replayed; CEK envelope rejected")
+	ErrSealOpenFailed  = errors.New("enclave: sealed envelope failed authentication")
+	ErrKeyNotInEnclave = errors.New("enclave: required CEK not installed")
+	ErrNoHandle        = errors.New("enclave: unknown expression handle")
+	ErrNotAuthorized   = errors.New("enclave: client authorization proof invalid for this conversion")
+	ErrFault           = errors.New("enclave: access violation (structured exception); see coarse dump info")
+	ErrClosed          = errors.New("enclave: torn down")
+)
+
+// Image is the specially compiled enclave dll of §2.1: the binary, its
+// version, and a signature by the provisioned author signing key (§4.2 bases
+// the client health check on this key plus version numbers).
+type Image struct {
+	Binary       []byte
+	Version      int
+	AuthorKeyDER []byte
+	Signature    []byte
+}
+
+// SignImage builds a signed enclave image.
+func SignImage(author *rsa.PrivateKey, binary []byte, version int) (*Image, error) {
+	der, err := x509.MarshalPKIXPublicKey(&author.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{Binary: binary, Version: version, AuthorKeyDER: der}
+	sig, err := aecrypto.Sign(author, im.signedPayload())
+	if err != nil {
+		return nil, err
+	}
+	im.Signature = sig
+	return im, nil
+}
+
+func (im *Image) signedPayload() []byte {
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], uint64(im.Version))
+	out := make([]byte, 0, len(im.Binary)+len(v)+24)
+	out = append(out, "ENCLAVE-IMAGE\x00"...)
+	out = append(out, im.Binary...)
+	out = append(out, v[:]...)
+	return out
+}
+
+// Verify checks the image signature against the embedded author key.
+func (im *Image) Verify() error {
+	pub, err := x509.ParsePKIXPublicKey(im.AuthorKeyDER)
+	if err != nil {
+		return ErrBadImage
+	}
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return ErrBadImage
+	}
+	if err := aecrypto.VerifySignature(rsaPub, im.signedPayload(), im.Signature); err != nil {
+		return ErrBadImage
+	}
+	return nil
+}
+
+// AuthorID is the measurement of the signing key, reported in attestation.
+func (im *Image) AuthorID() attestation.Measurement {
+	return attestation.Measure(im.AuthorKeyDER)
+}
+
+// BinaryHash is the measurement of the enclave binary.
+func (im *Image) BinaryHash() attestation.Measurement {
+	return attestation.Measure(im.Binary)
+}
+
+// Options configure the enclave runtime.
+type Options struct {
+	// Threads is the number of enclave worker threads (§5.1 allocates four).
+	Threads int
+	// Synchronous disables the §4.6 queue optimization and calls the enclave
+	// as a function, paying two boundary transitions per invocation. Kept
+	// for the ablation benchmark.
+	Synchronous bool
+	// SpinDuration is how long an idle enclave worker polls for work before
+	// exiting the enclave and sleeping.
+	SpinDuration time.Duration
+	// CrossingCost models one security-boundary transition (the hypervisor
+	// world switch). Figures in the paper imply single-digit microseconds.
+	CrossingCost time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.SpinDuration == 0 {
+		o.SpinDuration = 50 * time.Microsecond
+	}
+	if o.CrossingCost == 0 {
+		o.CrossingCost = time.Microsecond
+	}
+	return o
+}
+
+// Enclave is the loaded enclave instance. All fields are private state
+// shielded from the host; the exported methods are the only entry points,
+// mirroring how the host invokes enclave code through defined call gates.
+type Enclave struct {
+	opts        Options
+	image       *Image
+	identity    *rsa.PrivateKey
+	identityDER []byte
+	hostVersion int
+
+	queue *workQueue
+
+	// stateCh funnels all state changes through a single enclave thread
+	// (§4.6: "to simplify synchronization issues all state changes ... are
+	// handled by a single enclave thread"); readers take mu.RLock.
+	stateCh  chan func()
+	stateWG  sync.WaitGroup
+	mu       sync.RWMutex
+	sessions map[uint64]*session
+	ceks     map[string]*aecrypto.CellKey
+	exprs    map[uint64]*registeredExpr
+
+	nextSession atomic.Uint64
+	nextHandle  atomic.Uint64
+	evals       atomic.Uint64
+	converts    atomic.Uint64
+	faults      atomic.Uint64
+	closed      atomic.Bool
+}
+
+// session is per-shared-secret enclave state.
+type session struct {
+	id         uint64
+	aead       cipher.AEAD
+	nonces     RangeSet
+	authorized map[[32]byte]bool
+}
+
+// registeredExpr is a deserialized expression with a pool of evaluators so
+// concurrent enclave threads can evaluate the same handle.
+type registeredExpr struct {
+	prog *exprsvc.Program
+	pool sync.Pool
+}
+
+// Load initializes the enclave from a signed image, creating the RSA
+// identity keypair (§4.2: "our VBS enclave creates an RSA public/private key
+// pair when it is loaded"). hostVersion is reported in attestation.
+func Load(image *Image, hostVersion int, opts Options) (*Enclave, error) {
+	if err := image.Verify(); err != nil {
+		return nil, err
+	}
+	identity, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		return nil, err
+	}
+	der, err := x509.MarshalPKIXPublicKey(&identity.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	e := &Enclave{
+		opts:        opts,
+		image:       image,
+		identity:    identity,
+		identityDER: der,
+		hostVersion: hostVersion,
+		stateCh:     make(chan func()),
+		sessions:    make(map[uint64]*session),
+		ceks:        make(map[string]*aecrypto.CellKey),
+		exprs:       make(map[uint64]*registeredExpr),
+	}
+	if !opts.Synchronous {
+		e.queue = newWorkQueue(opts.Threads, opts.SpinDuration, opts.CrossingCost)
+	}
+	e.stateWG.Add(1)
+	go e.stateThread()
+	return e, nil
+}
+
+// Close tears the enclave down, zeroing session and key state.
+func (e *Enclave) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.stateCh)
+	e.stateWG.Wait()
+	if e.queue != nil {
+		e.queue.close()
+	}
+	e.mu.Lock()
+	e.sessions = map[uint64]*session{}
+	e.ceks = map[string]*aecrypto.CellKey{}
+	e.exprs = map[uint64]*registeredExpr{}
+	e.mu.Unlock()
+}
+
+// stateThread is the single state-mutating enclave thread.
+func (e *Enclave) stateThread() {
+	defer e.stateWG.Done()
+	for fn := range e.stateCh {
+		fn()
+	}
+}
+
+// mutate runs fn on the state thread under the write lock and waits.
+func (e *Enclave) mutate(fn func() error) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	done := make(chan error, 1)
+	defer func() {
+		if r := recover(); r != nil {
+			// The state channel closed concurrently.
+		}
+	}()
+	e.stateCh <- func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		done <- fn()
+	}
+	return <-done
+}
+
+// NewSession performs the enclave side of the attestation/DH exchange of
+// §4.2: generate a DH keypair, derive the shared secret from the client's DH
+// public key, create the session, and return the enclave report plus the DH
+// signature made with the enclave identity key. The server composes these
+// with the HGS health certificate into the attestation info for the client.
+func (e *Enclave) NewSession(clientDHPub []byte) (sid uint64, report attestation.Report, dhSig []byte, err error) {
+	peer, err := ecdh.P256().NewPublicKey(clientDHPub)
+	if err != nil {
+		return 0, report, nil, fmt.Errorf("enclave: bad client DH key: %w", err)
+	}
+	dh, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return 0, report, nil, err
+	}
+	shared, err := dh.ECDH(peer)
+	if err != nil {
+		return 0, report, nil, fmt.Errorf("enclave: ECDH failed: %w", err)
+	}
+	secret := attestation.DeriveSecret(shared)
+	block, err := aes.NewCipher(secret[:])
+	if err != nil {
+		return 0, report, nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return 0, report, nil, err
+	}
+	sid = e.nextSession.Add(1)
+	s := &session{id: sid, aead: aead, authorized: make(map[[32]byte]bool)}
+	if err := e.mutate(func() error {
+		e.sessions[sid] = s
+		return nil
+	}); err != nil {
+		return 0, report, nil, err
+	}
+
+	report = attestation.Report{
+		AuthorID:       e.image.AuthorID(),
+		BinaryHash:     e.image.BinaryHash(),
+		EnclaveVersion: e.image.Version,
+		HostVersion:    e.hostVersion,
+		EnclaveKeyHash: attestation.Measure(e.identityDER),
+		EnclaveDHPub:   dh.PublicKey().Bytes(),
+	}
+	dhSig, err = aecrypto.Sign(e.identity, report.EnclaveDHPub)
+	if err != nil {
+		return 0, report, nil, err
+	}
+	return sid, report, dhSig, nil
+}
+
+// IdentityKeyDER returns the enclave's public identity key; the server
+// forwards it to clients as part of attestation info.
+func (e *Enclave) IdentityKeyDER() []byte { return e.identityDER }
+
+// sealNonceBytes builds the 12-byte GCM nonce from the driver counter.
+func sealNonceBytes(counter uint64) []byte {
+	var n [12]byte
+	binary.BigEndian.PutUint64(n[4:], counter)
+	return n[:]
+}
+
+// SealForSession is the driver-side sealing helper: AES-GCM under the shared
+// secret with the driver's counter as nonce and a context label as AAD. It
+// lives here (rather than in the driver) so the envelope format has a single
+// definition; it uses only the shared secret, which both ends hold.
+func SealForSession(secret [32]byte, counter uint64, label string, payload []byte) ([]byte, error) {
+	block, err := aes.NewCipher(secret[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Seal(nil, sealNonceBytes(counter), payload, []byte(label)), nil
+}
+
+// openSealed authenticates and opens a driver envelope, enforcing nonce
+// freshness. Must run on the state thread (mutates the nonce set).
+func (s *session) openSealed(counter uint64, label string, sealed []byte) ([]byte, error) {
+	if !s.nonces.Add(counter) {
+		return nil, ErrReplayedNonce
+	}
+	pt, err := s.aead.Open(nil, sealNonceBytes(counter), sealed, []byte(label))
+	if err != nil {
+		return nil, ErrSealOpenFailed
+	}
+	return pt, nil
+}
+
+// InstallCEK installs a column encryption key shipped over the secure
+// channel: the envelope is authenticated with the session secret and carries
+// a fresh nonce to defeat TDS replay by the untrusted server (§4.2). Keys
+// land in the enclave-global CEK cache used by query processing and by
+// recovery's version cleaner (§4.5).
+func (e *Enclave) InstallCEK(sid uint64, name string, counter uint64, sealed []byte) error {
+	return e.mutate(func() error {
+		s, ok := e.sessions[sid]
+		if !ok {
+			return ErrNoSession
+		}
+		root, err := s.openSealed(counter, "cek:"+name, sealed)
+		if err != nil {
+			return err
+		}
+		key, err := aecrypto.NewCellKey(root)
+		if err != nil {
+			return err
+		}
+		e.ceks[name] = key
+		return nil
+	})
+}
+
+// AuthorizeStatement records a client-authorized DDL statement hash for the
+// session (§3.2: the driver signs the query text with the session secret;
+// the sealed payload is the SHA-256 hash of the statement text). The enclave
+// later demands this authorization before exposing its Encrypt function.
+func (e *Enclave) AuthorizeStatement(sid uint64, counter uint64, sealed []byte) error {
+	return e.mutate(func() error {
+		s, ok := e.sessions[sid]
+		if !ok {
+			return ErrNoSession
+		}
+		pt, err := s.openSealed(counter, "authorize-ddl", sealed)
+		if err != nil {
+			return err
+		}
+		if len(pt) != sha256.Size {
+			return ErrSealOpenFailed
+		}
+		var h [32]byte
+		copy(h[:], pt)
+		s.authorized[h] = true
+		return nil
+	})
+}
+
+// HasCEK reports whether a CEK is installed. The engine's recovery path uses
+// it to decide whether transactions touching encrypted indexes must be
+// deferred (§4.5); key presence is observable to the host anyway.
+func (e *Enclave) HasCEK(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.ceks[name]
+	return ok
+}
+
+// enclaveKeyRing adapts the global CEK cache to exprsvc.KeyRing. It is
+// unexported: only enclave-internal evaluators hold one.
+type enclaveKeyRing Enclave
+
+func (r *enclaveKeyRing) CellKey(name string) (*aecrypto.CellKey, error) {
+	e := (*Enclave)(r)
+	e.mu.RLock()
+	k, ok := e.ceks[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyNotInEnclave, name)
+	}
+	return k, nil
+}
+
+// RegisterExpression deserializes a serialized expression program into
+// enclave-private memory and returns a handle for subsequent evaluation —
+// the registration pattern of §3. The deep copy severs any aliasing with
+// host memory so the host cannot tamper with the object mid-evaluation.
+func (e *Enclave) RegisterExpression(serialized []byte) (uint64, error) {
+	prog, err := exprsvc.Deserialize(serialized)
+	if err != nil {
+		return 0, err
+	}
+	h := e.nextHandle.Add(1)
+	re := &registeredExpr{prog: prog}
+	ring := (*enclaveKeyRing)(e)
+	re.pool.New = func() any {
+		return exprsvc.NewEnclaveEvaluator(prog, ring, false)
+	}
+	if err := e.mutate(func() error {
+		e.exprs[h] = re
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return h, nil
+}
+
+// EvalExpression evaluates a registered expression over the given input
+// slots — the Eval(expr, inputs, outputs) interface of §4.4.1. In the
+// default configuration the call is submitted to the enclave work queue and
+// executed by a dedicated enclave worker (§4.6); in Synchronous mode it pays
+// two boundary transitions inline.
+func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	e.mu.RLock()
+	re, ok := e.exprs[handle]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, ErrNoHandle
+	}
+	var outs [][]byte
+	var err error
+	run := func() { outs, err = e.evalLocked(re, inputs) }
+	if e.queue != nil {
+		e.queue.submit(run)
+	} else {
+		spinFor(e.opts.CrossingCost) // enter
+		run()
+		spinFor(e.opts.CrossingCost) // exit
+	}
+	return outs, err
+}
+
+// evalLocked runs inside an enclave thread. Panics are converted into the
+// coarse ErrFault, mirroring structured exception handling: no plaintext
+// detail escapes the boundary.
+func (e *Enclave) evalLocked(re *registeredExpr, inputs [][]byte) (outs [][]byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.faults.Add(1)
+			outs, err = nil, ErrFault
+		}
+	}()
+	ev := re.pool.Get().(*exprsvc.Evaluator)
+	defer re.pool.Put(ev)
+	res, err := ev.Eval(inputs)
+	if err != nil {
+		return nil, err
+	}
+	// Copy: the evaluator reuses its output buffers across calls.
+	outs = make([][]byte, len(res))
+	for i, b := range res {
+		if b != nil {
+			outs[i] = append([]byte(nil), b...)
+		}
+	}
+	e.evals.Add(1)
+	return outs, nil
+}
+
+// Stats is the host-visible operational state of the enclave. It contains
+// only counters — Dump deliberately cannot expose keys, secrets or
+// plaintext, modelling "enclave memory is automatically stripped from crash
+// dumps" (§3.3).
+type Stats struct {
+	Sessions          int
+	InstalledCEKs     int
+	RegisteredExprs   int
+	Evaluations       uint64
+	Conversions       uint64
+	Faults            uint64
+	QueueTasks        uint64
+	WorkerSleeps      uint64
+	BoundaryCrossings uint64
+}
+
+// Dump returns the crash-dump view of the enclave.
+func (e *Enclave) Dump() Stats {
+	e.mu.RLock()
+	st := Stats{
+		Sessions:        len(e.sessions),
+		InstalledCEKs:   len(e.ceks),
+		RegisteredExprs: len(e.exprs),
+		Evaluations:     e.evals.Load(),
+		Conversions:     e.converts.Load(),
+		Faults:          e.faults.Load(),
+	}
+	e.mu.RUnlock()
+	if e.queue != nil {
+		st.QueueTasks = e.queue.tasks.Load()
+		st.WorkerSleeps = e.queue.sleeps.Load()
+		st.BoundaryCrossings = e.queue.crossings.Load()
+	}
+	return st
+}

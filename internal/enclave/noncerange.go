@@ -1,0 +1,97 @@
+package enclave
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RangeSet tracks all historical nonces of a session using compact ranges,
+// implementing the replay protection of §4.2. The driver generates nonces
+// from a counter, so the sequence the enclave sees is nearly sequential with
+// local reorderings (both the client application and SQL Server are
+// multi-threaded); contiguous runs collapse into single [lo, hi] ranges, so
+// the encoding stays very small. The O(1)-state strawman — "accept only
+// nonces greater than the last" — is also provided (StrawmanNonceChecker)
+// for the ablation test that shows it breaks under reordering.
+type RangeSet struct {
+	// ranges is kept sorted by lo, non-overlapping and non-adjacent.
+	ranges []nonceRange
+}
+
+type nonceRange struct{ lo, hi uint64 }
+
+// Add records nonce n, reporting false if n was already present (a replay).
+func (s *RangeSet) Add(n uint64) bool {
+	// Find the first range with lo > n.
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].lo > n })
+	// Check containment in the predecessor.
+	if i > 0 && n <= s.ranges[i-1].hi {
+		return false
+	}
+	extendLeft := i > 0 && s.ranges[i-1].hi+1 == n
+	extendRight := i < len(s.ranges) && n+1 == s.ranges[i].lo
+	switch {
+	case extendLeft && extendRight:
+		// n bridges two ranges: merge them.
+		s.ranges[i-1].hi = s.ranges[i].hi
+		s.ranges = append(s.ranges[:i], s.ranges[i+1:]...)
+	case extendLeft:
+		s.ranges[i-1].hi = n
+	case extendRight:
+		s.ranges[i].lo = n
+	default:
+		s.ranges = append(s.ranges, nonceRange{})
+		copy(s.ranges[i+1:], s.ranges[i:])
+		s.ranges[i] = nonceRange{lo: n, hi: n}
+	}
+	return true
+}
+
+// Contains reports whether nonce n has been recorded.
+func (s *RangeSet) Contains(n uint64) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].lo > n })
+	return i > 0 && n <= s.ranges[i-1].hi
+}
+
+// Count returns the number of recorded nonces.
+func (s *RangeSet) Count() uint64 {
+	var total uint64
+	for _, r := range s.ranges {
+		total += r.hi - r.lo + 1
+	}
+	return total
+}
+
+// RangeCount returns the number of compact ranges — the enclave state size.
+// For a sequential driver counter with local reordering this stays tiny
+// regardless of how many nonces were seen.
+func (s *RangeSet) RangeCount() int { return len(s.ranges) }
+
+// String renders the compact encoding, e.g. "[0,100] [103,103]".
+func (s *RangeSet) String() string {
+	out := ""
+	for i, r := range s.ranges {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("[%d,%d]", r.lo, r.hi)
+	}
+	return out
+}
+
+// StrawmanNonceChecker is the O(1)-state design §4.2 rejects: it accepts a
+// nonce only if it is greater than the most recent one, which spuriously
+// rejects legitimate out-of-order deliveries.
+type StrawmanNonceChecker struct {
+	last    uint64
+	started bool
+}
+
+// Add accepts n only if it is strictly greater than every previous nonce.
+func (s *StrawmanNonceChecker) Add(n uint64) bool {
+	if s.started && n <= s.last {
+		return false
+	}
+	s.last, s.started = n, true
+	return true
+}

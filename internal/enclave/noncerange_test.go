@@ -1,0 +1,187 @@
+package enclave
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetSequential(t *testing.T) {
+	var s RangeSet
+	for i := uint64(0); i <= 100; i++ {
+		if !s.Add(i) {
+			t.Fatalf("fresh nonce %d rejected", i)
+		}
+	}
+	// The §4.2 example: 0..100 encodes as a single range [0,100].
+	if s.RangeCount() != 1 {
+		t.Fatalf("sequential nonces: %d ranges, want 1 (%s)", s.RangeCount(), s.String())
+	}
+	if s.Count() != 101 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.String() != "[0,100]" {
+		t.Fatalf("encoding = %s", s.String())
+	}
+}
+
+func TestRangeSetReplay(t *testing.T) {
+	var s RangeSet
+	for _, n := range []uint64{1, 2, 3, 10} {
+		if !s.Add(n) {
+			t.Fatalf("fresh %d rejected", n)
+		}
+	}
+	for _, n := range []uint64{1, 2, 3, 10} {
+		if s.Add(n) {
+			t.Fatalf("replay %d accepted", n)
+		}
+	}
+}
+
+func TestRangeSetMergeBridging(t *testing.T) {
+	var s RangeSet
+	s.Add(1)
+	s.Add(3)
+	if s.RangeCount() != 2 {
+		t.Fatalf("ranges = %d", s.RangeCount())
+	}
+	s.Add(2) // bridges [1,1] and [3,3]
+	if s.RangeCount() != 1 || s.String() != "[1,3]" {
+		t.Fatalf("after bridge: %s", s.String())
+	}
+}
+
+// TestRangeSetLocalReorder: the design goal — near-sequential nonces with
+// local reorderings keep the encoding compact.
+func TestRangeSetLocalReorder(t *testing.T) {
+	var s RangeSet
+	rng := rand.New(rand.NewSource(42))
+	// Simulate a multi-threaded driver: a sliding window of 8 outstanding
+	// nonces delivered in shuffled order.
+	const total = 10000
+	window := make([]uint64, 0, 8)
+	next := uint64(0)
+	delivered := 0
+	for delivered < total {
+		for len(window) < 8 && next < total {
+			window = append(window, next)
+			next++
+		}
+		i := rng.Intn(len(window))
+		n := window[i]
+		window = append(window[:i], window[i+1:]...)
+		if !s.Add(n) {
+			t.Fatalf("fresh nonce %d rejected", n)
+		}
+		delivered++
+		if rc := s.RangeCount(); rc > 16 {
+			t.Fatalf("encoding blew up: %d ranges after %d nonces", rc, delivered)
+		}
+	}
+	if s.RangeCount() != 1 {
+		t.Fatalf("final ranges = %d, want 1", s.RangeCount())
+	}
+	if s.Count() != total {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+// TestStrawmanBreaksUnderReorder pins the §4.2 rationale: the O(1) counter
+// check spuriously rejects legitimate out-of-order nonces that the range
+// tracker accepts.
+func TestStrawmanBreaksUnderReorder(t *testing.T) {
+	var straw StrawmanNonceChecker
+	var ranges RangeSet
+	seq := []uint64{1, 2, 5, 3, 4} // 3 and 4 arrive after 5
+	strawRejects := 0
+	for _, n := range seq {
+		if !straw.Add(n) {
+			strawRejects++
+		}
+		if !ranges.Add(n) {
+			t.Fatalf("range tracker rejected fresh nonce %d", n)
+		}
+	}
+	if strawRejects == 0 {
+		t.Fatal("strawman unexpectedly accepted the reordered sequence")
+	}
+}
+
+func TestStrawmanDetectsReplay(t *testing.T) {
+	var straw StrawmanNonceChecker
+	if !straw.Add(5) || straw.Add(5) || straw.Add(4) {
+		t.Fatal("strawman replay semantics broken")
+	}
+}
+
+// Property: RangeSet.Add accepts a nonce exactly once, Contains agrees, and
+// Count equals the number of distinct nonces added.
+func TestQuickRangeSet(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var s RangeSet
+		seen := make(map[uint64]bool)
+		for _, r := range raw {
+			n := uint64(r % 512) // force collisions and adjacency
+			added := s.Add(n)
+			if added == seen[n] {
+				return false // accepted a replay or rejected fresh
+			}
+			seen[n] = true
+			if !s.Contains(n) {
+				return false
+			}
+		}
+		return s.Count() == uint64(len(seen))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ranges remain sorted, non-overlapping and non-adjacent after
+// arbitrary insertions (the compactness invariant).
+func TestQuickRangeSetInvariant(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var s RangeSet
+		for _, r := range raw {
+			s.Add(uint64(r % 256))
+		}
+		for i := 1; i < len(s.ranges); i++ {
+			prev, cur := s.ranges[i-1], s.ranges[i]
+			if prev.hi+1 >= cur.lo { // overlap or adjacency = not compact
+				return false
+			}
+		}
+		for _, r := range s.ranges {
+			if r.lo > r.hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNonceRanges(b *testing.B) {
+	b.ReportAllocs()
+	var s RangeSet
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+	if s.RangeCount() > 1 {
+		b.Fatalf("ranges = %d", s.RangeCount())
+	}
+}
+
+func BenchmarkNonceRangesReordered(b *testing.B) {
+	b.ReportAllocs()
+	var s RangeSet
+	for i := 0; i < b.N; i++ {
+		// Deliver in pairs swapped: 1,0,3,2,...
+		n := uint64(i ^ 1)
+		s.Add(n)
+	}
+}

@@ -1,0 +1,159 @@
+package enclave
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the "enclave SQL OS" of §4.4: expression services does not
+// call the operating system directly; it runs against a small resource
+// management layer providing threading, synchronization and work submission,
+// implemented here on top of the enclave runtime (plain goroutines in this
+// simulation). Porting the enclave to a different TEE would mean
+// re-implementing only this layer.
+//
+// The worker model follows §4.6: instead of the host calling into the
+// enclave synchronously (paying the security-boundary transition on every
+// expression evaluation — the inner loop of query processing), host workers
+// submit work to a queue consumed by dedicated enclave worker threads pinned
+// to cores. After finishing its work a worker spins for a fixed duration
+// polling for more before exiting the enclave and going to sleep, so a busy
+// system never pays the transition cost.
+
+// task is one unit of enclave work.
+type task struct {
+	run  func()
+	done chan struct{}
+}
+
+// workQueue is the host→enclave submission queue with spin-then-sleep
+// consumers.
+type workQueue struct {
+	ch       chan *task
+	spin     time.Duration
+	crossing time.Duration
+	wg       sync.WaitGroup
+	closed   chan struct{}
+
+	// counters (atomic: read by Stats while workers run)
+	tasks     atomic.Uint64
+	sleeps    atomic.Uint64 // enclave exits (worker went to sleep)
+	crossings atomic.Uint64 // boundary transitions paid
+	taskPool  sync.Pool
+}
+
+func newWorkQueue(workers int, spin, crossing time.Duration) *workQueue {
+	q := &workQueue{
+		ch:       make(chan *task, 256),
+		spin:     spin,
+		crossing: crossing,
+		closed:   make(chan struct{}),
+	}
+	q.taskPool.New = func() any { return &task{done: make(chan struct{}, 1)} }
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// submit runs fn on an enclave worker and waits for completion. The host
+// worker blocks on the done channel, modelling "host workers submit work to
+// the enclave using a queue" while the filter operator still consumes the
+// result synchronously.
+func (q *workQueue) submit(fn func()) {
+	t := q.taskPool.Get().(*task)
+	t.run = fn
+	select {
+	case q.ch <- t:
+	case <-q.closed:
+		// Enclave torn down: run inline so callers don't deadlock; they
+		// will observe enclave errors at the API layer.
+		fn()
+		return
+	}
+	<-t.done
+	t.run = nil
+	q.taskPool.Put(t)
+}
+
+// worker is one enclave thread: consume, spin-poll, then sleep.
+func (q *workQueue) worker() {
+	defer q.wg.Done()
+	// Entering the enclave costs one boundary transition.
+	q.cross()
+	for {
+		t := q.poll()
+		if t == nil {
+			// Nothing arrived during the spin window: exit the enclave
+			// (one transition) and sleep on the queue.
+			q.cross()
+			q.sleeps.Add(1)
+			select {
+			case t = <-q.ch:
+				// Woken: re-enter the enclave.
+				q.cross()
+			case <-q.closed:
+				return
+			}
+			if t == nil {
+				return
+			}
+		}
+		t.run()
+		q.tasks.Add(1)
+		t.done <- struct{}{}
+	}
+}
+
+// poll spins for the configured duration looking for work without leaving
+// the enclave.
+func (q *workQueue) poll() *task {
+	if q.spin <= 0 {
+		select {
+		case t := <-q.ch:
+			return t
+		default:
+			return nil
+		}
+	}
+	deadline := time.Now().Add(q.spin)
+	for {
+		select {
+		case t := <-q.ch:
+			return t
+		case <-q.closed:
+			return nil
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// cross models the cost of one enclave boundary transition (the hypervisor
+// world switch for VBS). A busy spin keeps the cost on-CPU like the real
+// transition, rather than yielding the scheduler.
+func (q *workQueue) cross() {
+	q.crossings.Add(1)
+	spinFor(q.crossing)
+}
+
+func (q *workQueue) close() {
+	close(q.closed)
+	q.wg.Wait()
+}
+
+// spinFor busy-waits for roughly d.
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}

@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// executeCreateTable creates a table and an implicit unique PK index over
+// its PRIMARY KEY columns, if any.
+func (e *Engine) executeCreateTable(st CreateTableStmt) error {
+	cols := make([]Column, len(st.Cols))
+	var pkCols []int
+	for i, def := range st.Cols {
+		enc, err := e.catalog.EncTypeFor(def.Enc)
+		if err != nil {
+			return err
+		}
+		cols[i] = Column{
+			Name: def.Name, Kind: def.Kind,
+			PrimaryKey: def.PrimaryKey, NotNull: def.NotNull || def.PrimaryKey,
+			Enc: enc,
+		}
+		if def.PrimaryKey {
+			pkCols = append(pkCols, i)
+		}
+	}
+	heap, err := storage.NewHeap(e.pool)
+	if err != nil {
+		return err
+	}
+	tbl := &Table{Name: st.Name, Cols: cols, Heap: heap}
+	if err := e.catalog.AddTable(tbl); err != nil {
+		return err
+	}
+	if len(pkCols) > 0 {
+		names := make([]string, len(pkCols))
+		for i, pos := range pkCols {
+			names[i] = cols[pos].Name
+		}
+		if err := e.addIndex(tbl, "pk_"+st.Name, pkCols, names, true, true, false); err != nil {
+			return err
+		}
+	}
+	e.InvalidatePlans()
+	return nil
+}
+
+// executeCreateIndex builds an index, populating it from existing rows.
+// Clustered indexes on encrypted columns are refused: invalidating one would
+// lose data (§4.5).
+func (e *Engine) executeCreateIndex(st CreateIndexStmt) error {
+	tbl, err := e.catalog.Table(st.Table)
+	if err != nil {
+		return err
+	}
+	pos := make([]int, len(st.Cols))
+	names := make([]string, len(st.Cols))
+	anyEncrypted := false
+	for i, name := range st.Cols {
+		col, err := tbl.Col(name)
+		if err != nil {
+			return err
+		}
+		pos[i] = col.Pos
+		names[i] = col.Name
+		if !col.Enc.IsPlaintext() {
+			anyEncrypted = true
+		}
+	}
+	if st.Clustered && anyEncrypted {
+		return errors.New("engine: clustered indexes on encrypted columns are not supported (§4.5)")
+	}
+	if err := e.addIndex(tbl, st.Name, pos, names, st.Unique, false, st.Clustered); err != nil {
+		return err
+	}
+	e.InvalidatePlans()
+	return nil
+}
+
+// addIndex creates, registers and backfills an index. Building an index on
+// an encrypted range column sorts the data via enclave comparisons — the
+// index-build ordering leakage of Figure 5.
+func (e *Engine) addIndex(tbl *Table, name string, pos []int, names []string, unique, primary, clustered bool) error {
+	tree, rangeCapable, ceks, err := e.buildIndexTree(tbl, pos, unique)
+	if err != nil {
+		return err
+	}
+	idx := &Index{
+		Name: name, Table: tbl.Name, ColPos: pos, ColNames: names,
+		Unique: unique, IsPrimary: primary, Tree: tree,
+		RangeCapable: rangeCapable, CEKs: ceks,
+	}
+	// Backfill from the heap.
+	err = tbl.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+		cells, err := decodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		if err := tree.Insert(copyKey(idx.indexKeyFor(cells)), rid); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.catalog.AddIndex(idx)
+}
+
+// executeCreateCMK stores column master key metadata. The signature is
+// validated client-side (the server cannot: it has no key material); the
+// engine stores it verbatim so clients can verify it later (§2.2).
+func (e *Engine) executeCreateCMK(st CreateCMKStmt) error {
+	return e.catalog.AddCMK(&keys.CMKMetadata{
+		Name:           st.Name,
+		ProviderName:   st.ProviderName,
+		KeyPath:        st.KeyPath,
+		EnclaveEnabled: st.EnclaveComputations,
+		Signature:      st.Signature,
+	})
+}
+
+// executeCreateCEK stores column encryption key metadata: the RSA-OAEP
+// wrapped value and its signature, bound to a CMK.
+func (e *Engine) executeCreateCEK(st CreateCEKStmt) error {
+	if _, err := e.catalog.CMK(st.CMK); err != nil {
+		return err
+	}
+	return e.catalog.AddCEK(&keys.CEKMetadata{
+		Name: st.Name,
+		Values: []keys.CEKValue{{
+			CMKName:        st.CMK,
+			Algorithm:      st.Algorithm,
+			EncryptedValue: st.EncryptedValue,
+			Signature:      st.Signature,
+		}},
+	})
+}
+
+// executeAlterColumn performs online initial encryption, key rotation or
+// decryption of a column through the enclave (§2.4.2): every cell is
+// converted by enclave.ConvertCells under a client authorization proof
+// (§3.2), indexes over the column are rebuilt, and the catalog is updated.
+// No client round trip of data occurs.
+func (s *Session) executeAlterColumn(st AlterColumnStmt) error {
+	e := s.engine
+	if e.cfg.Enclave == nil {
+		return errors.New("engine: ALTER COLUMN encryption requires an enclave (use client-side tools otherwise)")
+	}
+	if s.EnclaveSID == 0 {
+		return errors.New("engine: no enclave session; run sp_describe_parameter_encryption with attestation first")
+	}
+	tbl, err := e.catalog.Table(st.Table)
+	if err != nil {
+		return err
+	}
+	col, err := tbl.Col(st.Column)
+	if err != nil {
+		return err
+	}
+	from := col.Enc
+	to, err := e.catalog.EncTypeFor(st.Enc)
+	if err != nil {
+		return err
+	}
+	if !from.IsPlaintext() && !from.EnclaveEnabled {
+		return errors.New("engine: source CEK is not enclave-enabled; use client-side tools (§2.4.2)")
+	}
+	if !to.IsPlaintext() && !to.EnclaveEnabled {
+		return errors.New("engine: target CEK is not enclave-enabled; use client-side tools (§2.4.2)")
+	}
+
+	proof := &enclave.ConversionProof{
+		QueryText: st.RawText,
+		Parse: enclave.ConversionParse{
+			Table:    st.Table,
+			Column:   st.Column,
+			ToCEK:    to.CEKName,
+			ToScheme: to.Scheme,
+		},
+	}
+
+	// Serialize with other structural changes on the table; clients keep
+	// reading throughout (reads only take page latches).
+	tbl.mu.Lock()
+	defer tbl.mu.Unlock()
+
+	// Collect cells, convert in enclave batches, rewrite rows.
+	type rowRef struct {
+		rid   storage.RowID
+		cells [][]byte
+	}
+	var rows []rowRef
+	err = tbl.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+		cells, err := decodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		cp := make([][]byte, len(cells))
+		for i, c := range cells {
+			if c != nil {
+				cp[i] = append([]byte(nil), c...)
+			}
+		}
+		rows = append(rows, rowRef{rid: rid, cells: cp})
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	const batch = 256
+	for lo := 0; lo < len(rows); lo += batch {
+		hi := lo + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		in := make([][]byte, 0, hi-lo)
+		for _, r := range rows[lo:hi] {
+			var cell []byte
+			if col.Pos < len(r.cells) {
+				cell = r.cells[col.Pos]
+			}
+			in = append(in, cell)
+		}
+		out, err := e.cfg.Enclave.ConvertCells(s.EnclaveSID, proof, from, to, in)
+		if err != nil {
+			return fmt.Errorf("engine: enclave conversion: %w", err)
+		}
+		for i := range out {
+			r := &rows[lo+i]
+			for len(r.cells) <= col.Pos {
+				r.cells = append(r.cells, nil)
+			}
+			r.cells[col.Pos] = out[i]
+			if _, err := tbl.Heap.Update(r.rid, encodeRow(r.cells)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Update the catalog type and rebuild indexes containing the column.
+	col.Enc = to
+	for _, idx := range tbl.Indexes {
+		contains := false
+		for _, pos := range idx.ColPos {
+			if pos == col.Pos {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			continue
+		}
+		tree, rangeCapable, ceks, err := e.buildIndexTree(tbl, idx.ColPos, idx.Unique)
+		if err != nil {
+			return err
+		}
+		err = tbl.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+			cells, err := decodeRow(rec)
+			if err != nil {
+				return false, err
+			}
+			if err := tree.Insert(copyKey(idx.indexKeyFor(cells)), rid); err != nil {
+				return false, err
+			}
+			return true, nil
+		})
+		if err != nil {
+			return err
+		}
+		idx.Tree = tree
+		idx.RangeCapable = rangeCapable
+		idx.CEKs = ceks
+	}
+	e.InvalidatePlans()
+	return nil
+}
+
+// AlterColumnClientSide is the server-side half of the client-side initial
+// encryption / key rotation tools of §2.4.2: when a CEK is enclave-disabled
+// (AEv1), turning encryption on requires a round trip of the data to a
+// client that holds the keys. The convert callback IS that round trip —
+// every cell passes through client code (in the real product, via bcp
+// out/in through the AE-aware driver). The server itself never sees keys.
+func (e *Engine) AlterColumnClientSide(table, column string, to sqltypes.EncType,
+	convert func(old []byte) ([]byte, error)) error {
+	tbl, err := e.catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	col, err := tbl.Col(column)
+	if err != nil {
+		return err
+	}
+
+	tbl.mu.Lock()
+	defer tbl.mu.Unlock()
+
+	type rowRef struct {
+		rid   storage.RowID
+		cells [][]byte
+	}
+	var rows []rowRef
+	err = tbl.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+		cells, err := decodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		cp := make([][]byte, len(cells))
+		for i, c := range cells {
+			if c != nil {
+				cp[i] = append([]byte(nil), c...)
+			}
+		}
+		rows = append(rows, rowRef{rid: rid, cells: cp})
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		var cell []byte
+		if col.Pos < len(r.cells) {
+			cell = r.cells[col.Pos]
+		}
+		if len(cell) == 0 {
+			continue // NULLs stay unencrypted
+		}
+		out, err := convert(cell)
+		if err != nil {
+			return fmt.Errorf("engine: client-side conversion: %w", err)
+		}
+		for len(r.cells) <= col.Pos {
+			r.cells = append(r.cells, nil)
+		}
+		r.cells[col.Pos] = out
+		if _, err := tbl.Heap.Update(r.rid, encodeRow(r.cells)); err != nil {
+			return err
+		}
+	}
+
+	col.Enc = to
+	for _, idx := range tbl.Indexes {
+		contains := false
+		for _, pos := range idx.ColPos {
+			if pos == col.Pos {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			continue
+		}
+		tree, rangeCapable, ceks, err := e.buildIndexTree(tbl, idx.ColPos, idx.Unique)
+		if err != nil {
+			return err
+		}
+		err = tbl.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+			cells, err := decodeRow(rec)
+			if err != nil {
+				return false, err
+			}
+			return true, tree.Insert(copyKey(idx.indexKeyFor(cells)), rid)
+		})
+		if err != nil {
+			return err
+		}
+		idx.Tree = tree
+		idx.RangeCapable = rangeCapable
+		idx.CEKs = ceks
+	}
+	e.InvalidatePlans()
+	return nil
+}
+
+// DescribeWithAttestation is the full sp_describe_parameter_encryption call
+// (§4.1): encryption type deduction output plus, when the query needs the
+// enclave and the client supplied a DH public key, a fresh enclave session
+// with the attestation chain of §4.2. The enclave session id is returned so
+// the driver can target CEK installation.
+func (s *Session) DescribeWithAttestation(query string, clientDHPub []byte) (*DescribeResult, *attestation.Info, uint64, error) {
+	e := s.engine
+	desc, err := e.Describe(query)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if !desc.NeedsEnclave || clientDHPub == nil {
+		return desc, nil, 0, nil
+	}
+	if e.cfg.Enclave == nil || e.cfg.Host == nil || e.cfg.HGS == nil {
+		return nil, nil, 0, errors.New("engine: attestation requested but enclave/host/HGS not configured")
+	}
+	sid, report, dhSig, err := e.cfg.Enclave.NewSession(clientDHPub)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cert, err := e.cfg.HGS.AttestHost(e.cfg.Host.TCGLog(), e.cfg.Host.SigningKey())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	reportSig, err := e.cfg.Host.SignReport(&report)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	info := &attestation.Info{
+		HealthCert:      *cert,
+		Report:          report,
+		ReportSignature: reportSig,
+		EnclaveKeyDER:   e.cfg.Enclave.IdentityKeyDER(),
+		DHSignature:     dhSig,
+	}
+	s.EnclaveSID = sid
+	return desc, info, sid, nil
+}
+
+// InstallCEK forwards a sealed CEK envelope from the driver to the enclave
+// under this session's enclave session.
+func (s *Session) InstallCEK(name string, nonce uint64, sealed []byte) error {
+	if s.engine.cfg.Enclave == nil {
+		return errors.New("engine: no enclave configured")
+	}
+	return s.engine.cfg.Enclave.InstallCEK(s.EnclaveSID, name, nonce, sealed)
+}
+
+// AuthorizeStatement forwards a sealed statement-hash authorization.
+func (s *Session) AuthorizeStatement(nonce uint64, sealed []byte) error {
+	if s.engine.cfg.Enclave == nil {
+		return errors.New("engine: no enclave configured")
+	}
+	return s.engine.cfg.Enclave.AuthorizeStatement(s.EnclaveSID, nonce, sealed)
+}

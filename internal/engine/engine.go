@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/btree"
+	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// Config wires the engine to its substrates.
+type Config struct {
+	// Enclave is the loaded enclave; nil runs the engine enclave-less (AEv1
+	// semantics: DET equality only).
+	Enclave *enclave.Enclave
+	// Host and HGS supply attestation material when clients request it.
+	Host *attestation.Host
+	HGS  *attestation.HGS
+	// CTR enables constant-time recovery semantics (§4.5).
+	CTR bool
+	// Store is the page store; nil defaults to an in-memory store.
+	Store storage.PageStore
+	// BufferPoolPages caps the buffer pool; 0 defaults to 4096 frames.
+	BufferPoolPages int
+}
+
+// Engine is the database engine instance — the untrusted server process.
+type Engine struct {
+	cfg      Config
+	catalog  *Catalog
+	pool     *storage.BufferPool
+	wal      *storage.WAL
+	locks    *storage.LockManager
+	versions *storage.VersionStore
+
+	planMu sync.Mutex
+	plans  map[string]*Plan
+
+	txnMu    sync.Mutex
+	nextTxn  uint64
+	active   map[uint64]*Txn
+	deferred map[uint64]*deferredTxn
+
+	nextSession atomic.Uint64
+
+	// Stats counters.
+	scans, seeks, execs atomic.Uint64
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.Store == nil {
+		cfg.Store = storage.NewMemStore()
+	}
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 4096
+	}
+	return &Engine{
+		cfg:      cfg,
+		catalog:  NewCatalog(),
+		pool:     storage.NewBufferPool(cfg.Store, cfg.BufferPoolPages),
+		wal:      storage.NewWAL(),
+		locks:    storage.NewLockManager(),
+		versions: storage.NewVersionStore(),
+		plans:    make(map[string]*Plan),
+		nextTxn:  1,
+		active:   make(map[uint64]*Txn),
+		deferred: make(map[uint64]*deferredTxn),
+	}
+}
+
+// Catalog exposes the catalog (tools, tests).
+func (e *Engine) Catalog() *Catalog { return e.catalog }
+
+// WAL exposes the log (recovery tests, truncation policies).
+func (e *Engine) WAL() *storage.WAL { return e.wal }
+
+// Enclave returns the configured enclave, or nil.
+func (e *Engine) Enclave() *enclave.Enclave { return e.cfg.Enclave }
+
+// Stats reports engine operation counters.
+func (e *Engine) Stats() (scans, seeks, execs uint64) {
+	return e.scans.Load(), e.seeks.Load(), e.execs.Load()
+}
+
+// Session is a server-side connection context. Sessions are not safe for
+// concurrent use (one session per client connection, as in TDS).
+type Session struct {
+	engine     *Engine
+	id         uint64
+	txn        *Txn // explicit transaction, if open
+	EnclaveSID uint64
+}
+
+// NewSession opens a server session.
+func (e *Engine) NewSession() *Session {
+	return &Session{engine: e, id: e.nextSession.Add(1)}
+}
+
+// Txn is an in-flight transaction: its undo log and lock set.
+type Txn struct {
+	id       uint64
+	beginLSN uint64
+	ops      []txnOp
+	engine   *Engine
+}
+
+// txnOp is one logged operation, kept for rollback in reverse order.
+type txnOp struct {
+	typ    storage.RecType
+	table  string // table or index name
+	row    storage.RowID
+	newRow storage.RowID
+	key    [][]byte
+	old    []byte
+	new    []byte
+}
+
+// Transaction errors.
+var (
+	ErrNoTxn          = errors.New("engine: no transaction in progress")
+	ErrTxnInProgress  = errors.New("engine: transaction already in progress")
+	ErrRollbackFailed = errors.New("engine: rollback could not restore a row")
+	ErrNotNull        = errors.New("engine: NULL value in NOT NULL column")
+)
+
+// Begin starts an explicit transaction on the session.
+func (s *Session) Begin() error {
+	if s.txn != nil {
+		return ErrTxnInProgress
+	}
+	s.txn = s.engine.beginTxn()
+	return nil
+}
+
+// Commit commits the session's transaction.
+func (s *Session) Commit() error {
+	if s.txn == nil {
+		return ErrNoTxn
+	}
+	err := s.engine.commitTxn(s.txn)
+	s.txn = nil
+	return err
+}
+
+// Rollback aborts the session's transaction.
+func (s *Session) Rollback() error {
+	if s.txn == nil {
+		return ErrNoTxn
+	}
+	err := s.engine.rollbackTxn(s.txn)
+	s.txn = nil
+	return err
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+func (e *Engine) beginTxn() *Txn {
+	e.txnMu.Lock()
+	id := e.nextTxn
+	e.nextTxn++
+	e.txnMu.Unlock()
+	txn := &Txn{id: id, engine: e}
+	txn.beginLSN = e.wal.Append(storage.Record{Txn: id, Type: storage.RecBegin})
+	e.txnMu.Lock()
+	e.active[id] = txn
+	e.txnMu.Unlock()
+	return txn
+}
+
+func (e *Engine) commitTxn(t *Txn) error {
+	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecCommit})
+	e.versions.MarkCommitted(t.id)
+	e.versions.Drop(t.id)
+	e.locks.ReleaseAll(t.id)
+	e.txnMu.Lock()
+	delete(e.active, t.id)
+	e.txnMu.Unlock()
+	return nil
+}
+
+// rollbackTxn undoes the transaction: index entries are removed or restored
+// logically (B+-tree navigation — the enclave-dependent path), heap changes
+// physically via before-images.
+func (e *Engine) rollbackTxn(t *Txn) error {
+	err := e.undoOps(t.ops)
+	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort})
+	e.versions.Drop(t.id)
+	e.locks.ReleaseAll(t.id)
+	e.txnMu.Lock()
+	delete(e.active, t.id)
+	e.txnMu.Unlock()
+	return err
+}
+
+// undoOps reverses a slice of operations (newest first).
+func (e *Engine) undoOps(ops []txnOp) error {
+	for i := len(ops) - 1; i >= 0; i-- {
+		if err := e.undoOne(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) undoOne(op *txnOp) error {
+	switch op.typ {
+	case storage.RecHeapInsert:
+		tbl, err := e.catalog.Table(op.table)
+		if err != nil {
+			return err
+		}
+		return tbl.Heap.Delete(op.row)
+	case storage.RecHeapDelete:
+		tbl, err := e.catalog.Table(op.table)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Heap.RestoreAt(op.row, op.old); err != nil {
+			return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
+		}
+		return nil
+	case storage.RecHeapUpdate:
+		tbl, err := e.catalog.Table(op.table)
+		if err != nil {
+			return err
+		}
+		if op.newRow != op.row && op.newRow != 0 {
+			// The update relocated the row; undo the move.
+			if err := tbl.Heap.Delete(op.newRow); err != nil {
+				return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
+			}
+			if err := tbl.Heap.RestoreAt(op.row, op.old); err != nil {
+				return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
+			}
+			return nil
+		}
+		if _, err := tbl.Heap.Update(op.row, op.old); err != nil {
+			return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
+		}
+		return nil
+	case storage.RecIndexInsert:
+		idx, err := e.catalog.Index(op.table)
+		if err != nil {
+			return err
+		}
+		_, err = idx.Tree.Delete(op.key, op.row) // logical undo (§4.5)
+		return err
+	case storage.RecIndexDelete:
+		idx, err := e.catalog.Index(op.table)
+		if err != nil {
+			return err
+		}
+		return idx.Tree.Insert(op.key, op.row)
+	default:
+		return nil
+	}
+}
+
+// log appends a WAL record and mirrors it into the transaction's undo list.
+func (t *Txn) log(op txnOp) {
+	t.engine.wal.Append(storage.Record{
+		Txn: t.id, Type: op.typ, Table: op.table,
+		Row: op.row, NewRow: op.newRow, Key: op.key, Old: op.old, New: op.new,
+	})
+	t.ops = append(t.ops, op)
+}
+
+// insertRow inserts cells into a table under the transaction, maintaining
+// all indexes. On a uniqueness violation the partial work is undone.
+func (e *Engine) insertRow(t *Txn, tbl *Table, cells [][]byte) (storage.RowID, error) {
+	for i := range tbl.Cols {
+		if tbl.Cols[i].NotNull && (i >= len(cells) || len(cells[i]) == 0) {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNotNull, tbl.Name, tbl.Cols[i].Name)
+		}
+	}
+	rec := encodeRow(cells)
+	tbl.mu.Lock()
+	rid, err := tbl.Heap.Insert(rec)
+	tbl.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.locks.Lock(t.id, tbl.Name, rid); err != nil {
+		tbl.Heap.Delete(rid)
+		return 0, err
+	}
+	opStart := len(t.ops)
+	t.log(txnOp{typ: storage.RecHeapInsert, table: tbl.Name, row: rid, new: rec})
+	for _, idx := range tbl.Indexes {
+		key := copyKey(idx.indexKeyFor(cells))
+		if err := idx.Tree.Insert(key, rid); err != nil {
+			// Undo what this statement did so far (statement atomicity).
+			e.undoOps(t.ops[opStart:])
+			t.ops = t.ops[:opStart]
+			return 0, err
+		}
+		t.log(txnOp{typ: storage.RecIndexInsert, table: idx.Name, row: rid, key: key})
+	}
+	return rid, nil
+}
+
+// updateRow rewrites a row under the transaction, fixing up index entries
+// whose key columns changed.
+func (e *Engine) updateRow(t *Txn, tbl *Table, rid storage.RowID, oldCells, newCells [][]byte) (storage.RowID, error) {
+	for i := range tbl.Cols {
+		if tbl.Cols[i].NotNull && (i >= len(newCells) || len(newCells[i]) == 0) {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNotNull, tbl.Name, tbl.Cols[i].Name)
+		}
+	}
+	if err := e.locks.Lock(t.id, tbl.Name, rid); err != nil {
+		return 0, err
+	}
+	oldRec := encodeRow(oldCells)
+	newRec := encodeRow(newCells)
+	e.versions.Record(t.id, tbl.Name, rid, oldRec)
+
+	tbl.mu.Lock()
+	newRID, err := tbl.Heap.Update(rid, newRec)
+	tbl.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	opStart := len(t.ops)
+	t.log(txnOp{typ: storage.RecHeapUpdate, table: tbl.Name, row: rid, newRow: newRID, old: oldRec, new: newRec})
+
+	for _, idx := range tbl.Indexes {
+		oldKey := idx.indexKeyFor(oldCells)
+		newKey := idx.indexKeyFor(newCells)
+		moved := newRID != rid
+		changed := moved || !keysEqualBytes(oldKey, newKey)
+		if !changed {
+			continue
+		}
+		ok := copyKey(oldKey)
+		nk := copyKey(newKey)
+		if _, err := idx.Tree.Delete(ok, rid); err != nil {
+			e.undoOps(t.ops[opStart:])
+			t.ops = t.ops[:opStart]
+			return 0, err
+		}
+		t.log(txnOp{typ: storage.RecIndexDelete, table: idx.Name, row: rid, key: ok})
+		if err := idx.Tree.Insert(nk, newRID); err != nil {
+			e.undoOps(t.ops[opStart:])
+			t.ops = t.ops[:opStart]
+			return 0, err
+		}
+		t.log(txnOp{typ: storage.RecIndexInsert, table: idx.Name, row: newRID, key: nk})
+	}
+	return newRID, nil
+}
+
+// deleteRow removes a row under the transaction.
+func (e *Engine) deleteRow(t *Txn, tbl *Table, rid storage.RowID, cells [][]byte) error {
+	if err := e.locks.Lock(t.id, tbl.Name, rid); err != nil {
+		return err
+	}
+	rec := encodeRow(cells)
+	e.versions.Record(t.id, tbl.Name, rid, rec)
+	opStart := len(t.ops)
+	for _, idx := range tbl.Indexes {
+		key := copyKey(idx.indexKeyFor(cells))
+		if _, err := idx.Tree.Delete(key, rid); err != nil {
+			e.undoOps(t.ops[opStart:])
+			t.ops = t.ops[:opStart]
+			return err
+		}
+		t.log(txnOp{typ: storage.RecIndexDelete, table: idx.Name, row: rid, key: key})
+	}
+	tbl.mu.Lock()
+	err := tbl.Heap.Delete(rid)
+	tbl.mu.Unlock()
+	if err != nil {
+		e.undoOps(t.ops[opStart:])
+		t.ops = t.ops[:opStart]
+		return err
+	}
+	t.log(txnOp{typ: storage.RecHeapDelete, table: tbl.Name, row: rid, old: rec})
+	return nil
+}
+
+// keysEqualBytes compares composite keys byte-wise (sufficient for change
+// detection: unchanged cells have identical bytes).
+func keysEqualBytes(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildIndexTree constructs the comparator for an index over the given
+// columns and returns an empty tree. DET components order by ciphertext
+// (equality only); enclave-enabled RND components order by plaintext via the
+// enclave; plaintext components order by their canonical encoding.
+func (e *Engine) buildIndexTree(tbl *Table, colPos []int, unique bool) (*btree.Tree, []bool, []string, error) {
+	orders := make([]btree.ColumnOrder, len(colPos))
+	rangeCapable := make([]bool, len(colPos))
+	var ceks []string
+	for i, pos := range colPos {
+		col := &tbl.Cols[pos]
+		switch col.Enc.Scheme {
+		case sqltypes.SchemePlaintext:
+			orders[i] = btree.BinaryOrder{}
+			rangeCapable[i] = true
+		case sqltypes.SchemeDeterministic:
+			// Equality index: ciphertext order supports point lookups only
+			// (§3.1.1).
+			orders[i] = btree.BinaryOrder{}
+			rangeCapable[i] = false
+		case sqltypes.SchemeRandomized:
+			if !col.Enc.EnclaveEnabled {
+				return nil, nil, nil, fmt.Errorf(
+					"engine: cannot index RANDOMIZED column %s.%s without an enclave-enabled key (§2.4.4)",
+					tbl.Name, col.Name)
+			}
+			if e.cfg.Enclave == nil {
+				return nil, nil, nil, errors.New("engine: range index on encrypted column requires an enclave")
+			}
+			orders[i] = btree.EnclaveOrder{CEK: col.Enc.CEKName, Enclave: e.cfg.Enclave}
+			rangeCapable[i] = true
+			ceks = append(ceks, col.Enc.CEKName)
+		}
+	}
+	return btree.New(&btree.KeyComparator{Cols: orders}, unique), rangeCapable, ceks, nil
+}

@@ -1,0 +1,747 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"alwaysencrypted/internal/exprsvc"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// ColumnMeta describes one result column, including the key metadata the
+// driver needs to decrypt it (§3: results return encrypted, along with key
+// metadata).
+type ColumnMeta struct {
+	Name string
+	Kind sqltypes.Kind
+	Enc  sqltypes.EncType
+}
+
+// ResultSet is a query result: encrypted columns contain ciphertext cells.
+type ResultSet struct {
+	Columns  []ColumnMeta
+	Rows     [][][]byte
+	Affected int
+}
+
+// Params maps parameter names to their wire encodings: canonical value
+// encodings for plaintext parameters, ciphertext envelopes for encrypted
+// ones. The server never sees plaintext for encrypted parameters.
+type Params map[string][]byte
+
+// Execute runs one statement on the session.
+func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
+	e := s.engine
+	e.execs.Add(1)
+	plan, err := e.getPlan(query)
+	if err != nil {
+		return nil, err
+	}
+	switch st := plan.stmt.(type) {
+	case BeginStmt:
+		return &ResultSet{}, s.Begin()
+	case CommitStmt:
+		return &ResultSet{}, s.Commit()
+	case RollbackStmt:
+		return &ResultSet{}, s.Rollback()
+	case SelectStmt:
+		return e.executeSelect(plan, st, params)
+	case InsertStmt:
+		return s.withTxn(func(t *Txn) (*ResultSet, error) {
+			return e.executeInsert(t, plan, params)
+		})
+	case UpdateStmt:
+		return s.withTxn(func(t *Txn) (*ResultSet, error) {
+			return e.executeUpdate(t, plan, params)
+		})
+	case DeleteStmt:
+		return s.withTxn(func(t *Txn) (*ResultSet, error) {
+			return e.executeDelete(t, plan, params)
+		})
+	case CreateTableStmt:
+		return &ResultSet{}, e.executeCreateTable(st)
+	case CreateIndexStmt:
+		return &ResultSet{}, e.executeCreateIndex(st)
+	case CreateCMKStmt:
+		return &ResultSet{}, e.executeCreateCMK(st)
+	case CreateCEKStmt:
+		return &ResultSet{}, e.executeCreateCEK(st)
+	case AlterColumnStmt:
+		return &ResultSet{}, s.executeAlterColumn(st)
+	default:
+		return nil, fmt.Errorf("engine: cannot execute %T", plan.stmt)
+	}
+}
+
+// withTxn runs fn in the session's transaction, or an autocommit one.
+func (s *Session) withTxn(fn func(t *Txn) (*ResultSet, error)) (*ResultSet, error) {
+	if s.txn != nil {
+		return fn(s.txn)
+	}
+	t := s.engine.beginTxn()
+	rs, err := fn(t)
+	if err != nil {
+		if rbErr := s.engine.rollbackTxn(t); rbErr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		return nil, err
+	}
+	if err := s.engine.commitTxn(t); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// resolveValue materializes a ValueExpr into cell bytes under the given
+// parameter assignment.
+func resolveValue(v ValueExpr, params Params) ([]byte, error) {
+	switch ve := v.(type) {
+	case ParamExpr:
+		b, ok := params[ve.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: @%s", ErrUnknownParam, ve.Name)
+		}
+		return b, nil
+	case LiteralExpr:
+		return ve.Val.Encode(), nil
+	default:
+		return nil, errors.New("engine: unresolvable value expression")
+	}
+}
+
+// evaluator borrows a pooled evaluator for the plan's filter program.
+func (p *Plan) evaluator() (*exprsvc.Evaluator, error) {
+	if p.filter == nil {
+		return nil, nil
+	}
+	got := p.evalPool.Get()
+	if err, ok := got.(error); ok {
+		return nil, err
+	}
+	return got.(*exprsvc.Evaluator), nil
+}
+
+// matchRow applies the residual filter to a combined slot row.
+func (p *Plan) matchRow(ev *exprsvc.Evaluator, slots [][]byte) (bool, error) {
+	if ev == nil {
+		return true, nil
+	}
+	return ev.EvalBool(slots)
+}
+
+// buildSlots assembles the evaluator input: outer cells, inner cells (join),
+// then parameter values in plan order.
+func (p *Plan) buildSlots(outer, inner [][]byte, params Params) ([][]byte, error) {
+	slots := make([][]byte, p.numColSlots+len(p.paramOrder))
+	copy(slots, outer)
+	if p.join != nil {
+		copy(slots[p.numOuterCols:], inner)
+	}
+	for _, name := range p.paramOrder {
+		b, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: @%s", ErrUnknownParam, name)
+		}
+		slots[p.paramSlot[name]] = b
+	}
+	return slots, nil
+}
+
+// matchedRow is an outer-table row that satisfied the access path.
+type matchedRow struct {
+	rid   storage.RowID
+	cells [][]byte
+	slots [][]byte // combined slot row (join: outer+inner)
+}
+
+// iterateOuter streams outer-table rows through the access path and residual
+// filter. For joins, each outer row is probed against the inner table and fn
+// receives one call per joined pair.
+func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) (bool, error)) error {
+	ev, err := plan.evaluator()
+	if err != nil {
+		return err
+	}
+	if ev != nil {
+		defer plan.evalPool.Put(ev)
+	}
+
+	probe := func(rid storage.RowID, cells [][]byte) (bool, error) {
+		if plan.join == nil {
+			slots, err := plan.buildSlots(cells, nil, params)
+			if err != nil {
+				return false, err
+			}
+			ok, err := plan.matchRow(ev, slots)
+			if err != nil || !ok {
+				return err == nil, err
+			}
+			return fn(&matchedRow{rid: rid, cells: cells, slots: slots})
+		}
+		return e.probeJoin(plan, ev, rid, cells, params, fn)
+	}
+
+	if plan.access.index != nil {
+		entries, err := e.indexEntries(plan, params)
+		if err != nil {
+			return err
+		}
+		e.seeks.Add(1)
+		for _, ent := range entries {
+			rec, err := plan.table.Heap.Get(ent.Row)
+			if err != nil {
+				// The index may briefly point at rows deleted by concurrent
+				// transactions; skip.
+				continue
+			}
+			cells, err := decodeRow(rec)
+			if err != nil {
+				return err
+			}
+			cont, err := probe(ent.Row, cells)
+			if err != nil || !cont {
+				return err
+			}
+		}
+		return nil
+	}
+
+	e.scans.Add(1)
+	stop := errors.New("stop")
+	err = plan.table.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
+		cells, err := decodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		// Copy: heap scan cells alias page memory.
+		cp := make([][]byte, len(cells))
+		for i, c := range cells {
+			if c != nil {
+				cp[i] = append([]byte(nil), c...)
+			}
+		}
+		cont, err := probe(rid, cp)
+		if err != nil {
+			return false, err
+		}
+		if !cont {
+			return false, stop
+		}
+		return true, nil
+	})
+	if errors.Is(err, stop) {
+		return nil
+	}
+	return err
+}
+
+// probeJoin probes the inner table for one outer row.
+func (e *Engine) probeJoin(plan *Plan, ev *exprsvc.Evaluator, rid storage.RowID, outer [][]byte,
+	params Params, fn func(m *matchedRow) (bool, error)) (bool, error) {
+	j := plan.join
+	emit := func(inner [][]byte) (bool, error) {
+		slots, err := plan.buildSlots(outer, inner, params)
+		if err != nil {
+			return false, err
+		}
+		ok, err := plan.matchRow(ev, slots)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return fn(&matchedRow{rid: rid, cells: outer, slots: slots})
+	}
+
+	if j.innerIndex != nil {
+		joinKey := [][]byte{nil}
+		if j.outerCol < len(outer) {
+			joinKey[0] = outer[j.outerCol]
+		}
+		if len(joinKey[0]) == 0 {
+			return true, nil // NULL joins nothing
+		}
+		entries, err := j.innerIndex.Tree.SeekExact(joinKey, 0)
+		if err != nil {
+			return false, err
+		}
+		e.seeks.Add(1)
+		for _, ent := range entries {
+			rec, err := j.table.Heap.Get(ent.Row)
+			if err != nil {
+				continue
+			}
+			cells, err := decodeRow(rec)
+			if err != nil {
+				return false, err
+			}
+			cont, err := emit(cells)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+
+	// Inner scan: the join equality is part of the filter program.
+	e.scans.Add(1)
+	cont := true
+	stop := errors.New("stop")
+	err := j.table.Heap.Scan(func(_ storage.RowID, rec []byte) (bool, error) {
+		cells, err := decodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		cp := make([][]byte, len(cells))
+		for i, c := range cells {
+			if c != nil {
+				cp[i] = append([]byte(nil), c...)
+			}
+		}
+		c, err := emit(cp)
+		if err != nil {
+			return false, err
+		}
+		if !c {
+			cont = false
+			return false, stop
+		}
+		return true, nil
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return false, err
+	}
+	return cont, nil
+}
+
+// indexEntries executes the plan's index access path.
+func (e *Engine) indexEntries(plan *Plan, params Params) ([]indexEntry, error) {
+	a := &plan.access
+	prefix := make([][]byte, 0, len(a.eqVals)+1)
+	for _, v := range a.eqVals {
+		b, err := resolveValue(v, params)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			return nil, nil // comparison with NULL matches nothing
+		}
+		prefix = append(prefix, b)
+	}
+
+	lo, hi := prefix, prefix
+	loInc, hiInc := true, true
+	if a.rangeOn >= 0 {
+		var loB, hiB []byte
+		var err error
+		if a.rangeLo != nil {
+			if loB, err = resolveValue(a.rangeLo, params); err != nil {
+				return nil, err
+			}
+			if len(loB) == 0 {
+				return nil, nil
+			}
+		}
+		if a.rangeHi != nil {
+			if hiB, err = resolveValue(a.rangeHi, params); err != nil {
+				return nil, err
+			}
+			if len(hiB) == 0 {
+				return nil, nil
+			}
+		}
+		if loB != nil {
+			lo = append(append([][]byte{}, prefix...), loB)
+			loInc = a.rangeOp != PredGT
+		}
+		if hiB != nil {
+			hi = append(append([][]byte{}, prefix...), hiB)
+			hiInc = a.rangeOp != PredLT
+		}
+	}
+	if len(lo) == 0 {
+		lo = nil
+	}
+	if len(hi) == 0 {
+		hi = nil
+	}
+	entries, err := a.index.Tree.ScanRange(lo, hi, loInc, hiInc, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]indexEntry, len(entries))
+	for i, ent := range entries {
+		out[i] = indexEntry{Row: ent.Row}
+	}
+	return out, nil
+}
+
+type indexEntry struct {
+	Row storage.RowID
+}
+
+// executeSelect runs a SELECT and materializes the result set.
+func (e *Engine) executeSelect(plan *Plan, st SelectStmt, params Params) (*ResultSet, error) {
+	rs := &ResultSet{}
+	for _, item := range plan.items {
+		rs.Columns = append(rs.Columns, ColumnMeta{Name: item.name, Kind: item.kind, Enc: item.enc})
+	}
+
+	hasAgg := false
+	for _, item := range plan.items {
+		if item.agg != AggNone {
+			hasAgg = true
+			break
+		}
+	}
+
+	if !hasAgg {
+		err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+			row := make([][]byte, len(plan.items))
+			for i, item := range plan.items {
+				if item.slot < len(m.slots) && len(m.slots[item.slot]) > 0 {
+					row[i] = append([]byte(nil), m.slots[item.slot]...)
+				}
+			}
+			rs.Rows = append(rs.Rows, row)
+			return st.Limit == 0 || len(rs.Rows) < st.Limit, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rs, nil
+	}
+
+	// Single-group aggregation.
+	aggs := make([]*aggState, len(plan.items))
+	for i := range plan.items {
+		aggs[i] = &aggState{distinct: make(map[string]bool)}
+	}
+	err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+		for i, item := range plan.items {
+			var cell []byte
+			if item.slot >= 0 && item.slot < len(m.slots) {
+				cell = m.slots[item.slot]
+			}
+			if err := aggs[i].accumulate(item.agg, cell, item.slot < 0); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	row := make([][]byte, len(plan.items))
+	for i, item := range plan.items {
+		row[i] = aggs[i].result(item.agg)
+	}
+	rs.Rows = append(rs.Rows, row)
+	return rs, nil
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	count    int64
+	distinct map[string]bool
+	min, max sqltypes.Value
+	sum      float64
+	seen     bool
+}
+
+func (a *aggState) accumulate(fn AggFunc, cell []byte, star bool) error {
+	switch fn {
+	case AggNone:
+		return nil
+	case AggCount:
+		// COUNT(*) counts rows; COUNT(col) skips NULLs.
+		if star || len(cell) > 0 {
+			a.count++
+		}
+		return nil
+	case AggCountDistinct:
+		if len(cell) == 0 {
+			return nil
+		}
+		a.distinct[string(cell)] = true
+		return nil
+	case AggMin, AggMax, AggSum:
+		if len(cell) == 0 {
+			return nil
+		}
+		v, err := sqltypes.Decode(cell)
+		if err != nil {
+			return err
+		}
+		if fn == AggSum {
+			switch v.Kind {
+			case sqltypes.KindInt:
+				a.sum += float64(v.I)
+			case sqltypes.KindFloat:
+				a.sum += v.F
+			default:
+				return fmt.Errorf("engine: SUM over %s", v.Kind)
+			}
+			a.seen = true
+			return nil
+		}
+		if !a.seen {
+			a.min, a.max, a.seen = v, v, true
+			return nil
+		}
+		if c, err := sqltypes.Compare(v, a.min); err == nil && c < 0 {
+			a.min = v
+		}
+		if c, err := sqltypes.Compare(v, a.max); err == nil && c > 0 {
+			a.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown aggregate %d", fn)
+	}
+}
+
+func (a *aggState) result(fn AggFunc) []byte {
+	switch fn {
+	case AggCount:
+		return sqltypes.Int(a.count).Encode()
+	case AggCountDistinct:
+		return sqltypes.Int(int64(len(a.distinct))).Encode()
+	case AggMin:
+		if !a.seen {
+			return nil
+		}
+		return a.min.Encode()
+	case AggMax:
+		if !a.seen {
+			return nil
+		}
+		return a.max.Encode()
+	case AggSum:
+		if !a.seen {
+			return nil
+		}
+		return sqltypes.Float(a.sum).Encode()
+	default:
+		return nil
+	}
+}
+
+// executeInsert inserts one row.
+func (e *Engine) executeInsert(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
+	tbl := plan.table
+	cells := make([][]byte, len(tbl.Cols))
+	for _, bind := range plan.insertTo {
+		b, err := resolveValue(bind.expr, params)
+		if err != nil {
+			return nil, err
+		}
+		cells[bind.colPos] = b
+	}
+	if _, err := e.insertRow(t, tbl, cells); err != nil {
+		return nil, err
+	}
+	return &ResultSet{Affected: 1}, nil
+}
+
+// executeUpdate applies SET clauses to every matching row. Targets are
+// discovered without locks, then re-read and re-validated after the row
+// lock is acquired — the read-modify-write of `SET n = n + @d` must see the
+// latest committed value or updates are lost.
+func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
+	tbl := plan.table
+	rids, err := e.collectTargetRIDs(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, rid := range rids {
+		cells, ok, err := e.lockAndRevalidate(t, plan, params, rid)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		newCells := make([][]byte, len(tbl.Cols))
+		copy(newCells, cells)
+		for _, set := range plan.sets {
+			b, err := e.evalSetExpr(tbl, set.expr, cells, params)
+			if err != nil {
+				return nil, err
+			}
+			newCells[set.colPos] = b
+		}
+		if _, err := e.updateRow(t, tbl, rid, cells, newCells); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &ResultSet{Affected: affected}, nil
+}
+
+// collectTargetRIDs materializes the row ids matching the plan (mutating
+// while scanning is unsound).
+func (e *Engine) collectTargetRIDs(plan *Plan, params Params) ([]storage.RowID, error) {
+	var rids []storage.RowID
+	err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+		rids = append(rids, m.rid)
+		return true, nil
+	})
+	return rids, err
+}
+
+// lockAndRevalidate acquires the row lock, re-reads the current cells and
+// re-checks the predicate: between discovery and locking another transaction
+// may have changed or deleted the row.
+func (e *Engine) lockAndRevalidate(t *Txn, plan *Plan, params Params, rid storage.RowID) ([][]byte, bool, error) {
+	if err := e.locks.Lock(t.id, plan.table.Name, rid); err != nil {
+		return nil, false, err
+	}
+	rec, err := plan.table.Heap.Get(rid)
+	if err != nil {
+		return nil, false, nil // row vanished; predicate no longer matches
+	}
+	cells, err := decodeRow(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	if plan.filter != nil {
+		ev, err := plan.evaluator()
+		if err != nil {
+			return nil, false, err
+		}
+		defer plan.evalPool.Put(ev)
+		slots, err := plan.buildSlots(cells, nil, params)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := ev.EvalBool(slots)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	return cells, true, nil
+}
+
+// evalSetExpr computes a SET right-hand side. Parameters and literals pass
+// through as bytes; arithmetic decodes plaintext operands and re-encodes.
+func (e *Engine) evalSetExpr(tbl *Table, expr ValueExpr, cells [][]byte, params Params) ([]byte, error) {
+	switch v := expr.(type) {
+	case ParamExpr, LiteralExpr:
+		return resolveValue(v, params)
+	case ColExpr:
+		col, err := tbl.Col(v.Name)
+		if err != nil {
+			return nil, err
+		}
+		if col.Pos < len(cells) {
+			return cells[col.Pos], nil
+		}
+		return nil, nil
+	case ArithExpr:
+		val, err := e.evalArith(tbl, v, cells, params)
+		if err != nil {
+			return nil, err
+		}
+		if val.IsNull() {
+			return nil, nil
+		}
+		return val.Encode(), nil
+	default:
+		return nil, errors.New("engine: unsupported SET expression")
+	}
+}
+
+func (e *Engine) evalArith(tbl *Table, expr ValueExpr, cells [][]byte, params Params) (sqltypes.Value, error) {
+	switch v := expr.(type) {
+	case LiteralExpr:
+		return v.Val, nil
+	case ParamExpr:
+		b, ok := params[v.Name]
+		if !ok {
+			return sqltypes.Value{}, fmt.Errorf("%w: @%s", ErrUnknownParam, v.Name)
+		}
+		return sqltypes.Decode(b)
+	case ColExpr:
+		col, err := tbl.Col(v.Name)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if col.Pos >= len(cells) || len(cells[col.Pos]) == 0 {
+			return sqltypes.Null(), nil
+		}
+		return sqltypes.Decode(cells[col.Pos])
+	case ArithExpr:
+		l, err := e.evalArith(tbl, v.L, cells, params)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		r, err := e.evalArith(tbl, v.R, cells, params)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		return arith(v.Op, l, r)
+	default:
+		return sqltypes.Value{}, errors.New("engine: unsupported arithmetic operand")
+	}
+}
+
+func arith(op byte, l, r sqltypes.Value) (sqltypes.Value, error) {
+	if l.Kind == sqltypes.KindInt && r.Kind == sqltypes.KindInt {
+		switch op {
+		case '+':
+			return sqltypes.Int(l.I + r.I), nil
+		case '-':
+			return sqltypes.Int(l.I - r.I), nil
+		case '*':
+			return sqltypes.Int(l.I * r.I), nil
+		}
+	}
+	lf, rf := toFloat(l), toFloat(r)
+	switch op {
+	case '+':
+		return sqltypes.Float(lf + rf), nil
+	case '-':
+		return sqltypes.Float(lf - rf), nil
+	case '*':
+		return sqltypes.Float(lf * rf), nil
+	}
+	return sqltypes.Value{}, fmt.Errorf("engine: unsupported operator %c", op)
+}
+
+func toFloat(v sqltypes.Value) float64 {
+	if v.Kind == sqltypes.KindInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// executeDelete removes every matching row, re-validating under the lock.
+func (e *Engine) executeDelete(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
+	tbl := plan.table
+	rids, err := e.collectTargetRIDs(plan, params)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, rid := range rids {
+		cells, ok, err := e.lockAndRevalidate(t, plan, params, rid)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if err := e.deleteRow(t, tbl, rid, cells); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &ResultSet{Affected: affected}, nil
+}

@@ -1,0 +1,200 @@
+package exprsvc
+
+import (
+	"errors"
+	"fmt"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// Compilation errors. These surface binder bugs or unsupported operations —
+// by the time expressions reach the compiler, encryption type deduction has
+// already validated the query, so most of these are defense in depth.
+var (
+	ErrNotParameterized = errors.New("exprsvc: literals cannot be compared with encrypted columns; use parameters (§2.5)")
+	ErrUnsupportedOp    = errors.New("exprsvc: operation not supported on this encryption type")
+)
+
+// Compile translates an expression tree into a host stack program with a
+// boolean output slot. Comparisons and LIKE predicates over enclave-enabled
+// randomized slots are split into enclave sub-programs referenced by TMEval
+// instructions (Figure 7); DET equality compiles to raw VARBINARY equality
+// on the host (§4.4); plaintext expressions evaluate entirely on the host.
+func Compile(name string, e Expr, inputs []EncInfo) (*Program, error) {
+	c := &compiler{prog: &Program{
+		Name:    name,
+		Inputs:  inputs,
+		Outputs: []EncInfo{Plain(sqltypes.KindBool)},
+	}}
+	if err := c.emit(e); err != nil {
+		return nil, err
+	}
+	c.prog.Code = append(c.prog.Code, Instr{Op: OpSetData, Arg: 0})
+	return c.prog, nil
+}
+
+type compiler struct {
+	prog *Program
+}
+
+func (c *compiler) add(in Instr) { c.prog.Code = append(c.prog.Code, in) }
+
+func (c *compiler) emit(e Expr) error {
+	switch n := e.(type) {
+	case SlotRef:
+		if !n.Info.Enc.IsPlaintext() {
+			return fmt.Errorf("exprsvc: encrypted slot %s used outside a comparison", n.Name)
+		}
+		c.add(Instr{Op: OpGetData, Arg: n.Slot})
+		return nil
+	case Const:
+		c.add(Instr{Op: OpConst, Val: n.Val})
+		return nil
+	case And:
+		if err := c.emit(n.L); err != nil {
+			return err
+		}
+		if err := c.emit(n.R); err != nil {
+			return err
+		}
+		c.add(Instr{Op: OpAnd})
+		return nil
+	case Or:
+		if err := c.emit(n.L); err != nil {
+			return err
+		}
+		if err := c.emit(n.R); err != nil {
+			return err
+		}
+		c.add(Instr{Op: OpOr})
+		return nil
+	case Not:
+		if err := c.emit(n.X); err != nil {
+			return err
+		}
+		c.add(Instr{Op: OpNot})
+		return nil
+	case IsNull:
+		ref, ok := n.X.(SlotRef)
+		if !ok {
+			return errors.New("exprsvc: IS NULL requires a column or parameter")
+		}
+		// NULLs are stored unencrypted (as absent values), so the host can
+		// test them on the raw slot without keys.
+		c.add(Instr{Op: OpGetRaw, Arg: ref.Slot})
+		c.add(Instr{Op: OpIsNull})
+		return nil
+	case Cmp:
+		return c.emitComparison(n.Op, n.L, n.R, false)
+	case LikeExpr:
+		return c.emitComparison(CmpEQ, n.Input, n.Pattern, true)
+	default:
+		return fmt.Errorf("exprsvc: unknown expression node %T", e)
+	}
+}
+
+// operandInfo extracts the slot/constant shape of a comparison operand.
+func operandInfo(e Expr) (ref SlotRef, isRef bool, cv sqltypes.Value, err error) {
+	switch n := e.(type) {
+	case SlotRef:
+		return n, true, sqltypes.Value{}, nil
+	case Const:
+		return SlotRef{}, false, n.Val, nil
+	default:
+		return SlotRef{}, false, sqltypes.Value{},
+			errors.New("exprsvc: comparison operands must be columns, parameters or literals")
+	}
+}
+
+func (c *compiler) emitComparison(op CompOp, l, r Expr, isLike bool) error {
+	lr, lIsRef, lc, err := operandInfo(l)
+	if err != nil {
+		return err
+	}
+	rr, rIsRef, rc, err := operandInfo(r)
+	if err != nil {
+		return err
+	}
+
+	lEnc, rEnc := sqltypes.PlaintextType, sqltypes.PlaintextType
+	if lIsRef {
+		lEnc = lr.Info.Enc
+	}
+	if rIsRef {
+		rEnc = rr.Info.Enc
+	}
+
+	// Fully plaintext: evaluate on the host.
+	if lEnc.IsPlaintext() && rEnc.IsPlaintext() {
+		c.emitOperand(lr, lIsRef, lc, OpGetData)
+		c.emitOperand(rr, rIsRef, rc, OpGetData)
+		if isLike {
+			c.add(Instr{Op: OpLike})
+		} else {
+			c.add(Instr{Op: OpComp, Arg: int(op)})
+		}
+		return nil
+	}
+
+	// Literals can never meet encrypted operands: the driver encrypts
+	// parameters, not the query text (§2.5 transparency requires
+	// parameterized queries).
+	if !lIsRef || !rIsRef {
+		return ErrNotParameterized
+	}
+	if lEnc != rEnc {
+		return fmt.Errorf("%w: %s vs %s", sqltypes.ErrTypeConflict, lEnc, rEnc)
+	}
+
+	switch lEnc.Scheme {
+	case sqltypes.SchemeDeterministic:
+		// Equality over DET ciphertext is plain VARBINARY equality on the
+		// host — no TMEval, no enclave (§4.4).
+		if isLike || (op != CmpEQ && op != CmpNE) {
+			return fmt.Errorf("%w: %s over DETERMINISTIC", ErrUnsupportedOp, op)
+		}
+		c.add(Instr{Op: OpGetRaw, Arg: lr.Slot})
+		c.add(Instr{Op: OpGetRaw, Arg: rr.Slot})
+		c.add(Instr{Op: OpComp, Arg: int(op)})
+		return nil
+	case sqltypes.SchemeRandomized:
+		if !lEnc.EnclaveEnabled {
+			return fmt.Errorf("%w: scalar operations on RANDOMIZED require an enclave-enabled key", ErrUnsupportedOp)
+		}
+		return c.emitEnclaveComparison(op, lr, rr, isLike)
+	default:
+		return fmt.Errorf("%w: scheme %v", ErrUnsupportedOp, lEnc.Scheme)
+	}
+}
+
+func (c *compiler) emitOperand(ref SlotRef, isRef bool, cv sqltypes.Value, op Opcode) {
+	if isRef {
+		c.add(Instr{Op: op, Arg: ref.Slot})
+	} else {
+		c.add(Instr{Op: OpConst, Val: cv})
+	}
+}
+
+// emitEnclaveComparison builds the enclave sub-program of Figure 7: GetData
+// for both operands (decrypting at ingress), the comparison, and SetData of
+// the boolean result at egress — serialized and stored inline in the host
+// program, with a TMEval stub on the host side.
+func (c *compiler) emitEnclaveComparison(op CompOp, l, r SlotRef, isLike bool) error {
+	sub := &Program{
+		Name:    c.prog.Name + "/enclave",
+		Inputs:  []EncInfo{l.Info, r.Info},
+		Outputs: []EncInfo{Plain(sqltypes.KindBool)},
+	}
+	sub.Code = append(sub.Code, Instr{Op: OpGetData, Arg: 0}, Instr{Op: OpGetData, Arg: 1})
+	if isLike {
+		sub.Code = append(sub.Code, Instr{Op: OpLike})
+	} else {
+		sub.Code = append(sub.Code, Instr{Op: OpComp, Arg: int(op)})
+	}
+	sub.Code = append(sub.Code, Instr{Op: OpSetData, Arg: 0})
+
+	idx := len(c.prog.Subs)
+	c.prog.Subs = append(c.prog.Subs, sub.Serialize())
+	c.add(Instr{Op: OpTMEval, Arg: idx, InSlots: []int{l.Slot, r.Slot}})
+	return nil
+}

@@ -1,0 +1,389 @@
+package exprsvc
+
+import (
+	"errors"
+	"fmt"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// KeyRing resolves CEK names to derived cell keys. Only trusted components
+// (the enclave, the client driver) implement a KeyRing over real key
+// material; host-side evaluation runs with a nil KeyRing and therefore can
+// never decrypt.
+type KeyRing interface {
+	CellKey(name string) (*aecrypto.CellKey, error)
+}
+
+// EnclaveCaller abstracts the host→enclave invocation used by TMEval. The
+// expression is registered once and subsequently invoked by handle,
+// matching the registration pattern of §3.
+type EnclaveCaller interface {
+	RegisterExpression(serialized []byte) (uint64, error)
+	EvalExpression(handle uint64, inputs [][]byte) ([][]byte, error)
+}
+
+// Evaluation errors.
+var (
+	ErrNoKeys            = errors.New("exprsvc: evaluation requires keys that are not available in this security boundary")
+	ErrSecurityViolation = errors.New("exprsvc: security check failed: operands with different encryption provenance cannot be compared")
+	ErrEncryptDenied     = errors.New("exprsvc: program attempted encryption without authorization")
+	ErrStack             = errors.New("exprsvc: stack machine error")
+)
+
+// entry is a stack cell: the value plus its encryption provenance label. The
+// label travels with decrypted values so the enclave can enforce that, for
+// instance, a value decrypted under one CEK is never compared against a
+// plaintext constant or a value under another CEK (§4.4.1 security checks).
+type entry struct {
+	v     sqltypes.Value
+	label sqltypes.EncType
+}
+
+// Evaluator is the executable form of a Program — the CEsExec analog. It is
+// not safe for concurrent use; query operators own one evaluator each.
+type Evaluator struct {
+	prog    *Program
+	keys    KeyRing
+	encl    EnclaveCaller
+	handles []uint64
+	// allowEncrypt gates SetData into encrypted outputs; only the enclave's
+	// authorized type-conversion path enables it (§3.2 encryption oracle).
+	allowEncrypt bool
+	stack        []entry
+	outs         [][]byte
+	// cellKeys caches resolved keys per CEK name for the evaluator lifetime.
+	cellKeys map[string]*aecrypto.CellKey
+}
+
+// NewEvaluator prepares a program for execution. If the program contains
+// enclave sub-programs they are registered with the caller now, so the hot
+// Eval path only passes handles.
+func NewEvaluator(prog *Program, keys KeyRing, encl EnclaveCaller) (*Evaluator, error) {
+	ev := &Evaluator{prog: prog, keys: keys, encl: encl}
+	if len(prog.Subs) > 0 {
+		if encl == nil {
+			return nil, errors.New("exprsvc: program requires an enclave but no caller provided")
+		}
+		ev.handles = make([]uint64, len(prog.Subs))
+		for i, sub := range prog.Subs {
+			h, err := encl.RegisterExpression(sub)
+			if err != nil {
+				return nil, fmt.Errorf("exprsvc: registering enclave expression: %w", err)
+			}
+			ev.handles[i] = h
+		}
+	}
+	return ev, nil
+}
+
+// NewEnclaveEvaluator prepares a deserialized sub-program for execution
+// inside the enclave, with access to session keys and (when authorized)
+// encryption of outputs.
+func NewEnclaveEvaluator(prog *Program, keys KeyRing, allowEncrypt bool) *Evaluator {
+	return &Evaluator{prog: prog, keys: keys, allowEncrypt: allowEncrypt}
+}
+
+// Program returns the underlying compiled program.
+func (ev *Evaluator) Program() *Program { return ev.prog }
+
+func (ev *Evaluator) cellKey(name string) (*aecrypto.CellKey, error) {
+	if ev.keys == nil {
+		return nil, ErrNoKeys
+	}
+	if k, ok := ev.cellKeys[name]; ok {
+		return k, nil
+	}
+	k, err := ev.keys.CellKey(name)
+	if err != nil {
+		return nil, err
+	}
+	if ev.cellKeys == nil {
+		ev.cellKeys = make(map[string]*aecrypto.CellKey)
+	}
+	ev.cellKeys[name] = k
+	return k, nil
+}
+
+func (ev *Evaluator) push(e entry) { ev.stack = append(ev.stack, e) }
+
+func (ev *Evaluator) pop() (entry, error) {
+	if len(ev.stack) == 0 {
+		return entry{}, ErrStack
+	}
+	e := ev.stack[len(ev.stack)-1]
+	ev.stack = ev.stack[:len(ev.stack)-1]
+	return e, nil
+}
+
+// Eval runs the program over the input slots and returns the output slots.
+// Input slot bytes are ciphertext envelopes for encrypted slots and canonical
+// value encodings for plaintext slots; an empty slot is SQL NULL. The
+// returned slices are valid until the next Eval call.
+func (ev *Evaluator) Eval(inputs [][]byte) ([][]byte, error) {
+	if len(inputs) != len(ev.prog.Inputs) {
+		return nil, fmt.Errorf("%w: %d inputs for %d slots", ErrStack, len(inputs), len(ev.prog.Inputs))
+	}
+	ev.stack = ev.stack[:0]
+	if cap(ev.outs) < len(ev.prog.Outputs) {
+		ev.outs = make([][]byte, len(ev.prog.Outputs))
+	}
+	ev.outs = ev.outs[:len(ev.prog.Outputs)]
+	for i := range ev.outs {
+		ev.outs[i] = nil
+	}
+
+	for pc := range ev.prog.Code {
+		in := &ev.prog.Code[pc]
+		switch in.Op {
+		case OpGetData:
+			if err := ev.getData(in.Arg, inputs); err != nil {
+				return nil, err
+			}
+		case OpGetRaw:
+			if err := ev.getRaw(in.Arg, inputs); err != nil {
+				return nil, err
+			}
+		case OpConst:
+			ev.push(entry{v: in.Val, label: sqltypes.PlaintextType})
+		case OpComp:
+			if err := ev.compare(CompOp(in.Arg)); err != nil {
+				return nil, err
+			}
+		case OpLike:
+			if err := ev.like(); err != nil {
+				return nil, err
+			}
+		case OpAnd, OpOr:
+			b, err := ev.pop()
+			if err != nil {
+				return nil, err
+			}
+			a, err := ev.pop()
+			if err != nil {
+				return nil, err
+			}
+			x, y := truthy(a.v), truthy(b.v)
+			var r bool
+			if in.Op == OpAnd {
+				r = x && y
+			} else {
+				r = x || y
+			}
+			ev.push(entry{v: sqltypes.Bool(r), label: sqltypes.PlaintextType})
+		case OpNot:
+			a, err := ev.pop()
+			if err != nil {
+				return nil, err
+			}
+			ev.push(entry{v: sqltypes.Bool(!truthy(a.v)), label: sqltypes.PlaintextType})
+		case OpIsNull:
+			a, err := ev.pop()
+			if err != nil {
+				return nil, err
+			}
+			ev.push(entry{v: sqltypes.Bool(a.v.IsNull()), label: sqltypes.PlaintextType})
+		case OpSetData:
+			if err := ev.setData(in.Arg); err != nil {
+				return nil, err
+			}
+		case OpTMEval:
+			if err := ev.tmEval(in, inputs); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: opcode %d", ErrStack, in.Op)
+		}
+	}
+	return ev.outs, nil
+}
+
+// EvalBool runs the program and decodes output slot 0 as a boolean — the
+// common filter-predicate shape.
+func (ev *Evaluator) EvalBool(inputs [][]byte) (bool, error) {
+	outs, err := ev.Eval(inputs)
+	if err != nil {
+		return false, err
+	}
+	if len(outs) == 0 || len(outs[0]) == 0 {
+		return false, nil
+	}
+	v, err := sqltypes.Decode(outs[0])
+	if err != nil {
+		return false, err
+	}
+	return truthy(v), nil
+}
+
+func truthy(v sqltypes.Value) bool {
+	return v.Kind == sqltypes.KindBool && v.Bool_
+}
+
+// getData pushes input slot i, decrypting at ingress when the slot's type
+// annotation says it is encrypted (§4.4.1).
+func (ev *Evaluator) getData(i int, inputs [][]byte) error {
+	if i < 0 || i >= len(inputs) {
+		return fmt.Errorf("%w: GetData slot %d", ErrStack, i)
+	}
+	info := ev.prog.Inputs[i]
+	raw := inputs[i]
+	if len(raw) == 0 {
+		ev.push(entry{v: sqltypes.Null(), label: info.Enc})
+		return nil
+	}
+	if info.Enc.IsPlaintext() {
+		v, err := sqltypes.Decode(raw)
+		if err != nil {
+			return err
+		}
+		ev.push(entry{v: v, label: sqltypes.PlaintextType})
+		return nil
+	}
+	key, err := ev.cellKey(info.Enc.CEKName)
+	if err != nil {
+		return err
+	}
+	pt, err := key.Decrypt(raw)
+	if err != nil {
+		return err
+	}
+	v, err := sqltypes.Decode(pt)
+	if err != nil {
+		return err
+	}
+	ev.push(entry{v: v, label: info.Enc})
+	return nil
+}
+
+// getRaw pushes the slot bytes untouched as VARBINARY, preserving the slot's
+// encryption label so DET-vs-DET raw equality passes the security check
+// while DET-vs-plaintext does not.
+func (ev *Evaluator) getRaw(i int, inputs [][]byte) error {
+	if i < 0 || i >= len(inputs) {
+		return fmt.Errorf("%w: GetRaw slot %d", ErrStack, i)
+	}
+	raw := inputs[i]
+	if len(raw) == 0 {
+		ev.push(entry{v: sqltypes.Null(), label: ev.prog.Inputs[i].Enc})
+		return nil
+	}
+	ev.push(entry{v: sqltypes.Bytes(raw), label: ev.prog.Inputs[i].Enc})
+	return nil
+}
+
+func (ev *Evaluator) compare(op CompOp) error {
+	b, err := ev.pop()
+	if err != nil {
+		return err
+	}
+	a, err := ev.pop()
+	if err != nil {
+		return err
+	}
+	if a.label != b.label {
+		return ErrSecurityViolation
+	}
+	if a.v.IsNull() || b.v.IsNull() {
+		ev.push(entry{v: sqltypes.Bool(false), label: sqltypes.PlaintextType})
+		return nil
+	}
+	c, err := sqltypes.Compare(a.v, b.v)
+	if err != nil {
+		return err
+	}
+	ev.push(entry{v: sqltypes.Bool(op.apply(c)), label: sqltypes.PlaintextType})
+	return nil
+}
+
+func (ev *Evaluator) like() error {
+	pat, err := ev.pop()
+	if err != nil {
+		return err
+	}
+	s, err := ev.pop()
+	if err != nil {
+		return err
+	}
+	if s.label != pat.label {
+		return ErrSecurityViolation
+	}
+	if s.v.IsNull() || pat.v.IsNull() {
+		ev.push(entry{v: sqltypes.Bool(false), label: sqltypes.PlaintextType})
+		return nil
+	}
+	if s.v.Kind != sqltypes.KindString || pat.v.Kind != sqltypes.KindString {
+		return fmt.Errorf("%w: LIKE requires strings", sqltypes.ErrTypeMismatch)
+	}
+	ev.push(entry{v: sqltypes.Bool(sqltypes.Like(s.v.S, pat.v.S)), label: sqltypes.PlaintextType})
+	return nil
+}
+
+// setData pops the stack into output slot i, encrypting at egress when the
+// output annotation requires it — permitted only for authorized programs.
+func (ev *Evaluator) setData(i int) error {
+	if i < 0 || i >= len(ev.outs) {
+		return fmt.Errorf("%w: SetData slot %d", ErrStack, i)
+	}
+	e, err := ev.pop()
+	if err != nil {
+		return err
+	}
+	info := ev.prog.Outputs[i]
+	if e.v.IsNull() {
+		ev.outs[i] = nil
+		return nil
+	}
+	encoded := e.v.Encode()
+	if info.Enc.IsPlaintext() {
+		ev.outs[i] = encoded
+		return nil
+	}
+	if !ev.allowEncrypt {
+		return ErrEncryptDenied
+	}
+	key, err := ev.cellKey(info.Enc.CEKName)
+	if err != nil {
+		return err
+	}
+	typ := aecrypto.Randomized
+	if info.Enc.Scheme == sqltypes.SchemeDeterministic {
+		typ = aecrypto.Deterministic
+	}
+	ct, err := key.Encrypt(encoded, typ)
+	if err != nil {
+		return err
+	}
+	ev.outs[i] = ct
+	return nil
+}
+
+func (ev *Evaluator) tmEval(in *Instr, inputs [][]byte) error {
+	if ev.encl == nil || in.Arg >= len(ev.handles) {
+		return errors.New("exprsvc: TMEval without a registered enclave expression")
+	}
+	args := make([][]byte, len(in.InSlots))
+	for j, s := range in.InSlots {
+		if s < 0 || s >= len(inputs) {
+			return fmt.Errorf("%w: TMEval slot %d", ErrStack, s)
+		}
+		args[j] = inputs[s]
+	}
+	outs, err := ev.encl.EvalExpression(ev.handles[in.Arg], args)
+	if err != nil {
+		return err
+	}
+	if len(outs) == 0 {
+		return errors.New("exprsvc: enclave returned no outputs")
+	}
+	if len(outs[0]) == 0 {
+		ev.push(entry{v: sqltypes.Null(), label: sqltypes.PlaintextType})
+		return nil
+	}
+	v, err := sqltypes.Decode(outs[0])
+	if err != nil {
+		return err
+	}
+	ev.push(entry{v: v, label: sqltypes.PlaintextType})
+	return nil
+}

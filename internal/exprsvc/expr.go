@@ -1,0 +1,125 @@
+// Package exprsvc is the expression services (ES) module of §4.4: the single
+// place in the engine where computations on column-granularity data values
+// happen. Expressions are compiled from tree form into stack programs (the
+// CEsComp analog); a comparison that touches an enclave-enabled randomized
+// column is split out into a serialized sub-program shipped to the enclave
+// behind a TMEval instruction, exactly as Figure 7 illustrates. All
+// decryption and encryption happens at the GetData/SetData ingress and
+// egress instructions, leaving the stack evaluation oblivious to encryption.
+package exprsvc
+
+import (
+	"fmt"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// EncInfo annotates an input or output slot with its plaintext kind and
+// encryption type. It is the per-slot "type of data" annotation of §4.4.1.
+type EncInfo struct {
+	Kind sqltypes.Kind
+	Enc  sqltypes.EncType
+}
+
+// Plain builds the EncInfo of an unencrypted slot.
+func Plain(kind sqltypes.Kind) EncInfo {
+	return EncInfo{Kind: kind, Enc: sqltypes.PlaintextType}
+}
+
+// CompOp enumerates comparison operators.
+type CompOp uint8
+
+const (
+	CmpEQ CompOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (o CompOp) String() string {
+	switch o {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("CompOp(%d)", uint8(o))
+	}
+}
+
+// OpClass maps a comparison operator to its lattice operation class.
+func (o CompOp) OpClass() sqltypes.OpClass {
+	if o == CmpEQ || o == CmpNE {
+		return sqltypes.OpEquality
+	}
+	return sqltypes.OpRange
+}
+
+// apply evaluates the operator over a three-way comparison result.
+func (o CompOp) apply(c int) bool {
+	switch o {
+	case CmpEQ:
+		return c == 0
+	case CmpNE:
+		return c != 0
+	case CmpLT:
+		return c < 0
+	case CmpLE:
+		return c <= 0
+	case CmpGT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// Expr is a scalar expression tree node (the CScaOp tree of Figure 7).
+type Expr interface{ exprNode() }
+
+// SlotRef reads input slot Slot — a column value or an already-encrypted
+// query parameter. Info describes how the slot bytes are encoded.
+type SlotRef struct {
+	Slot int
+	Info EncInfo
+	Name string // for error messages
+}
+
+// Const is a plaintext literal embedded in the query text.
+type Const struct{ Val sqltypes.Value }
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   CompOp
+	L, R Expr
+}
+
+// LikeExpr matches Input against Pattern (both string-typed).
+type LikeExpr struct {
+	Input   Expr
+	Pattern Expr
+}
+
+// And, Or, Not are boolean connectives; IsNull tests slot NULLness.
+type And struct{ L, R Expr }
+type Or struct{ L, R Expr }
+type Not struct{ X Expr }
+type IsNull struct{ X Expr }
+
+func (SlotRef) exprNode()  {}
+func (Const) exprNode()    {}
+func (Cmp) exprNode()      {}
+func (LikeExpr) exprNode() {}
+func (And) exprNode()      {}
+func (Or) exprNode()       {}
+func (Not) exprNode()      {}
+func (IsNull) exprNode()   {}

@@ -1,0 +1,221 @@
+package exprsvc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// Opcode enumerates stack machine instructions. GetData/SetData move data on
+// and off the stack and are the only points where decryption and encryption
+// happen (§4.4.1); TMEval invokes an enclave computation and exists only in
+// host programs (§4.4).
+type Opcode uint8
+
+const (
+	OpGetData Opcode = iota // push input slot Arg, decrypting per its EncInfo
+	OpGetRaw                // push input slot Arg as raw VARBINARY (DET equality path)
+	OpConst                 // push the constant Val
+	OpComp                  // pop b, a; push a OP b (Cmp operator in Arg)
+	OpLike                  // pop pattern, s; push s LIKE pattern
+	OpAnd                   // pop b, a; push a AND b
+	OpOr                    // pop b, a; push a OR b
+	OpNot                   // pop a; push NOT a
+	OpIsNull                // pop a; push a IS NULL
+	OpSetData               // pop a; write to output slot Arg, encrypting per its EncInfo
+	OpTMEval                // host only: evaluate enclave sub-program Arg on slots InSlots
+)
+
+// Instr is one stack machine instruction.
+type Instr struct {
+	Op      Opcode
+	Arg     int            // slot index, comparison op, or sub-program index
+	Val     sqltypes.Value // for OpConst
+	InSlots []int          // for OpTMEval: host slots forwarded to the enclave
+}
+
+// Program is the compiled stack program — the analog of CEsComp. Inputs and
+// Outputs describe the slot encodings; Subs holds serialized enclave
+// sub-programs stored inline as byte streams, implementing the deep-copy
+// semantics of §4.4: the enclave reconstructs its own copy so the host
+// cannot tamper with a shared object during evaluation.
+type Program struct {
+	Name    string
+	Inputs  []EncInfo
+	Outputs []EncInfo
+	Code    []Instr
+	Subs    [][]byte
+}
+
+// Errors from program (de)serialization and validation.
+var (
+	ErrBadProgram = errors.New("exprsvc: malformed serialized program")
+)
+
+const programMagic = 0xE5C0
+
+// Serialize encodes the program into a self-contained byte stream.
+func (p *Program) Serialize() []byte {
+	var buf bytes.Buffer
+	w16 := func(v int) { binary.Write(&buf, binary.BigEndian, uint16(v)) }
+	w32 := func(v int) { binary.Write(&buf, binary.BigEndian, uint32(v)) }
+	wBytes := func(b []byte) { w32(len(b)); buf.Write(b) }
+	wEnc := func(e EncInfo) {
+		buf.WriteByte(byte(e.Kind))
+		buf.WriteByte(byte(e.Enc.Scheme))
+		flag := byte(0)
+		if e.Enc.EnclaveEnabled {
+			flag = 1
+		}
+		buf.WriteByte(flag)
+		wBytes([]byte(e.Enc.CEKName))
+	}
+
+	w16(programMagic)
+	wBytes([]byte(p.Name))
+	w16(len(p.Inputs))
+	for _, e := range p.Inputs {
+		wEnc(e)
+	}
+	w16(len(p.Outputs))
+	for _, e := range p.Outputs {
+		wEnc(e)
+	}
+	w16(len(p.Code))
+	for _, in := range p.Code {
+		buf.WriteByte(byte(in.Op))
+		w32(in.Arg)
+		wBytes(in.Val.Encode())
+		w16(len(in.InSlots))
+		for _, s := range in.InSlots {
+			w32(s)
+		}
+	}
+	w16(len(p.Subs))
+	for _, s := range p.Subs {
+		wBytes(s)
+	}
+	return buf.Bytes()
+}
+
+// Deserialize reconstructs a Program from a byte stream produced by
+// Serialize. The enclave uses this to rebuild its own private copy of the
+// expression object.
+func Deserialize(b []byte) (*Program, error) {
+	r := &reader{b: b}
+	if r.u16() != programMagic {
+		return nil, ErrBadProgram
+	}
+	p := &Program{Name: string(r.bytes())}
+	p.Inputs = r.encInfos()
+	p.Outputs = r.encInfos()
+	n := r.u16()
+	if r.err != nil || n > 1<<14 {
+		return nil, ErrBadProgram
+	}
+	p.Code = make([]Instr, n)
+	for i := range p.Code {
+		in := &p.Code[i]
+		in.Op = Opcode(r.u8())
+		in.Arg = int(r.u32())
+		vb := r.bytes()
+		if len(vb) > 0 {
+			v, err := sqltypes.Decode(vb)
+			if err != nil {
+				return nil, fmt.Errorf("%w: const: %v", ErrBadProgram, err)
+			}
+			in.Val = v
+		}
+		m := r.u16()
+		if r.err != nil || m > 1<<10 {
+			return nil, ErrBadProgram
+		}
+		if m > 0 {
+			in.InSlots = make([]int, m)
+			for j := range in.InSlots {
+				in.InSlots[j] = int(r.u32())
+			}
+		}
+	}
+	ns := r.u16()
+	if r.err != nil || ns > 1<<10 {
+		return nil, ErrBadProgram
+	}
+	for i := 0; i < int(ns); i++ {
+		s := r.bytes()
+		cp := make([]byte, len(s))
+		copy(cp, s)
+		p.Subs = append(p.Subs, cp)
+	}
+	if r.err != nil || len(r.b) != 0 {
+		return nil, ErrBadProgram
+	}
+	return p, nil
+}
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = ErrBadProgram
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || uint32(len(r.b)) < n {
+		r.err = ErrBadProgram
+		return nil
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) encInfos() []EncInfo {
+	n := r.u16()
+	if r.err != nil || n > 1<<12 {
+		r.err = ErrBadProgram
+		return nil
+	}
+	out := make([]EncInfo, n)
+	for i := range out {
+		out[i].Kind = sqltypes.Kind(r.u8())
+		out[i].Enc.Scheme = sqltypes.EncScheme(r.u8())
+		out[i].Enc.EnclaveEnabled = r.u8() != 0
+		out[i].Enc.CEKName = string(r.bytes())
+	}
+	return out
+}

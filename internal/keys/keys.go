@@ -1,0 +1,355 @@
+// Package keys implements the two-level Always Encrypted key hierarchy of
+// §2.2: column master keys (CMKs) held in client-controlled key providers,
+// and column encryption keys (CEKs) stored in the database wrapped under a
+// CMK with RSA-OAEP. CMK metadata carries an enclave-computations signature
+// made with the CMK itself, so the untrusted server cannot flip the
+// enclave-enabled bit; wrapped CEK values are likewise signed.
+package keys
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sync"
+
+	"alwaysencrypted/internal/aecrypto"
+)
+
+// Provider names supported out of the box (§2.2 lists Azure Key Vault, the
+// Windows certificate store, Java Key Store and HSM-rooted stores; this
+// reproduction ships an in-memory vault and a local store and keeps the
+// interface open for custom providers).
+const (
+	ProviderVault      = "AZURE_KEY_VAULT_PROVIDER"
+	ProviderLocalStore = "LOCAL_CERTIFICATE_STORE"
+)
+
+// Errors surfaced by key operations.
+var (
+	ErrKeyNotFound        = errors.New("keys: key not found in provider")
+	ErrUntrustedSignature = errors.New("keys: CMK metadata signature invalid (possible server tampering)")
+	ErrNotEnclaveEnabled  = errors.New("keys: CEK is not enclave-enabled")
+)
+
+// CMKMetadata is what the database stores about a column master key: only a
+// URI reference into the key provider, never the key material, plus the
+// signature that binds the enclave-computations setting to the key itself.
+type CMKMetadata struct {
+	Name           string
+	ProviderName   string
+	KeyPath        string
+	EnclaveEnabled bool
+	// Signature is an RSA-PSS signature over SignedPayload() made with the
+	// CMK private key (the SIGNATURE in ENCLAVE_COMPUTATIONS, Figure 1).
+	Signature []byte
+}
+
+// SignedPayload is the byte string covered by the metadata signature. It
+// binds name, provider, path and the enclave flag, so the server cannot use
+// a CEK in the enclave when the client disallowed it (§2.2).
+func (m *CMKMetadata) SignedPayload() []byte {
+	flag := byte(0)
+	if m.EnclaveEnabled {
+		flag = 1
+	}
+	payload := make([]byte, 0, len(m.Name)+len(m.ProviderName)+len(m.KeyPath)+8)
+	payload = append(payload, "CMK-METADATA\x00"...)
+	payload = append(payload, m.Name...)
+	payload = append(payload, 0)
+	payload = append(payload, m.ProviderName...)
+	payload = append(payload, 0)
+	payload = append(payload, m.KeyPath...)
+	payload = append(payload, 0, flag)
+	return payload
+}
+
+// Verify checks the metadata signature against the CMK public key.
+func (m *CMKMetadata) Verify(pub *rsa.PublicKey) error {
+	if err := aecrypto.VerifySignature(pub, m.SignedPayload(), m.Signature); err != nil {
+		return ErrUntrustedSignature
+	}
+	return nil
+}
+
+// CEKMetadata is what the database stores about a column encryption key: the
+// wrapping CMK, the RSA-OAEP encrypted value and a signature over it. During
+// a CMK rotation a CEK may temporarily carry two encrypted values, one per
+// CMK, so clients holding either CMK keep working with no downtime (§2.4.2).
+type CEKMetadata struct {
+	Name   string
+	Values []CEKValue
+}
+
+// CEKValue is one (CMK, encrypted CEK) binding.
+type CEKValue struct {
+	CMKName        string
+	Algorithm      string // always RSA_OAEP today, declared for extensibility
+	EncryptedValue []byte
+	Signature      []byte // RSA-PSS over the encrypted value, by the CMK
+}
+
+// PrimaryValue returns the first (current) value; CEKs always have at least
+// one value.
+func (m *CEKMetadata) PrimaryValue() *CEKValue {
+	if len(m.Values) == 0 {
+		return nil
+	}
+	return &m.Values[0]
+}
+
+// ValueFor returns the encrypted value wrapped under the named CMK, if any.
+func (m *CEKMetadata) ValueFor(cmkName string) (*CEKValue, bool) {
+	for i := range m.Values {
+		if m.Values[i].CMKName == cmkName {
+			return &m.Values[i], true
+		}
+	}
+	return nil, false
+}
+
+// Provider is the extensible key-provider interface of §2.2. Providers hold
+// CMK material; the database only ever sees KeyPath strings.
+type Provider interface {
+	// Name reports the provider name used in CMK metadata.
+	Name() string
+	// PublicKey fetches the public half of the CMK at path.
+	PublicKey(path string) (*rsa.PublicKey, error)
+	// Unwrap decrypts a wrapped CEK using the CMK at path. Only trusted
+	// client-side components call this.
+	Unwrap(path string, wrapped []byte) ([]byte, error)
+	// Sign signs a payload with the CMK at path (used for metadata and CEK
+	// value signatures during provisioning).
+	Sign(path string, payload []byte) ([]byte, error)
+}
+
+// MemoryVault is an in-memory key provider standing in for Azure Key Vault.
+// A configurable per-call latency models the network round trip to a real
+// vault, which is what makes driver-side CEK caching measurable (§4.1).
+type MemoryVault struct {
+	name    string
+	mu      sync.RWMutex
+	keys    map[string]*rsa.PrivateKey
+	latency func() // optional call-latency hook
+	calls   int
+}
+
+// NewMemoryVault creates an empty vault with the given provider name.
+func NewMemoryVault(name string) *MemoryVault {
+	return &MemoryVault{name: name, keys: make(map[string]*rsa.PrivateKey)}
+}
+
+// SetLatency installs a hook invoked on every vault operation, modelling
+// network latency to an external provider.
+func (v *MemoryVault) SetLatency(f func()) { v.latency = f }
+
+// Calls reports how many vault operations have been performed; tests use it
+// to prove the driver's CEK cache avoids repeated round trips.
+func (v *MemoryVault) Calls() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.calls
+}
+
+// CreateKey generates and stores a fresh CMK at path, returning its public key.
+func (v *MemoryVault) CreateKey(path string) (*rsa.PublicKey, error) {
+	key, err := aecrypto.GenerateRSAKey()
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keys[path] = key
+	return &key.PublicKey, nil
+}
+
+// ImportKey stores an existing private key at path.
+func (v *MemoryVault) ImportKey(path string, key *rsa.PrivateKey) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keys[path] = key
+}
+
+// DeleteKey removes the key at path (used by tests to model revocation).
+func (v *MemoryVault) DeleteKey(path string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.keys, path)
+}
+
+func (v *MemoryVault) get(path string) (*rsa.PrivateKey, error) {
+	v.mu.Lock()
+	v.calls++
+	key, ok := v.keys[path]
+	v.mu.Unlock()
+	if v.latency != nil {
+		v.latency()
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s %s", ErrKeyNotFound, v.name, path)
+	}
+	return key, nil
+}
+
+// Name implements Provider.
+func (v *MemoryVault) Name() string { return v.name }
+
+// PublicKey implements Provider.
+func (v *MemoryVault) PublicKey(path string) (*rsa.PublicKey, error) {
+	key, err := v.get(path)
+	if err != nil {
+		return nil, err
+	}
+	return &key.PublicKey, nil
+}
+
+// Unwrap implements Provider.
+func (v *MemoryVault) Unwrap(path string, wrapped []byte) ([]byte, error) {
+	key, err := v.get(path)
+	if err != nil {
+		return nil, err
+	}
+	return aecrypto.UnwrapKey(key, wrapped)
+}
+
+// Sign implements Provider.
+func (v *MemoryVault) Sign(path string, payload []byte) ([]byte, error) {
+	key, err := v.get(path)
+	if err != nil {
+		return nil, err
+	}
+	return aecrypto.Sign(key, payload)
+}
+
+// ProviderRegistry maps provider names to implementations; the client driver
+// consults it when resolving CMK metadata returned by the server.
+type ProviderRegistry struct {
+	mu        sync.RWMutex
+	providers map[string]Provider
+}
+
+// NewProviderRegistry returns an empty registry.
+func NewProviderRegistry() *ProviderRegistry {
+	return &ProviderRegistry{providers: make(map[string]Provider)}
+}
+
+// Register adds or replaces a provider.
+func (r *ProviderRegistry) Register(p Provider) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers[p.Name()] = p
+}
+
+// Lookup finds a provider by name.
+func (r *ProviderRegistry) Lookup(name string) (Provider, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.providers[name]
+	if !ok {
+		return nil, fmt.Errorf("keys: no provider registered for %q", name)
+	}
+	return p, nil
+}
+
+// ProvisionCMK creates CMK metadata for the key at path in provider p,
+// signing the metadata with the key itself. This is the tooling automation
+// behind CREATE COLUMN MASTER KEY (§2.4.1).
+func ProvisionCMK(p Provider, name, path string, enclaveEnabled bool) (*CMKMetadata, error) {
+	m := &CMKMetadata{
+		Name:           name,
+		ProviderName:   p.Name(),
+		KeyPath:        path,
+		EnclaveEnabled: enclaveEnabled,
+	}
+	sig, err := p.Sign(path, m.SignedPayload())
+	if err != nil {
+		return nil, fmt.Errorf("keys: signing CMK metadata: %w", err)
+	}
+	m.Signature = sig
+	return m, nil
+}
+
+// ProvisionCEK generates a fresh CEK root, wraps it under the given CMK and
+// signs the wrapped value, producing the metadata for CREATE COLUMN
+// ENCRYPTION KEY. The plaintext root is returned to the caller (the client
+// tool) and never stored server-side.
+func ProvisionCEK(p Provider, cmk *CMKMetadata, name string) (*CEKMetadata, []byte, error) {
+	root, err := aecrypto.GenerateKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := WrapCEK(p, cmk, name, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return meta, root, nil
+}
+
+// WrapCEK wraps an existing CEK root under a CMK (used by rotation, where the
+// root must be preserved while the wrapping changes).
+func WrapCEK(p Provider, cmk *CMKMetadata, name string, root []byte) (*CEKMetadata, error) {
+	val, err := wrapValue(p, cmk, root)
+	if err != nil {
+		return nil, err
+	}
+	return &CEKMetadata{Name: name, Values: []CEKValue{*val}}, nil
+}
+
+func wrapValue(p Provider, cmk *CMKMetadata, root []byte) (*CEKValue, error) {
+	pub, err := p.PublicKey(cmk.KeyPath)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := aecrypto.WrapKey(pub, root)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := p.Sign(cmk.KeyPath, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	return &CEKValue{
+		CMKName:        cmk.Name,
+		Algorithm:      aecrypto.CEKWrapAlgorithm,
+		EncryptedValue: wrapped,
+		Signature:      sig,
+	}, nil
+}
+
+// BeginCMKRotation adds a second encrypted value (under newCMK) to the CEK,
+// leaving the old value in place so clients holding either CMK can operate
+// during the rotation window (§2.4.2). The plaintext root is recovered via
+// the old CMK, re-wrapped, and zeroed before return.
+func BeginCMKRotation(p Provider, cek *CEKMetadata, oldCMK, newCMK *CMKMetadata) error {
+	oldVal, ok := cek.ValueFor(oldCMK.Name)
+	if !ok {
+		return fmt.Errorf("keys: CEK %s has no value under CMK %s", cek.Name, oldCMK.Name)
+	}
+	root, err := p.Unwrap(oldCMK.KeyPath, oldVal.EncryptedValue)
+	if err != nil {
+		return fmt.Errorf("keys: unwrapping CEK for rotation: %w", err)
+	}
+	defer zero(root)
+	newVal, err := wrapValue(p, newCMK, root)
+	if err != nil {
+		return err
+	}
+	cek.Values = append(cek.Values, *newVal)
+	return nil
+}
+
+// CompleteCMKRotation drops all values except the one under keepCMK, ending
+// the dual-wrap window.
+func CompleteCMKRotation(cek *CEKMetadata, keepCMK string) error {
+	val, ok := cek.ValueFor(keepCMK)
+	if !ok {
+		return fmt.Errorf("keys: CEK %s has no value under CMK %s", cek.Name, keepCMK)
+	}
+	cek.Values = []CEKValue{*val}
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

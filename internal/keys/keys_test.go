@@ -1,0 +1,193 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+
+	"alwaysencrypted/internal/aecrypto"
+)
+
+func newVaultWithKey(t *testing.T, path string) *MemoryVault {
+	t.Helper()
+	v := NewMemoryVault(ProviderVault)
+	if _, err := v.CreateKey(path); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestProvisionCMKSignatureVerifies(t *testing.T) {
+	v := newVaultWithKey(t, "https://vault.example/keys/cmk1")
+	cmk, err := ProvisionCMK(v, "MyCMK", "https://vault.example/keys/cmk1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := v.PublicKey(cmk.KeyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmk.Verify(pub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCMKMetadataTamperDetected is the §2.2 attack: the untrusted server
+// flips EnclaveEnabled to sneak a CEK into the enclave; the client-side
+// signature check must catch it.
+func TestCMKMetadataTamperDetected(t *testing.T) {
+	v := newVaultWithKey(t, "p")
+	cmk, err := ProvisionCMK(v, "MyCMK", "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := v.PublicKey("p")
+
+	tampered := *cmk
+	tampered.EnclaveEnabled = true
+	if err := tampered.Verify(pub); err == nil {
+		t.Fatal("flipping EnclaveEnabled was not detected")
+	}
+	tampered = *cmk
+	tampered.KeyPath = "https://attacker.example/keys/evil"
+	if err := tampered.Verify(pub); err == nil {
+		t.Fatal("changing KeyPath was not detected")
+	}
+	tampered = *cmk
+	tampered.Name = "OtherCMK"
+	if err := tampered.Verify(pub); err == nil {
+		t.Fatal("changing Name was not detected")
+	}
+}
+
+func TestProvisionCEKRoundTrip(t *testing.T) {
+	v := newVaultWithKey(t, "p")
+	cmk, _ := ProvisionCMK(v, "MyCMK", "p", true)
+	cek, root, err := ProvisionCEK(v, cmk, "MyCEK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != aecrypto.KeySize {
+		t.Fatalf("root size = %d", len(root))
+	}
+	val := cek.PrimaryValue()
+	if val == nil || val.Algorithm != aecrypto.CEKWrapAlgorithm {
+		t.Fatalf("bad primary value: %+v", val)
+	}
+	got, err := v.Unwrap(cmk.KeyPath, val.EncryptedValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, root) {
+		t.Fatal("unwrapped CEK differs from provisioned root")
+	}
+	pub, _ := v.PublicKey("p")
+	if err := aecrypto.VerifySignature(pub, val.EncryptedValue, val.Signature); err != nil {
+		t.Fatalf("CEK value signature: %v", err)
+	}
+}
+
+func TestCMKRotationDualWrapWindow(t *testing.T) {
+	v := NewMemoryVault(ProviderVault)
+	v.CreateKey("old")
+	v.CreateKey("new")
+	oldCMK, _ := ProvisionCMK(v, "OldCMK", "old", true)
+	newCMK, _ := ProvisionCMK(v, "NewCMK", "new", true)
+	cek, root, err := ProvisionCEK(v, oldCMK, "MyCEK")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := BeginCMKRotation(v, cek, oldCMK, newCMK); err != nil {
+		t.Fatal(err)
+	}
+	if len(cek.Values) != 2 {
+		t.Fatalf("expected dual wrap, got %d values", len(cek.Values))
+	}
+	// During the window both CMKs can recover the same root.
+	for _, tc := range []struct{ cmk *CMKMetadata }{{oldCMK}, {newCMK}} {
+		val, ok := cek.ValueFor(tc.cmk.Name)
+		if !ok {
+			t.Fatalf("missing value for %s", tc.cmk.Name)
+		}
+		got, err := v.Unwrap(tc.cmk.KeyPath, val.EncryptedValue)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, root) {
+			t.Fatalf("root recovered via %s differs", tc.cmk.Name)
+		}
+	}
+
+	if err := CompleteCMKRotation(cek, "NewCMK"); err != nil {
+		t.Fatal(err)
+	}
+	if len(cek.Values) != 1 || cek.Values[0].CMKName != "NewCMK" {
+		t.Fatalf("rotation not completed: %+v", cek.Values)
+	}
+	if _, ok := cek.ValueFor("OldCMK"); ok {
+		t.Fatal("old wrap survived CompleteCMKRotation")
+	}
+}
+
+func TestCompleteCMKRotationUnknownCMK(t *testing.T) {
+	cek := &CEKMetadata{Name: "k", Values: []CEKValue{{CMKName: "A"}}}
+	if err := CompleteCMKRotation(cek, "B"); err == nil {
+		t.Fatal("expected error for unknown CMK")
+	}
+}
+
+func TestBeginCMKRotationMissingOldValue(t *testing.T) {
+	v := NewMemoryVault(ProviderVault)
+	v.CreateKey("old")
+	v.CreateKey("new")
+	oldCMK, _ := ProvisionCMK(v, "OldCMK", "old", true)
+	newCMK, _ := ProvisionCMK(v, "NewCMK", "new", true)
+	cek := &CEKMetadata{Name: "k", Values: []CEKValue{{CMKName: "Unrelated"}}}
+	if err := BeginCMKRotation(v, cek, oldCMK, newCMK); err == nil {
+		t.Fatal("expected error when CEK has no value under old CMK")
+	}
+}
+
+func TestProviderRegistry(t *testing.T) {
+	r := NewProviderRegistry()
+	v := NewMemoryVault(ProviderVault)
+	r.Register(v)
+	got, err := r.Lookup(ProviderVault)
+	if err != nil || got != Provider(v) {
+		t.Fatalf("lookup: %v", err)
+	}
+	if _, err := r.Lookup("NOPE"); err == nil {
+		t.Fatal("expected error for unknown provider")
+	}
+}
+
+func TestVaultKeyNotFound(t *testing.T) {
+	v := NewMemoryVault(ProviderVault)
+	if _, err := v.PublicKey("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := v.Unwrap("missing", nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := v.Sign("missing", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestVaultCallCounting(t *testing.T) {
+	v := newVaultWithKey(t, "p")
+	before := v.Calls()
+	v.PublicKey("p")
+	v.PublicKey("p")
+	if got := v.Calls() - before; got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+}
+
+func TestVaultDeleteKey(t *testing.T) {
+	v := newVaultWithKey(t, "p")
+	v.DeleteKey("p")
+	if _, err := v.PublicKey("p"); err == nil {
+		t.Fatal("key still present after delete")
+	}
+}

@@ -1,0 +1,153 @@
+package leakage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"alwaysencrypted/internal/aecrypto"
+)
+
+func testKey(t testing.TB) *aecrypto.CellKey {
+	t.Helper()
+	root, err := aecrypto.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aecrypto.MustCellKey(root)
+}
+
+func TestFrequencyAttackDETSucceeds(t *testing.T) {
+	key := testKey(t)
+	values := []string{"a", "a", "a", "b", "b", "c"}
+	hist, match, err := FrequencyAttackDET(values, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match {
+		t.Fatal("frequency attack on DET must succeed (Figure 5)")
+	}
+	want := Histogram{3, 2, 1}
+	if !hist.Equal(want) {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestFrequencyAttackRNDFails(t *testing.T) {
+	key := testKey(t)
+	values := []string{"a", "a", "a", "b", "b", "c"}
+	hist, fails, err := FrequencyAttackRND(values, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fails {
+		t.Fatalf("frequency attack on RND must fail; recovered %v", hist)
+	}
+}
+
+// Property: the DET frequency attack recovers the exact histogram for any
+// skewed distribution; the RND attack recovers only a flat one.
+func TestQuickFrequencyAttacks(t *testing.T) {
+	key := testKey(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		vals := make([]string, n)
+		distinct := 1 + rng.Intn(5)
+		for i := range vals {
+			vals[i] = strings.Repeat("x", 1+rng.Intn(distinct)) // skewed lengths
+		}
+		_, detOK, err := FrequencyAttackDET(vals, key)
+		if err != nil || !detOK {
+			return false
+		}
+		recovered, _, err := FrequencyAttackRND(vals, key)
+		if err != nil {
+			return false
+		}
+		for _, c := range recovered {
+			if c != 1 {
+				return false // RND leaked equality
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderRecoveryRND(t *testing.T) {
+	key := testKey(t)
+	values := []int64{30, 10, 20, 50, 40}
+	order, ok, err := OrderRecoveryRND(values, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("order recovery failed: %v", order)
+	}
+	// Position of value 10 must come first.
+	if values[order[0]] != 10 || values[order[4]] != 50 {
+		t.Fatalf("recovered order wrong: %v", order)
+	}
+}
+
+// Property: ordering is recovered for arbitrary value sets (with duplicates).
+func TestQuickOrderRecovery(t *testing.T) {
+	key := testKey(t)
+	prop := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		values := make([]int64, len(raw))
+		for i, v := range raw {
+			values[i] = int64(v % 100)
+		}
+		_, ok, err := OrderRecoveryRND(values, key)
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixProximity(t *testing.T) {
+	key := testKey(t)
+	names := []string{
+		"SMITHA", "SMITHB", "SMITHC", "SMITHD",
+		"JONESA", "JONESB", "JONESC",
+		"BROWNA", "BROWNB",
+	}
+	adj, rnd, err := PrefixProximity(names, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj <= rnd {
+		t.Fatalf("adjacency must reveal proximity: adjacent %.2f vs random %.2f", adj, rnd)
+	}
+}
+
+func TestFigure5Table(t *testing.T) {
+	rows, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Demonstrated, "unexpected") {
+			t.Fatalf("experiment failed: %+v", r)
+		}
+	}
+	out := RenderFigure5(rows)
+	if !strings.Contains(out, "Comparison (DET)") || !strings.Contains(out, "Ordering") {
+		t.Fatalf("render:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,332 @@
+package sqltypes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EncScheme is the concrete encryption scheme of a column, parameter or
+// intermediate value.
+type EncScheme uint8
+
+const (
+	SchemePlaintext EncScheme = iota
+	SchemeDeterministic
+	SchemeRandomized
+)
+
+func (s EncScheme) String() string {
+	switch s {
+	case SchemePlaintext:
+		return "PLAINTEXT"
+	case SchemeDeterministic:
+		return "DETERMINISTIC"
+	case SchemeRandomized:
+		return "RANDOMIZED"
+	default:
+		return fmt.Sprintf("EncScheme(%d)", uint8(s))
+	}
+}
+
+// Generalized is a generalized encryption type: a point in the Figure 6
+// lattice. Without enclaves there are three points — Plaintext, Deterministic
+// and Randomized — ordered Plaintext ≤ Deterministic ≤ Randomized, with
+// operations decreasing strictly as we go up. With enclaves the lattice gains
+// the enclave-enabled variants, which admit more operations than their
+// enclave-disabled counterparts at the same scheme.
+type Generalized uint8
+
+const (
+	// GenPlaintext admits every operation.
+	GenPlaintext Generalized = iota
+	// GenDeterministic admits equality over ciphertext (no enclave needed).
+	GenDeterministic
+	// GenRandomizedEnclave admits equality, range and LIKE via the enclave.
+	GenRandomizedEnclave
+	// GenRandomized (enclave-disabled) admits no scalar operations; such
+	// columns may only be fetched.
+	GenRandomized
+)
+
+func (g Generalized) String() string {
+	switch g {
+	case GenPlaintext:
+		return "Plaintext"
+	case GenDeterministic:
+		return "Deterministic"
+	case GenRandomizedEnclave:
+		return "Randomized(enclave)"
+	case GenRandomized:
+		return "Randomized"
+	default:
+		return fmt.Sprintf("Generalized(%d)", uint8(g))
+	}
+}
+
+// LessEq reports the lattice order g ≤ h (g admits at least the operations h
+// admits). The four points form a chain for our purposes.
+func (g Generalized) LessEq(h Generalized) bool { return g <= h }
+
+// Meet returns the greatest lower bound: the most permissive type satisfying
+// both constraints. On a chain this is simply the minimum.
+func (g Generalized) Meet(h Generalized) Generalized {
+	if g < h {
+		return g
+	}
+	return h
+}
+
+// OpClass classifies scalar operations by the minimum generalized type that
+// still admits them.
+type OpClass uint8
+
+const (
+	// OpEquality: point lookups, equi-joins, equality grouping.
+	OpEquality OpClass = iota
+	// OpRange: <, >, <=, >=, BETWEEN.
+	OpRange
+	// OpLike: string pattern matching.
+	OpLike
+	// OpOrderBy: sorting. Not supported over encrypted columns in AEv2
+	// (§5.3 removed ORDER BY C_FIRST from TPC-C for this reason).
+	OpOrderBy
+)
+
+func (o OpClass) String() string {
+	switch o {
+	case OpEquality:
+		return "equality"
+	case OpRange:
+		return "range comparison"
+	case OpLike:
+		return "LIKE"
+	case OpOrderBy:
+		return "ORDER BY"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(o))
+	}
+}
+
+// Admits reports whether an operand of generalized type g may participate in
+// operation class op, and whether doing so requires the enclave (§2.4.3/4).
+func (g Generalized) Admits(op OpClass) (ok, needsEnclave bool) {
+	switch g {
+	case GenPlaintext:
+		return true, false
+	case GenDeterministic:
+		return op == OpEquality, false
+	case GenRandomizedEnclave:
+		ok = op == OpEquality || op == OpRange || op == OpLike
+		return ok, ok
+	default: // GenRandomized
+		return false, false
+	}
+}
+
+// EncType is the full encryption type of an operand: the scheme, the CEK it
+// is bound to, and whether that CEK is enclave-enabled. Plaintext operands
+// have an empty CEKName.
+type EncType struct {
+	Scheme         EncScheme
+	CEKName        string
+	EnclaveEnabled bool
+}
+
+// PlaintextType is the encryption type of unencrypted operands.
+var PlaintextType = EncType{Scheme: SchemePlaintext}
+
+// Generalized maps the concrete type to its lattice point.
+func (t EncType) Generalized() Generalized {
+	switch t.Scheme {
+	case SchemePlaintext:
+		return GenPlaintext
+	case SchemeDeterministic:
+		return GenDeterministic
+	default:
+		if t.EnclaveEnabled {
+			return GenRandomizedEnclave
+		}
+		return GenRandomized
+	}
+}
+
+// IsPlaintext reports whether the operand carries no encryption.
+func (t EncType) IsPlaintext() bool { return t.Scheme == SchemePlaintext }
+
+func (t EncType) String() string {
+	if t.IsPlaintext() {
+		return "PLAINTEXT"
+	}
+	encl := ""
+	if t.EnclaveEnabled {
+		encl = ", enclave"
+	}
+	return fmt.Sprintf("%s(cek=%s%s)", t.Scheme, t.CEKName, encl)
+}
+
+// ErrTypeConflict is returned when the constraint system is unsatisfiable —
+// e.g. equating operands bound to different CEKs, or applying an operation
+// that the column's scheme does not admit.
+var ErrTypeConflict = errors.New("sqltypes: encryption type constraint conflict")
+
+// Deduction is the Union–Find based encryption type deduction of §4.3. The
+// binder registers operands (columns with known types, parameters with
+// unknown types), adds equality constraints for predicates like `col = @v`,
+// and upper-bound (inequality) constraints for the operations that appear;
+// Solve assigns every operand a concrete type, preferring Plaintext when the
+// system is under-constrained.
+type Deduction struct {
+	parent []int
+	rank   []int
+	// per-class state, kept at the class representative
+	bound []Generalized // upper bound in the lattice
+	known []*EncType    // concrete binding, if any member had a known type
+	names []string      // operand name for error messages
+	// enclaveCEKs accumulates the set of CEKs that must be installed in the
+	// enclave for query processing (the driver ships exactly these, §4.3).
+	enclaveCEKs map[string]bool
+}
+
+// NewDeduction returns an empty constraint system.
+func NewDeduction() *Deduction {
+	return &Deduction{enclaveCEKs: make(map[string]bool)}
+}
+
+// AddOperand registers an operand with an unknown encryption type (a
+// parameter or variable) and returns its handle. The initial constraint is
+// τ ≤ Randomized — i.e. no information (Example 4.2).
+func (d *Deduction) AddOperand(name string) int {
+	return d.add(name, GenRandomized, nil)
+}
+
+// AddKnown registers an operand whose encryption type is known from metadata
+// (a column reference).
+func (d *Deduction) AddKnown(name string, t EncType) int {
+	tc := t
+	return d.add(name, t.Generalized(), &tc)
+}
+
+func (d *Deduction) add(name string, bound Generalized, known *EncType) int {
+	id := len(d.parent)
+	d.parent = append(d.parent, id)
+	d.rank = append(d.rank, 0)
+	d.bound = append(d.bound, bound)
+	d.known = append(d.known, known)
+	d.names = append(d.names, name)
+	return id
+}
+
+func (d *Deduction) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// RequireEqual adds the constraint that two operands have the same encryption
+// type (required for both operands of any comparison, with or without
+// enclaves). It merges the two Union–Find classes, failing if their concrete
+// bindings disagree.
+func (d *Deduction) RequireEqual(a, b int) error {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return nil
+	}
+	ka, kb := d.known[ra], d.known[rb]
+	if ka != nil && kb != nil && *ka != *kb {
+		return fmt.Errorf("%w: %s is %s but %s is %s", ErrTypeConflict,
+			d.names[ra], *ka, d.names[rb], *kb)
+	}
+	merged := d.bound[ra].Meet(d.bound[rb])
+	k := ka
+	if k == nil {
+		k = kb
+	}
+	if k != nil && !k.Generalized().LessEq(merged) {
+		return fmt.Errorf("%w: %s requires %s but the context admits at most %s",
+			ErrTypeConflict, d.names[ra], k.Generalized(), merged)
+	}
+	// union by rank
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	d.bound[ra] = merged
+	d.known[ra] = k
+	return nil
+}
+
+// RequireOp constrains an operand to participate in operation class op,
+// tightening its lattice upper bound. If the operand already has a concrete
+// type that does not admit op, the constraint fails — this is how "equality
+// on RND without an enclave" or "range on DET" are rejected (§2.4.4 notes
+// range indexing is not supported on deterministic columns). When the
+// resolved type needs the enclave, its CEK is recorded for shipment.
+func (d *Deduction) RequireOp(x int, op OpClass) error {
+	r := d.find(x)
+	if k := d.known[r]; k != nil {
+		ok, needsEnclave := k.Generalized().Admits(op)
+		if !ok {
+			return fmt.Errorf("%w: %s over %s is not supported", ErrTypeConflict, op, *k)
+		}
+		if needsEnclave {
+			d.enclaveCEKs[k.CEKName] = true
+		}
+		return nil
+	}
+	// Unknown operand: tighten the bound to the loosest type admitting op.
+	var cap Generalized
+	switch op {
+	case OpEquality:
+		cap = GenRandomizedEnclave
+	case OpRange, OpLike:
+		cap = GenRandomizedEnclave
+	default: // OpOrderBy and anything else require plaintext
+		cap = GenPlaintext
+	}
+	d.bound[r] = d.bound[r].Meet(cap)
+	return nil
+}
+
+// RequirePlaintext constrains an operand to be unencrypted — used for
+// operands of arithmetic, aggregation and ORDER BY, none of which AEv2
+// supports over ciphertext.
+func (d *Deduction) RequirePlaintext(x int) error {
+	r := d.find(x)
+	if k := d.known[r]; k != nil {
+		if !k.IsPlaintext() {
+			return fmt.Errorf("%w: %s must be plaintext for this operation", ErrTypeConflict, d.names[r])
+		}
+		return nil
+	}
+	d.bound[r] = d.bound[r].Meet(GenPlaintext)
+	return nil
+}
+
+// Resolve returns the concrete encryption type assigned to operand x. Where
+// multiple solutions exist the preference is Plaintext (§4.3).
+func (d *Deduction) Resolve(x int) EncType {
+	r := d.find(x)
+	if k := d.known[r]; k != nil {
+		return *k
+	}
+	return PlaintextType
+}
+
+// EnclaveCEKs lists the CEK names needed inside the enclave for this query,
+// in no particular order.
+func (d *Deduction) EnclaveCEKs() []string {
+	out := make([]string, 0, len(d.enclaveCEKs))
+	for k := range d.enclaveCEKs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// NeedsEnclave reports whether any operation in the query requires enclave
+// computation.
+func (d *Deduction) NeedsEnclave() bool { return len(d.enclaveCEKs) > 0 }

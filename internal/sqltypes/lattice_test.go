@@ -1,0 +1,249 @@
+package sqltypes
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func detType(cek string) EncType {
+	return EncType{Scheme: SchemeDeterministic, CEKName: cek}
+}
+func rndEnclave(cek string) EncType {
+	return EncType{Scheme: SchemeRandomized, CEKName: cek, EnclaveEnabled: true}
+}
+func rndPlain(cek string) EncType {
+	return EncType{Scheme: SchemeRandomized, CEKName: cek}
+}
+
+// TestLatticeOrder checks the Figure 6 chain.
+func TestLatticeOrder(t *testing.T) {
+	if !GenPlaintext.LessEq(GenDeterministic) || !GenDeterministic.LessEq(GenRandomized) {
+		t.Fatal("chain order broken")
+	}
+	if GenRandomized.LessEq(GenPlaintext) {
+		t.Fatal("order is not antisymmetric")
+	}
+	if GenDeterministic.Meet(GenRandomizedEnclave) != GenDeterministic {
+		t.Fatal("meet on chain must be min")
+	}
+}
+
+// Property: Meet is commutative, associative, idempotent, and a lower bound.
+func TestQuickMeetLattice(t *testing.T) {
+	gen := func(x uint8) Generalized { return Generalized(x % 4) }
+	prop := func(a, b, c uint8) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		if x.Meet(y) != y.Meet(x) {
+			return false
+		}
+		if x.Meet(y).Meet(z) != x.Meet(y.Meet(z)) {
+			return false
+		}
+		if x.Meet(x) != x {
+			return false
+		}
+		m := x.Meet(y)
+		return m.LessEq(x) && m.LessEq(y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmits(t *testing.T) {
+	cases := []struct {
+		g           Generalized
+		op          OpClass
+		ok, enclave bool
+	}{
+		{GenPlaintext, OpEquality, true, false},
+		{GenPlaintext, OpOrderBy, true, false},
+		{GenDeterministic, OpEquality, true, false},
+		{GenDeterministic, OpRange, false, false},
+		{GenDeterministic, OpLike, false, false},
+		{GenDeterministic, OpOrderBy, false, false},
+		{GenRandomizedEnclave, OpEquality, true, true},
+		{GenRandomizedEnclave, OpRange, true, true},
+		{GenRandomizedEnclave, OpLike, true, true},
+		{GenRandomizedEnclave, OpOrderBy, false, false},
+		{GenRandomized, OpEquality, false, false},
+		{GenRandomized, OpRange, false, false},
+	}
+	for i, c := range cases {
+		ok, encl := c.g.Admits(c.op)
+		if ok != c.ok || encl != c.enclave {
+			t.Fatalf("case %d: %v.Admits(%v) = (%v,%v), want (%v,%v)",
+				i, c.g, c.op, ok, encl, c.ok, c.enclave)
+		}
+	}
+}
+
+// TestExample42 reproduces Example 4.2: `select * from T where value = @v`
+// with column value DET-encrypted. The parameter must resolve to the column's
+// exact encryption type.
+func TestExample42(t *testing.T) {
+	d := NewDeduction()
+	col := d.AddKnown("T.value", detType("MyCEK"))
+	p := d.AddOperand("@v")
+	if err := d.RequireOp(col, OpEquality); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RequireOp(p, OpEquality); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RequireEqual(col, p); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Resolve(p)
+	if got != detType("MyCEK") {
+		t.Fatalf("parameter resolved to %v", got)
+	}
+	if d.NeedsEnclave() {
+		t.Fatal("DET equality must not need the enclave")
+	}
+}
+
+// TestEnclaveEqualityOverRND: with an enclave-enabled key, equality over a
+// randomized column is allowed and the CEK is recorded for enclave shipment.
+func TestEnclaveEqualityOverRND(t *testing.T) {
+	d := NewDeduction()
+	col := d.AddKnown("T.value", rndEnclave("MyCEK"))
+	p := d.AddOperand("@v")
+	if err := d.RequireOp(col, OpEquality); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RequireEqual(col, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Resolve(p); got != rndEnclave("MyCEK") {
+		t.Fatalf("parameter resolved to %v", got)
+	}
+	if !d.NeedsEnclave() {
+		t.Fatal("RND equality must need the enclave")
+	}
+	if ceks := d.EnclaveCEKs(); len(ceks) != 1 || ceks[0] != "MyCEK" {
+		t.Fatalf("enclave CEKs = %v", ceks)
+	}
+}
+
+// TestRangeOverRNDEnclave: range predicates are admitted on enclave-enabled
+// randomized columns but rejected on DET and on enclave-disabled RND.
+func TestRangeAdmission(t *testing.T) {
+	d := NewDeduction()
+	c1 := d.AddKnown("rndE", rndEnclave("K1"))
+	if err := d.RequireOp(c1, OpRange); err != nil {
+		t.Fatal(err)
+	}
+	c2 := d.AddKnown("det", detType("K2"))
+	if err := d.RequireOp(c2, OpRange); !errors.Is(err, ErrTypeConflict) {
+		t.Fatalf("range over DET: err = %v, want conflict", err)
+	}
+	c3 := d.AddKnown("rnd", rndPlain("K3"))
+	if err := d.RequireOp(c3, OpEquality); !errors.Is(err, ErrTypeConflict) {
+		t.Fatalf("equality over enclave-disabled RND: err = %v, want conflict", err)
+	}
+}
+
+// TestOrderByRejectedOverEncrypted: ORDER BY requires plaintext in AEv2.
+func TestOrderByRejectedOverEncrypted(t *testing.T) {
+	d := NewDeduction()
+	c := d.AddKnown("c", rndEnclave("K"))
+	if err := d.RequireOp(c, OpOrderBy); !errors.Is(err, ErrTypeConflict) {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+	p := d.AddKnown("p", PlaintextType)
+	if err := d.RequireOp(p, OpOrderBy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossCEKJoinRejected: equating operands bound to different CEKs must
+// fail (can't equi-join two columns under different keys).
+func TestCrossCEKJoinRejected(t *testing.T) {
+	d := NewDeduction()
+	a := d.AddKnown("A.c", detType("K1"))
+	b := d.AddKnown("B.c", detType("K2"))
+	if err := d.RequireEqual(a, b); !errors.Is(err, ErrTypeConflict) {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+}
+
+// TestSameCEKJoinAllowed: equi-join on two DET columns under the same CEK.
+func TestSameCEKJoinAllowed(t *testing.T) {
+	d := NewDeduction()
+	a := d.AddKnown("A.c", detType("K"))
+	b := d.AddKnown("B.c", detType("K"))
+	if err := d.RequireEqual(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlaintextEncryptedMixRejected: comparing a plaintext column with an
+// encrypted one is a conflict (the enclave also enforces this at runtime).
+func TestPlaintextEncryptedMixRejected(t *testing.T) {
+	d := NewDeduction()
+	a := d.AddKnown("A.c", PlaintextType)
+	b := d.AddKnown("B.c", detType("K"))
+	if err := d.RequireEqual(a, b); !errors.Is(err, ErrTypeConflict) {
+		t.Fatalf("err = %v, want conflict", err)
+	}
+}
+
+// TestUnderConstrainedPrefersPlaintext: the §4.3 rule — when the system has
+// multiple solutions, solve with Plaintext.
+func TestUnderConstrainedPrefersPlaintext(t *testing.T) {
+	d := NewDeduction()
+	p := d.AddOperand("@v")
+	q := d.AddOperand("@w")
+	if err := d.RequireEqual(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Resolve(p); got != PlaintextType {
+		t.Fatalf("resolved to %v, want plaintext", got)
+	}
+}
+
+// TestTransitiveMerge: @a = col and @a = @b forces @b to the column's type
+// through the union.
+func TestTransitiveMerge(t *testing.T) {
+	d := NewDeduction()
+	col := d.AddKnown("T.c", rndEnclave("K"))
+	a := d.AddOperand("@a")
+	b := d.AddOperand("@b")
+	if err := d.RequireEqual(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RequireEqual(a, col); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Resolve(b); got != rndEnclave("K") {
+		t.Fatalf("@b resolved to %v", got)
+	}
+}
+
+// Property: RequireEqual is effectively symmetric and idempotent, and after a
+// successful union both operands resolve identically.
+func TestQuickUnionFind(t *testing.T) {
+	prop := func(pairs []struct{ A, B uint8 }) bool {
+		const n = 12
+		d := NewDeduction()
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = d.AddOperand("op")
+		}
+		for _, p := range pairs {
+			a, b := ids[int(p.A)%n], ids[int(p.B)%n]
+			if err := d.RequireEqual(a, b); err != nil {
+				return false // no known types, unions can't conflict
+			}
+			if d.Resolve(a) != d.Resolve(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package sqltypes
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.0), Int(2), -1},
+		{Str("abc"), Str("abd"), -1},
+		{Str("ABC"), Str("abc"), 0}, // case-insensitive collation
+		{Bytes([]byte{1, 2}), Bytes([]byte{1, 2, 3}), -1},
+		{Bool(false), Bool(true), -1},
+		{Datetime(100), Datetime(200), -1},
+	}
+	for i, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: Compare(%v,%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(Null(), Int(1)); err == nil {
+		t.Fatal("NULL comparison must error")
+	}
+	if _, err := Compare(Str("a"), Int(1)); err == nil {
+		t.Fatal("kind mismatch must error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Str("Zurich"), Str("zurich")) {
+		t.Fatal("collation-equal strings must be Equal")
+	}
+	if Equal(Null(), Null()) {
+		t.Fatal("NULL = NULL must be false in SQL semantics")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"BARBARBAR", "BAR%", true},
+		{"BARBARBAR", "%BAR", true},
+		{"BARBARBAR", "%ARB%", true},
+		{"BAR", "B_R", true},
+		{"BAR", "B_", false},
+		{"BAR", "bar", true}, // case-insensitive
+		{"", "%", true},
+		{"", "", true},
+		{"x", "", false},
+		{"ANYTHING", "%", true},
+		{"abc", "a%c", true},
+		{"ac", "a%c", true},
+		{"abd", "a%c", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ippi%", true},
+	}
+	for i, c := range cases {
+		if got := Like(c.s, c.p); got != c.want {
+			t.Fatalf("case %d: Like(%q,%q) = %v, want %v", i, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestHasPrefixPattern(t *testing.T) {
+	if p, ok := HasPrefixPattern("SMITH%"); !ok || p != "SMITH" {
+		t.Fatalf("got %q %v", p, ok)
+	}
+	for _, bad := range []string{"%SMITH", "SM%TH", "SMITH_", "SMITH", "S_ITH%"} {
+		if _, ok := HasPrefixPattern(bad); ok {
+			t.Fatalf("%q wrongly classified as prefix pattern", bad)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-3.25), Float(1e300), Float(-1e-300),
+		Str(""), Str("hello"), Str("MiXeD Case"),
+		Bytes(nil), Bytes([]byte{0, 1, 2, 255}),
+		Bool(true), Bool(false),
+		Datetime(1593561600000000),
+		Null(),
+	}
+	for _, v := range vals {
+		got, err := Decode(v.Encode())
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if v.Kind == KindBytes {
+			if !bytes.Equal(got.B, v.B) {
+				t.Fatalf("bytes roundtrip: %v vs %v", got, v)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("roundtrip: got %#v want %#v", got, v)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{byte(KindInt), 1, 2, 3},     // short int
+		{byte(KindFloat), 1},         // short float
+		{byte(KindString), 'a', 'b'}, // missing separator
+		{byte(KindBool), 1, 2},       // long bool
+		{200, 0},                     // unknown kind
+	}
+	for i, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("case %d: malformed encoding accepted", i)
+		}
+	}
+}
+
+// Property: the encoding is order-preserving within a kind — the heart of
+// why ciphertext-free plaintext B+-trees and DET equality both work off the
+// same bytes.
+func TestQuickEncodingOrderPreserving(t *testing.T) {
+	intProp := func(a, b int64) bool {
+		c := bytes.Compare(Int(a).Encode(), Int(b).Encode())
+		w := cmpInt(a, b)
+		return c == w
+	}
+	if err := quick.Check(intProp, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("int: %v", err)
+	}
+	floatProp := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := bytes.Compare(Float(a).Encode(), Float(b).Encode())
+		return c == cmpFloat(a, b)
+	}
+	if err := quick.Check(floatProp, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("float: %v", err)
+	}
+	// Strings: restrict to NUL-free ASCII (SQL varchar has no embedded NUL).
+	rng := rand.New(rand.NewSource(7))
+	randStr := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(32 + rng.Intn(95))
+		}
+		return string(b)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randStr(), randStr()
+		c := bytes.Compare(Str(a).Encode(), Str(b).Encode())
+		w, err := Compare(Str(a), Str(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != 0 && c != w {
+			t.Fatalf("string order: %q vs %q encode=%d value=%d", a, b, c, w)
+		}
+		if w == 0 && Equal(Str(a), Str(b)) != (bytesEqualFold(a, b)) {
+			t.Fatalf("string equality mismatch for %q vs %q", a, b)
+		}
+	}
+}
+
+func bytesEqualFold(a, b string) bool { return collate(a) == collate(b) }
+
+// Property: encode/decode identity for random ints and floats.
+func TestQuickEncodeDecode(t *testing.T) {
+	prop := func(i int64, f float64, bs []byte) bool {
+		if v, err := Decode(Int(i).Encode()); err != nil || v.I != i {
+			return false
+		}
+		if !math.IsNaN(f) {
+			if v, err := Decode(Float(f).Encode()); err != nil || v.F != f {
+				return false
+			}
+		}
+		v, err := Decode(Bytes(bs).Encode())
+		if err != nil || !bytes.Equal(v.B, bs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindFromTypeName(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "BIGINT": KindInt, "varchar": KindString,
+		"CHAR": KindString, "float": KindFloat, "DECIMAL": KindFloat,
+		"datetime": KindDatetime, "BIT": KindBool, "VARBINARY": KindBytes,
+	}
+	for name, want := range cases {
+		got, err := KindFromTypeName(name)
+		if err != nil || got != want {
+			t.Fatalf("%s: got %v err %v", name, got, err)
+		}
+	}
+	if _, err := KindFromTypeName("GEOGRAPHY"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Int(42).String() != "42" || Null().String() != "NULL" || Bool(true).String() != "1" {
+		t.Fatal("String rendering broken")
+	}
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages over a PageStore with LRU eviction. Frames are
+// pinned while in use; each frame carries its own latch so concurrent
+// readers and writers of different pages do not serialize.
+type BufferPool struct {
+	store PageStore
+	cap   int
+
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	lru    *list.List // of *Frame, front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+// Frame is a cached page plus pin/dirty bookkeeping. Latch must be held
+// while reading or mutating the page contents.
+type Frame struct {
+	Latch sync.RWMutex
+	page  Page
+	id    PageID
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// Page returns the cached page; the caller must hold the frame latch (or be
+// the only pinner).
+func (f *Frame) Page() *Page { return &f.page }
+
+// ErrPoolExhausted is returned when every frame is pinned and none can be
+// evicted to make room.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// NewBufferPool creates a pool of capacity frames over store.
+func NewBufferPool(store PageStore, capacity int) *BufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &BufferPool{
+		store:  store,
+		cap:    capacity,
+		frames: make(map[PageID]*Frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Fetch pins the frame holding the page, reading it from the store on a
+// miss. The caller must Unpin it.
+func (b *BufferPool) Fetch(id PageID) (*Frame, error) {
+	b.mu.Lock()
+	if f, ok := b.frames[id]; ok {
+		f.pins++
+		b.lru.MoveToFront(f.elem)
+		b.hits++
+		b.mu.Unlock()
+		return f, nil
+	}
+	b.misses++
+	f, err := b.newFrameLocked(id)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	b.mu.Unlock()
+	// Read outside the pool lock; the frame is pinned so it cannot vanish.
+	if err := b.store.ReadPage(id, f.page.Bytes()); err != nil {
+		b.mu.Lock()
+		f.pins--
+		delete(b.frames, id)
+		b.lru.Remove(f.elem)
+		b.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page in the store, formats it, and returns the
+// pinned frame.
+func (b *BufferPool) NewPage(pageType uint8) (*Frame, error) {
+	id, err := b.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	f, err := b.newFrameLocked(id)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	b.mu.Unlock()
+	f.page.Init(id, pageType)
+	f.dirty = true
+	return f, nil
+}
+
+// newFrameLocked inserts a pinned frame for id, evicting if needed.
+// Called with b.mu held.
+func (b *BufferPool) newFrameLocked(id PageID) (*Frame, error) {
+	if len(b.frames) >= b.cap {
+		if err := b.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, pins: 1}
+	f.elem = b.lru.PushFront(f)
+	b.frames[id] = f
+	return f, nil
+}
+
+// evictLocked removes the least recently used unpinned frame, flushing it if
+// dirty. Called with b.mu held.
+func (b *BufferPool) evictLocked() error {
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := b.store.WritePage(f.id, f.page.Bytes()); err != nil {
+				return err
+			}
+		}
+		delete(b.frames, f.id)
+		b.lru.Remove(e)
+		b.evictions++
+		return nil
+	}
+	return ErrPoolExhausted
+}
+
+// Unpin releases a pin, marking the frame dirty if the caller modified it.
+func (b *BufferPool) Unpin(f *Frame, dirty bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins > 0 {
+		f.pins--
+	}
+}
+
+// FlushAll writes every dirty frame back to the store (checkpoint).
+func (b *BufferPool) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, f := range b.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := b.store.WritePage(id, f.page.Bytes()); err != nil {
+			return fmt.Errorf("storage: flushing page %d: %w", id, err)
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// Stats reports hit/miss/eviction counters.
+func (b *BufferPool) Stats() (hits, misses, evictions uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses, b.evictions
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Heap is an unordered row file: a chain of slotted pages. Rows are opaque
+// byte strings addressed by RowID. Inserts go to the tail page (or any page
+// with room found via a simple cursor); updates stay in place when they fit
+// and relocate otherwise, returning the new RowID so the caller can fix up
+// index entries.
+type Heap struct {
+	pool *BufferPool
+
+	mu    sync.Mutex
+	first PageID
+	last  PageID
+	rows  int64
+}
+
+// ErrRowNotFound is returned for missing or deleted rows.
+var ErrRowNotFound = errors.New("storage: row not found")
+
+// NewHeap creates an empty heap with one page.
+func NewHeap(pool *BufferPool) (*Heap, error) {
+	f, err := pool.NewPage(PageTypeHeap)
+	if err != nil {
+		return nil, err
+	}
+	id := f.Page().ID()
+	pool.Unpin(f, true)
+	return &Heap{pool: pool, first: id, last: id}, nil
+}
+
+// OpenHeap reattaches to an existing heap chain starting at first,
+// recounting rows (used after recovery).
+func OpenHeap(pool *BufferPool, first PageID) (*Heap, error) {
+	h := &Heap{pool: pool, first: first, last: first}
+	id := first
+	for id != InvalidPageID {
+		f, err := pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		f.Latch.RLock()
+		h.rows += int64(len(f.Page().LiveSlots()))
+		next := f.Page().Next()
+		f.Latch.RUnlock()
+		pool.Unpin(f, false)
+		h.last = id
+		id = next
+	}
+	return h, nil
+}
+
+// FirstPage returns the head of the page chain (persisted in the catalog).
+func (h *Heap) FirstPage() PageID { return h.first }
+
+// Rows returns the live row count.
+func (h *Heap) Rows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rows
+}
+
+// Insert appends a record and returns its RowID. Placement is deterministic
+// given the sequence of operations, which recovery relies on when replaying
+// the log onto a fresh heap.
+func (h *Heap) Insert(rec []byte) (RowID, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, ErrRecordSize
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return 0, err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page().Insert(rec)
+	if err == nil {
+		rid := NewRowID(h.last, slot)
+		f.Latch.Unlock()
+		h.pool.Unpin(f, true)
+		h.rows++
+		return rid, nil
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, false)
+	if !errors.Is(err, ErrPageFull) {
+		return 0, err
+	}
+	// Grow the chain.
+	nf, err := h.pool.NewPage(PageTypeHeap)
+	if err != nil {
+		return 0, err
+	}
+	newID := nf.Page().ID()
+	nf.Latch.Lock()
+	slot, err = nf.Page().Insert(rec)
+	nf.Latch.Unlock()
+	h.pool.Unpin(nf, true)
+	if err != nil {
+		return 0, err
+	}
+	// Link the old tail to the new page.
+	of, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return 0, err
+	}
+	of.Latch.Lock()
+	of.Page().SetNext(newID)
+	of.Latch.Unlock()
+	h.pool.Unpin(of, true)
+	h.last = newID
+	h.rows++
+	return NewRowID(newID, slot), nil
+}
+
+// RestoreAt puts a record back into the exact RowID it occupied before a
+// delete — physical undo (§4.5: redo and heap undo are physical; only index
+// undo is logical). Fails if the slot has been reused, which cannot happen
+// while the deleting transaction holds the row lock.
+func (h *Heap) RestoreAt(rid RowID, rec []byte) error {
+	f, err := h.pool.Fetch(rid.Page())
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	f.Latch.Lock()
+	err = f.Page().InsertAt(rid.Slot(), rec)
+	f.Latch.Unlock()
+	h.pool.Unpin(f, err == nil)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.rows++
+	h.mu.Unlock()
+	return nil
+}
+
+// Get copies the record at rid into a fresh slice.
+func (h *Heap) Get(rid RowID) ([]byte, error) {
+	f, err := h.pool.Fetch(rid.Page())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	f.Latch.RLock()
+	rec, err := f.Page().Read(rid.Slot())
+	var out []byte
+	if err == nil {
+		out = append([]byte(nil), rec...)
+	}
+	f.Latch.RUnlock()
+	h.pool.Unpin(f, false)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	return out, nil
+}
+
+// Update rewrites the record at rid. If the record no longer fits in its
+// page, it is deleted and reinserted elsewhere; the returned RowID is the
+// (possibly new) location.
+func (h *Heap) Update(rid RowID, rec []byte) (RowID, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, ErrRecordSize
+	}
+	f, err := h.pool.Fetch(rid.Page())
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	f.Latch.Lock()
+	err = f.Page().Update(rid.Slot(), rec)
+	f.Latch.Unlock()
+	switch {
+	case err == nil:
+		h.pool.Unpin(f, true)
+		return rid, nil
+	case errors.Is(err, ErrPageFull):
+		h.pool.Unpin(f, false)
+		if derr := h.Delete(rid); derr != nil {
+			return 0, derr
+		}
+		return h.Insert(rec)
+	default:
+		h.pool.Unpin(f, false)
+		return 0, fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(rid RowID) error {
+	f, err := h.pool.Fetch(rid.Page())
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	f.Latch.Lock()
+	err = f.Page().Delete(rid.Slot())
+	f.Latch.Unlock()
+	h.pool.Unpin(f, err == nil)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	h.mu.Lock()
+	h.rows--
+	h.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for each live row in chain order. fn's rec slice aliases
+// page memory and must be copied if retained. Returning false stops the scan.
+func (h *Heap) Scan(fn func(rid RowID, rec []byte) (bool, error)) error {
+	id := h.first
+	for id != InvalidPageID {
+		f, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		f.Latch.RLock()
+		p := f.Page()
+		next := p.Next()
+		for _, slot := range p.LiveSlots() {
+			rec, err := p.Read(slot)
+			if err != nil {
+				continue
+			}
+			cont, err := fn(NewRowID(id, slot), rec)
+			if err != nil || !cont {
+				f.Latch.RUnlock()
+				h.pool.Unpin(f, false)
+				return err
+			}
+		}
+		f.Latch.RUnlock()
+		h.pool.Unpin(f, false)
+		id = next
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LockManager provides row-granularity exclusive locks with FIFO queuing and
+// a wait timeout (the deadlock backstop). Deferred transactions from
+// recovery hold their locks indefinitely until resolved — the §4.5
+// availability hazard that constant-time recovery mitigates.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[lockKey]*lockState
+	// held tracks each transaction's locks for ReleaseAll.
+	held map[uint64]map[lockKey]struct{}
+
+	// Timeout bounds lock waits; zero means a generous default.
+	Timeout time.Duration
+}
+
+type lockKey struct {
+	Table string
+	Row   RowID
+}
+
+type lockState struct {
+	owner   uint64
+	waiters []chan struct{}
+}
+
+// ErrLockTimeout is returned when a lock wait exceeds the timeout — the
+// caller should abort its transaction.
+var ErrLockTimeout = errors.New("storage: lock wait timeout (possible deadlock); abort the transaction")
+
+// NewLockManager returns an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks:   make(map[lockKey]*lockState),
+		held:    make(map[uint64]map[lockKey]struct{}),
+		Timeout: 5 * time.Second,
+	}
+}
+
+// Lock acquires an exclusive lock on (table, row) for txn, blocking until it
+// is granted or the timeout fires. Re-acquiring a held lock is a no-op.
+func (lm *LockManager) Lock(txn uint64, table string, row RowID) error {
+	key := lockKey{Table: table, Row: row}
+	lm.mu.Lock()
+	st, ok := lm.locks[key]
+	if !ok {
+		lm.locks[key] = &lockState{owner: txn}
+		lm.noteHeld(txn, key)
+		lm.mu.Unlock()
+		return nil
+	}
+	if st.owner == txn {
+		lm.mu.Unlock()
+		return nil
+	}
+	waiter := make(chan struct{}, 1)
+	st.waiters = append(st.waiters, waiter)
+	timeout := lm.Timeout
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-waiter:
+		// Granted: ownership was transferred to this waiter under lm.mu.
+		lm.mu.Lock()
+		lm.locks[key].owner = txn
+		lm.noteHeld(txn, key)
+		lm.mu.Unlock()
+		return nil
+	case <-timer.C:
+		lm.mu.Lock()
+		// Remove our waiter entry; if a grant raced in, accept it.
+		st, ok := lm.locks[key]
+		if ok {
+			for i, w := range st.waiters {
+				if w == waiter {
+					st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+					lm.mu.Unlock()
+					return fmt.Errorf("%w: txn %d on %s%s", ErrLockTimeout, txn, table, row)
+				}
+			}
+		}
+		// Grant raced with the timeout: we own the lock now.
+		select {
+		case <-waiter:
+		default:
+		}
+		if ok {
+			st.owner = txn
+			lm.noteHeld(txn, key)
+			lm.mu.Unlock()
+			return nil
+		}
+		lm.locks[key] = &lockState{owner: txn}
+		lm.noteHeld(txn, key)
+		lm.mu.Unlock()
+		return nil
+	}
+}
+
+// noteHeld records ownership; called with lm.mu held.
+func (lm *LockManager) noteHeld(txn uint64, key lockKey) {
+	set, ok := lm.held[txn]
+	if !ok {
+		set = make(map[lockKey]struct{})
+		lm.held[txn] = set
+	}
+	set[key] = struct{}{}
+}
+
+// Unlock releases one lock, granting it to the next FIFO waiter if any.
+func (lm *LockManager) Unlock(txn uint64, table string, row RowID) {
+	key := lockKey{Table: table, Row: row}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.releaseLocked(txn, key)
+}
+
+// ReleaseAll releases every lock held by txn (commit/abort/resolution).
+func (lm *LockManager) ReleaseAll(txn uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for key := range lm.held[txn] {
+		lm.releaseLocked(txn, key)
+	}
+	delete(lm.held, txn)
+}
+
+func (lm *LockManager) releaseLocked(txn uint64, key lockKey) {
+	st, ok := lm.locks[key]
+	if !ok || st.owner != txn {
+		return
+	}
+	if set := lm.held[txn]; set != nil {
+		delete(set, key)
+	}
+	if len(st.waiters) == 0 {
+		delete(lm.locks, key)
+		return
+	}
+	next := st.waiters[0]
+	st.waiters = st.waiters[1:]
+	st.owner = 0 // in transfer; the waiter claims it on wake
+	next <- struct{}{}
+}
+
+// Holder reports the owning transaction of a lock, if held.
+func (lm *LockManager) Holder(table string, row RowID) (uint64, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st, ok := lm.locks[lockKey{Table: table, Row: row}]
+	if !ok {
+		return 0, false
+	}
+	return st.owner, true
+}
+
+// HeldCount reports how many locks txn holds (diagnostics, tests).
+func (lm *LockManager) HeldCount(txn uint64) int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.held[txn])
+}

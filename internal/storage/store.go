@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageStore is the persistence layer under the buffer pool: "disk" in the
+// paper's architecture. Implementations must be safe for concurrent use.
+type PageStore interface {
+	// Allocate reserves a fresh page id.
+	Allocate() (PageID, error)
+	// ReadPage fills buf (PageSize bytes) with the page contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (PageSize bytes) as the page contents.
+	WritePage(id PageID, buf []byte) error
+	// PageCount reports the number of allocated pages (diagnostics).
+	PageCount() int
+	// Close releases resources.
+	Close() error
+}
+
+// ErrNoSuchPage is returned when reading a page that was never written.
+var ErrNoSuchPage = errors.New("storage: no such page")
+
+// MemStore is an in-memory PageStore — the default for tests and benchmarks.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages map[PageID][]byte
+	next  PageID
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{pages: make(map[PageID][]byte), next: 1}
+}
+
+// Allocate implements PageStore.
+func (s *MemStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	s.pages[id] = make([]byte, PageSize)
+	return id, nil
+}
+
+// ReadPage implements PageStore.
+func (s *MemStore) ReadPage(id PageID, buf []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
+	}
+	copy(buf, p)
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *MemStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[id]
+	if !ok {
+		p = make([]byte, PageSize)
+		s.pages[id] = p
+		if id >= s.next {
+			s.next = id + 1
+		}
+	}
+	copy(p, buf)
+	return nil
+}
+
+// PageCount implements PageStore.
+func (s *MemStore) PageCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Close implements PageStore.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed PageStore: page i lives at offset i*PageSize.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	next PageID
+}
+
+// OpenFileStore opens or creates a file-backed store at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening page file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	next := PageID(st.Size()/PageSize) + 1
+	return &FileStore{f: f, next: next}, nil
+}
+
+// Allocate implements PageStore.
+func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	// Extend the file so reads of fresh pages succeed.
+	zero := make([]byte, PageSize)
+	if _, err := s.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// ReadPage implements PageStore.
+func (s *FileStore) ReadPage(id PageID, buf []byte) error {
+	if _, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("%w: %d: %v", ErrNoSuchPage, id, err)
+	}
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	if id >= s.next {
+		s.next = id + 1
+	}
+	s.mu.Unlock()
+	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// PageCount implements PageStore.
+func (s *FileStore) PageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.next) - 1
+}
+
+// Close implements PageStore.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,124 @@
+package storage
+
+import "sync"
+
+// VersionStore implements the persistence side of constant-time recovery
+// (CTR, §4.5): before a transaction overwrites or deletes a row, its last
+// committed image is versioned here. After a crash, clients immediately see
+// the latest committed version with all locks released, while uncommitted
+// changes are cleaned in the background — the cleaner keeps retrying work
+// that needs enclave keys until a client connects and supplies them.
+type VersionStore struct {
+	mu       sync.RWMutex
+	versions map[verKey][]Version
+}
+
+type verKey struct {
+	Table string
+	Row   RowID
+}
+
+// Version is one retained row image.
+type Version struct {
+	Txn       uint64
+	Data      []byte // committed image prior to Txn's change; nil = row did not exist
+	Committed bool   // whether Txn itself committed (set at commit)
+}
+
+// NewVersionStore returns an empty store.
+func NewVersionStore() *VersionStore {
+	return &VersionStore{versions: make(map[verKey][]Version)}
+}
+
+// Record saves the pre-image of (table, row) before txn modifies it.
+func (vs *VersionStore) Record(txn uint64, table string, row RowID, before []byte) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	key := verKey{Table: table, Row: row}
+	img := append([]byte(nil), before...)
+	if before == nil {
+		img = nil
+	}
+	vs.versions[key] = append(vs.versions[key], Version{Txn: txn, Data: img})
+}
+
+// MarkCommitted flags txn's versions as superseded by a committed change;
+// the cleaner may then discard them.
+func (vs *VersionStore) MarkCommitted(txn uint64) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for key, vers := range vs.versions {
+		for i := range vers {
+			if vers[i].Txn == txn {
+				vers[i].Committed = true
+			}
+		}
+		vs.versions[key] = vers
+	}
+}
+
+// CommittedImage returns the last committed image of a row that has pending
+// uncommitted versions, and whether such a version exists. exists=false
+// means the row has no retained versions (its current heap image is the
+// committed one).
+func (vs *VersionStore) CommittedImage(table string, row RowID) (data []byte, exists bool) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	vers := vs.versions[verKey{Table: table, Row: row}]
+	for i := range vers {
+		if !vers[i].Committed {
+			// The earliest uncommitted version holds the pre-image the
+			// reader should see.
+			return vers[i].Data, true
+		}
+	}
+	return nil, false
+}
+
+// PendingTxns lists transactions with uncommitted retained versions — the
+// version cleaner's work list.
+func (vs *VersionStore) PendingTxns() []uint64 {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, vers := range vs.versions {
+		for i := range vers {
+			if !vers[i].Committed && !seen[vers[i].Txn] {
+				seen[vers[i].Txn] = true
+				out = append(out, vers[i].Txn)
+			}
+		}
+	}
+	return out
+}
+
+// Drop discards all versions belonging to txn (cleanup complete).
+func (vs *VersionStore) Drop(txn uint64) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for key, vers := range vs.versions {
+		kept := vers[:0]
+		for i := range vers {
+			if vers[i].Txn != txn {
+				kept = append(kept, vers[i])
+			}
+		}
+		if len(kept) == 0 {
+			delete(vs.versions, key)
+		} else {
+			vs.versions[key] = kept
+		}
+	}
+}
+
+// Size reports the number of retained versions (diagnostics).
+func (vs *VersionStore) Size() int {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	n := 0
+	for _, vers := range vs.versions {
+		n += len(vers)
+	}
+	return n
+}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RecType enumerates write-ahead log record types. Heap records carry
+// physical before/after images (physical redo/undo); index records are
+// logical — {key, rowid} pairs whose undo requires navigating the B+-tree,
+// which for encrypted range indexes requires enclave comparisons. That split
+// is precisely what creates the deferred-transaction problem of §4.5.
+type RecType uint8
+
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecHeapInsert  // Table, Row, New
+	RecHeapDelete  // Table, Row, Old
+	RecHeapUpdate  // Table, Row, Old, New (Row may move: NewRow set)
+	RecIndexInsert // Index (in Table field), Key, Row
+	RecIndexDelete // Index (in Table field), Key, Row
+	RecCheckpoint
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecHeapInsert:
+		return "HEAP-INSERT"
+	case RecHeapDelete:
+		return "HEAP-DELETE"
+	case RecHeapUpdate:
+		return "HEAP-UPDATE"
+	case RecIndexInsert:
+		return "INDEX-INSERT"
+	case RecIndexDelete:
+		return "INDEX-DELETE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Record is one WAL entry.
+type Record struct {
+	LSN    uint64
+	Txn    uint64
+	Type   RecType
+	Table  string // table name, or index name for index records
+	Row    RowID
+	NewRow RowID    // for updates that relocated the row
+	Key    [][]byte // index key components
+	Old    []byte   // heap before image
+	New    []byte   // heap after image
+}
+
+// WAL is the write-ahead log: an append-only record sequence with monotonic
+// LSNs. Truncation is gated by a low-water mark that deferred transactions
+// pin (§4.5: if the client never supplies keys, log truncation is blocked).
+type WAL struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	// pinned holds LSNs that must survive truncation (deferred txn begins).
+	pinned map[uint64]uint64 // txn -> begin LSN
+	base   uint64            // LSN of records[0]
+}
+
+// NewWAL returns an empty log.
+func NewWAL() *WAL {
+	return &WAL{nextLSN: 1, pinned: make(map[uint64]uint64)}
+}
+
+// Append adds a record, assigning and returning its LSN.
+func (w *WAL) Append(rec Record) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	if len(w.records) == 0 {
+		w.base = rec.LSN
+	}
+	w.records = append(w.records, rec)
+	return rec.LSN
+}
+
+// Records returns a snapshot copy of the retained log.
+func (w *WAL) Records() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.records))
+	copy(out, w.records)
+	return out
+}
+
+// Len returns the number of retained records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// PinTxn marks a transaction's begin LSN as required (deferred transaction).
+func (w *WAL) PinTxn(txn, beginLSN uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pinned[txn] = beginLSN
+}
+
+// UnpinTxn releases a deferred transaction's hold on the log.
+func (w *WAL) UnpinTxn(txn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.pinned, txn)
+}
+
+// ErrTruncationBlocked is returned when deferred transactions pin log space.
+var ErrTruncationBlocked = errors.New("storage: log truncation blocked by deferred transactions (§4.5)")
+
+// TruncateBefore drops records with LSN < lsn. It fails if a pinned
+// (deferred) transaction still needs older records.
+func (w *WAL) TruncateBefore(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for txn, begin := range w.pinned {
+		if begin < lsn {
+			return fmt.Errorf("%w: txn %d pins LSN %d", ErrTruncationBlocked, txn, begin)
+		}
+	}
+	i := 0
+	for i < len(w.records) && w.records[i].LSN < lsn {
+		i++
+	}
+	w.records = append([]Record(nil), w.records[i:]...)
+	if len(w.records) > 0 {
+		w.base = w.records[0].LSN
+	} else {
+		w.base = w.nextLSN
+	}
+	return nil
+}
+
+// RetainedBytes estimates the log space consumption — the resource that
+// index invalidation policies can be keyed on (§4.5).
+func (w *WAL) RetainedBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := 0
+	for i := range w.records {
+		r := &w.records[i]
+		total += 64 + len(r.Table) + len(r.Old) + len(r.New)
+		for _, k := range r.Key {
+			total += len(k)
+		}
+	}
+	return total
+}
+
+// Serialize encodes the retained log for durability.
+func (w *WAL) Serialize() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var buf bytes.Buffer
+	wU64 := func(v uint64) { binary.Write(&buf, binary.BigEndian, v) }
+	wBytes := func(b []byte) { wU64(uint64(len(b))); buf.Write(b) }
+	wU64(w.nextLSN)
+	wU64(uint64(len(w.records)))
+	for i := range w.records {
+		r := &w.records[i]
+		wU64(r.LSN)
+		wU64(r.Txn)
+		buf.WriteByte(byte(r.Type))
+		wBytes([]byte(r.Table))
+		wU64(uint64(r.Row))
+		wU64(uint64(r.NewRow))
+		wU64(uint64(len(r.Key)))
+		for _, k := range r.Key {
+			wBytes(k)
+		}
+		wBytes(r.Old)
+		wBytes(r.New)
+	}
+	return buf.Bytes()
+}
+
+// ErrBadWAL reports a corrupt serialized log.
+var ErrBadWAL = errors.New("storage: malformed serialized WAL")
+
+// LoadWAL decodes a log produced by Serialize.
+func LoadWAL(data []byte) (*WAL, error) {
+	r := bytes.NewReader(data)
+	rU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(r, binary.BigEndian, &v)
+		return v, err
+	}
+	rBytes := func() ([]byte, error) {
+		n, err := rU64()
+		if err != nil || n > uint64(r.Len()) {
+			return nil, ErrBadWAL
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return nil, ErrBadWAL
+		}
+		return b, nil
+	}
+	w := NewWAL()
+	next, err := rU64()
+	if err != nil {
+		return nil, ErrBadWAL
+	}
+	w.nextLSN = next
+	n, err := rU64()
+	if err != nil || n > 1<<30 {
+		return nil, ErrBadWAL
+	}
+	for i := uint64(0); i < n; i++ {
+		var rec Record
+		if rec.LSN, err = rU64(); err != nil {
+			return nil, ErrBadWAL
+		}
+		if rec.Txn, err = rU64(); err != nil {
+			return nil, ErrBadWAL
+		}
+		t := make([]byte, 1)
+		if _, err := r.Read(t); err != nil {
+			return nil, ErrBadWAL
+		}
+		rec.Type = RecType(t[0])
+		tb, err := rBytes()
+		if err != nil {
+			return nil, err
+		}
+		rec.Table = string(tb)
+		row, err := rU64()
+		if err != nil {
+			return nil, ErrBadWAL
+		}
+		rec.Row = RowID(row)
+		nrow, err := rU64()
+		if err != nil {
+			return nil, ErrBadWAL
+		}
+		rec.NewRow = RowID(nrow)
+		nk, err := rU64()
+		if err != nil || nk > 64 {
+			return nil, ErrBadWAL
+		}
+		for j := uint64(0); j < nk; j++ {
+			k, err := rBytes()
+			if err != nil {
+				return nil, err
+			}
+			rec.Key = append(rec.Key, k)
+		}
+		if rec.Old, err = rBytes(); err != nil {
+			return nil, err
+		}
+		if rec.New, err = rBytes(); err != nil {
+			return nil, err
+		}
+		w.records = append(w.records, rec)
+	}
+	if len(w.records) > 0 {
+		w.base = w.records[0].LSN
+	}
+	return w, nil
+}

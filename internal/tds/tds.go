@@ -1,0 +1,281 @@
+// Package tds implements the client↔server wire protocol of the
+// reproduction — the stand-in for the TDS stream of Figure 3. It is a
+// length-framed, gob-encoded request/response protocol carrying:
+//
+//   - sp_describe_parameter_encryption calls, optionally with the client's
+//     DH public key (which triggers attestation, §4.2);
+//   - sealed CEK envelopes and DDL authorizations bound for the enclave,
+//     relayed by the untrusted server ("man in the middle", §3);
+//   - parameterized statement executions with encrypted parameters, and
+//     result sets with the key metadata needed for client-side decryption.
+//
+// The server exposes a Tap so a strong adversary (or the leakage harness)
+// can observe everything on the wire — which is exactly the paper's threat
+// model: the adversary sees all external and internal communication.
+package tds
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"alwaysencrypted/internal/attestation"
+	"alwaysencrypted/internal/engine"
+)
+
+// Request is the union of client→server messages; exactly one field is set.
+type Request struct {
+	Describe   *DescribeReq
+	Exec       *ExecReq
+	InstallCEK *InstallCEKReq
+	Authorize  *AuthorizeReq
+}
+
+// DescribeReq asks for sp_describe_parameter_encryption output. ClientDHPub
+// is set when the client wants attestation folded in (it has no cached
+// shared secret yet).
+type DescribeReq struct {
+	Query       string
+	ClientDHPub []byte
+}
+
+// ExecReq executes a parameterized statement. Parameter values are wire
+// encodings: ciphertext for encrypted parameters.
+type ExecReq struct {
+	Query  string
+	Params map[string][]byte
+}
+
+// InstallCEKReq relays a sealed CEK envelope to the enclave.
+type InstallCEKReq struct {
+	Name   string
+	Nonce  uint64
+	Sealed []byte
+}
+
+// AuthorizeReq relays a sealed DDL-authorization hash to the enclave.
+type AuthorizeReq struct {
+	Nonce  uint64
+	Sealed []byte
+}
+
+// Response is the union of server→client messages.
+type Response struct {
+	Err      string
+	Describe *DescribeResp
+	Result   *engine.ResultSet
+}
+
+// DescribeResp carries the describe output plus attestation when requested.
+type DescribeResp struct {
+	Desc        engine.DescribeResult
+	Attestation *attestation.Info
+	EnclaveSID  uint64
+}
+
+// Tap observes protocol traffic. dir is "c→s" or "s→c".
+type Tap func(dir string, msg any)
+
+// Server serves engine sessions over a listener: one goroutine and one
+// engine session per connection, as in TDS.
+type Server struct {
+	Engine *engine.Engine
+	Tap    Tap
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewServer wraps an engine.
+func NewServer(e *engine.Engine) *Server {
+	return &Server{Engine: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close tears down all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+}
+
+// ServeConn handles a single already-established connection (e.g. one side
+// of net.Pipe); it blocks until the connection closes.
+func (s *Server) ServeConn(conn net.Conn) { s.handle(conn) }
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess := s.Engine.NewSession()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(w)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if sess.InTxn() {
+				// Connection dropped mid-transaction: roll back, as a real
+				// server would on session death.
+				sess.Rollback()
+			}
+			return
+		}
+		if s.Tap != nil {
+			s.Tap("c→s", &req)
+		}
+		resp := s.dispatch(sess, &req)
+		if s.Tap != nil {
+			s.Tap("s→c", resp)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(sess *engine.Session, req *Request) *Response {
+	switch {
+	case req.Describe != nil:
+		desc, info, sid, err := sess.DescribeWithAttestation(req.Describe.Query, req.Describe.ClientDHPub)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Describe: &DescribeResp{Desc: *desc, Attestation: info, EnclaveSID: sid}}
+	case req.Exec != nil:
+		rs, err := sess.Execute(req.Exec.Query, engine.Params(req.Exec.Params))
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Result: rs}
+	case req.InstallCEK != nil:
+		if err := sess.InstallCEK(req.InstallCEK.Name, req.InstallCEK.Nonce, req.InstallCEK.Sealed); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{}
+	case req.Authorize != nil:
+		if err := sess.AuthorizeStatement(req.Authorize.Nonce, req.Authorize.Sealed); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{}
+	default:
+		return &Response{Err: "tds: empty request"}
+	}
+}
+
+// Conn is the client end of the protocol: a thin RPC layer with no AE
+// logic (that lives in the driver package). Not safe for concurrent use.
+type Conn struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	w    *bufio.Writer
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tds: dial: %w", err)
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established transport (TCP or net.Pipe).
+func NewConn(c net.Conn) *Conn {
+	w := bufio.NewWriter(c)
+	return &Conn{conn: c, dec: gob.NewDecoder(bufio.NewReader(c)), enc: gob.NewEncoder(w), w: w}
+}
+
+// Close shuts the connection down.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Conn) roundTrip(req *Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("tds: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("tds: flush: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("tds: connection closed")
+		}
+		return nil, fmt.Errorf("tds: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return &resp, &ServerError{Msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// ServerError is an error reported by the server.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Describe invokes sp_describe_parameter_encryption.
+func (c *Conn) Describe(query string, clientDHPub []byte) (*DescribeResp, error) {
+	resp, err := c.roundTrip(&Request{Describe: &DescribeReq{Query: query, ClientDHPub: clientDHPub}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Describe, nil
+}
+
+// Exec executes a parameterized statement.
+func (c *Conn) Exec(query string, params map[string][]byte) (*engine.ResultSet, error) {
+	resp, err := c.roundTrip(&Request{Exec: &ExecReq{Query: query, Params: params}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// InstallCEK ships a sealed CEK to the enclave via the server.
+func (c *Conn) InstallCEK(name string, nonce uint64, sealed []byte) error {
+	_, err := c.roundTrip(&Request{InstallCEK: &InstallCEKReq{Name: name, Nonce: nonce, Sealed: sealed}})
+	return err
+}
+
+// Authorize ships a sealed DDL authorization to the enclave via the server.
+func (c *Conn) Authorize(nonce uint64, sealed []byte) error {
+	_, err := c.roundTrip(&Request{Authorize: &AuthorizeReq{Nonce: nonce, Sealed: sealed}})
+	return err
+}

@@ -1,0 +1,177 @@
+package tds
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"alwaysencrypted/internal/engine"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// startServer serves a plain engine on a loopback listener.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close(); srv.Close() })
+	return srv, l.Addr().String()
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE t (id int PRIMARY KEY, v varchar(10))", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO t (id, v) VALUES (@i, @v)", map[string][]byte{
+		"i": sqltypes.Int(1).Encode(), "v": sqltypes.Str("hello").Encode(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.Exec("SELECT v FROM t WHERE id = @i", map[string][]byte{"i": sqltypes.Int(1).Encode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sqltypes.Decode(rs.Rows[0][0])
+	if v.S != "hello" {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT broken syntax", nil)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if !strings.Contains(se.Msg, "syntax") {
+		t.Fatalf("msg = %q", se.Msg)
+	}
+	// The connection survives an error response.
+	if _, err := c.Exec("CREATE TABLE ok (id int PRIMARY KEY)", nil); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestDescribeOverWire(t *testing.T) {
+	srv, addr := startServer(t)
+	sess := srv.Engine.NewSession()
+	if _, err := sess.Execute("CREATE TABLE d (id int PRIMARY KEY, v int)", nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Describe("SELECT v FROM d WHERE id = @i", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Desc.Params) != 1 || resp.Desc.Params[0].Name != "i" {
+		t.Fatalf("params = %+v", resp.Desc.Params)
+	}
+	if resp.Attestation != nil {
+		t.Fatal("attestation returned for a plaintext query")
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	srv, addr := startServer(t)
+	sess := srv.Engine.NewSession()
+	if _, err := sess.Execute("CREATE TABLE c (id int PRIMARY KEY, n int)", nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				id := int64(g*100 + i)
+				if _, err := c.Exec("INSERT INTO c (id, n) VALUES (@i, @n)", map[string][]byte{
+					"i": sqltypes.Int(id).Encode(), "n": sqltypes.Int(id).Encode(),
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rs, err := sess.Execute("SELECT COUNT(*) FROM c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sqltypes.Decode(rs.Rows[0][0])
+	if v.I != 160 {
+		t.Fatalf("count = %v", v)
+	}
+}
+
+// TestTapObservesTraffic: the strong adversary's wire view.
+func TestTapObservesTraffic(t *testing.T) {
+	srv, addr := startServer(t)
+	var mu sync.Mutex
+	var seen []string
+	srv.Tap = func(dir string, msg any) {
+		mu.Lock()
+		seen = append(seen, dir)
+		mu.Unlock()
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Exec("CREATE TABLE tapped (id int PRIMARY KEY)", nil)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 || seen[0] != "c→s" || seen[1] != "s→c" {
+		t.Fatalf("tap saw %v", seen)
+	}
+}
+
+func TestPipeTransport(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	c := NewConn(client)
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE p (id int PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO p (id) VALUES (@i)", map[string][]byte{"i": sqltypes.Int(1).Encode()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package tpcc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alwaysencrypted/internal/driver"
+)
+
+// BenchConfig parameterizes one benchmark run (one bar of Figures 8/9).
+type BenchConfig struct {
+	Mode           Mode
+	Scale          Scale
+	Threads        int // TPC-C client driver threads (horizontal axis of Fig. 8)
+	Duration       time.Duration
+	EnclaveThreads int  // 1 vs 4 for SQL-AE-RND-1 vs SQL-AE-RND-4 (Fig. 9)
+	SyncEnclave    bool // ablation: synchronous enclave calls (§4.6 off)
+	DescribeCache  bool // ablation: the §5.4.1 "not fundamental" optimization
+	Warmup         time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Config       BenchConfig
+	Committed    int
+	Aborted      int
+	Duration     time.Duration
+	Throughput   float64 // committed transactions per second
+	ByType       [5]int
+	EnclaveEvals uint64
+}
+
+// Run stands up a fresh world, loads it, runs the mix for the configured
+// duration across Threads terminals, and reports throughput.
+func Run(cfg BenchConfig) (*Result, error) {
+	if cfg.Scale.Warehouses == 0 {
+		cfg.Scale = DefaultScale()
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	world, err := NewWorld(WorldOptions{
+		Mode: cfg.Mode, Scale: cfg.Scale,
+		EnclaveThreads: cfg.EnclaveThreads, SyncEnclave: cfg.SyncEnclave, CTR: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+	if err := world.Load(); err != nil {
+		return nil, fmt.Errorf("tpcc: load: %w", err)
+	}
+	return RunOnWorld(world, cfg)
+}
+
+// RunOnWorld runs the workload against an already-loaded world.
+func RunOnWorld(world *World, cfg BenchConfig) (*Result, error) {
+	sharedCache := driver.NewCache() // process-wide caches (§4.1)
+	terminals := make([]*Terminal, cfg.Threads)
+	for i := range terminals {
+		conn, err := world.Connect(cfg.DescribeCache, sharedCache)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		home := 1 + i%world.Scale.Warehouses
+		terminals[i] = NewTerminal(world, conn, home, int64(1000+i))
+	}
+
+	evalsBefore := world.Encl.Dump().Evaluations
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	runPhase := func(d time.Duration) {
+		stop.Store(false)
+		timer := time.AfterFunc(d, func() { stop.Store(true) })
+		defer timer.Stop()
+		for _, term := range terminals {
+			wg.Add(1)
+			go func(t *Terminal) {
+				defer wg.Done()
+				for !stop.Load() {
+					// Aborted transactions (lock timeouts, retries) are
+					// counted but do not stop the terminal.
+					_ = t.RunOne()
+				}
+			}(term)
+		}
+		wg.Wait()
+	}
+
+	if cfg.Warmup > 0 {
+		runPhase(cfg.Warmup)
+		for _, term := range terminals {
+			term.Committed, term.Aborted, term.ByType = 0, 0, [5]int{}
+		}
+	}
+
+	start := time.Now()
+	runPhase(cfg.Duration)
+	elapsed := time.Since(start)
+
+	res := &Result{Config: cfg, Duration: elapsed}
+	for _, term := range terminals {
+		res.Committed += term.Committed
+		res.Aborted += term.Aborted
+		for i := range term.ByType {
+			res.ByType[i] += term.ByType[i]
+		}
+	}
+	res.Throughput = float64(res.Committed) / elapsed.Seconds()
+	res.EnclaveEvals = world.Encl.Dump().Evaluations - evalsBefore
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package tpcc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// TestMoneyInvariantsAfterMix checks TPC-C consistency conditions after a
+// concurrent run (the spec's consistency requirements 1–3, scaled):
+//
+//	C1: for each warehouse, W_YTD = sum(D_YTD) of its districts
+//	    (Payment updates both by the same amount).
+//	C2: for each district, D_NEXT_O_ID - 1 = max(O_ID) of its orders.
+//	C3: order count per district equals the O_ID range (no gaps/dups).
+func TestMoneyInvariantsAfterMix(t *testing.T) {
+	for _, mode := range []Mode{ModePlaintext, ModeRND} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			w := loadWorld(t, mode)
+			if _, err := RunOnWorld(w, BenchConfig{
+				Mode: mode, Scale: w.Scale, Threads: 4, Duration: 700 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			conn := w.ConnectPipe(true, nil)
+			defer conn.Close()
+
+			for wid := 1; wid <= w.Scale.Warehouses; wid++ {
+				rows, err := conn.Exec("SELECT w_ytd FROM warehouse WHERE w_id = @w",
+					map[string]sqltypes.Value{"w": iv(int64(wid))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wYTD := rows.Values[0][0].F
+				rows, err = conn.Exec("SELECT SUM(d_ytd) FROM district WHERE d_w_id = @w",
+					map[string]sqltypes.Value{"w": iv(int64(wid))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dSum := rows.Values[0][0].F
+				// Initial: w_ytd=300000, 10 districts × 30000 = 300000.
+				if math.Abs(wYTD-dSum) > 0.01 {
+					t.Fatalf("C1 violated for warehouse %d: w_ytd=%.2f sum(d_ytd)=%.2f", wid, wYTD, dSum)
+				}
+
+				for did := 1; did <= w.Scale.DistrictsPerWarehouse; did++ {
+					rows, err = conn.Exec("SELECT d_next_o_id FROM district WHERE d_w_id = @w AND d_id = @d",
+						map[string]sqltypes.Value{"w": iv(int64(wid)), "d": iv(int64(did))})
+					if err != nil {
+						t.Fatal(err)
+					}
+					next := rows.Values[0][0].I
+					rows, err = conn.Exec("SELECT MAX(o_id), COUNT(*), MIN(o_id) FROM orders WHERE o_w_id = @w AND o_d_id = @d",
+						map[string]sqltypes.Value{"w": iv(int64(wid)), "d": iv(int64(did))})
+					if err != nil {
+						t.Fatal(err)
+					}
+					maxO, count, minO := rows.Values[0][0].I, rows.Values[0][1].I, rows.Values[0][2].I
+					if maxO != next-1 {
+						t.Fatalf("C2 violated for district %d/%d: d_next_o_id=%d max(o_id)=%d", wid, did, next, maxO)
+					}
+					if count != maxO-minO+1 {
+						t.Fatalf("C3 violated for district %d/%d: %d orders in id range [%d,%d]",
+							wid, did, count, minO, maxO)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncryptedPIIRoundTripsAfterMix: after concurrent load in RND mode,
+// every customer's encrypted fields still decrypt to well-formed values (no
+// corruption under concurrency).
+func TestEncryptedPIIRoundTripsAfterMix(t *testing.T) {
+	w := loadWorld(t, ModeRND)
+	if _, err := RunOnWorld(w, BenchConfig{
+		Mode: ModeRND, Scale: w.Scale, Threads: 4, Duration: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	conn := w.ConnectPipe(true, nil)
+	defer conn.Close()
+	rows, err := conn.Exec("SELECT c_last, c_first, c_city FROM customer WHERE c_w_id = @w AND c_d_id = @d",
+		map[string]sqltypes.Value{"w": iv(1), "d": iv(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Values) != w.Scale.CustomersPerDistrict {
+		t.Fatalf("customers = %d", len(rows.Values))
+	}
+	for i, r := range rows.Values {
+		if r[0].Kind != sqltypes.KindString || r[0].S == "" {
+			t.Fatalf("row %d: c_last = %v", i, r[0])
+		}
+		if r[2].S != "Portland" {
+			t.Fatalf("row %d: c_city = %v", i, r[2])
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// Load populates the world per the (scaled) TPC-C population rules. It runs
+// through the driver over an in-process connection, so in encrypted modes
+// every PII cell is encrypted client-side exactly as a real load would be.
+func (w *World) Load() error {
+	conn := w.ConnectPipe(true, nil)
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(7))
+	now := time.Now().UnixMicro()
+	s := w.Scale
+
+	for i := 1; i <= s.Items; i++ {
+		if _, err := conn.Exec(
+			"INSERT INTO item (i_id, i_im_id, i_name, i_price, i_data) VALUES (@a, @b, @c, @d, @e)",
+			map[string]sqltypes.Value{
+				"a": iv(int64(i)), "b": iv(int64(rng.Intn(10000))),
+				"c": sv(fmt.Sprintf("item-%06d", i)),
+				"d": fv(1 + rng.Float64()*99),
+				"e": sv(randData(rng, 26)),
+			}); err != nil {
+			return fmt.Errorf("tpcc: loading item %d: %w", i, err)
+		}
+	}
+
+	for wid := 1; wid <= s.Warehouses; wid++ {
+		if _, err := conn.Exec(
+			"INSERT INTO warehouse (w_id, w_name, w_street_1, w_city, w_state, w_zip, w_tax, w_ytd) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
+			map[string]sqltypes.Value{
+				"a": iv(int64(wid)), "b": sv(fmt.Sprintf("wh-%d", wid)),
+				"c": sv("1 Main St"), "d": sv("Seattle"), "e": sv("WA"),
+				"f": sv("981090000"), "g": fv(rng.Float64() * 0.2), "h": fv(300000),
+			}); err != nil {
+			return err
+		}
+		for i := 1; i <= s.Items; i++ {
+			if _, err := conn.Exec(
+				"INSERT INTO stock (s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt, s_remote_cnt, s_data) VALUES (@a, @b, @c, @d, @e, @f, @g)",
+				map[string]sqltypes.Value{
+					"a": iv(int64(wid)), "b": iv(int64(i)),
+					"c": iv(int64(10 + rng.Intn(91))), "d": fv(0),
+					"e": iv(0), "f": iv(0), "g": sv(randData(rng, 26)),
+				}); err != nil {
+				return err
+			}
+		}
+		for did := 1; did <= s.DistrictsPerWarehouse; did++ {
+			if err := w.loadDistrict(conn, rng, wid, did, now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *World) loadDistrict(conn *driver.Conn, rng *rand.Rand, wid, did int, now int64) error {
+	s := w.Scale
+	nextOID := s.InitialOrdersPerDistrict + 1
+	if _, err := conn.Exec(
+		"INSERT INTO district (d_w_id, d_id, d_name, d_street_1, d_city, d_state, d_zip, d_tax, d_ytd, d_next_o_id) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j)",
+		map[string]sqltypes.Value{
+			"a": iv(int64(wid)), "b": iv(int64(did)),
+			"c": sv(fmt.Sprintf("d-%d-%d", wid, did)), "d": sv("2 Side St"),
+			"e": sv("Zurich"), "f": sv("ZH"), "g": sv("800100000"),
+			"h": fv(rng.Float64() * 0.2), "i": fv(30000), "j": iv(int64(nextOID)),
+		}); err != nil {
+		return err
+	}
+
+	for cid := 1; cid <= s.CustomersPerDistrict; cid++ {
+		last := LastName((cid - 1) % s.nameSpace())
+		credit := "GC"
+		if rng.Intn(10) == 0 {
+			credit = "BC"
+		}
+		if _, err := conn.Exec(
+			`INSERT INTO customer (c_w_id, c_d_id, c_id, c_first, c_middle, c_last, c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j, @k, @l, @m, @n, @o, @p, @q, @r, @s, @t, @u)`,
+			map[string]sqltypes.Value{
+				"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(cid)),
+				"d": sv(fmt.Sprintf("First%04d", rng.Intn(10000))), "e": sv("OE"),
+				"f": sv(last),
+				"g": sv(fmt.Sprintf("%d Cust St", cid)), "h": sv("Apt 1"),
+				"i": sv("Portland"), "j": sv("OR"), "k": sv("970010000"),
+				"l": sv("555-0100"), "m": sqltypes.Datetime(now), "n": sv(credit),
+				"o": fv(50000), "p": fv(rng.Float64() * 0.5), "q": fv(-10),
+				"r": fv(10), "s": iv(1), "t": iv(0), "u": sv(randData(rng, 100)),
+			}); err != nil {
+			return fmt.Errorf("tpcc: loading customer %d/%d/%d: %w", wid, did, cid, err)
+		}
+	}
+
+	// Initial orders: one per customer id 1..InitialOrdersPerDistrict, the
+	// last third undelivered (in neworder).
+	for oid := 1; oid <= s.InitialOrdersPerDistrict; oid++ {
+		cid := 1 + rng.Intn(s.CustomersPerDistrict)
+		olCnt := 5 + rng.Intn(6)
+		delivered := oid <= s.InitialOrdersPerDistrict*2/3
+		carrier := int64(1 + rng.Intn(10))
+		if !delivered {
+			carrier = 0
+		}
+		if _, err := conn.Exec(
+			"INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
+			map[string]sqltypes.Value{
+				"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid)),
+				"d": iv(int64(cid)), "e": sqltypes.Datetime(now),
+				"f": iv(carrier), "g": iv(int64(olCnt)), "h": iv(1),
+			}); err != nil {
+			return err
+		}
+		if !delivered {
+			if _, err := conn.Exec(
+				"INSERT INTO neworder (no_w_id, no_d_id, no_o_id) VALUES (@a, @b, @c)",
+				map[string]sqltypes.Value{"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid))}); err != nil {
+				return err
+			}
+		}
+		for ol := 1; ol <= olCnt; ol++ {
+			amount := 0.0
+			deliveryD := now
+			if !delivered {
+				amount = 0.01 + rng.Float64()*9999
+				deliveryD = 0
+			}
+			if _, err := conn.Exec(
+				"INSERT INTO orderline (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j)",
+				map[string]sqltypes.Value{
+					"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid)),
+					"d": iv(int64(ol)), "e": iv(int64(1 + rng.Intn(w.Scale.Items))),
+					"f": iv(int64(wid)), "g": sqltypes.Datetime(deliveryD),
+					"h": iv(5), "i": fv(amount), "j": sv(randData(rng, 24)),
+				}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func randData(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n/2+rng.Intn(n/2+1))
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}

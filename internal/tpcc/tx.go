@@ -1,0 +1,410 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// Terminal is one emulated client terminal: a connection, a home warehouse
+// and an RNG, executing the five TPC-C transactions.
+type Terminal struct {
+	world *World
+	conn  *driver.Conn
+	rng   *rand.Rand
+	wID   int
+
+	// Counters
+	Committed int
+	Aborted   int
+	ByType    [5]int
+}
+
+// Transaction type indexes for ByType.
+const (
+	TxNewOrder = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+// NewTerminal binds a terminal to a connection and home warehouse.
+func NewTerminal(w *World, conn *driver.Conn, homeWarehouse int, seed int64) *Terminal {
+	return &Terminal{world: w, conn: conn, rng: rand.New(rand.NewSource(seed)), wID: homeWarehouse}
+}
+
+// errIntentionalRollback marks the spec's 1% NewOrder rollback.
+var errIntentionalRollback = errors.New("tpcc: intentional rollback (invalid item)")
+
+// RunOne executes one transaction drawn from the standard mix
+// (NewOrder 45, Payment 43, OrderStatus 4, Delivery 4, StockLevel 4).
+func (t *Terminal) RunOne() error {
+	roll := t.rng.Intn(100)
+	var err error
+	var typ int
+	switch {
+	case roll < 45:
+		typ, err = TxNewOrder, t.NewOrder()
+	case roll < 88:
+		typ, err = TxPayment, t.Payment()
+	case roll < 92:
+		typ, err = TxOrderStatus, t.OrderStatus()
+	case roll < 96:
+		typ, err = TxDelivery, t.Delivery()
+	default:
+		typ, err = TxStockLevel, t.StockLevel()
+	}
+	if err == nil || errors.Is(err, errIntentionalRollback) {
+		t.Committed++
+		t.ByType[typ]++
+		return nil
+	}
+	t.Aborted++
+	return err
+}
+
+// abortOn rolls back and returns err (helper for mid-transaction failures).
+func (t *Terminal) abortOn(err error) error {
+	t.conn.Rollback()
+	return err
+}
+
+func (t *Terminal) randDistrict() int {
+	return 1 + t.rng.Intn(t.world.Scale.DistrictsPerWarehouse)
+}
+
+func (t *Terminal) randCustomerID() int {
+	return nuRand(t.rng, 1023, 1, t.world.Scale.CustomersPerDistrict)
+}
+
+func (t *Terminal) randItem() int {
+	return nuRand(t.rng, 8191, 1, t.world.Scale.Items)
+}
+
+func (t *Terminal) randLastName() string {
+	ns := t.world.Scale.nameSpace()
+	return LastName(nuRand(t.rng, 255, 0, ns-1) % ns)
+}
+
+// NewOrder is TPC-C §2.4. Around 40% of expression work in the benchmark
+// mix happens here, all over plaintext columns.
+func (t *Terminal) NewOrder() error {
+	s := t.world.Scale
+	d := t.randDistrict()
+	c := t.randCustomerID()
+	olCnt := 5 + t.rng.Intn(11)
+	invalid := t.rng.Intn(100) == 0 // spec: 1% contain an invalid item
+
+	// Draw the order's items up front and process them in sorted order:
+	// stock rows are then always locked in a consistent order, avoiding
+	// deadlocks between concurrent NewOrders (the standard TPC-C trick).
+	items := make([]int, olCnt)
+	for i := range items {
+		items[i] = t.randItem()
+	}
+	sort.Ints(items)
+	if invalid {
+		items[olCnt-1] = s.Items + 100000 // unused item id → rollback below
+	}
+
+	if err := t.conn.Begin(); err != nil {
+		return err
+	}
+	// Increment-then-read keeps the district row locked for the o_id
+	// allocation, serializing order numbers per district.
+	if _, err := t.conn.Exec(
+		"UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = @w AND d_id = @d",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d))}); err != nil {
+		return t.abortOn(err)
+	}
+	rows, err := t.conn.Exec(
+		"SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = @w AND d_id = @d",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d))})
+	if err != nil {
+		return t.abortOn(err)
+	}
+	oID := rows.Values[0][0].I - 1
+
+	if _, err := t.conn.Exec("SELECT w_tax FROM warehouse WHERE w_id = @w",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID))}); err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"SELECT c_discount, c_credit FROM customer WHERE c_w_id = @w AND c_d_id = @d AND c_id = @c",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "c": iv(int64(c))}); err != nil {
+		return t.abortOn(err)
+	}
+
+	now := time.Now().UnixMicro()
+	if _, err := t.conn.Exec(
+		"INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
+		map[string]sqltypes.Value{
+			"a": iv(int64(t.wID)), "b": iv(int64(d)), "c": iv(oID), "d": iv(int64(c)),
+			"e": sqltypes.Datetime(now), "f": iv(0), "g": iv(int64(olCnt)), "h": iv(1),
+		}); err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"INSERT INTO neworder (no_w_id, no_d_id, no_o_id) VALUES (@a, @b, @c)",
+		map[string]sqltypes.Value{"a": iv(int64(t.wID)), "b": iv(int64(d)), "c": iv(oID)}); err != nil {
+		return t.abortOn(err)
+	}
+
+	for ol := 1; ol <= olCnt; ol++ {
+		item := items[ol-1]
+		rows, err := t.conn.Exec("SELECT i_price FROM item WHERE i_id = @i",
+			map[string]sqltypes.Value{"i": iv(int64(item))})
+		if err != nil {
+			return t.abortOn(err)
+		}
+		if len(rows.Values) == 0 {
+			t.conn.Rollback()
+			return errIntentionalRollback
+		}
+		price := rows.Values[0][0].F
+		qty := 1 + t.rng.Intn(10)
+
+		rows, err = t.conn.Exec(
+			"SELECT s_quantity FROM stock WHERE s_w_id = @w AND s_i_id = @i",
+			map[string]sqltypes.Value{"w": iv(int64(t.wID)), "i": iv(int64(item))})
+		if err != nil {
+			return t.abortOn(err)
+		}
+		sQty := rows.Values[0][0].I
+		newQty := sQty - int64(qty)
+		if newQty < 10 {
+			newQty += 91
+		}
+		if _, err := t.conn.Exec(
+			"UPDATE stock SET s_quantity = @q, s_ytd = s_ytd + @y, s_order_cnt = s_order_cnt + 1 WHERE s_w_id = @w AND s_i_id = @i",
+			map[string]sqltypes.Value{
+				"q": iv(newQty), "y": fv(float64(qty)),
+				"w": iv(int64(t.wID)), "i": iv(int64(item)),
+			}); err != nil {
+			return t.abortOn(err)
+		}
+		if _, err := t.conn.Exec(
+			"INSERT INTO orderline (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j)",
+			map[string]sqltypes.Value{
+				"a": iv(int64(t.wID)), "b": iv(int64(d)), "c": iv(oID), "d": iv(int64(ol)),
+				"e": iv(int64(item)), "f": iv(int64(t.wID)), "g": sqltypes.Datetime(0),
+				"h": iv(int64(qty)), "i": fv(price * float64(qty)), "j": sv("dist-info-123456789012"),
+			}); err != nil {
+			return t.abortOn(err)
+		}
+	}
+	return t.conn.Commit()
+}
+
+// selectCustomer implements the §5.3 customer selection: 60% by C_LAST
+// (the encrypted predicate), 40% by C_ID. For by-name selection the ORDER BY
+// C_FIRST was removed from the statement; the driver-side code sorts the
+// decrypted rows by first name and picks the median, per the paper.
+func (t *Terminal) selectCustomer(wID, d int) (cID int64, balance float64, err error) {
+	if t.rng.Intn(100) < 60 {
+		last := t.randLastName()
+		rows, err := t.conn.Exec(
+			"SELECT c_id, c_first, c_balance FROM customer WHERE c_w_id = @w AND c_d_id = @d AND c_last = @l",
+			map[string]sqltypes.Value{"w": iv(int64(wID)), "d": iv(int64(d)), "l": sv(last)})
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(rows.Values) == 0 {
+			return 0, 0, fmt.Errorf("tpcc: no customer with last name %s", last)
+		}
+		// Client-side ORDER BY c_first, pick the median (§5.3).
+		sort.Slice(rows.Values, func(i, j int) bool {
+			return strings.Compare(rows.Values[i][1].S, rows.Values[j][1].S) < 0
+		})
+		mid := rows.Values[len(rows.Values)/2]
+		return mid[0].I, mid[2].F, nil
+	}
+	c := t.randCustomerID()
+	rows, err := t.conn.Exec(
+		"SELECT c_id, c_balance FROM customer WHERE c_w_id = @w AND c_d_id = @d AND c_id = @c",
+		map[string]sqltypes.Value{"w": iv(int64(wID)), "d": iv(int64(d)), "c": iv(int64(c))})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rows.Values) == 0 {
+		return 0, 0, fmt.Errorf("tpcc: customer %d missing", c)
+	}
+	return rows.Values[0][0].I, rows.Values[0][1].F, nil
+}
+
+// Payment is TPC-C §2.5 with the §5.3 modifications.
+func (t *Terminal) Payment() error {
+	d := t.randDistrict()
+	amount := 1 + t.rng.Float64()*4999
+	// 85% home district customer, 15% remote.
+	cw, cd := t.wID, d
+	if t.rng.Intn(100) < 15 && t.world.Scale.Warehouses > 1 {
+		for {
+			cw = 1 + t.rng.Intn(t.world.Scale.Warehouses)
+			if cw != t.wID || t.world.Scale.Warehouses == 1 {
+				break
+			}
+		}
+		cd = t.randDistrict()
+	}
+
+	if err := t.conn.Begin(); err != nil {
+		return err
+	}
+	if _, err := t.conn.Exec(
+		"UPDATE warehouse SET w_ytd = w_ytd + @h WHERE w_id = @w",
+		map[string]sqltypes.Value{"h": fv(amount), "w": iv(int64(t.wID))}); err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"UPDATE district SET d_ytd = d_ytd + @h WHERE d_w_id = @w AND d_id = @d",
+		map[string]sqltypes.Value{"h": fv(amount), "w": iv(int64(t.wID)), "d": iv(int64(d))}); err != nil {
+		return t.abortOn(err)
+	}
+	cID, _, err := t.selectCustomer(cw, cd)
+	if err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"UPDATE customer SET c_balance = c_balance - @h, c_ytd_payment = c_ytd_payment + @h, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = @w AND c_d_id = @d AND c_id = @c",
+		map[string]sqltypes.Value{
+			"h": fv(amount), "w": iv(int64(cw)), "d": iv(int64(cd)), "c": iv(cID),
+		}); err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount, h_data) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
+		map[string]sqltypes.Value{
+			"a": iv(cID), "b": iv(int64(cd)), "c": iv(int64(cw)),
+			"d": iv(int64(d)), "e": iv(int64(t.wID)),
+			"f": sqltypes.Datetime(time.Now().UnixMicro()), "g": fv(amount), "h": sv("payment"),
+		}); err != nil {
+		return t.abortOn(err)
+	}
+	return t.conn.Commit()
+}
+
+// OrderStatus is TPC-C §2.6 (read-only) with §5.3's customer selection.
+func (t *Terminal) OrderStatus() error {
+	d := t.randDistrict()
+	cID, _, err := t.selectCustomer(t.wID, d)
+	if err != nil {
+		return err
+	}
+	rows, err := t.conn.Exec(
+		"SELECT MAX(o_id) FROM orders WHERE o_w_id = @w AND o_d_id = @d AND o_c_id = @c",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "c": iv(cID)})
+	if err != nil {
+		return err
+	}
+	if len(rows.Values) == 0 || rows.Values[0][0].IsNull() {
+		return nil // customer has no orders
+	}
+	oID := rows.Values[0][0].I
+	_, err = t.conn.Exec(
+		"SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d FROM orderline WHERE ol_w_id = @w AND ol_d_id = @d AND ol_o_id = @o",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)})
+	return err
+}
+
+// Delivery is TPC-C §2.7: deliver the oldest undelivered order per district.
+func (t *Terminal) Delivery() error {
+	carrier := int64(1 + t.rng.Intn(10))
+	now := time.Now().UnixMicro()
+	for d := 1; d <= t.world.Scale.DistrictsPerWarehouse; d++ {
+		if err := t.deliverDistrict(d, carrier, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Terminal) deliverDistrict(d int, carrier, now int64) error {
+	if err := t.conn.Begin(); err != nil {
+		return err
+	}
+	rows, err := t.conn.Exec(
+		"SELECT MIN(no_o_id) FROM neworder WHERE no_w_id = @w AND no_d_id = @d",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d))})
+	if err != nil {
+		return t.abortOn(err)
+	}
+	if len(rows.Values) == 0 || rows.Values[0][0].IsNull() {
+		return t.conn.Commit() // nothing to deliver
+	}
+	oID := rows.Values[0][0].I
+	res, err := t.conn.Exec(
+		"DELETE FROM neworder WHERE no_w_id = @w AND no_d_id = @d AND no_o_id = @o",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)})
+	if err != nil {
+		return t.abortOn(err)
+	}
+	if res.Affected == 0 {
+		return t.conn.Commit() // raced with a concurrent delivery
+	}
+	rows, err = t.conn.Exec(
+		"SELECT o_c_id FROM orders WHERE o_w_id = @w AND o_d_id = @d AND o_id = @o",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)})
+	if err != nil || len(rows.Values) == 0 {
+		return t.abortOn(fmt.Errorf("tpcc: order %d missing: %v", oID, err))
+	}
+	cID := rows.Values[0][0].I
+	if _, err := t.conn.Exec(
+		"UPDATE orders SET o_carrier_id = @c WHERE o_w_id = @w AND o_d_id = @d AND o_id = @o",
+		map[string]sqltypes.Value{"c": iv(carrier), "w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)}); err != nil {
+		return t.abortOn(err)
+	}
+	if _, err := t.conn.Exec(
+		"UPDATE orderline SET ol_delivery_d = @n WHERE ol_w_id = @w AND ol_d_id = @d AND ol_o_id = @o",
+		map[string]sqltypes.Value{"n": sqltypes.Datetime(now), "w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)}); err != nil {
+		return t.abortOn(err)
+	}
+	rows, err = t.conn.Exec(
+		"SELECT SUM(ol_amount) FROM orderline WHERE ol_w_id = @w AND ol_d_id = @d AND ol_o_id = @o",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d)), "o": iv(oID)})
+	if err != nil {
+		return t.abortOn(err)
+	}
+	total := 0.0
+	if len(rows.Values) > 0 && !rows.Values[0][0].IsNull() {
+		total = rows.Values[0][0].F
+	}
+	if _, err := t.conn.Exec(
+		"UPDATE customer SET c_balance = c_balance + @t, c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = @w AND c_d_id = @d AND c_id = @c",
+		map[string]sqltypes.Value{"t": fv(total), "w": iv(int64(t.wID)), "d": iv(int64(d)), "c": iv(cID)}); err != nil {
+		return t.abortOn(err)
+	}
+	return t.conn.Commit()
+}
+
+// StockLevel is TPC-C §2.8: count distinct recently-ordered items below the
+// stock threshold, via an equi-join between orderline and stock.
+func (t *Terminal) StockLevel() error {
+	d := t.randDistrict()
+	threshold := int64(10 + t.rng.Intn(11))
+	rows, err := t.conn.Exec(
+		"SELECT d_next_o_id FROM district WHERE d_w_id = @w AND d_id = @d",
+		map[string]sqltypes.Value{"w": iv(int64(t.wID)), "d": iv(int64(d))})
+	if err != nil {
+		return err
+	}
+	next := rows.Values[0][0].I
+	lo := next - 20
+	if lo < 1 {
+		lo = 1
+	}
+	_, err = t.conn.Exec(
+		"SELECT COUNT(DISTINCT ol_i_id) FROM orderline JOIN stock ON ol_i_id = s_i_id WHERE ol_w_id = @w AND ol_d_id = @d AND ol_o_id >= @lo AND s_w_id = @w2 AND s_quantity < @t",
+		map[string]sqltypes.Value{
+			"w": iv(int64(t.wID)), "d": iv(int64(d)), "lo": iv(lo),
+			"w2": iv(int64(t.wID)), "t": iv(threshold),
+		})
+	return err
+}
