@@ -1,0 +1,73 @@
+// Command aelint runs the repo's trust-boundary analyzers over Go packages.
+// It is the static half of the enclave security argument (DESIGN.md,
+// "Trust-boundary enforcement"): properties the type system cannot express —
+// state-thread discipline, plaintext containment, boundary signatures, lock
+// ordering — are enforced here and wired into `make verify`.
+//
+// Usage:
+//
+//	aelint [-list] [packages]
+//
+// Packages default to ./... . Findings print as
+// file:line:col: analyzer: message, and any finding makes the exit status 1.
+// A finding can be waived with a justified line directive:
+//
+//	//aelint:ignore <analyzer> <why this is safe>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/boundaryapi"
+	"alwaysencrypted/internal/lint/enclavestate"
+	"alwaysencrypted/internal/lint/lockorder"
+	"alwaysencrypted/internal/lint/plaintextflow"
+)
+
+var analyzers = []*analysis.Analyzer{
+	enclavestate.Analyzer,
+	plaintextflow.Analyzer,
+	boundaryapi.Analyzer,
+	lockorder.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aelint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aelint: %s: %s: %v\n", pkg.PkgPath, a.Name, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "aelint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

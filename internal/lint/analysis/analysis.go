@@ -1,0 +1,148 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that the aelint suite needs.
+// The build environment has no module proxy access, so the upstream module
+// cannot be added to go.mod; this package keeps the same shapes (Analyzer,
+// Pass, Diagnostic) so that migrating to the real framework later is an
+// import swap, not a rewrite.
+//
+// The framework adds one feature the suite relies on: suppression
+// directives. A comment of the form
+//
+//	//aelint:ignore <analyzer-name> <justification>
+//
+// on the flagged line, or on the line directly above it, silences that
+// analyzer for that line. Every use must carry a justification; the
+// directive exists for the rare places where the analyzed property is
+// guaranteed by something the analyzer cannot see (e.g. a goroutine join).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //aelint:ignore
+	// directives.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunAnalyzer applies a to pkg, returning the diagnostics sorted by position
+// with //aelint:ignore-suppressed findings removed.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ignored := ignoredLines(pkg, a.Name)
+	kept := diags[:0]
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if ignored[lineKey{p.Filename, p.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoredLines collects the lines suppressed for the named analyzer: a
+// directive suppresses its own line and the line below it.
+func ignoredLines(pkg *Package, name string) map[lineKey]bool {
+	out := make(map[lineKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "aelint:ignore") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, "aelint:ignore"))
+				if len(rest) == 0 || (rest[0] != name && rest[0] != "*") {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				out[lineKey{p.Filename, p.Line}] = true
+				out[lineKey{p.Filename, p.Line + 1}] = true
+			}
+		}
+	}
+	return out
+}
+
+// PackagePathIs reports whether pkg's import path denotes the repo package
+// with the given short name: an exact match ("enclave", as fixture packages
+// are named) or a "/<short>" suffix ("alwaysencrypted/internal/enclave").
+func PackagePathIs(pkg *types.Package, short string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == short || strings.HasSuffix(p, "/"+short)
+}
+
+// WalkStack walks the AST rooted at n, calling fn with each node and the
+// stack of its ancestors (outermost first, not including the node itself).
+// If fn returns false the node's children are skipped.
+func WalkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(node, stack)
+		stack = append(stack, node)
+		if !ok {
+			// Still push/pop correctly: Inspect will not descend, and will
+			// not send the nil pop either, so undo the push now.
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}

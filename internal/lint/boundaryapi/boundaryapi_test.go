@@ -1,0 +1,12 @@
+package boundaryapi_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/boundaryapi"
+)
+
+func TestBoundaryAPI(t *testing.T) {
+	analysistest.Run(t, "testdata", boundaryapi.Analyzer, "enclave", "tds")
+}

@@ -1,0 +1,5 @@
+// Package aecrypto is a fixture stub for key-material detection.
+package aecrypto
+
+// CellKey mirrors the derived key holder.
+type CellKey struct{ root []byte }

@@ -1,0 +1,16 @@
+// Package sqltypes is a fixture stub: Value is the in-memory plaintext form
+// the analyzer must keep off the boundary.
+package sqltypes
+
+// Value mirrors the real plaintext value type.
+type Value struct {
+	Kind uint8
+	I    int64
+	S    string
+}
+
+// EncType is boundary-safe metadata (no plaintext).
+type EncType struct {
+	CEKName string
+	Scheme  int
+}

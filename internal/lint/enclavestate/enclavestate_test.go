@@ -1,0 +1,12 @@
+package enclavestate_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/enclavestate"
+)
+
+func TestEnclaveState(t *testing.T) {
+	analysistest.Run(t, "testdata", enclavestate.Analyzer, "enclave")
+}

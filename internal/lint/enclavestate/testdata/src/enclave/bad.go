@@ -1,0 +1,23 @@
+package enclave
+
+// InstallRaw writes the CEK cache directly from an exported entry point.
+func (e *Enclave) InstallRaw(name string, key []byte) {
+	e.ceks[name] = key // want `direct write to Enclave\.ceks outside mutate\(\)`
+}
+
+// DropSession mutates the session table without the state thread.
+func (e *Enclave) DropSession(sid uint64) {
+	delete(e.sessions, sid) // want `direct write to Enclave\.sessions outside mutate\(\)`
+}
+
+// Reset replaces guarded maps wholesale.
+func (e *Enclave) Reset() {
+	e.sessions = map[uint64]*session{} // want `direct write to Enclave\.sessions outside mutate\(\)`
+	e.counter++                        // want `direct write to Enclave\.counter outside mutate\(\)`
+}
+
+// Authorize writes a session field fetched from shared state.
+func (e *Enclave) Authorize(sid, h uint64) {
+	s := e.sessions[sid]
+	s.authorized[h] = true // want `direct write to session\.authorized outside mutate\(\)`
+}

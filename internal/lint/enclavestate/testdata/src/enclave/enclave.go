@@ -1,0 +1,30 @@
+// Package enclave is a fixture mirroring the shape of the real enclave
+// package: guarded state types, the mutate() funnel, and a mix of
+// disciplined and undisciplined writers.
+package enclave
+
+import "sync"
+
+type session struct {
+	id         uint64
+	authorized map[uint64]bool
+}
+
+// Enclave mirrors the real guarded state carrier.
+type Enclave struct {
+	mu       sync.RWMutex
+	sessions map[uint64]*session
+	ceks     map[string][]byte
+	counter  int
+}
+
+// Stats is not guarded state.
+type Stats struct {
+	Sessions int
+}
+
+func (e *Enclave) mutate(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn()
+}

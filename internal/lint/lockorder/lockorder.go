@@ -1,0 +1,432 @@
+// Package lockorder enforces the storage layer's documented lock hierarchy.
+// Deadlock freedom in the buffer pool / heap / lock-manager stack depends on
+// every code path acquiring locks in one global order (outermost first):
+//
+//	rank 10  LockManager.mu, Heap.mu, VersionStore.mu, WAL.mu   (structure locks)
+//	rank 20  BufferPool.mu                                      (pool map + LRU)
+//	rank 30  Frame.Latch                                        (per-page latch)
+//	rank 40  MemStore.mu, FileStore.mu                          (PageStore I/O)
+//
+// A goroutine may only acquire a lock of strictly greater rank than any lock
+// it already holds. The analyzer simulates each function body tracking the
+// held set (branch-aware: a branch that returns does not leak its holds into
+// the fall-through path), and checks interprocedurally via transitive
+// may-acquire summaries: calling a same-package function whose summary
+// contains a rank no greater than a held rank is reported at the call site.
+// Calls through the PageStore interface are treated as acquiring rank 40,
+// since both implementations lock their own mutex.
+//
+// RLock counts as Lock: read/write flavors deadlock the same way when
+// ordered inconsistently. Deferred Unlocks are ignored, which models the
+// lock as held until the function returns — exactly right for ordering.
+// Function literals and goroutine bodies are skipped (a fresh goroutine
+// starts with an empty held set).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"alwaysencrypted/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "storage locks must be acquired in the documented rank order",
+	Run:  run,
+}
+
+// lockRank maps "Type.field" to its position in the hierarchy. Lower rank =
+// outer lock, acquired first.
+var lockRank = map[string]int{
+	"LockManager.mu":  10,
+	"Heap.mu":         10,
+	"VersionStore.mu": 10,
+	"WAL.mu":          10,
+	"BufferPool.mu":   20,
+	"Frame.Latch":     30,
+	"MemStore.mu":     40,
+	"FileStore.mu":    40,
+}
+
+const orderDoc = "lock order is LockManager/Heap/VersionStore/WAL.mu -> BufferPool.mu -> Frame.Latch -> PageStore"
+
+// pageStoreLock is the pseudo-lock charged to calls through the PageStore
+// interface: both implementations serialize on a rank-40 mutex.
+const (
+	pageStoreLock = "PageStore (MemStore.mu/FileStore.mu)"
+	pageStoreRank = 40
+)
+
+type heldLock struct {
+	name string
+	rank int
+}
+
+// summary is a function's transitive may-acquire set.
+type summary struct {
+	acquires map[string]int // lock name -> rank
+	callees  []*types.Func
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackagePathIs(pass.Pkg, "storage") {
+		return nil, nil
+	}
+	s := &sim{pass: pass, summaries: map[*types.Func]*summary{}}
+	s.buildSummaries()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				s.stmts(fn.Body.List, nil)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type sim struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]*summary
+}
+
+// buildSummaries computes, for every function declared in the package, the
+// transitive set of ranked locks it may acquire.
+func (s *sim) buildSummaries() {
+	for _, file := range s.pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := s.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := &summary{acquires: map[string]int{}}
+			s.scanCalls(fn.Body, func(call *ast.CallExpr) {
+				if name, rank, acquire, ok := s.lockOp(call); ok {
+					if acquire {
+						sum.acquires[name] = rank
+					}
+					return
+				}
+				if callee, iface := s.callee(call); iface {
+					sum.acquires[pageStoreLock] = pageStoreRank
+				} else if callee != nil {
+					sum.callees = append(sum.callees, callee)
+				}
+			})
+			s.summaries[obj] = sum
+		}
+	}
+	// Transitive closure: fold callee acquires into callers to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range s.summaries {
+			for _, callee := range sum.callees {
+				csum := s.summaries[callee]
+				if csum == nil {
+					continue
+				}
+				for name, rank := range csum.acquires {
+					if _, ok := sum.acquires[name]; !ok {
+						sum.acquires[name] = rank
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanCalls visits every CallExpr under n in source order, skipping function
+// literals (their bodies run with their own held set).
+func (s *sim) scanCalls(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn(n)
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as a ranked lock operation. Returns the lock name
+// ("Type.field"), its rank, and whether it acquires (Lock/RLock) or releases
+// (Unlock/RUnlock).
+func (s *sim) lockOp(call *ast.CallExpr) (name string, rank int, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", 0, false, false
+	}
+	field, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	fsel, hasSel := s.pass.TypesInfo.Selections[field]
+	if !hasSel || fsel.Kind() != types.FieldVal {
+		return "", 0, false, false
+	}
+	recv := fsel.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", 0, false, false
+	}
+	key := named.Obj().Name() + "." + fsel.Obj().Name()
+	r, ranked := lockRank[key]
+	if !ranked {
+		return "", 0, false, false
+	}
+	return key, r, acquire, true
+}
+
+// callee resolves a call to a same-package static function (returned as
+// *types.Func), or reports iface=true for calls through the PageStore
+// interface. Calls to other packages, builtins, and function values resolve
+// to (nil, false).
+func (s *sim) callee(call *ast.CallExpr) (fn *types.Func, iface bool) {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil, false
+	}
+	obj, ok := s.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() != s.pass.Pkg {
+		return nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		if named, ok := recv.Type().(*types.Named); ok && named.Obj().Name() == "PageStore" {
+			return nil, true
+		}
+		return nil, false
+	}
+	return obj, false
+}
+
+// stmts simulates a statement list with the given held set, returning the
+// held set at fall-through and whether the list terminates (return / branch).
+func (s *sim) stmts(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, stmt := range list {
+		var term bool
+		held, term = s.stmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *sim) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch stmt := stmt.(type) {
+	case *ast.ReturnStmt:
+		s.checkCalls(stmt, &held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path; the target resumes from a
+		// state we approximate as the loop entry state.
+		return held, true
+	case *ast.BlockStmt:
+		return s.stmts(stmt.List, held)
+	case *ast.LabeledStmt:
+		return s.stmt(stmt.Stmt, held)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			held, _ = s.stmt(stmt.Init, held)
+		}
+		s.checkCalls(stmt.Cond, &held)
+		thenHeld, thenTerm := s.stmts(stmt.Body.List, cloneHeld(held))
+		elseHeld, elseTerm := cloneHeld(held), false
+		if stmt.Else != nil {
+			elseHeld, elseTerm = s.stmt(stmt.Else, cloneHeld(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersectHeld(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			held, _ = s.stmt(stmt.Init, held)
+		}
+		if stmt.Cond != nil {
+			s.checkCalls(stmt.Cond, &held)
+		}
+		bodyHeld, bodyTerm := s.stmts(stmt.Body.List, cloneHeld(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyHeld), false
+	case *ast.RangeStmt:
+		s.checkCalls(stmt.X, &held)
+		bodyHeld, bodyTerm := s.stmts(stmt.Body.List, cloneHeld(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyHeld), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Simulate each case from the entry state; continue with the entry
+		// state (cases either balance their locks or terminate).
+		var body *ast.BlockStmt
+		switch st := stmt.(type) {
+		case *ast.SwitchStmt:
+			body = st.Body
+		case *ast.TypeSwitchStmt:
+			body = st.Body
+		case *ast.SelectStmt:
+			body = st.Body
+		}
+		for _, clause := range body.List {
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				s.stmts(c.Body, cloneHeld(held))
+			case *ast.CommClause:
+				s.stmts(c.Body, cloneHeld(held))
+			}
+		}
+		return held, false
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held until return — the right
+		// model for ordering, so acquire/release bookkeeping skips it.
+		// Deferred plain calls are checked against the current held set.
+		if _, _, _, isLock := s.lockOp(stmt.Call); !isLock {
+			s.checkCall(stmt.Call, &held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		// New goroutine: empty held set; literals are simulated separately.
+		return held, false
+	case nil:
+		return held, false
+	default:
+		s.checkCalls(stmt, &held)
+		return held, false
+	}
+}
+
+// checkCalls processes every call under n in source order against held,
+// updating held for lock ops.
+func (s *sim) checkCalls(n ast.Node, held *[]heldLock) {
+	if n == nil {
+		return
+	}
+	s.scanCalls(n, func(call *ast.CallExpr) {
+		s.checkCall(call, held)
+	})
+}
+
+func (s *sim) checkCall(call *ast.CallExpr, held *[]heldLock) {
+	if name, rank, acquire, ok := s.lockOp(call); ok {
+		if acquire {
+			if h := worstHeld(*held, rank); h != nil {
+				s.pass.Reportf(call.Pos(),
+					"acquires %s (rank %d) while holding %s (rank %d); %s",
+					name, rank, h.name, h.rank, orderDoc)
+			}
+			*held = append(*held, heldLock{name, rank})
+		} else {
+			releaseHeld(held, name)
+		}
+		return
+	}
+	callee, iface := s.callee(call)
+	if iface {
+		if h := worstHeld(*held, pageStoreRank); h != nil {
+			s.pass.Reportf(call.Pos(),
+				"PageStore call may acquire %s (rank %d) while holding %s (rank %d); %s",
+				pageStoreLock, pageStoreRank, h.name, h.rank, orderDoc)
+		}
+		return
+	}
+	if callee == nil {
+		return
+	}
+	sum := s.summaries[callee]
+	if sum == nil {
+		return
+	}
+	// Report the worst violation a callee's may-acquire set implies.
+	names := make([]string, 0, len(sum.acquires))
+	for name := range sum.acquires {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rank := sum.acquires[name]
+		if h := worstHeld(*held, rank); h != nil {
+			s.pass.Reportf(call.Pos(),
+				"call to %s may acquire %s (rank %d) while %s (rank %d) is held; %s",
+				callee.Name(), name, rank, h.name, h.rank, orderDoc)
+			return
+		}
+	}
+}
+
+// worstHeld returns the highest-ranked held lock whose rank is >= rank (an
+// ordering violation: only strictly greater ranks may be acquired), or nil.
+func worstHeld(held []heldLock, rank int) *heldLock {
+	var worst *heldLock
+	for i := range held {
+		if held[i].rank >= rank && (worst == nil || held[i].rank > worst.rank) {
+			worst = &held[i]
+		}
+	}
+	return worst
+}
+
+func releaseHeld(held *[]heldLock, name string) {
+	h := *held
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].name == name {
+			*held = append(h[:i], h[i+1:]...)
+			return
+		}
+	}
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// intersectHeld keeps locks present in both states — the sound "must-hold"
+// merge after branches that rejoin.
+func intersectHeld(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		for _, g := range b {
+			if h.name == g.name {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}

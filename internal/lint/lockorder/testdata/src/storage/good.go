@@ -1,0 +1,58 @@
+package storage
+
+// Fetch is the canonical legal descent: pool lock (20), then the fresh
+// frame's latch (30), then PageStore I/O (40) with the pool lock dropped.
+func (b *BufferPool) Fetch(id PageID) (*Frame, error) {
+	b.mu.Lock()
+	if f, ok := b.frames[id]; ok {
+		b.mu.Unlock()
+		return f, nil
+	}
+	f := &Frame{page: make([]byte, 4096)}
+	b.frames[id] = f
+	f.Latch.Lock()
+	b.mu.Unlock()
+	err := b.store.ReadPage(id, f.page)
+	f.Latch.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Insert holds the heap lock (10) across pool (20) and latch (30) use —
+// strictly increasing ranks, including through the Fetch summary.
+func (h *Heap) Insert(rec []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := h.pool.Fetch(0)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	f.page = append(f.page, rec...)
+	f.Latch.Unlock()
+	h.rows++
+	return nil
+}
+
+// earlyRelease drops the latch inside the hit branch before returning; the
+// fall-through path acquires the pool lock with nothing held.
+func earlyRelease(b *BufferPool, f *Frame, hot bool) {
+	f.Latch.RLock()
+	if hot {
+		f.Latch.RUnlock()
+		return
+	}
+	f.Latch.RUnlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// sequential reacquisition in either order is fine — never held together.
+func sequential(b *BufferPool, f *Frame) {
+	f.Latch.Lock()
+	f.Latch.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

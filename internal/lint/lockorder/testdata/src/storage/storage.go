@@ -1,0 +1,62 @@
+// Package storage is a fixture mirror of the real storage layer's lock
+// landscape: the same type and field names carry the same ranks.
+package storage
+
+import "sync"
+
+// PageID identifies a page.
+type PageID uint64
+
+// PageStore is the rank-40 I/O layer.
+type PageStore interface {
+	ReadPage(id PageID, buf []byte) error
+	WritePage(id PageID, buf []byte) error
+}
+
+// MemStore is a rank-40 implementation.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages map[PageID][]byte
+}
+
+// ReadPage loads a page.
+func (m *MemStore) ReadPage(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage stores a page.
+func (m *MemStore) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages[id] = append([]byte(nil), buf...)
+	return nil
+}
+
+// Frame carries the rank-30 page latch.
+type Frame struct {
+	Latch sync.RWMutex
+	page  []byte
+}
+
+// BufferPool owns the rank-20 pool lock.
+type BufferPool struct {
+	mu     sync.Mutex
+	store  PageStore
+	frames map[PageID]*Frame
+}
+
+// Heap owns a rank-10 structure lock.
+type Heap struct {
+	mu   sync.Mutex
+	pool *BufferPool
+	rows int64
+}
+
+// WAL owns a rank-10 structure lock.
+type WAL struct {
+	mu  sync.Mutex
+	lsn uint64
+}

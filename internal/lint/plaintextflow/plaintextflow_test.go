@@ -1,0 +1,12 @@
+package plaintextflow_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/plaintextflow"
+)
+
+func TestPlaintextFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", plaintextflow.Analyzer, "enclave", "aecrypto")
+}

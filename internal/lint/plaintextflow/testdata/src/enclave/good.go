@@ -1,0 +1,22 @@
+package enclave
+
+import (
+	"fmt"
+
+	"aecrypto"
+)
+
+// GetCell decrypts and returns the plaintext through the declared result
+// slot — the legal channel — and keeps its errors coarse.
+func GetCell(key *aecrypto.CellKey, cell []byte) ([]byte, error) {
+	if len(cell) == 0 {
+		return nil, fmt.Errorf("enclave: empty cell (%d bytes expected)", 1)
+	}
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		// The error result of a decrypt source is a sentinel, not plaintext.
+		return nil, fmt.Errorf("enclave: open failed: %w", err)
+	}
+	out := append([]byte(nil), pt...)
+	return out, nil
+}
