@@ -228,9 +228,10 @@ func (e *Enclave) Close() {
 		e.queue.close()
 	}
 	e.mu.Lock()
-	e.sessions = map[uint64]*session{}
-	e.ceks = map[string]*aecrypto.CellKey{}
-	e.exprs = map[uint64]*registeredExpr{}
+	// stateWG.Wait above joined the state thread and stateCh is closed, so
+	// mutate() is unavailable and nothing else can touch this state.
+	//aelint:ignore enclavestate state thread joined above; teardown is single-threaded
+	e.sessions, e.ceks, e.exprs = map[uint64]*session{}, map[string]*aecrypto.CellKey{}, map[uint64]*registeredExpr{}
 	e.mu.Unlock()
 }
 
