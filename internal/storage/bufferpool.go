@@ -70,9 +70,16 @@ func (b *BufferPool) Fetch(id PageID) (*Frame, error) {
 		b.mu.Unlock()
 		return nil, err
 	}
+	// Write-latch the frame before publishing it: the frame is already in
+	// the map, so a concurrent Fetch can hit it and must block on the latch
+	// until the page is loaded. The latch is fresh and the pool lock is
+	// held, so this cannot contend or invert the lock order.
+	f.Latch.Lock()
 	b.mu.Unlock()
 	// Read outside the pool lock; the frame is pinned so it cannot vanish.
-	if err := b.store.ReadPage(id, f.page.Bytes()); err != nil {
+	err = b.store.ReadPage(id, f.page.Bytes())
+	f.Latch.Unlock()
+	if err != nil {
 		b.mu.Lock()
 		f.pins--
 		delete(b.frames, id)
@@ -157,7 +164,12 @@ func (b *BufferPool) FlushAll() error {
 		if !f.dirty {
 			continue
 		}
-		if err := b.store.WritePage(id, f.page.Bytes()); err != nil {
+		// Read-latch the frame: a pinned writer may be mutating the page
+		// under its write latch without holding the pool lock.
+		f.Latch.RLock()
+		err := b.store.WritePage(id, f.page.Bytes())
+		f.Latch.RUnlock()
+		if err != nil {
 			return fmt.Errorf("storage: flushing page %d: %w", id, err)
 		}
 		f.dirty = false
