@@ -1,0 +1,29 @@
+# Tier-1 verification: build, vet, trust-boundary lint, full tests.
+# `make verify` is the bar every change must clear.
+
+GO ?= go
+
+.PHONY: verify build vet lint test race bench
+
+verify: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/aelint ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy layers under the race detector: the enclave state
+# thread and queue, the buffer pool / heap / lock manager, and the engine
+# that drives them.
+race:
+	$(GO) test -race ./internal/enclave/... ./internal/storage/... ./internal/engine/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
