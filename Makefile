@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race bench
+.PHONY: verify build vet lint test race bench microbench
 
 verify: build vet lint test
 
@@ -25,5 +25,10 @@ test:
 race:
 	$(GO) test -race ./internal/enclave/... ./internal/storage/... ./internal/engine/...
 
+# TPC-C benchmark artifact: per-transaction-type latency percentiles and
+# enclave boundary traffic in the stable BENCH_tpcc.json schema.
 bench:
+	$(GO) run ./cmd/tpccbench -experiment bench -duration 2s -out BENCH_tpcc.json
+
+microbench:
 	$(GO) test -bench=. -benchmem .

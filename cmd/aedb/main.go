@@ -1,7 +1,9 @@
 // Command aedb runs a standalone Always Encrypted server: enclave, HGS,
 // engine and the TDS wire protocol on a TCP listener. It periodically prints
 // the enclave's crash-dump view (counters only — enclave memory is stripped,
-// §3.3) and the engine's operation counters.
+// §3.3) and the engine's operation counters. With -metrics it additionally
+// serves the full obs registry snapshot as JSON on a second HTTP listener
+// (GET /metrics).
 //
 // Because trust anchors (HGS signing key, enclave author ID) live in memory,
 // aedb is intended for same-machine experimentation; the in-process tools
@@ -11,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -24,6 +27,7 @@ func main() {
 	syncEnclave := flag.Bool("sync-enclave", false, "call the enclave synchronously (disable the §4.6 queue)")
 	noCTR := flag.Bool("no-ctr", false, "disable constant-time recovery (§4.5)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+	metricsAddr := flag.String("metrics", "", "serve the metrics snapshot as JSON on this address (e.g. 127.0.0.1:14331; empty = off)")
 	flag.Parse()
 
 	srv, err := core.StartServer(core.ServerConfig{
@@ -38,6 +42,19 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("aedb: serving on %s (enclave threads=%d, CTR=%v)\n", srv.Addr(), *enclaveThreads, !*noCTR)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Obs())
+		ms := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aedb: metrics:", err)
+			}
+		}()
+		defer ms.Close()
+		fmt.Printf("aedb: metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

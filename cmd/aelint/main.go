@@ -24,6 +24,7 @@ import (
 	"alwaysencrypted/internal/lint/boundaryapi"
 	"alwaysencrypted/internal/lint/enclavestate"
 	"alwaysencrypted/internal/lint/lockorder"
+	"alwaysencrypted/internal/lint/obsleak"
 	"alwaysencrypted/internal/lint/plaintextflow"
 )
 
@@ -32,6 +33,7 @@ var analyzers = []*analysis.Analyzer{
 	plaintextflow.Analyzer,
 	boundaryapi.Analyzer,
 	lockorder.Analyzer,
+	obsleak.Analyzer,
 }
 
 func main() {

@@ -8,7 +8,12 @@
 //	tpccbench -experiment fig8 [-duration 3s] [-warehouses 2]
 //	tpccbench -experiment fig9 [-threads 16]
 //	tpccbench -experiment fig5
+//	tpccbench -experiment bench [-out BENCH_tpcc.json]
 //	tpccbench -experiment all
+//
+// The bench experiment is the `make bench` artifact: one plaintext and one
+// enclave run, serialized with per-transaction-type latency percentiles and
+// enclave boundary traffic in the stable tpcc.BenchSchema JSON layout.
 //
 // Absolute numbers depend on the machine; the shape — who wins and by
 // roughly what factor — is the reproduction target.
@@ -32,6 +37,7 @@ func main() {
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouse count (scaled)")
 	threads := flag.Int("threads", 16, "client threads for fig9 (the paper's full-load point)")
+	out := flag.String("out", "BENCH_tpcc.json", "output path for the bench experiment")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -45,6 +51,8 @@ func main() {
 		runFigure9(scale, *duration, *warmup, *threads)
 	case "fig5":
 		runFigure5()
+	case "bench":
+		runBench(scale, *duration, *warmup, *out)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()
@@ -149,6 +157,39 @@ func runFigure9(scale tpcc.Scale, d, warmup time.Duration, threads int) {
 	det, rnd4 := results[1], results[2]
 	fmt.Printf("\nSQL-AE-RND-4 is %.1f%% slower than SQL-AE-DET (paper: 12.3%%)\n",
 		100*(det-rnd4)/det)
+}
+
+// runBench produces the BENCH_tpcc.json artifact: a plaintext baseline and
+// an enclave (RND) run with full latency and boundary-traffic sections.
+func runBench(scale tpcc.Scale, d, warmup time.Duration, out string) {
+	configs := []struct {
+		mode    tpcc.Mode
+		enclave int
+	}{
+		{tpcc.ModePlaintext, 4},
+		{tpcc.ModeRND, 4},
+	}
+	var results []*tpcc.Result
+	for _, c := range configs {
+		w := newWorld(c.mode, scale, c.enclave)
+		res, err := tpcc.RunOnWorld(w, tpcc.BenchConfig{
+			Mode: c.mode, Scale: w.Scale, Threads: 8,
+			EnclaveThreads: c.enclave, Duration: d, Warmup: warmup,
+		})
+		w.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v: %v\n", c.mode, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		fmt.Printf("%-14s %10.2f tx/s, %d committed, %d crossings, %d enclave evals\n",
+			c.mode, res.Throughput, res.Committed, res.Crossings, res.EnclaveEvals)
+	}
+	if err := tpcc.NewBenchReport(results...).WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", out, tpcc.BenchSchema)
 }
 
 func runFigure5() {

@@ -27,6 +27,7 @@ import (
 	"alwaysencrypted/internal/enclave"
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/obs"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/tds"
 )
@@ -55,6 +56,10 @@ type ServerConfig struct {
 	// EnclaveVersion stamps the enclave image (clients can set version
 	// floors in their attestation policy).
 	EnclaveVersion int
+	// Obs is the metrics registry the deployment records into; nil means a
+	// fresh private registry. The same registry is shared by the enclave,
+	// the engine and the buffer pool, and survives enclave restarts.
+	Obs *obs.Registry
 }
 
 // Server is a running deployment.
@@ -98,11 +103,16 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		// pin the enclave thread to).
 		spin = 2 * time.Microsecond
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New("core")
+	}
 	opts := enclave.Options{
 		Threads:      cfg.EnclaveThreads,
 		Synchronous:  cfg.SynchronousEnclave,
 		SpinDuration: spin,
 		CrossingCost: time.Microsecond,
+		Obs:          reg,
 	}
 	encl, err := enclave.Load(image, 10, opts)
 	if err != nil {
@@ -123,7 +133,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	hgs.RegisterHost(tcg)
 
 	eng := engine.New(engine.Config{
-		Enclave: encl, Host: host, HGS: hgs, CTR: !cfg.DisableCTR,
+		Enclave: encl, Host: host, HGS: hgs, CTR: !cfg.DisableCTR, Obs: reg,
 	})
 	srv := &Server{
 		Engine:  eng,
@@ -157,6 +167,10 @@ func (s *Server) Addr() string { return s.addr }
 // band; here the helper stands in for that channel.
 func (s *Server) Policy() attestation.Policy { return s.policy }
 
+// Obs returns the deployment's shared metrics registry: enclave, engine and
+// buffer-pool instruments all record here, across enclave restarts.
+func (s *Server) Obs() *obs.Registry { return s.options.Obs }
+
 // Close shuts the deployment down.
 func (s *Server) Close() {
 	if s.listener != nil {
@@ -179,6 +193,9 @@ func (s *Server) RestartEnclave() error {
 	old := s.Enclave
 	s.Enclave = fresh
 	s.Engine.ReplaceEnclave(fresh)
+	// Cached plans hold expression handles compiled inside the old enclave;
+	// running one against the fresh instance would fail with ErrClosed.
+	s.Engine.InvalidatePlans()
 	old.Close()
 	return nil
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"alwaysencrypted/internal/obs"
+)
+
+// TestSharedObsRegistry checks that the deployment records enclave, engine
+// and buffer-pool instruments into one registry, that the registry survives
+// an enclave restart (the fresh enclave keeps counting into the same
+// counters), and that the /metrics HTTP view serves it.
+func TestSharedObsRegistry(t *testing.T) {
+	reg := obs.New("aedb")
+	srv, err := StartServer(ServerConfig{EnclaveThreads: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if srv.Obs() != reg {
+		t.Fatal("Server.Obs() is not the registry passed in ServerConfig")
+	}
+
+	admin := NewKeyAdmin(srv)
+	if err := admin.CreateMasterKey("CMK", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateColumnKey("CEK", "CMK"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE T(id int PRIMARY KEY,
+		v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK,
+		ENCRYPTION_TYPE = Randomized,
+		ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil); err != nil {
+		t.Fatal(err)
+	}
+	run := func(id int64) {
+		t.Helper()
+		if _, err := db.Exec("INSERT INTO T (id, v) VALUES (@id, @v)",
+			map[string]Value{"id": Int(id), "v": Int(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("SELECT id FROM T WHERE v = @v",
+			map[string]Value{"v": Int(id * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1)
+
+	snap := srv.Obs().Snapshot()
+	if snap.Counters["engine.execs"] == 0 {
+		t.Fatalf("engine.execs = 0; engine not recording into the shared registry: %+v", snap.Counters)
+	}
+	if snap.Counters["enclave.evals"] == 0 {
+		t.Fatalf("enclave.evals = 0; enclave not recording into the shared registry")
+	}
+	if _, ok := snap.Counters["storage.pool.hits"]; !ok {
+		t.Fatal("storage.pool.hits missing; buffer pool not on the shared registry")
+	}
+	evalsBefore := snap.Counters["enclave.evals"]
+
+	// A restarted enclave must keep recording into the same registry.
+	if err := srv.RestartEnclave(); err != nil {
+		t.Fatal(err)
+	}
+	// Client must re-attest against the fresh enclave to drive it again.
+	db2, err := srv.Connect(ClientConfig{AlwaysEncrypted: true, Providers: admin.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec("SELECT id FROM T WHERE v = @v",
+		map[string]Value{"v": Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if after := srv.Obs().Snapshot().Counters["enclave.evals"]; after <= evalsBefore {
+		t.Fatalf("enclave.evals %d -> %d; restarted enclave not recording into the shared registry", evalsBefore, after)
+	}
+
+	// The HTTP view the aedb -metrics flag mounts.
+	rr := httptest.NewRecorder()
+	srv.Obs().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("metrics endpoint is not JSON: %v", err)
+	}
+	if decoded.Counters["engine.execs"] == 0 {
+		t.Fatal("metrics endpoint snapshot missing engine.execs")
+	}
+}

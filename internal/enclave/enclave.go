@@ -30,6 +30,7 @@ import (
 	"alwaysencrypted/internal/aecrypto"
 	"alwaysencrypted/internal/attestation"
 	"alwaysencrypted/internal/exprsvc"
+	"alwaysencrypted/internal/obs"
 )
 
 // Errors surfaced across the enclave boundary. They are deliberately coarse:
@@ -122,6 +123,12 @@ type Options struct {
 	// CrossingCost models one security-boundary transition (the hypervisor
 	// world switch). Figures in the paper imply single-digit microseconds.
 	CrossingCost time.Duration
+	// Obs is the observability registry the enclave reports into (queue
+	// waits, crossings, evaluation counts — §4.6 decomposition). nil gets a
+	// private registry so independent enclaves never share series. The
+	// instruments carry only counts, durations and sizes; the obsleak
+	// analyzer statically forbids recording anything plaintext-derived.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -161,10 +168,17 @@ type Enclave struct {
 
 	nextSession atomic.Uint64
 	nextHandle  atomic.Uint64
-	evals       atomic.Uint64
-	converts    atomic.Uint64
-	faults      atomic.Uint64
 	closed      atomic.Bool
+
+	// Observability: counters are registry-backed (Dump reads through the
+	// registry — one source of truth for crash dumps and snapshots); the
+	// pointers are cached here so hot paths never touch registry maps.
+	obs       *obs.Registry
+	evals     *obs.Counter
+	converts  *obs.Counter
+	faults    *obs.Counter
+	evalCall  *obs.Histogram // host-observed EvalExpression latency
+	evalBatch *obs.Histogram // input slots per EvalExpression call
 }
 
 // session is per-shared-secret enclave state.
@@ -176,10 +190,34 @@ type session struct {
 }
 
 // registeredExpr is a deserialized expression with a pool of evaluators so
-// concurrent enclave threads can evaluate the same handle.
+// concurrent enclave threads can evaluate the same handle. opTally is the
+// program's static per-opcode instruction mix, pre-resolved to counters so
+// each evaluation adds it with a few atomic ops — the Fig. 5 boundary
+// traffic decomposition (which opcodes the enclave executes, how often)
+// without touching the evaluator's inner loop.
 type registeredExpr struct {
-	prog *exprsvc.Program
-	pool sync.Pool
+	prog    *exprsvc.Program
+	pool    sync.Pool
+	opTally []opCount
+}
+
+// opCount is one opcode's per-evaluation increment.
+type opCount struct {
+	counter *obs.Counter
+	n       uint64
+}
+
+// tallyOps pre-computes the per-opcode counter increments for prog.
+func tallyOps(reg *obs.Registry, prog *exprsvc.Program) []opCount {
+	counts := make(map[exprsvc.Opcode]uint64)
+	for i := range prog.Code {
+		counts[prog.Code[i].Op]++
+	}
+	out := make([]opCount, 0, len(counts))
+	for op, n := range counts {
+		out = append(out, opCount{counter: reg.Counter("enclave.ops." + op.String()), n: n})
+	}
+	return out
 }
 
 // Load initializes the enclave from a signed image, creating the RSA
@@ -198,6 +236,10 @@ func Load(image *Image, hostVersion int, opts Options) (*Enclave, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.New("enclave")
+	}
 	e := &Enclave{
 		opts:        opts,
 		image:       image,
@@ -208,9 +250,32 @@ func Load(image *Image, hostVersion int, opts Options) (*Enclave, error) {
 		sessions:    make(map[uint64]*session),
 		ceks:        make(map[string]*aecrypto.CellKey),
 		exprs:       make(map[uint64]*registeredExpr),
+		obs:         reg,
+		evals:       reg.Counter("enclave.evals"),
+		converts:    reg.Counter("enclave.converts"),
+		faults:      reg.Counter("enclave.faults"),
+		evalCall:    reg.Histogram("enclave.eval.call_ns"),
+		evalBatch:   reg.Histogram("enclave.eval.batch"),
 	}
+	// Live object counts surface as gauge callbacks: the session/CEK/expr
+	// tables stay the single authority and snapshots read them on demand.
+	reg.GaugeFunc("enclave.sessions", func() int64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return int64(len(e.sessions))
+	})
+	reg.GaugeFunc("enclave.ceks", func() int64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return int64(len(e.ceks))
+	})
+	reg.GaugeFunc("enclave.exprs", func() int64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return int64(len(e.exprs))
+	})
 	if !opts.Synchronous {
-		e.queue = newWorkQueue(opts.Threads, opts.SpinDuration, opts.CrossingCost)
+		e.queue = newWorkQueue(opts.Threads, opts.SpinDuration, opts.CrossingCost, reg)
 	}
 	e.stateWG.Add(1)
 	go e.stateThread()
@@ -436,7 +501,7 @@ func (e *Enclave) RegisterExpression(serialized []byte) (uint64, error) {
 		return 0, err
 	}
 	h := e.nextHandle.Add(1)
-	re := &registeredExpr{prog: prog}
+	re := &registeredExpr{prog: prog, opTally: tallyOps(e.obs, prog)}
 	ring := (*enclaveKeyRing)(e)
 	re.pool.New = func() any {
 		return exprsvc.NewEnclaveEvaluator(prog, ring, false)
@@ -465,6 +530,8 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 	if !ok {
 		return nil, ErrNoHandle
 	}
+	start := e.obs.Now()
+	e.evalBatch.Observe(int64(len(inputs)))
 	var outs [][]byte
 	var err error
 	run := func() { outs, err = e.evalLocked(re, inputs) }
@@ -475,6 +542,7 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 		run()
 		spinFor(e.opts.CrossingCost) // exit
 	}
+	e.evalCall.ObserveSince(start)
 	return outs, err
 }
 
@@ -484,7 +552,7 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 func (e *Enclave) evalLocked(re *registeredExpr, inputs [][]byte) (outs [][]byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.faults.Add(1)
+			e.faults.Inc()
 			outs, err = nil, ErrFault
 		}
 	}()
@@ -501,7 +569,10 @@ func (e *Enclave) evalLocked(re *registeredExpr, inputs [][]byte) (outs [][]byte
 			outs[i] = append([]byte(nil), b...)
 		}
 	}
-	e.evals.Add(1)
+	e.evals.Inc()
+	for _, t := range re.opTally {
+		t.counter.Add(t.n)
+	}
 	return outs, nil
 }
 
@@ -521,22 +592,23 @@ type Stats struct {
 	BoundaryCrossings uint64
 }
 
-// Dump returns the crash-dump view of the enclave.
+// Dump returns the crash-dump view of the enclave. It is a compatibility
+// shim over the obs registry: every figure is read through the registry's
+// instruments (gauge callbacks for live object counts, counters for event
+// totals), so crash dumps and metric snapshots can never disagree.
 func (e *Enclave) Dump() Stats {
-	e.mu.RLock()
-	st := Stats{
-		Sessions:        len(e.sessions),
-		InstalledCEKs:   len(e.ceks),
-		RegisteredExprs: len(e.exprs),
-		Evaluations:     e.evals.Load(),
-		Conversions:     e.converts.Load(),
-		Faults:          e.faults.Load(),
+	return Stats{
+		Sessions:          int(e.obs.GaugeValue("enclave.sessions")),
+		InstalledCEKs:     int(e.obs.GaugeValue("enclave.ceks")),
+		RegisteredExprs:   int(e.obs.GaugeValue("enclave.exprs")),
+		Evaluations:       e.evals.Value(),
+		Conversions:       e.converts.Value(),
+		Faults:            e.faults.Value(),
+		QueueTasks:        e.obs.Counter("enclave.queue.tasks").Value(),
+		WorkerSleeps:      e.obs.Counter("enclave.queue.parks").Value(),
+		BoundaryCrossings: e.obs.Counter("enclave.crossings").Value(),
 	}
-	e.mu.RUnlock()
-	if e.queue != nil {
-		st.QueueTasks = e.queue.tasks.Load()
-		st.WorkerSleeps = e.queue.sleeps.Load()
-		st.BoundaryCrossings = e.queue.crossings.Load()
-	}
-	return st
 }
+
+// Obs returns the enclave's observability registry (read-side: snapshots).
+func (e *Enclave) Obs() *obs.Registry { return e.obs }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"alwaysencrypted/internal/obs"
 )
 
 // This file is the "enclave SQL OS" of §4.4: expression services does not
@@ -22,34 +24,51 @@ import (
 // polling for more before exiting the enclave and going to sleep, so a busy
 // system never pays the transition cost.
 
-// task is one unit of enclave work.
+// task is one unit of enclave work. claimed arbitrates shutdown: exactly one
+// of worker or submitter runs the closure, decided by CAS.
 type task struct {
-	run  func()
-	done chan struct{}
+	run       func()
+	done      chan struct{}
+	claimed   atomic.Bool
+	submitted time.Time // zero when queue timing is disabled
 }
 
 // workQueue is the host→enclave submission queue with spin-then-sleep
-// consumers.
+// consumers. Its counters live in the obs registry (single source of truth
+// for Dump and snapshots); every instrument records only counts, durations
+// and queue sizes — the work closures themselves are opaque to it.
 type workQueue struct {
 	ch       chan *task
 	spin     time.Duration
 	crossing time.Duration
 	wg       sync.WaitGroup
 	closed   chan struct{}
+	taskPool sync.Pool
 
-	// counters (atomic: read by Stats while workers run)
-	tasks     atomic.Uint64
-	sleeps    atomic.Uint64 // enclave exits (worker went to sleep)
-	crossings atomic.Uint64 // boundary transitions paid
-	taskPool  sync.Pool
+	// Instruments (§4.6 decomposition). All are registry-backed and safe for
+	// concurrent use by workers and Stats readers.
+	reg       *obs.Registry
+	tasks     *obs.Counter   // completed tasks
+	parks     *obs.Counter   // enclave exits: worker spun out and went to sleep
+	spinHits  *obs.Counter   // tasks picked up without parking (spin or hot queue)
+	crossings *obs.Counter   // boundary transitions paid
+	waitNS    *obs.Histogram // submit-to-start wait
+	depth     *obs.Histogram // queue depth sampled at submit
 }
 
-func newWorkQueue(workers int, spin, crossing time.Duration) *workQueue {
+func newWorkQueue(workers int, spin, crossing time.Duration, reg *obs.Registry) *workQueue {
 	q := &workQueue{
-		ch:       make(chan *task, 256),
-		spin:     spin,
-		crossing: crossing,
-		closed:   make(chan struct{}),
+		ch:        make(chan *task, 256),
+		spin:      spin,
+		crossing:  crossing,
+		closed:    make(chan struct{}),
+		reg:       reg,
+		tasks:     reg.Counter("enclave.queue.tasks"),
+		parks:     reg.Counter("enclave.queue.parks"),
+		spinHits:  reg.Counter("enclave.queue.spin_hits"),
+		crossings: reg.Counter("enclave.crossings"),
+		waitNS:    reg.Histogram("enclave.queue.wait_ns"),
+		depth:     reg.Histogram("enclave.queue.depth"),
 	}
 	q.taskPool.New = func() any { return &task{done: make(chan struct{}, 1)} }
 	for i := 0; i < workers; i++ {
@@ -66,15 +85,32 @@ func newWorkQueue(workers int, spin, crossing time.Duration) *workQueue {
 func (q *workQueue) submit(fn func()) {
 	t := q.taskPool.Get().(*task)
 	t.run = fn
+	t.claimed.Store(false)
+	t.submitted = q.reg.Now()
+	q.depth.Observe(int64(len(q.ch)))
 	select {
 	case q.ch <- t:
 	case <-q.closed:
-		// Enclave torn down: run inline so callers don't deadlock; they
-		// will observe enclave errors at the API layer.
+		// Enclave torn down before enqueue: run inline so callers don't
+		// deadlock; they will observe enclave errors at the API layer.
+		t.run = nil
+		q.taskPool.Put(t)
 		fn()
 		return
 	}
-	<-t.done
+	select {
+	case <-t.done:
+	case <-q.closed:
+		// close raced the enqueue: workers may exit without draining the
+		// buffered channel. If no worker claimed the task, take it back and
+		// run inline; otherwise a worker is (or was) running it — wait.
+		if t.claimed.CompareAndSwap(false, true) {
+			// The task pointer is still queued, so it cannot be pooled.
+			fn()
+			return
+		}
+		<-t.done
+	}
 	t.run = nil
 	q.taskPool.Put(t)
 }
@@ -86,11 +122,14 @@ func (q *workQueue) worker() {
 	q.cross()
 	for {
 		t := q.poll()
-		if t == nil {
+		if t != nil {
+			// Found work without leaving the enclave — the §4.6 win.
+			q.spinHits.Inc()
+		} else {
 			// Nothing arrived during the spin window: exit the enclave
 			// (one transition) and sleep on the queue.
 			q.cross()
-			q.sleeps.Add(1)
+			q.parks.Inc()
 			select {
 			case t = <-q.ch:
 				// Woken: re-enter the enclave.
@@ -102,8 +141,14 @@ func (q *workQueue) worker() {
 				return
 			}
 		}
+		if !t.claimed.CompareAndSwap(false, true) {
+			// The submitter reclaimed this task during shutdown and runs it
+			// inline; it is no longer waiting on done.
+			continue
+		}
+		q.waitNS.ObserveSince(t.submitted)
 		t.run()
-		q.tasks.Add(1)
+		q.tasks.Inc()
 		t.done <- struct{}{}
 	}
 }
@@ -139,7 +184,7 @@ func (q *workQueue) poll() *task {
 // world switch for VBS). A busy spin keeps the cost on-CPU like the real
 // transition, rather than yielding the scheduler.
 func (q *workQueue) cross() {
-	q.crossings.Add(1)
+	q.crossings.Inc()
 	spinFor(q.crossing)
 }
 

@@ -1,0 +1,161 @@
+package enclave
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/obs"
+)
+
+// TestWorkQueueCloseRacingSubmit tears the queue down while submitters are
+// in flight: every submitted closure must still run exactly once (on a
+// worker or inline after close), and nothing may deadlock. Run under -race.
+func TestWorkQueueCloseRacingSubmit(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		reg := obs.New("t")
+		q := newWorkQueue(2, 0, 0, reg)
+		const submitters = 8
+		var ran atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				q.submit(func() { ran.Add(1) })
+			}()
+		}
+		close(start)
+		q.close() // races with the submits
+		wg.Wait()
+		if got := ran.Load(); got != submitters {
+			t.Fatalf("round %d: %d of %d submitted closures ran", round, got, submitters)
+		}
+	}
+}
+
+// TestWorkQueueSpinToPark exercises the §4.6 idle transition: a worker that
+// finds no work during its spin window must exit the enclave (a park and a
+// crossing), then wake and re-enter when work arrives.
+func TestWorkQueueSpinToPark(t *testing.T) {
+	reg := obs.New("t")
+	q := newWorkQueue(1, 100*time.Microsecond, 0, reg)
+	defer q.close()
+
+	parks := reg.Counter("enclave.queue.parks")
+	crossings := reg.Counter("enclave.crossings")
+
+	// Let the worker spin out and park.
+	deadline := time.Now().Add(2 * time.Second)
+	for parks.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	afterPark := crossings.Value()
+	if afterPark < 2 {
+		t.Fatalf("crossings = %d after park, want >= 2 (enter + exit)", afterPark)
+	}
+
+	// Waking a parked worker pays a re-entry crossing and still runs the task.
+	done := make(chan struct{})
+	q.submit(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked worker never woke for submitted work")
+	}
+	if crossings.Value() <= afterPark {
+		t.Fatalf("wake did not pay a crossing: %d -> %d", afterPark, crossings.Value())
+	}
+	if reg.Counter("enclave.queue.tasks").Value() != 1 {
+		t.Fatalf("tasks = %d, want 1", reg.Counter("enclave.queue.tasks").Value())
+	}
+}
+
+// TestWorkQueueSpinHit: a busy queue should be drained without parking —
+// tasks picked up during the spin window count as spin hits.
+func TestWorkQueueSpinHit(t *testing.T) {
+	reg := obs.New("t")
+	q := newWorkQueue(1, 5*time.Millisecond, 0, reg)
+	defer q.close()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.submit(func() { time.Sleep(10 * time.Microsecond) })
+		}()
+	}
+	wg.Wait()
+	if hits := reg.Counter("enclave.queue.spin_hits").Value(); hits == 0 {
+		t.Fatal("no spin hits on a busy queue")
+	}
+	if tasks := reg.Counter("enclave.queue.tasks").Value(); tasks != 50 {
+		t.Fatalf("tasks = %d, want 50", tasks)
+	}
+}
+
+// TestWorkQueueConcurrentHistogramNoLoss drives many host goroutines
+// through the queue, each task recording into one histogram from whichever
+// enclave worker runs it, and asserts no sample is lost. This is the -race
+// guarantee the instrumentation layer gives the §4.6 worker pool.
+func TestWorkQueueConcurrentHistogramNoLoss(t *testing.T) {
+	reg := obs.New("t")
+	q := newWorkQueue(4, 20*time.Microsecond, 0, reg)
+	defer q.close()
+	h := reg.Histogram("test.samples")
+	const submitters = 8
+	const perSubmitter = 500
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				v := base + int64(j)
+				q.submit(func() { h.Observe(v) })
+			}
+		}(int64(i * perSubmitter))
+	}
+	wg.Wait()
+	if got := h.Count(); got != submitters*perSubmitter {
+		t.Fatalf("lost samples: %d of %d recorded", got, submitters*perSubmitter)
+	}
+	// Queue wait histogram must have seen every task too.
+	if waits := reg.Histogram("enclave.queue.wait_ns").Count(); waits != submitters*perSubmitter {
+		t.Fatalf("wait histogram saw %d of %d tasks", waits, submitters*perSubmitter)
+	}
+}
+
+// TestEvalInstrumentation checks the per-call instruments EvalExpression
+// maintains: call latency, batch sizes, per-opcode tallies.
+func TestEvalInstrumentation(t *testing.T) {
+	e := testEnclave(t, Options{Threads: 2})
+	_, key, handle := setupExprSession(t, e)
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := e.EvalExpression(handle, [][]byte{encInt(t, key, 42), encInt(t, key, 42)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Obs().Snapshot()
+	if got := snap.Histograms["enclave.eval.call_ns"].Count; got != calls {
+		t.Fatalf("eval.call_ns count = %d, want %d", got, calls)
+	}
+	if got := snap.Histograms["enclave.eval.batch"].P50; got != 2 {
+		t.Fatalf("eval.batch p50 = %d, want 2", got)
+	}
+	// The equality program contains comparison opcodes; their tally must
+	// grow once per evaluation.
+	if got := snap.Counters["enclave.ops.comp"]; got != calls {
+		t.Fatalf("ops.comp = %d, want %d", got, calls)
+	}
+	if snap.Counters["enclave.evals"] != calls {
+		t.Fatalf("evals = %d, want %d", snap.Counters["enclave.evals"], calls)
+	}
+}

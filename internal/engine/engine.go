@@ -9,6 +9,7 @@ import (
 	"alwaysencrypted/internal/attestation"
 	"alwaysencrypted/internal/btree"
 	"alwaysencrypted/internal/enclave"
+	"alwaysencrypted/internal/obs"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/storage"
 )
@@ -27,6 +28,10 @@ type Config struct {
 	Store storage.PageStore
 	// BufferPoolPages caps the buffer pool; 0 defaults to 4096 frames.
 	BufferPoolPages int
+	// Obs is the metrics registry the engine (and its buffer pool) report
+	// into; nil creates a private one. Pass the same registry to
+	// enclave.Options.Obs to get one snapshot across the trust boundary.
+	Obs *obs.Registry
 }
 
 // Engine is the database engine instance — the untrusted server process.
@@ -48,8 +53,15 @@ type Engine struct {
 
 	nextSession atomic.Uint64
 
-	// Stats counters.
-	scans, seeks, execs atomic.Uint64
+	// Registry-backed instruments; pointers cached at construction so the
+	// per-row hot paths never touch the registry's lock.
+	obs                 *obs.Registry
+	scans, seeks, execs *obs.Counter
+	spanLex             *obs.Histogram // statement lifecycle decomposition
+	spanParse           *obs.Histogram
+	spanBind            *obs.Histogram
+	spanPlan            *obs.Histogram
+	spanExec            *obs.Histogram
 }
 
 // New builds an engine.
@@ -60,19 +72,35 @@ func New(cfg Config) *Engine {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 4096
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New("engine")
+	}
 	return &Engine{
-		cfg:      cfg,
-		catalog:  NewCatalog(),
-		pool:     storage.NewBufferPool(cfg.Store, cfg.BufferPoolPages),
-		wal:      storage.NewWAL(),
-		locks:    storage.NewLockManager(),
-		versions: storage.NewVersionStore(),
-		plans:    make(map[string]*Plan),
-		nextTxn:  1,
-		active:   make(map[uint64]*Txn),
-		deferred: make(map[uint64]*deferredTxn),
+		cfg:       cfg,
+		catalog:   NewCatalog(),
+		pool:      storage.NewBufferPoolObs(cfg.Store, cfg.BufferPoolPages, reg),
+		wal:       storage.NewWAL(),
+		locks:     storage.NewLockManager(),
+		versions:  storage.NewVersionStore(),
+		plans:     make(map[string]*Plan),
+		nextTxn:   1,
+		active:    make(map[uint64]*Txn),
+		deferred:  make(map[uint64]*deferredTxn),
+		obs:       reg,
+		scans:     reg.Counter("engine.scans"),
+		seeks:     reg.Counter("engine.seeks"),
+		execs:     reg.Counter("engine.execs"),
+		spanLex:   reg.Histogram("engine.stmt.lex_ns"),
+		spanParse: reg.Histogram("engine.stmt.parse_ns"),
+		spanBind:  reg.Histogram("engine.stmt.bind_ns"),
+		spanPlan:  reg.Histogram("engine.stmt.plan_ns"),
+		spanExec:  reg.Histogram("engine.stmt.exec_ns"),
 	}
 }
+
+// Obs returns the registry the engine reports into.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Catalog exposes the catalog (tools, tests).
 func (e *Engine) Catalog() *Catalog { return e.catalog }
@@ -83,9 +111,10 @@ func (e *Engine) WAL() *storage.WAL { return e.wal }
 // Enclave returns the configured enclave, or nil.
 func (e *Engine) Enclave() *enclave.Enclave { return e.cfg.Enclave }
 
-// Stats reports engine operation counters.
+// Stats reports engine operation counters. It is a compatibility shim over
+// the obs registry, which is the single source of truth.
 func (e *Engine) Stats() (scans, seeks, execs uint64) {
-	return e.scans.Load(), e.seeks.Load(), e.execs.Load()
+	return e.scans.Value(), e.seeks.Value(), e.execs.Value()
 }
 
 // Session is a server-side connection context. Sessions are not safe for

@@ -33,11 +33,12 @@ type Params map[string][]byte
 // Execute runs one statement on the session.
 func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 	e := s.engine
-	e.execs.Add(1)
+	e.execs.Inc()
 	plan, err := e.getPlan(query)
 	if err != nil {
 		return nil, err
 	}
+	defer e.spanExec.ObserveSince(e.obs.Now())
 	switch st := plan.stmt.(type) {
 	case BeginStmt:
 		return &ResultSet{}, s.Begin()

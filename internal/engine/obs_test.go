@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"alwaysencrypted/internal/obs"
+)
+
+// TestStatementLifecycleSpans runs statements through an engine with an
+// explicit registry and checks the lex→parse→bind→plan→exec decomposition
+// plus the Stats() shim.
+func TestStatementLifecycleSpans(t *testing.T) {
+	reg := obs.New("t")
+	e := New(Config{Obs: reg})
+	s := e.NewSession()
+
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := s.Execute(q, nil); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE t (id int PRIMARY KEY, v int)")
+	mustExec("INSERT INTO t (id, v) VALUES (1, 10)")
+	mustExec("SELECT v FROM t WHERE id = 1")
+	mustExec("SELECT v FROM t WHERE id = 1") // plan-cache hit
+
+	snap := reg.Snapshot()
+	// Four statements executed; the cached SELECT skips lex/parse/bind but
+	// still pays plan (cache lookup) and exec.
+	for phase, want := range map[string]uint64{
+		"engine.stmt.lex_ns":   3,
+		"engine.stmt.parse_ns": 3,
+		"engine.stmt.bind_ns":  3,
+		"engine.stmt.plan_ns":  4,
+		"engine.stmt.exec_ns":  4,
+	} {
+		if got := snap.Histograms[phase].Count; got != want {
+			t.Errorf("%s count = %d, want %d", phase, got, want)
+		}
+	}
+
+	scans, seeks, execs := e.Stats()
+	if snap.Counters["engine.scans"] != scans ||
+		snap.Counters["engine.seeks"] != seeks ||
+		snap.Counters["engine.execs"] != execs {
+		t.Fatalf("Stats() disagrees with registry: %v vs %+v",
+			[]uint64{scans, seeks, execs}, snap.Counters)
+	}
+	if execs != 4 {
+		t.Fatalf("execs = %d, want 4", execs)
+	}
+	if seeks == 0 {
+		t.Fatal("point SELECT on the primary key recorded no seeks")
+	}
+
+	// The buffer pool reports into the same registry.
+	found := false
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "storage.pool.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("buffer pool counters missing from the engine registry")
+	}
+}

@@ -17,10 +17,25 @@ var ErrSyntax = errors.New("engine: syntax error")
 // reference encrypted columns (§2.5); that restriction is enforced by the
 // binder, not the grammar.
 func Parse(src string) (Stmt, error) {
+	toks, err := lexTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	return parseTokens(src, toks)
+}
+
+// lexTokens is the lex phase of the statement lifecycle, wrapping lexer
+// errors in ErrSyntax.
+func lexTokens(src string) ([]token, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
 	}
+	return toks, nil
+}
+
+// parseTokens is the parse phase: token stream to AST.
+func parseTokens(src string, toks []token) (Stmt, error) {
 	p := &parser{src: src, toks: toks}
 	stmt, err := p.parseStatement()
 	if err != nil {

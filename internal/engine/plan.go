@@ -104,8 +104,14 @@ var (
 	ErrAmbiguous    = errors.New("engine: ambiguous column reference")
 )
 
-// getPlan parses, binds and caches the statement for the query text.
+// getPlan parses, binds and caches the statement for the query text. Each
+// lifecycle phase (lex, parse, bind, plan overall) records its latency; on a
+// plan-cache hit only the plan span fires, so the histograms expose the
+// cache's effect directly.
 func (e *Engine) getPlan(query string) (*Plan, error) {
+	planStart := e.obs.Now()
+	defer e.spanPlan.ObserveSince(planStart)
+
 	e.planMu.Lock()
 	if p, ok := e.plans[query]; ok {
 		e.planMu.Unlock()
@@ -113,14 +119,26 @@ func (e *Engine) getPlan(query string) (*Plan, error) {
 	}
 	e.planMu.Unlock()
 
-	stmt, err := Parse(query)
+	lexStart := e.obs.Now()
+	toks, err := lexTokens(query)
 	if err != nil {
 		return nil, err
 	}
+	e.spanLex.ObserveSince(lexStart)
+
+	parseStart := e.obs.Now()
+	stmt, err := parseTokens(query, toks)
+	if err != nil {
+		return nil, err
+	}
+	e.spanParse.ObserveSince(parseStart)
+
+	bindStart := e.obs.Now()
 	p, err := e.bind(query, stmt)
 	if err != nil {
 		return nil, err
 	}
+	e.spanBind.ObserveSince(bindStart)
 	// DDL and transaction-control statements are parsed but not cached:
 	// re-executing CREATE must re-run, and they carry no deduction state.
 	switch stmt.(type) {

@@ -29,6 +29,21 @@ const (
 	OpTMEval                // host only: evaluate enclave sub-program Arg on slots InSlots
 )
 
+// opcodeNames indexes Opcode; String feeds per-opcode instrument names.
+var opcodeNames = [...]string{
+	OpGetData: "get_data", OpGetRaw: "get_raw", OpConst: "const",
+	OpComp: "comp", OpLike: "like", OpAnd: "and", OpOr: "or", OpNot: "not",
+	OpIsNull: "is_null", OpSetData: "set_data", OpTMEval: "tm_eval",
+}
+
+// String returns the opcode's stable lower-case name.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return "unknown"
+}
+
 // Instr is one stack machine instruction.
 type Instr struct {
 	Op      Opcode

@@ -1,0 +1,12 @@
+package obsleak_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/obsleak"
+)
+
+func TestObsLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", obsleak.Analyzer, "enclave")
+}

@@ -1,0 +1,11 @@
+// Package aecrypto is a fixture stub of the real cell-crypto package: the
+// analyzer matches CellKey.Decrypt by receiver and package name.
+package aecrypto
+
+// CellKey mirrors the derived-key holder.
+type CellKey struct{ root []byte }
+
+// Decrypt stands in for envelope opening; its first result is plaintext.
+func (k *CellKey) Decrypt(envelope []byte) ([]byte, error) {
+	return envelope, nil
+}

@@ -1,0 +1,44 @@
+// Package obs is a fixture stub of the real observability package: the
+// analyzer matches sinks by package name suffix and receiver type.
+package obs
+
+import "time"
+
+// Registry mirrors the instrument registry.
+type Registry struct{}
+
+// New creates a registry.
+func New(name string) *Registry { return &Registry{} }
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Counter is a monotonic counter.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {}
+
+// Gauge is a settable value.
+type Gauge struct{}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {}
+
+// Histogram records value distributions.
+type Histogram struct{}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {}
+
+// ObserveSince records elapsed time.
+func (h *Histogram) ObserveSince(start time.Time) {}

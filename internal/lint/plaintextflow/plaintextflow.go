@@ -4,22 +4,8 @@
 // coarse information; Figure 5: only declared comparison results cross the
 // boundary in the clear).
 //
-// Sources — values that hold decrypted plaintext or raw key material:
-//
-//   - (*aecrypto.CellKey).Decrypt results
-//   - (cipher.AEAD).Open results
-//   - (*session).openSealed results (enclave envelope opening)
-//   - (*ecdh.PrivateKey).ECDH results (session shared secret)
-//   - (*exprsvc.Evaluator).Eval/EvalBool results when called from the
-//     enclave package (enclave-side evaluation output pre-copy)
-//   - the destination buffer of a chained cipher.NewCBCDecrypter(...).CryptBlocks
-//
-// Taint propagates through assignments, conversions, arithmetic, composite
-// literals, range statements, copy(), and any call that consumes a tainted
-// argument (conservative: derived values such as decoded forms stay
-// tainted). error-typed variables are exempt from propagation — the error
-// channel is the declared coarse channel, and stuffing plaintext into one
-// goes through a formatting sink that is flagged directly.
+// Sources are the shared decrypt/open primitive set (taint.EnclaveSources);
+// propagation is the shared engine in internal/lint/taint.
 //
 // Sinks — host-visible formatting channels where plaintext must never land:
 // fmt.Errorf / Sprintf / Sprint / Sprintln / Print / Printf / Println /
@@ -35,9 +21,9 @@ package plaintextflow
 
 import (
 	"go/ast"
-	"go/types"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/taint"
 )
 
 // Analyzer is the plaintextflow pass.
@@ -73,312 +59,31 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// checker holds per-function taint state. Function literals nested in the
-// body share the same scope: closures assign to outer locals.
-type checker struct {
-	pass    *analysis.Pass
-	tainted map[types.Object]bool
-}
-
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	c := &checker{pass: pass, tainted: make(map[types.Object]bool)}
-	// Propagate to a fixpoint: assignments may appear before their RHS
-	// becomes tainted on a later iteration (flow-insensitive).
-	for {
-		before := len(c.tainted)
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			c.propagate(n)
-			return true
-		})
-		if len(c.tainted) == before {
-			break
-		}
-	}
+	c := taint.NewChecker(taint.Config{
+		Pass:     pass,
+		IsSource: taint.EnclaveSources(pass),
+	})
+	c.Analyze(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		c.checkSink(call)
+		checkSink(pass, c, call)
 		return true
 	})
 }
 
-// propagate updates taint facts for one statement node.
-func (c *checker) propagate(n ast.Node) {
-	switch n := n.(type) {
-	case *ast.AssignStmt:
-		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
-			// Multi-value: x, err := call(...)
-			c.assignMulti(n.Lhs, n.Rhs[0])
-			return
-		}
-		for i := range n.Rhs {
-			if i < len(n.Lhs) && c.exprTainted(n.Rhs[i]) {
-				c.taintTarget(n.Lhs[i])
-			}
-		}
-	case *ast.GenDecl:
-		for _, spec := range n.Specs {
-			vs, ok := spec.(*ast.ValueSpec)
-			if !ok {
-				continue
-			}
-			if len(vs.Values) == 1 && len(vs.Names) > 1 {
-				if c.exprTainted(vs.Values[0]) {
-					for _, name := range vs.Names {
-						c.taintIdent(name)
-					}
-				}
-				continue
-			}
-			for i, v := range vs.Values {
-				if i < len(vs.Names) && c.exprTainted(v) {
-					c.taintIdent(vs.Names[i])
-				}
-			}
-		}
-	case *ast.RangeStmt:
-		if c.exprTainted(n.X) {
-			if n.Value != nil {
-				c.taintTarget(n.Value)
-			}
-		}
-	case *ast.CallExpr:
-		// copy(dst, src) taints dst; CryptBlocks on a CBC decrypter taints
-		// its destination buffer.
-		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
-			if c.exprTainted(n.Args[1]) {
-				c.taintTarget(n.Args[0])
-			}
-		}
-		if c.isDecrypterCryptBlocks(n) && len(n.Args) == 2 {
-			c.taintTarget(n.Args[0])
-		}
-	}
-}
-
-// assignMulti handles x, err := call(...): source calls taint the non-error
-// results; any call consuming tainted arguments taints every result.
-func (c *checker) assignMulti(lhs []ast.Expr, rhs ast.Expr) {
-	call, ok := rhs.(*ast.CallExpr)
-	if !ok {
-		if c.exprTainted(rhs) {
-			for _, l := range lhs {
-				c.taintTarget(l)
-			}
-		}
-		return
-	}
-	if c.isSourceCall(call) {
-		for _, l := range lhs {
-			if !c.isErrorExpr(l) {
-				c.taintTarget(l)
-			}
-		}
-		return
-	}
-	if c.anyArgTainted(call) || c.receiverTainted(call) {
-		for _, l := range lhs {
-			c.taintTarget(l)
-		}
-	}
-}
-
-func (c *checker) isErrorExpr(e ast.Expr) bool {
-	t := c.pass.TypesInfo.Types[e].Type
-	if t == nil {
-		if id, ok := e.(*ast.Ident); ok {
-			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
-				t = obj.Type()
-			}
-		}
-	}
-	return t != nil && t.String() == "error"
-}
-
-func (c *checker) taintTarget(e ast.Expr) {
-	// Only identifiers carry taint; writes through fields/indices lose
-	// precision deliberately (objects are not tracked).
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.SliceExpr:
-			e = x.X
-		case *ast.Ident:
-			c.taintIdent(x)
-			return
-		default:
-			return
-		}
-	}
-}
-
-func (c *checker) taintIdent(id *ast.Ident) {
-	if id.Name == "_" {
-		return
-	}
-	obj := c.pass.TypesInfo.Defs[id]
-	if obj == nil {
-		obj = c.pass.TypesInfo.Uses[id]
-	}
-	if obj == nil {
-		return
-	}
-	// error-typed variables never carry taint: the error channel is the
-	// declared coarse channel, and formatting plaintext INTO an error is
-	// caught at the fmt.Errorf/errors.New sink itself. Without this,
-	// flow-insensitive propagation through `x, err := f(tainted)` taints the
-	// function-wide err object and flags every earlier wrap of it.
-	if obj.Type() != nil && obj.Type().String() == "error" {
-		return
-	}
-	c.tainted[obj] = true
-}
-
-// exprTainted reports whether evaluating e can yield plaintext-derived data.
-func (c *checker) exprTainted(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.Ident:
-		obj := c.pass.TypesInfo.Uses[x]
-		return obj != nil && c.tainted[obj]
-	case *ast.SelectorExpr:
-		if obj := c.pass.TypesInfo.Uses[x.Sel]; obj != nil && c.tainted[obj] {
-			return true
-		}
-		return c.exprTainted(x.X)
-	case *ast.IndexExpr:
-		return c.exprTainted(x.X)
-	case *ast.SliceExpr:
-		return c.exprTainted(x.X)
-	case *ast.StarExpr:
-		return c.exprTainted(x.X)
-	case *ast.ParenExpr:
-		return c.exprTainted(x.X)
-	case *ast.UnaryExpr:
-		return c.exprTainted(x.X)
-	case *ast.BinaryExpr:
-		return c.exprTainted(x.X) || c.exprTainted(x.Y)
-	case *ast.TypeAssertExpr:
-		return c.exprTainted(x.X)
-	case *ast.CompositeLit:
-		for _, elt := range x.Elts {
-			if kv, ok := elt.(*ast.KeyValueExpr); ok {
-				if c.exprTainted(kv.Value) {
-					return true
-				}
-				continue
-			}
-			if c.exprTainted(elt) {
-				return true
-			}
-		}
-		return false
-	case *ast.CallExpr:
-		if c.isSourceCall(x) {
-			return true
-		}
-		return c.anyArgTainted(x) || c.receiverTainted(x)
-	}
-	return false
-}
-
-func (c *checker) anyArgTainted(call *ast.CallExpr) bool {
-	for _, a := range call.Args {
-		if c.exprTainted(a) {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *checker) receiverTainted(call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	return ok && c.exprTainted(sel.X)
-}
-
-// calleeFunc resolves the called function/method object, if any.
-func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
-}
-
-// isSourceCall recognizes the decrypt/open primitives whose results are
-// plaintext or key material.
-func (c *checker) isSourceCall(call *ast.CallExpr) bool {
-	fn := c.calleeFunc(call)
-	if fn == nil {
-		return false
-	}
-	recv := recvTypeName(fn)
-	switch fn.Name() {
-	case "Decrypt":
-		return recv == "CellKey" && analysis.PackagePathIs(fn.Pkg(), "aecrypto")
-	case "Open":
-		return recv == "AEAD" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/cipher"
-	case "openSealed":
-		return recv == "session" && analysis.PackagePathIs(fn.Pkg(), "enclave")
-	case "ECDH":
-		return recv == "PrivateKey" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/ecdh"
-	case "Eval", "EvalBool":
-		// Enclave-side evaluation output; host-side (engine/driver) callers
-		// legitimately consume results.
-		return recv == "Evaluator" && analysis.PackagePathIs(fn.Pkg(), "exprsvc") &&
-			analysis.PackagePathIs(c.pass.Pkg, "enclave")
-	}
-	return false
-}
-
-// isDecrypterCryptBlocks matches cipher.NewCBCDecrypter(...).CryptBlocks(dst, src).
-func (c *checker) isDecrypterCryptBlocks(call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "CryptBlocks" {
-		return false
-	}
-	inner, ok := sel.X.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	fn := c.calleeFunc(inner)
-	return fn != nil && fn.Name() == "NewCBCDecrypter" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/cipher"
-}
-
-func recvTypeName(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.Underlying().(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if n, ok := t.(*types.Named); ok {
-		return n.Obj().Name()
-	}
-	return ""
-}
-
 // checkSink reports tainted arguments reaching a formatting/panic sink.
-func (c *checker) checkSink(call *ast.CallExpr) {
-	name := c.sinkName(call)
+func checkSink(pass *analysis.Pass, c *taint.Checker, call *ast.CallExpr) {
+	name := sinkName(pass, call)
 	if name == "" {
 		return
 	}
 	for _, arg := range call.Args {
-		if c.exprTainted(arg) {
-			c.pass.Reportf(arg.Pos(),
+		if c.ExprTainted(arg) {
+			pass.Reportf(arg.Pos(),
 				"plaintext-derived value reaches %s: decrypted data must stay inside the enclave boundary; errors must be coarse (§4.4.1)",
 				name)
 		}
@@ -386,11 +91,11 @@ func (c *checker) checkSink(call *ast.CallExpr) {
 }
 
 // sinkName returns a printable sink name, or "" if the call is not a sink.
-func (c *checker) sinkName(call *ast.CallExpr) string {
+func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
 		return "panic"
 	}
-	fn := c.calleeFunc(call)
+	fn := taint.CalleeFunc(pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil {
 		return ""
 	}

@@ -1,0 +1,357 @@
+// Package taint is the shared intra-procedural taint engine behind the
+// plaintextflow and obsleak analyzers. It tracks which local objects may
+// hold plaintext-derived data, propagating flow-insensitively to a fixpoint
+// through assignments, conversions, arithmetic, composite literals, range
+// statements, copy(), and any call that consumes a tainted argument
+// (conservative: derived values such as decoded forms stay tainted).
+//
+// Two policies are pluggable per analyzer:
+//
+//   - IsSource decides which calls introduce taint (see EnclaveSources for
+//     the decrypt/open primitive set both analyzers share).
+//   - Sanitizes decides which calls neutralize taint. plaintextflow has no
+//     sanitizer; obsleak treats len/cap as clean because sizes are part of
+//     the declared observable channel.
+//
+// error-typed variables never carry taint: the error channel is the declared
+// coarse channel, and formatting plaintext INTO an error is caught at the
+// formatting sink itself. Without this, flow-insensitive propagation through
+// `x, err := f(tainted)` taints the function-wide err object and flags every
+// earlier wrap of it.
+package taint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alwaysencrypted/internal/lint/analysis"
+)
+
+// Config selects the taint policy for one Checker.
+type Config struct {
+	Pass *analysis.Pass
+	// IsSource reports whether a call's results are tainted.
+	IsSource func(call *ast.CallExpr) bool
+	// Sanitizes reports whether a call's result is clean even when its
+	// arguments are tainted. Nil means no call sanitizes.
+	Sanitizes func(call *ast.CallExpr) bool
+}
+
+// Checker holds per-function taint state. Function literals nested in the
+// body share the same scope: closures assign to outer locals.
+type Checker struct {
+	cfg     Config
+	tainted map[types.Object]bool
+}
+
+// NewChecker builds a checker for one function body under the given policy.
+func NewChecker(cfg Config) *Checker {
+	return &Checker{cfg: cfg, tainted: make(map[types.Object]bool)}
+}
+
+// Analyze propagates taint facts over body to a fixpoint: assignments may
+// appear before their RHS becomes tainted on a later iteration
+// (flow-insensitive).
+func (c *Checker) Analyze(body *ast.BlockStmt) {
+	for {
+		before := len(c.tainted)
+		ast.Inspect(body, func(n ast.Node) bool {
+			c.propagate(n)
+			return true
+		})
+		if len(c.tainted) == before {
+			break
+		}
+	}
+}
+
+// propagate updates taint facts for one statement node.
+func (c *Checker) propagate(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			// Multi-value: x, err := call(...)
+			c.assignMulti(n.Lhs, n.Rhs[0])
+			return
+		}
+		for i := range n.Rhs {
+			if i < len(n.Lhs) && c.ExprTainted(n.Rhs[i]) {
+				c.taintTarget(n.Lhs[i])
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				if c.ExprTainted(vs.Values[0]) {
+					for _, name := range vs.Names {
+						c.taintIdent(name)
+					}
+				}
+				continue
+			}
+			for i, v := range vs.Values {
+				if i < len(vs.Names) && c.ExprTainted(v) {
+					c.taintIdent(vs.Names[i])
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if c.ExprTainted(n.X) {
+			if n.Value != nil {
+				c.taintTarget(n.Value)
+			}
+		}
+	case *ast.CallExpr:
+		// copy(dst, src) taints dst; CryptBlocks on a CBC decrypter taints
+		// its destination buffer.
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+			if c.ExprTainted(n.Args[1]) {
+				c.taintTarget(n.Args[0])
+			}
+		}
+		if c.isDecrypterCryptBlocks(n) && len(n.Args) == 2 {
+			c.taintTarget(n.Args[0])
+		}
+	}
+}
+
+// assignMulti handles x, err := call(...): source calls taint the non-error
+// results; any call consuming tainted arguments taints every result.
+func (c *Checker) assignMulti(lhs []ast.Expr, rhs ast.Expr) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		if c.ExprTainted(rhs) {
+			for _, l := range lhs {
+				c.taintTarget(l)
+			}
+		}
+		return
+	}
+	if c.isSource(call) {
+		for _, l := range lhs {
+			if !c.isErrorExpr(l) {
+				c.taintTarget(l)
+			}
+		}
+		return
+	}
+	if c.sanitizes(call) {
+		return
+	}
+	if c.AnyArgTainted(call) || c.ReceiverTainted(call) {
+		for _, l := range lhs {
+			c.taintTarget(l)
+		}
+	}
+}
+
+func (c *Checker) isSource(call *ast.CallExpr) bool {
+	return c.cfg.IsSource != nil && c.cfg.IsSource(call)
+}
+
+func (c *Checker) sanitizes(call *ast.CallExpr) bool {
+	return c.cfg.Sanitizes != nil && c.cfg.Sanitizes(call)
+}
+
+func (c *Checker) isErrorExpr(e ast.Expr) bool {
+	t := c.cfg.Pass.TypesInfo.Types[e].Type
+	if t == nil {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := c.cfg.Pass.TypesInfo.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	return t != nil && t.String() == "error"
+}
+
+func (c *Checker) taintTarget(e ast.Expr) {
+	// Only identifiers carry taint; writes through fields/indices lose
+	// precision deliberately (objects are not tracked).
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			c.taintIdent(x)
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (c *Checker) taintIdent(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	info := c.cfg.Pass.TypesInfo
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if obj.Type() != nil && obj.Type().String() == "error" {
+		return
+	}
+	c.tainted[obj] = true
+}
+
+// ExprTainted reports whether evaluating e can yield plaintext-derived data.
+func (c *Checker) ExprTainted(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := c.cfg.Pass.TypesInfo.Uses[x]
+		return obj != nil && c.tainted[obj]
+	case *ast.SelectorExpr:
+		if obj := c.cfg.Pass.TypesInfo.Uses[x.Sel]; obj != nil && c.tainted[obj] {
+			return true
+		}
+		return c.ExprTainted(x.X)
+	case *ast.IndexExpr:
+		return c.ExprTainted(x.X)
+	case *ast.SliceExpr:
+		return c.ExprTainted(x.X)
+	case *ast.StarExpr:
+		return c.ExprTainted(x.X)
+	case *ast.ParenExpr:
+		return c.ExprTainted(x.X)
+	case *ast.UnaryExpr:
+		return c.ExprTainted(x.X)
+	case *ast.BinaryExpr:
+		return c.ExprTainted(x.X) || c.ExprTainted(x.Y)
+	case *ast.TypeAssertExpr:
+		return c.ExprTainted(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if c.ExprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if c.ExprTainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if c.isSource(x) {
+			return true
+		}
+		if c.sanitizes(x) {
+			return false
+		}
+		return c.AnyArgTainted(x) || c.ReceiverTainted(x)
+	}
+	return false
+}
+
+// AnyArgTainted reports whether any argument of call is tainted.
+func (c *Checker) AnyArgTainted(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if c.ExprTainted(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverTainted reports whether the method receiver expression is tainted.
+func (c *Checker) ReceiverTainted(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && c.ExprTainted(sel.X)
+}
+
+// CalleeFunc resolves the called function/method object, if any.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RecvTypeName returns the name of a method's receiver type, dereferenced.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// EnclaveSources returns the IsSource policy recognizing the decrypt/open
+// primitives whose results are plaintext or key material:
+//
+//   - (*aecrypto.CellKey).Decrypt results
+//   - (cipher.AEAD).Open results
+//   - (*session).openSealed results (enclave envelope opening)
+//   - (*ecdh.PrivateKey).ECDH results (session shared secret)
+//   - (*exprsvc.Evaluator).Eval/EvalBool results when called from the
+//     enclave package (enclave-side evaluation output pre-copy)
+//
+// The CBC-decrypter CryptBlocks destination is handled by the checker's
+// propagation directly.
+func EnclaveSources(pass *analysis.Pass) func(call *ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return false
+		}
+		recv := RecvTypeName(fn)
+		switch fn.Name() {
+		case "Decrypt":
+			return recv == "CellKey" && analysis.PackagePathIs(fn.Pkg(), "aecrypto")
+		case "Open":
+			return recv == "AEAD" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/cipher"
+		case "openSealed":
+			return recv == "session" && analysis.PackagePathIs(fn.Pkg(), "enclave")
+		case "ECDH":
+			return recv == "PrivateKey" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/ecdh"
+		case "Eval", "EvalBool":
+			// Enclave-side evaluation output; host-side (engine/driver)
+			// callers legitimately consume results.
+			return recv == "Evaluator" && analysis.PackagePathIs(fn.Pkg(), "exprsvc") &&
+				analysis.PackagePathIs(pass.Pkg, "enclave")
+		}
+		return false
+	}
+}
+
+// isDecrypterCryptBlocks matches cipher.NewCBCDecrypter(...).CryptBlocks(dst, src).
+func (c *Checker) isDecrypterCryptBlocks(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CryptBlocks" {
+		return false
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := CalleeFunc(c.cfg.Pass.TypesInfo, inner)
+	return fn != nil && fn.Name() == "NewCBCDecrypter" && fn.Pkg() != nil && fn.Pkg().Path() == "crypto/cipher"
+}

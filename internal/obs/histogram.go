@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear, the HDR-histogram trick. Values in
+// [0, 32) land in their own bucket; above that, each power-of-two octave is
+// split into 32 linear sub-buckets, so relative error is bounded by ~3% at
+// every scale — good enough to quote p50/p95/p99 latencies from nanosecond
+// spin-waits up to multi-second transactions without per-sample allocation.
+const (
+	subBuckets     = 32 // linear buckets per octave (and the [0,32) range)
+	subBucketBits  = 5
+	histNumBuckets = (64-subBucketBits)*subBuckets + subBuckets // value range up to 2^63
+)
+
+// Histogram is a fixed-bucket latency/size histogram. Recording is a bounded
+// handful of atomic adds — no locks, no allocation — so concurrent enclave
+// workers can record without serializing and without losing samples.
+//
+// Values are int64 (nanoseconds for durations, plain magnitudes for sizes);
+// negatives clamp to zero.
+type Histogram struct {
+	reg     *Registry // timing switch for ObserveSince/Start
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histNumBuckets]atomic.Uint64
+}
+
+func newHistogram(reg *Registry) *Histogram { return &Histogram{reg: reg} }
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Shift so the value fits in [32, 64): the top subBucketBits+1 bits are
+	// the mantissa, the shift count is the octave.
+	exp := bits.Len64(v) - (subBucketBits + 1)
+	mant := v >> uint(exp) // in [32, 64)
+	return (exp+1)*subBuckets + int(mant-subBuckets)
+}
+
+// bucketMid returns a representative (midpoint) value for a bucket.
+func bucketMid(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx/subBuckets - 1
+	mant := uint64(subBuckets + idx%subBuckets)
+	lo := mant << uint(exp)
+	hi := (mant+1)<<uint(exp) - 1
+	return int64(lo + (hi-lo)/2)
+}
+
+// Observe records one value. Safe for concurrent use; a nil *Histogram is a
+// no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.buckets[bucketIndex(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		old := h.max.Load()
+		if u <= old || h.max.CompareAndSwap(old, u) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds. A zero
+// start (from a timing-disabled Registry.Now) is ignored.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Start returns the start time for a later ObserveSince, honouring the
+// owning registry's timing switch.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return h.reg.Now()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Reset zeroes the histogram. Concurrent Observes may be partially lost
+// across the reset; callers use it only at measurement-window boundaries.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the buckets.
+// Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample (1-based, ceil).
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		if seen >= rank {
+			// The bucket midpoint can overshoot the exact tracked maximum by
+			// the bucket's width; clamp so quantiles never exceed Max.
+			if m := int64(h.max.Load()); bucketMid(i) > m {
+				return m
+			}
+			return bucketMid(i)
+		}
+	}
+	return int64(h.max.Load())
+}
+
+// snapshot captures the summary statistics.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = int64(h.sum.Load())
+	s.Max = int64(h.max.Load())
+	if s.Count > 0 {
+		s.Mean = s.Sum / int64(s.Count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Snapshot returns the histogram's summary statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
+// HistogramSnapshot is the exported summary of a histogram: counts plus
+// estimated percentiles. Values carry the unit the histogram was fed
+// (nanoseconds for spans).
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	Mean  int64  `json:"mean"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+)
+
+// Snapshot is a point-in-time, JSON-stable view of every instrument in a
+// registry. Maps are keyed by instrument name; histogram entries are summary
+// statistics, never raw samples.
+type Snapshot struct {
+	Registry   string                       `json:"registry"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Counters and gauges are read
+// atomically (each individually consistent; the set is not a global atomic
+// cut, which monitoring does not need).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.Registry = r.name
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFuncs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		gaugeFuncs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	// Evaluate outside the registry lock: gauge funcs may take other locks
+	// (the enclave's session table read lock), and snapshots must never hold
+	// the registry lock across foreign code.
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range gaugeFuncs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// CounterDelta returns after's counter minus before's (missing names count
+// as zero) — the standard way to scope cumulative counters to a
+// measurement window.
+func CounterDelta(before, after Snapshot, name string) uint64 {
+	return after.Counters[name] - before.Counters[name]
+}
+
+// ServeHTTP serves the snapshot as JSON — the expvar-style endpoint.
+// Mount it wherever convenient: mux.Handle("/metrics", registry).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar exposes the registry under the given name on the stdlib
+// expvar page (/debug/vars), for processes that already serve it. Panics on
+// duplicate names, as expvar.Publish does.
+func PublishExpvar(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// MarshalJSON renders the snapshot with stable key order (encoding/json
+// already sorts map keys; this exists to pin the schema in one place).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"alwaysencrypted/internal/obs"
 )
 
 // BufferPool caches pages over a PageStore with LRU eviction. Frames are
@@ -18,7 +20,14 @@ type BufferPool struct {
 	frames map[PageID]*Frame
 	lru    *list.List // of *Frame, front = most recently used
 
-	hits, misses, evictions uint64
+	// Registry-backed counters (atomic; readable without b.mu). The pointers
+	// are resolved once at construction so the hot path — and evictLocked,
+	// which runs under b.mu — never takes the registry's own lock.
+	reg     *obs.Registry
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicts  *obs.Counter
+	flushNS *obs.Histogram // per-page write-back latency (evict + checkpoint)
 }
 
 // Frame is a cached page plus pin/dirty bookkeeping. Latch must be held
@@ -40,18 +49,39 @@ func (f *Frame) Page() *Page { return &f.page }
 // evicted to make room.
 var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
-// NewBufferPool creates a pool of capacity frames over store.
+// NewBufferPool creates a pool of capacity frames over store, reporting into
+// a private registry. Use NewBufferPoolObs to share the caller's registry.
 func NewBufferPool(store PageStore, capacity int) *BufferPool {
+	return NewBufferPoolObs(store, capacity, obs.New("storage"))
+}
+
+// NewBufferPoolObs is NewBufferPool with an explicit obs registry, so the
+// pool's counters appear in the same snapshot as the rest of the stack.
+func NewBufferPoolObs(store PageStore, capacity int, reg *obs.Registry) *BufferPool {
 	if capacity < 4 {
 		capacity = 4
 	}
-	return &BufferPool{
-		store:  store,
-		cap:    capacity,
-		frames: make(map[PageID]*Frame, capacity),
-		lru:    list.New(),
+	b := &BufferPool{
+		store:   store,
+		cap:     capacity,
+		frames:  make(map[PageID]*Frame, capacity),
+		lru:     list.New(),
+		reg:     reg,
+		hits:    reg.Counter("storage.pool.hits"),
+		misses:  reg.Counter("storage.pool.misses"),
+		evicts:  reg.Counter("storage.pool.evictions"),
+		flushNS: reg.Histogram("storage.pool.flush_ns"),
 	}
+	reg.GaugeFunc("storage.pool.frames", func() int64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return int64(len(b.frames))
+	})
+	return b
 }
+
+// Obs returns the registry the pool reports into.
+func (b *BufferPool) Obs() *obs.Registry { return b.reg }
 
 // Fetch pins the frame holding the page, reading it from the store on a
 // miss. The caller must Unpin it.
@@ -60,11 +90,11 @@ func (b *BufferPool) Fetch(id PageID) (*Frame, error) {
 	if f, ok := b.frames[id]; ok {
 		f.pins++
 		b.lru.MoveToFront(f.elem)
-		b.hits++
+		b.hits.Inc()
 		b.mu.Unlock()
 		return f, nil
 	}
-	b.misses++
+	b.misses.Inc()
 	f, err := b.newFrameLocked(id)
 	if err != nil {
 		b.mu.Unlock()
@@ -132,13 +162,15 @@ func (b *BufferPool) evictLocked() error {
 			continue
 		}
 		if f.dirty {
+			start := b.reg.Now()
 			if err := b.store.WritePage(f.id, f.page.Bytes()); err != nil {
 				return err
 			}
+			b.flushNS.ObserveSince(start)
 		}
 		delete(b.frames, f.id)
 		b.lru.Remove(e)
-		b.evictions++
+		b.evicts.Inc()
 		return nil
 	}
 	return ErrPoolExhausted
@@ -166,20 +198,21 @@ func (b *BufferPool) FlushAll() error {
 		}
 		// Read-latch the frame: a pinned writer may be mutating the page
 		// under its write latch without holding the pool lock.
+		start := b.reg.Now()
 		f.Latch.RLock()
 		err := b.store.WritePage(id, f.page.Bytes())
 		f.Latch.RUnlock()
 		if err != nil {
 			return fmt.Errorf("storage: flushing page %d: %w", id, err)
 		}
+		b.flushNS.ObserveSince(start)
 		f.dirty = false
 	}
 	return nil
 }
 
-// Stats reports hit/miss/eviction counters.
+// Stats reports hit/miss/eviction counters. It is a compatibility shim over
+// the obs registry, which is the single source of truth.
 func (b *BufferPool) Stats() (hits, misses, evictions uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.hits, b.misses, b.evictions
+	return b.hits.Value(), b.misses.Value(), b.evicts.Value()
 }

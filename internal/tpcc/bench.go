@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/obs"
 )
 
 // BenchConfig parameterizes one benchmark run (one bar of Figures 8/9).
@@ -21,7 +22,9 @@ type BenchConfig struct {
 	Warmup         time.Duration
 }
 
-// Result summarizes a run.
+// Result summarizes a run. Everything beyond the throughput numbers is read
+// from the world's obs registry, scoped to the measurement window by
+// snapshot deltas (counters) and a post-warmup reset (histograms).
 type Result struct {
 	Config       BenchConfig
 	Committed    int
@@ -30,6 +33,21 @@ type Result struct {
 	Throughput   float64 // committed transactions per second
 	ByType       [5]int
 	EnclaveEvals uint64
+
+	// Latencies holds committed-transaction latency per type, indexed like
+	// ByType (see TxTypeNames).
+	Latencies [5]obs.HistogramSnapshot
+	// Boundary traffic (§4.6, Fig. 5): crossings paid and queue behaviour.
+	Crossings     uint64
+	QueueTasks    uint64
+	QueueParks    uint64
+	QueueSpinHits uint64
+	QueueWait     obs.HistogramSnapshot // submit-to-start wait
+	EvalCall      obs.HistogramSnapshot // host-observed EvalExpression latency
+	// Buffer pool activity during the measurement window.
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
 }
 
 // Run stands up a fresh world, loads it, runs the mix for the configured
@@ -72,7 +90,6 @@ func RunOnWorld(world *World, cfg BenchConfig) (*Result, error) {
 		terminals[i] = NewTerminal(world, conn, home, int64(1000+i))
 	}
 
-	evalsBefore := world.Encl.Dump().Evaluations
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 
@@ -100,11 +117,17 @@ func RunOnWorld(world *World, cfg BenchConfig) (*Result, error) {
 			term.Committed, term.Aborted, term.ByType = 0, 0, [5]int{}
 		}
 	}
+	// Scope instruments to the measurement window: histograms restart empty,
+	// counters are diffed against this snapshot. The terminals are quiescent
+	// here, so the reset does not race recording.
+	world.Obs.ResetHistograms()
+	before := world.Obs.Snapshot()
 
 	start := time.Now()
 	runPhase(cfg.Duration)
 	elapsed := time.Since(start)
 
+	after := world.Obs.Snapshot()
 	res := &Result{Config: cfg, Duration: elapsed}
 	for _, term := range terminals {
 		res.Committed += term.Committed
@@ -114,6 +137,20 @@ func RunOnWorld(world *World, cfg BenchConfig) (*Result, error) {
 		}
 	}
 	res.Throughput = float64(res.Committed) / elapsed.Seconds()
-	res.EnclaveEvals = world.Encl.Dump().Evaluations - evalsBefore
+
+	delta := func(name string) uint64 { return obs.CounterDelta(before, after, name) }
+	res.EnclaveEvals = delta("enclave.evals")
+	res.Crossings = delta("enclave.crossings")
+	res.QueueTasks = delta("enclave.queue.tasks")
+	res.QueueParks = delta("enclave.queue.parks")
+	res.QueueSpinHits = delta("enclave.queue.spin_hits")
+	res.PoolHits = delta("storage.pool.hits")
+	res.PoolMisses = delta("storage.pool.misses")
+	res.PoolEvictions = delta("storage.pool.evictions")
+	for i, name := range TxTypeNames {
+		res.Latencies[i] = after.Histograms["tpcc.latency."+name]
+	}
+	res.QueueWait = after.Histograms["enclave.queue.wait_ns"]
+	res.EvalCall = after.Histograms["enclave.eval.call_ns"]
 	return res, nil
 }

@@ -45,8 +45,11 @@ var errIntentionalRollback = errors.New("tpcc: intentional rollback (invalid ite
 
 // RunOne executes one transaction drawn from the standard mix
 // (NewOrder 45, Payment 43, OrderStatus 4, Delivery 4, StockLevel 4).
+// Committed transactions record their end-to-end latency into the world's
+// per-type histogram.
 func (t *Terminal) RunOne() error {
 	roll := t.rng.Intn(100)
+	start := t.world.Obs.Now()
 	var err error
 	var typ int
 	switch {
@@ -62,6 +65,7 @@ func (t *Terminal) RunOne() error {
 		typ, err = TxStockLevel, t.StockLevel()
 	}
 	if err == nil || errors.Is(err, errIntentionalRollback) {
+		t.world.latHists[typ].ObserveSince(start)
 		t.Committed++
 		t.ByType[typ]++
 		return nil

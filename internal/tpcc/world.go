@@ -13,6 +13,7 @@ import (
 	"alwaysencrypted/internal/enclave"
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/obs"
 	"alwaysencrypted/internal/tds"
 )
 
@@ -27,12 +28,21 @@ type World struct {
 	Server *tds.Server
 	Addr   string
 
+	// Obs is the shared registry every layer of the world reports into:
+	// enclave queue and evaluator, engine statement pipeline, buffer pool,
+	// and the per-transaction-type latency histograms below.
+	Obs      *obs.Registry
+	latHists [5]*obs.Histogram
+
 	Registry *keys.ProviderRegistry
 	Policy   attestation.Policy
 	Vault    *keys.MemoryVault
 
 	listener net.Listener
 }
+
+// TxTypeNames names the five transaction types, indexed like ByType.
+var TxTypeNames = [5]string{"new_order", "payment", "order_status", "delivery", "stock_level"}
 
 // WorldOptions tune the deployment.
 type WorldOptions struct {
@@ -57,7 +67,10 @@ func NewWorld(opt WorldOptions) (*World, error) {
 	if opt.EnclaveThreads == 0 {
 		opt.EnclaveThreads = 4
 	}
-	w := &World{Mode: opt.Mode, Scale: opt.Scale}
+	w := &World{Mode: opt.Mode, Scale: opt.Scale, Obs: obs.New("tpcc")}
+	for i, name := range TxTypeNames {
+		w.latHists[i] = w.Obs.Histogram("tpcc.latency." + name)
+	}
 
 	authorKey, err := aecrypto.GenerateRSAKey()
 	if err != nil {
@@ -72,6 +85,7 @@ func NewWorld(opt WorldOptions) (*World, error) {
 		Synchronous:  opt.SyncEnclave,
 		SpinDuration: spinForHost(),
 		CrossingCost: time.Microsecond,
+		Obs:          w.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -94,7 +108,7 @@ func NewWorld(opt WorldOptions) (*World, error) {
 		MinHostVersion:    10,
 	}
 
-	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR})
+	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR, Obs: w.Obs})
 	w.Server = tds.NewServer(w.Engine)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
