@@ -13,17 +13,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# On failure aelint prints a per-analyzer finding count summary to stderr
+# after the diagnostics, so a red `make verify` shows where the findings
+# concentrate without re-running anything.
 lint:
 	$(GO) run ./cmd/aelint ./...
 
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy layers under the race detector: the enclave state
-# thread and queue, the buffer pool / heap / lock manager, and the engine
-# that drives them.
+# The whole tree under the race detector. This used to cover only the
+# enclave / storage / engine packages; the driver cache, key-store provider
+# and TPC-C harness are just as concurrent, and the narrow list let a page
+# load vs frame reader race slip through once already.
 race:
-	$(GO) test -race ./internal/enclave/... ./internal/storage/... ./internal/engine/...
+	$(GO) test -race ./...
 
 # TPC-C benchmark artifact: per-transaction-type latency percentiles and
 # enclave boundary traffic in the stable BENCH_tpcc.json schema.

@@ -2,15 +2,17 @@
 // It is the static half of the enclave security argument (DESIGN.md,
 // "Trust-boundary enforcement"): properties the type system cannot express —
 // state-thread discipline, plaintext containment, boundary signatures, lock
-// ordering — are enforced here and wired into `make verify`.
+// ordering, key-material hygiene, constant-time comparison, IV provenance —
+// are enforced here and wired into `make verify`.
 //
 // Usage:
 //
 //	aelint [-list] [packages]
 //
 // Packages default to ./... . Findings print as
-// file:line:col: analyzer: message, and any finding makes the exit status 1.
-// A finding can be waived with a justified line directive:
+// file:line:col: analyzer: message, and any finding makes the exit status 1
+// with a per-analyzer finding count on stderr. A finding can be waived with
+// a justified line directive:
 //
 //	//aelint:ignore <analyzer> <why this is safe>
 package main
@@ -22,7 +24,11 @@ import (
 
 	"alwaysencrypted/internal/lint/analysis"
 	"alwaysencrypted/internal/lint/boundaryapi"
+	"alwaysencrypted/internal/lint/callgraph"
+	"alwaysencrypted/internal/lint/ctcompare"
 	"alwaysencrypted/internal/lint/enclavestate"
+	"alwaysencrypted/internal/lint/ivsanity"
+	"alwaysencrypted/internal/lint/keyzero"
 	"alwaysencrypted/internal/lint/lockorder"
 	"alwaysencrypted/internal/lint/obsleak"
 	"alwaysencrypted/internal/lint/plaintextflow"
@@ -34,6 +40,9 @@ var analyzers = []*analysis.Analyzer{
 	boundaryapi.Analyzer,
 	lockorder.Analyzer,
 	obsleak.Analyzer,
+	keyzero.Analyzer,
+	ctcompare.Analyzer,
+	ivsanity.Analyzer,
 }
 
 func main() {
@@ -54,7 +63,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aelint: %v\n", err)
 		os.Exit(2)
 	}
+	// Load returns packages in dependency order; registering summaries in
+	// that order lets callers see callee summaries (interprocedural checks).
+	callgraph.RegisterPackages(pkgs)
 	findings := 0
+	perAnalyzer := map[string]int{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			diags, err := analysis.RunAnalyzer(a, pkg)
@@ -65,11 +78,17 @@ func main() {
 			for _, d := range diags {
 				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
 				findings++
+				perAnalyzer[a.Name]++
 			}
 		}
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "aelint: %d finding(s)\n", findings)
+		for _, a := range analyzers {
+			if n := perAnalyzer[a.Name]; n > 0 {
+				fmt.Fprintf(os.Stderr, "aelint:   %-15s %d\n", a.Name, n)
+			}
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,58 @@
+package aecrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPKCS7UnpadValid checks the round trip through pkcs7Pad for every
+// plaintext length spanning several blocks.
+func TestPKCS7UnpadValid(t *testing.T) {
+	for n := 0; n <= 3*blockSize; n++ {
+		pt := bytes.Repeat([]byte{0xAB}, n)
+		padded := pkcs7Pad(pt, blockSize)
+		if len(padded)%blockSize != 0 {
+			t.Fatalf("len %d: pad produced %d bytes", n, len(padded))
+		}
+		out, err := pkcs7Unpad(padded, blockSize)
+		if err != nil {
+			t.Fatalf("len %d: unpad: %v", n, err)
+		}
+		if !bytes.Equal(out, pt) {
+			t.Fatalf("len %d: round trip mismatch", n)
+		}
+	}
+}
+
+// TestPKCS7UnpadUniformError asserts the padding-oracle hardening contract:
+// every malformed padding — zero length byte, oversized length byte,
+// inconsistent filler in any position — fails with the IDENTICAL error
+// value, indistinguishable from a bad length, so the error channel carries
+// no information about where or how the padding broke.
+func TestPKCS7UnpadUniformError(t *testing.T) {
+	malformed := [][]byte{
+		{},                                      // empty
+		bytes.Repeat([]byte{1}, 7),              // not a multiple of the block size
+		bytes.Repeat([]byte{0}, 16),             // pad length byte 0
+		append(bytes.Repeat([]byte{0}, 15), 17), // pad length > block size
+		append(bytes.Repeat([]byte{0}, 15), 255),
+	}
+	// Every single-position corruption of every valid padding.
+	for padLen := 1; padLen <= blockSize; padLen++ {
+		valid := pkcs7Pad(bytes.Repeat([]byte{0xCD}, 2*blockSize-padLen), blockSize)
+		for i := len(valid) - padLen; i < len(valid)-1; i++ {
+			bad := append([]byte(nil), valid...)
+			bad[i] ^= 0x01
+			malformed = append(malformed, bad)
+		}
+	}
+	for i, b := range malformed {
+		out, err := pkcs7Unpad(b, blockSize)
+		if err == nil {
+			t.Fatalf("case %d (%v): unpad accepted malformed padding (out len %d)", i, b, len(out))
+		}
+		if err != ErrInvalidCiphertext {
+			t.Fatalf("case %d: error %v is distinguishable from ErrInvalidCiphertext", i, err)
+		}
+	}
+}

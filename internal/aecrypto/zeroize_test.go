@@ -1,0 +1,37 @@
+package aecrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestZeroizeWipes(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 5}
+	Zeroize(b)
+	if !bytes.Equal(b, make([]byte, 5)) {
+		t.Fatalf("Zeroize left residue: %v", b)
+	}
+	Zeroize(nil) // must not panic
+}
+
+func TestCellKeyZeroize(t *testing.T) {
+	root := bytes.Repeat([]byte{7}, KeySize)
+	k, err := NewCellKey(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.Encrypt([]byte("hello"), Randomized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Zeroize()
+	for _, key := range [][]byte{k.encKey, k.macKey, k.ivKey} {
+		if !bytes.Equal(key, make([]byte, len(key))) {
+			t.Fatal("derived key not wiped")
+		}
+	}
+	// A wiped key must no longer authenticate envelopes it produced.
+	if _, err := k.Decrypt(env); err == nil {
+		t.Fatal("Decrypt succeeded after Zeroize")
+	}
+}

@@ -283,7 +283,9 @@ func (p *Policy) Verify(info *Info, clientDH *ecdh.PrivateKey) ([32]byte, error)
 	if err != nil {
 		return secret, fmt.Errorf("attestation: ECDH: %w", err)
 	}
-	return DeriveSecret(shared), nil
+	secret = DeriveSecret(shared)
+	aecrypto.Zeroize(shared)
+	return secret, nil
 }
 
 // DeriveSecret hashes raw ECDH output into the 32-byte session secret used

@@ -116,6 +116,20 @@ func NewCache() *Cache {
 	return &Cache{ceks: make(map[string]cekEntry), describes: make(map[string]*tds.DescribeResp)}
 }
 
+// Zeroize wipes every cached plaintext CEK root and derived cell key and
+// empties the cache. Call it at process teardown, after all connections
+// sharing the cache are closed: entries may be referenced by in-flight
+// queries, so wiping a live cache corrupts them.
+func (c *Cache) Zeroize() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.ceks {
+		aecrypto.Zeroize(e.root)
+		e.cell.Zeroize()
+	}
+	c.ceks = make(map[string]cekEntry)
+}
+
 // Open wraps an established transport with driver logic. cache may be nil
 // for a private per-connection cache.
 func Open(nc net.Conn, cfg Config, cache *Cache) *Conn {

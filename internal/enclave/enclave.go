@@ -295,6 +295,9 @@ func (e *Enclave) Close() {
 	e.mu.Lock()
 	// stateWG.Wait above joined the state thread and stateCh is closed, so
 	// mutate() is unavailable and nothing else can touch this state.
+	for _, key := range e.ceks {
+		key.Zeroize()
+	}
 	//aelint:ignore enclavestate state thread joined above; teardown is single-threaded
 	e.sessions, e.ceks, e.exprs = map[uint64]*session{}, map[string]*aecrypto.CellKey{}, map[uint64]*registeredExpr{}
 	e.mu.Unlock()
@@ -346,11 +349,15 @@ func (e *Enclave) NewSession(clientDHPub []byte) (sid uint64, report attestation
 		return 0, report, nil, fmt.Errorf("enclave: ECDH failed: %w", err)
 	}
 	secret := attestation.DeriveSecret(shared)
+	aecrypto.Zeroize(shared)
 	block, err := aes.NewCipher(secret[:])
 	if err != nil {
 		return 0, report, nil, err
 	}
 	aead, err := cipher.NewGCM(block)
+	// The GCM instance holds the expanded schedule; the raw secret is no
+	// longer needed on any path past this point.
+	aecrypto.Zeroize(secret[:])
 	if err != nil {
 		return 0, report, nil, err
 	}
@@ -434,9 +441,13 @@ func (e *Enclave) InstallCEK(sid uint64, name string, counter uint64, sealed []b
 			return err
 		}
 		key, err := aecrypto.NewCellKey(root)
+		aecrypto.Zeroize(root)
 		if err != nil {
 			return err
 		}
+		// A reinstall (every session ships the CEKs it needs) must NOT wipe
+		// the previous CellKey: in-flight queries may still hold it. Retired
+		// keys are wiped at enclave teardown (Close).
 		e.ceks[name] = key
 		return nil
 	})
@@ -461,6 +472,7 @@ func (e *Enclave) AuthorizeStatement(sid uint64, counter uint64, sealed []byte) 
 		}
 		var h [32]byte
 		copy(h[:], pt)
+		aecrypto.Zeroize(pt)
 		s.authorized[h] = true
 		return nil
 	})

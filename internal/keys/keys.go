@@ -279,6 +279,9 @@ func ProvisionCEK(p Provider, cmk *CMKMetadata, name string) (*CEKMetadata, []by
 	}
 	meta, err := WrapCEK(p, cmk, name, root)
 	if err != nil {
+		// The generated root is real key material even on the failure
+		// path; wipe it before surfacing the wrap error.
+		aecrypto.Zeroize(root)
 		return nil, nil, err
 	}
 	return meta, root, nil
@@ -328,7 +331,7 @@ func BeginCMKRotation(p Provider, cek *CEKMetadata, oldCMK, newCMK *CMKMetadata)
 	if err != nil {
 		return fmt.Errorf("keys: unwrapping CEK for rotation: %w", err)
 	}
-	defer zero(root)
+	defer aecrypto.Zeroize(root)
 	newVal, err := wrapValue(p, newCMK, root)
 	if err != nil {
 		return err
@@ -346,10 +349,4 @@ func CompleteCMKRotation(cek *CEKMetadata, keepCMK string) error {
 	}
 	cek.Values = []CEKValue{*val}
 	return nil
-}
-
-func zero(b []byte) {
-	for i := range b {
-		b[i] = 0
-	}
 }

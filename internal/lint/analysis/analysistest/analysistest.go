@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/callgraph"
 )
 
 // Run loads the fixture packages named by pkgs from testdata/src, applies a
@@ -261,5 +262,8 @@ func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
 		Info:    info,
 	}
 	ld.loaded[path] = pkg
+	// Imported fixtures finished loading (and registering) first, so this
+	// registration order is dependency order, as callgraph requires.
+	callgraph.RegisterPackage(pkg)
 	return pkg, nil
 }

@@ -34,6 +34,7 @@ type ListedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -81,9 +82,10 @@ func ExportImporter(fset *token.FileSet, exports map[string]string) types.Import
 
 // Load lists the packages matching patterns (relative to dir), type-checks
 // the matched packages from source — resolving their imports through export
-// data, so no dependency sources are re-checked — and returns them sorted by
-// import path. Test files are not included: aelint guards the production
-// trust boundary.
+// data, so no dependency sources are re-checked — and returns them in
+// dependency order (importees before importers, alphabetical within a
+// rank), which the callgraph summary builder relies on. Test files are not
+// included: aelint guards the production trust boundary.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"-e=false", "-export", "-deps", "-json"}, patterns...)
 	listed, err := GoList(dir, args...)
@@ -103,6 +105,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
+	targets = dependencyOrder(targets)
 
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, exports)
@@ -117,8 +120,37 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
 	return out, nil
+}
+
+// dependencyOrder topologically sorts targets so every package follows the
+// targets it imports; ties break alphabetically for deterministic output.
+func dependencyOrder(targets []*ListedPackage) []*ListedPackage {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	byPath := make(map[string]*ListedPackage, len(targets))
+	for _, t := range targets {
+		byPath[t.ImportPath] = t
+	}
+	var out []*ListedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(*ListedPackage)
+	visit = func(t *ListedPackage) {
+		if state[t.ImportPath] != 0 {
+			return // visiting (cycle: impossible in valid Go) or done
+		}
+		state[t.ImportPath] = 1
+		for _, imp := range t.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[t.ImportPath] = 2
+		out = append(out, t)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return out
 }
 
 // checkPackage parses and type-checks one package from its source files.

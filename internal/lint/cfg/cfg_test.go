@@ -1,0 +1,251 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as the body of a single function and returns its graph.
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil
+}
+
+// liveCounts returns (live blocks, edges between live blocks).
+func liveCounts(g *Graph) (blocks, edges int) {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		blocks++
+		for _, s := range b.Succs {
+			if s.Live {
+				edges++
+			}
+		}
+	}
+	return
+}
+
+func checkCounts(t *testing.T, g *Graph, wantBlocks, wantEdges int) {
+	t.Helper()
+	blocks, edges := liveCounts(g)
+	if blocks != wantBlocks || edges != wantEdges {
+		t.Errorf("got %d live blocks, %d edges; want %d, %d\ngraph:\n%s",
+			blocks, edges, wantBlocks, wantEdges, g.String())
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `
+func f(xs [][]int) int {
+	sum := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}`)
+	// entry, exit, label.outer, for head/body/post/done, range head/body/done,
+	// 2x if.then, 2x if.done => 14 live (unreachable trailers after the
+	// jumps are dead and excluded).
+	checkCounts(t, g, 14, 17)
+	if !g.Exit.Live {
+		t.Error("exit not reachable")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	// entry, label.loop, if.then, if.done, exit live; the block after goto is
+	// dead. Back edge if.then -> label.loop must exist.
+	checkCounts(t, g, 5, 5)
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("no label block")
+	}
+	backEdge := false
+	for _, p := range label.Preds {
+		if p.Kind == "if.then" {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("goto back edge missing\n%s", g.String())
+	}
+}
+
+func TestDeferWithRecover(t *testing.T) {
+	g := build(t, `
+func f(run func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errItFailed
+		}
+	}()
+	run()
+	return nil
+}`)
+	// Straight line: entry -> exit. The deferred closure body is opaque.
+	checkCounts(t, g, 2, 1)
+	if len(g.Defers) != 1 {
+		t.Errorf("got %d defers, want 1", len(g.Defers))
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3 (defer, call, return)\n%s",
+			len(g.Entry.Nodes), g.String())
+	}
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	g := build(t, `
+func f(ch chan int, out chan string) int {
+	select {
+	case v := <-ch:
+		return v
+	case out <- "ping":
+		return 1
+	default:
+		return 0
+	}
+}`)
+	// entry + 3 comm blocks; every comm returns so select.done and the
+	// implicit fallthrough to exit are dead; exit is live via the returns.
+	checkCounts(t, g, 5, 6)
+}
+
+func TestSelectNoDefaultBlocks(t *testing.T) {
+	g := build(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+	return -1
+}`)
+	// Without default there is no head->done edge; the comm case returns, so
+	// select.done (and code after it) is dead.
+	blocks, _ := liveCounts(g)
+	if blocks != 3 {
+		t.Errorf("got %d live blocks, want 3 (entry, comm, exit)\n%s", blocks, g.String())
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "select.done" && b.Live {
+			t.Errorf("select.done live in no-default select that always returns\n%s", g.String())
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+func f(n int) int {
+	x := 0
+	switch n {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		x += 2
+	default:
+		x = 9
+	}
+	return x
+}`)
+	// entry, 3 cases, switch.done, exit = 6 live. Edges: entry->case x3,
+	// case0->case1 (fallthrough), case1->done, default->done, done->exit.
+	checkCounts(t, g, 6, 7)
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g := build(t, `
+func f(ok bool) int {
+	if !ok {
+		panic("nope")
+	}
+	return 1
+}`)
+	// The panic path must not reach Exit: Exit's only live pred is if.done.
+	livePreds := 0
+	for _, p := range g.Exit.Preds {
+		if p.Live {
+			livePreds++
+			if p.Kind == "if.then" {
+				t.Errorf("panic path reaches exit\n%s", g.String())
+			}
+		}
+	}
+	if livePreds != 1 {
+		t.Errorf("exit has %d live preds, want 1\n%s", livePreds, g.String())
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := build(t, `
+func f(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		if v == 0 {
+			continue
+		}
+		if v < 0 {
+			break
+		}
+		sum += v
+	}
+	return sum
+}`)
+	// range head/body/done, 2 ifs, entry, exit.
+	checkCounts(t, g, 9, 11)
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `
+func f(v interface{}) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return 0
+}`)
+	// entry (holds the TypeSwitchStmt), 2 cases, switch.done, exit.
+	checkCounts(t, g, 5, 6)
+}
+
+var errItFailed = error(nil)

@@ -1,0 +1,12 @@
+package ctcompare_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/ctcompare"
+)
+
+func TestCTCompare(t *testing.T) {
+	analysistest.Run(t, "testdata", ctcompare.Analyzer, "aecrypto")
+}

@@ -1,0 +1,109 @@
+// Package dataflow is a generic forward dataflow framework over cfg graphs:
+// a worklist fixpoint parameterized by a fact lattice (Clone/Join/Equal) and
+// a per-node transfer function. Analyses define facts (taint labels, zeroize
+// states, held-lock sets), run Forward to a fixpoint, then Replay blocks to
+// observe the state immediately before each node — which is where reporting
+// belongs, so diagnostics fire once per program point with converged facts.
+package dataflow
+
+import (
+	"go/ast"
+
+	"alwaysencrypted/internal/lint/cfg"
+)
+
+// Lattice describes one analysis's fact domain. The zero Fact value is the
+// lattice bottom (state on entry to unreached blocks).
+type Lattice[Fact any] interface {
+	// Bottom returns the initial fact for the function entry block.
+	Bottom() Fact
+	// Clone returns an independent copy (facts are typically maps).
+	Clone(Fact) Fact
+	// Join merges src into dst at a control-flow merge and reports whether
+	// dst changed. dst may be mutated in place.
+	Join(dst, src Fact) (Fact, bool)
+}
+
+// Transfer applies one node's effect to the fact in place (or returns a new
+// fact). Nodes are the entries of cfg.Block.Nodes: statements and the bare
+// control expressions the builder hoisted into blocks.
+type Transfer[Fact any] func(fact Fact, node ast.Node) Fact
+
+// Result holds the converged input fact per block.
+type Result[Fact any] struct {
+	Graph    *cfg.Graph
+	In       map[*cfg.Block]Fact
+	lattice  Lattice[Fact]
+	transfer Transfer[Fact]
+}
+
+// Forward runs the worklist fixpoint and returns per-block input facts.
+func Forward[Fact any](g *cfg.Graph, lat Lattice[Fact], tr Transfer[Fact]) *Result[Fact] {
+	res := &Result[Fact]{Graph: g, In: map[*cfg.Block]Fact{}, lattice: lat, transfer: tr}
+	res.In[g.Entry] = lat.Bottom()
+
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := lat.Clone(res.In[blk])
+		for _, n := range blk.Nodes {
+			out = tr(out, n)
+		}
+		for _, succ := range blk.Succs {
+			cur, seen := res.In[succ]
+			var changed bool
+			if !seen {
+				res.In[succ] = lat.Clone(out)
+				changed = true
+			} else {
+				res.In[succ], changed = lat.Join(cur, out)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return res
+}
+
+// Replay walks every reachable block once after convergence, calling visit
+// with the fact holding immediately before each node, then applying the
+// node's transfer. Reporting from visit sees flow-sensitive state at the
+// exact program point.
+func (r *Result[Fact]) Replay(visit func(fact Fact, node ast.Node)) {
+	for _, blk := range r.Graph.Blocks {
+		in, ok := r.In[blk]
+		if !ok || !blk.Live {
+			continue
+		}
+		fact := r.lattice.Clone(in)
+		for _, n := range blk.Nodes {
+			visit(fact, n)
+			fact = r.transfer(fact, n)
+		}
+	}
+}
+
+// AtExit joins the out-facts of every live predecessor of the synthetic exit
+// block — the state on each return path already joined; useful for summaries.
+// The visit callback receives each exit-reaching block's out fact separately,
+// which "every exit path" analyses (keyzero) need: a property that must hold
+// on all paths is checked per path, not on the join.
+func (r *Result[Fact]) AtExit(visit func(blk *cfg.Block, out Fact)) {
+	for _, pred := range r.Graph.Exit.Preds {
+		in, ok := r.In[pred]
+		if !ok || !pred.Live {
+			continue
+		}
+		fact := r.lattice.Clone(in)
+		for _, n := range pred.Nodes {
+			fact = r.transfer(fact, n)
+		}
+		visit(pred, fact)
+	}
+}

@@ -1,0 +1,182 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"alwaysencrypted/internal/lint/cfg"
+)
+
+// constLattice: maps variable name -> known constant int, with Join keeping
+// only agreeing entries (classic constant propagation on a toy scale).
+type constFact map[string]int
+
+type constLattice struct{}
+
+func (constLattice) Bottom() constFact { return constFact{} }
+func (constLattice) Clone(f constFact) constFact {
+	c := make(constFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+func (constLattice) Join(dst, src constFact) (constFact, bool) {
+	changed := false
+	for k, v := range dst {
+		if sv, ok := src[k]; !ok || sv != v {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func transfer(f constFact, n ast.Node) constFact {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 {
+		return f
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return f
+	}
+	if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Kind == token.INT {
+		switch lit.Value {
+		case "0":
+			f[id.Name] = 0
+		case "1":
+			f[id.Name] = 1
+		case "2":
+			f[id.Name] = 2
+		default:
+			delete(f, id.Name)
+		}
+	} else {
+		delete(f, id.Name)
+	}
+	return f
+}
+
+func buildGraph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatal("no func")
+	return nil
+}
+
+// At a merge point, a variable assigned the same constant on both branches
+// survives the join; one assigned differently is killed.
+func TestJoinAtMerge(t *testing.T) {
+	g := buildGraph(t, `
+func f(c bool) {
+	x := 0
+	y := 0
+	if c {
+		x = 1
+		y = 2
+	} else {
+		x = 1
+		y = 1
+	}
+	return
+}`)
+	res := Forward[constFact](g, constLattice{}, transfer)
+	var done *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.done" {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatal("no if.done block")
+	}
+	in := res.In[done]
+	if v, ok := in["x"]; !ok || v != 1 {
+		t.Errorf("x at merge = %v (present=%v), want 1", v, ok)
+	}
+	if _, ok := in["y"]; ok {
+		t.Errorf("y survived merge with conflicting values: %v", in)
+	}
+}
+
+// A loop-carried kill reaches fixpoint: x starts 0, the body may set it to 1,
+// so after the loop x is unknown.
+func TestLoopFixpoint(t *testing.T) {
+	g := buildGraph(t, `
+func f(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = 1
+	}
+	return
+}`)
+	res := Forward[constFact](g, constLattice{}, transfer)
+	var done *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.done" {
+			done = b
+		}
+	}
+	if _, ok := res.In[done]["x"]; ok {
+		t.Errorf("x still constant after loop that reassigns it: %v", res.In[done])
+	}
+}
+
+// Replay sees the state before each node, flow-sensitively.
+func TestReplaySeesPrestate(t *testing.T) {
+	g := buildGraph(t, `
+func f() {
+	x := 1
+	x = 2
+	return
+}`)
+	res := Forward[constFact](g, constLattice{}, transfer)
+	var states []int
+	res.Replay(func(f constFact, n ast.Node) {
+		if _, ok := n.(*ast.AssignStmt); ok {
+			v, present := f["x"]
+			if !present {
+				v = -1
+			}
+			states = append(states, v)
+		}
+	})
+	// Before "x := 1": unknown (-1). Before "x = 2": 1.
+	if len(states) != 2 || states[0] != -1 || states[1] != 1 {
+		t.Errorf("replay prestates = %v, want [-1 1]", states)
+	}
+}
+
+// AtExit visits each return path separately with its own out fact.
+func TestAtExitPerPath(t *testing.T) {
+	g := buildGraph(t, `
+func f(c bool) {
+	x := 0
+	if c {
+		x = 1
+		return
+	}
+	x = 2
+	return
+}`)
+	res := Forward[constFact](g, constLattice{}, transfer)
+	seen := map[int]bool{}
+	res.AtExit(func(_ *cfg.Block, out constFact) {
+		seen[out["x"]] = true
+	})
+	if !seen[1] || !seen[2] {
+		t.Errorf("exit paths saw %v, want both x=1 and x=2 paths", seen)
+	}
+}

@@ -1,0 +1,12 @@
+package ivsanity_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/ivsanity"
+)
+
+func TestIVSanity(t *testing.T) {
+	analysistest.Run(t, "testdata", ivsanity.Analyzer, "cbc")
+}

@@ -1,0 +1,12 @@
+package keyzero_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/keyzero"
+)
+
+func TestKeyZero(t *testing.T) {
+	analysistest.Run(t, "testdata", keyzero.Analyzer, "keys")
+}

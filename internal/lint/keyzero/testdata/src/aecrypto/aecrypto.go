@@ -1,0 +1,25 @@
+// Package aecrypto is a fixture stub exposing the key-material surface the
+// keyzero analyzer recognizes.
+package aecrypto
+
+// GenerateKey returns a fresh random root key.
+func GenerateKey() ([]byte, error) {
+	return make([]byte, 32), nil
+}
+
+// Zeroize wipes b in place.
+func Zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CellKey is a derived-key bundle.
+type CellKey struct {
+	enc []byte
+}
+
+// NewCellKey derives a cell key from a root.
+func NewCellKey(root []byte) (*CellKey, error) {
+	return &CellKey{enc: root}, nil
+}

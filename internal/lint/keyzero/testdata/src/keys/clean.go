@@ -1,0 +1,117 @@
+package keys
+
+import "aecrypto"
+
+// CleanDefer: the canonical shape — defer the wipe right after the unwrap.
+func CleanDefer(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	defer aecrypto.Zeroize(root)
+	use(root)
+	return nil
+}
+
+// CleanDeferClosure: a deferred closure that wipes also discharges.
+func CleanDeferClosure(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	defer func() { aecrypto.Zeroize(root) }()
+	use(root)
+	return nil
+}
+
+// CleanReturned: returning the key transfers ownership to the caller.
+func CleanReturned(p Provider, path string, wrapped []byte) ([]byte, error) {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// CleanStoredField: storing into a field is an ownership transfer.
+func CleanStoredField(p Provider, s *store, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	s.root = root
+	return nil
+}
+
+// CleanComposite: a composite literal keeps the bytes alive beyond the frame.
+func CleanComposite(p Provider, path string, wrapped []byte) (*store, error) {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	return &store{root: root}, nil
+}
+
+// CleanCaptured: closure capture may outlive the frame — escape.
+func CleanCaptured(p Provider, path string, wrapped []byte) (func(), error) {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	return func() { use(root) }, nil
+}
+
+// CleanErrorPaths: on error returns the root is nil or the failure is the
+// caller's signal; only success paths carry the obligation.
+func CleanErrorPaths(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	cell, err := aecrypto.NewCellKey(root)
+	if err != nil {
+		return err
+	}
+	_ = cell
+	aecrypto.Zeroize(root)
+	return nil
+}
+
+// CleanPanicPath: a panicking path never reaches the exit block, so it owes
+// no zeroization.
+func CleanPanicPath(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	if cond() {
+		panic("invariant violated")
+	}
+	aecrypto.Zeroize(root)
+	return nil
+}
+
+// CleanZeroizeBothBranches: explicit wipe on every return path.
+func CleanZeroizeBothBranches(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	if cond() {
+		aecrypto.Zeroize(root)
+		return nil
+	}
+	use(root)
+	aecrypto.Zeroize(root)
+	return nil
+}
+
+// CleanGlobalStore: assignment to a package global is an escape.
+func CleanGlobalStore(p Provider, path string, wrapped []byte) error {
+	root, err := p.Unwrap(path, wrapped)
+	if err != nil {
+		return err
+	}
+	global = root
+	return nil
+}

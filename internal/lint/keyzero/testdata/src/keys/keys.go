@@ -1,0 +1,18 @@
+// Package keys is the keyzero fixture: provider plumbing plus the flagged
+// and clean key-lifetime shapes.
+package keys
+
+// Provider unwraps CEK roots.
+type Provider interface {
+	Unwrap(path string, wrapped []byte) ([]byte, error)
+}
+
+type store struct {
+	root []byte
+}
+
+var global []byte
+
+func use(b []byte) {}
+
+func cond() bool { return false }

@@ -8,13 +8,18 @@
 //	rank 40  MemStore.mu, FileStore.mu                          (PageStore I/O)
 //
 // A goroutine may only acquire a lock of strictly greater rank than any lock
-// it already holds. The analyzer simulates each function body tracking the
-// held set (branch-aware: a branch that returns does not leak its holds into
-// the fall-through path), and checks interprocedurally via transitive
-// may-acquire summaries: calling a same-package function whose summary
-// contains a rank no greater than a held rank is reported at the call site.
-// Calls through the PageStore interface are treated as acquiring rank 40,
-// since both implementations lock their own mutex.
+// it already holds. The analyzer runs a must-hold dataflow over the
+// basic-block CFG of each function (internal/lint/cfg + dataflow): the fact
+// is the set of locks held on every path to a point, the join at merges is
+// intersection, and a branch that returns does not leak its holds into the
+// fall-through path — break and continue edges propagate their held sets to
+// their targets like any other edge, which the old statement-walking
+// simulation approximated away. Reporting happens on a replay pass after
+// the fixpoint, once per reachable call site. Interprocedural checks use
+// transitive may-acquire summaries: calling a same-package function whose
+// summary contains a rank no greater than a held rank is reported at the
+// call site. Calls through the PageStore interface are treated as acquiring
+// rank 40, since both implementations lock their own mutex.
 //
 // RLock counts as Lock: read/write flavors deadlock the same way when
 // ordered inconsistently. Deferred Unlocks are ignored, which models the
@@ -29,6 +34,8 @@ import (
 	"sort"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/cfg"
+	"alwaysencrypted/internal/lint/dataflow"
 )
 
 // Analyzer is the lockorder pass.
@@ -60,9 +67,33 @@ const (
 	pageStoreRank = 40
 )
 
-type heldLock struct {
-	name string
-	rank int
+// heldFact maps lock name -> rank for every lock held on ALL paths to a
+// program point (must-hold).
+type heldFact map[string]int
+
+type heldLattice struct{}
+
+func (heldLattice) Bottom() heldFact { return heldFact{} }
+
+func (heldLattice) Clone(f heldFact) heldFact {
+	c := make(heldFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// Join intersects: a lock is held at a merge only if held on every incoming
+// edge.
+func (heldLattice) Join(dst, src heldFact) (heldFact, bool) {
+	changed := false
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return dst, changed
 }
 
 // summary is a function's transitive may-acquire set.
@@ -80,11 +111,57 @@ func run(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				s.stmts(fn.Body.List, nil)
+				s.checkFunc(fn)
 			}
 		}
 	}
 	return nil, nil
+}
+
+// checkFunc runs the must-hold fixpoint over fn's CFG, then replays each
+// reachable block once, reporting violations against the converged held
+// sets.
+func (s *sim) checkFunc(fn *ast.FuncDecl) {
+	g := cfg.New(fn.Body)
+	transfer := func(f heldFact, n ast.Node) heldFact {
+		s.apply(f, n, false)
+		return f
+	}
+	res := dataflow.Forward[heldFact](g, heldLattice{}, transfer)
+	res.Replay(func(f heldFact, n ast.Node) {
+		// The visit mutates f exactly as the transfer that Replay applies
+		// right after will (acquire/release on a map are idempotent), so
+		// reporting here sees the held set mid-statement.
+		s.apply(f, n, true)
+	})
+}
+
+// apply processes the calls of one CFG node in source order against held,
+// updating it for lock operations and (when report is set) reporting
+// violations.
+func (s *sim) apply(held heldFact, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		// New goroutine: runs with an empty held set; literals are skipped.
+		return
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held until return — the right
+		// model for ordering, so acquire/release bookkeeping skips it.
+		// Deferred plain calls are checked against the current held set.
+		if _, _, _, isLock := s.lockOp(n.Call); !isLock {
+			s.checkCall(n.Call, held, report)
+		}
+		return
+	case *ast.RangeStmt:
+		// The CFG hoists the range header here; the body lives in its own
+		// blocks, so only the operand is scanned.
+		s.checkCalls(n.X, held, report)
+		return
+	case *ast.TypeSwitchStmt:
+		s.checkCalls(n.Assign, held, report)
+		return
+	}
+	s.checkCalls(n, held, report)
 }
 
 type sim struct {
@@ -227,142 +304,44 @@ func (s *sim) callee(call *ast.CallExpr) (fn *types.Func, iface bool) {
 	return obj, false
 }
 
-// stmts simulates a statement list with the given held set, returning the
-// held set at fall-through and whether the list terminates (return / branch).
-func (s *sim) stmts(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
-	for _, stmt := range list {
-		var term bool
-		held, term = s.stmt(stmt, held)
-		if term {
-			return held, true
-		}
-	}
-	return held, false
-}
-
-func (s *sim) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
-	switch stmt := stmt.(type) {
-	case *ast.ReturnStmt:
-		s.checkCalls(stmt, &held)
-		return held, true
-	case *ast.BranchStmt:
-		// break/continue/goto end this path; the target resumes from a
-		// state we approximate as the loop entry state.
-		return held, true
-	case *ast.BlockStmt:
-		return s.stmts(stmt.List, held)
-	case *ast.LabeledStmt:
-		return s.stmt(stmt.Stmt, held)
-	case *ast.IfStmt:
-		if stmt.Init != nil {
-			held, _ = s.stmt(stmt.Init, held)
-		}
-		s.checkCalls(stmt.Cond, &held)
-		thenHeld, thenTerm := s.stmts(stmt.Body.List, cloneHeld(held))
-		elseHeld, elseTerm := cloneHeld(held), false
-		if stmt.Else != nil {
-			elseHeld, elseTerm = s.stmt(stmt.Else, cloneHeld(held))
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held, true
-		case thenTerm:
-			return elseHeld, false
-		case elseTerm:
-			return thenHeld, false
-		default:
-			return intersectHeld(thenHeld, elseHeld), false
-		}
-	case *ast.ForStmt:
-		if stmt.Init != nil {
-			held, _ = s.stmt(stmt.Init, held)
-		}
-		if stmt.Cond != nil {
-			s.checkCalls(stmt.Cond, &held)
-		}
-		bodyHeld, bodyTerm := s.stmts(stmt.Body.List, cloneHeld(held))
-		if bodyTerm {
-			return held, false
-		}
-		return intersectHeld(held, bodyHeld), false
-	case *ast.RangeStmt:
-		s.checkCalls(stmt.X, &held)
-		bodyHeld, bodyTerm := s.stmts(stmt.Body.List, cloneHeld(held))
-		if bodyTerm {
-			return held, false
-		}
-		return intersectHeld(held, bodyHeld), false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		// Simulate each case from the entry state; continue with the entry
-		// state (cases either balance their locks or terminate).
-		var body *ast.BlockStmt
-		switch st := stmt.(type) {
-		case *ast.SwitchStmt:
-			body = st.Body
-		case *ast.TypeSwitchStmt:
-			body = st.Body
-		case *ast.SelectStmt:
-			body = st.Body
-		}
-		for _, clause := range body.List {
-			switch c := clause.(type) {
-			case *ast.CaseClause:
-				s.stmts(c.Body, cloneHeld(held))
-			case *ast.CommClause:
-				s.stmts(c.Body, cloneHeld(held))
-			}
-		}
-		return held, false
-	case *ast.DeferStmt:
-		// A deferred Unlock keeps the lock held until return — the right
-		// model for ordering, so acquire/release bookkeeping skips it.
-		// Deferred plain calls are checked against the current held set.
-		if _, _, _, isLock := s.lockOp(stmt.Call); !isLock {
-			s.checkCall(stmt.Call, &held)
-		}
-		return held, false
-	case *ast.GoStmt:
-		// New goroutine: empty held set; literals are simulated separately.
-		return held, false
-	case nil:
-		return held, false
-	default:
-		s.checkCalls(stmt, &held)
-		return held, false
-	}
-}
-
 // checkCalls processes every call under n in source order against held,
-// updating held for lock ops.
-func (s *sim) checkCalls(n ast.Node, held *[]heldLock) {
+// updating held for lock ops and reporting violations when report is set.
+func (s *sim) checkCalls(n ast.Node, held heldFact, report bool) {
 	if n == nil {
 		return
 	}
 	s.scanCalls(n, func(call *ast.CallExpr) {
-		s.checkCall(call, held)
+		s.checkCall(call, held, report)
 	})
 }
 
-func (s *sim) checkCall(call *ast.CallExpr, held *[]heldLock) {
+func (s *sim) checkCall(call *ast.CallExpr, held heldFact, report bool) {
 	if name, rank, acquire, ok := s.lockOp(call); ok {
 		if acquire {
-			if h := worstHeld(*held, rank); h != nil {
-				s.pass.Reportf(call.Pos(),
-					"acquires %s (rank %d) while holding %s (rank %d); %s",
-					name, rank, h.name, h.rank, orderDoc)
+			if report {
+				if hn, hr, bad := worstHeld(held, rank); bad {
+					s.pass.Reportf(call.Pos(),
+						"acquires %s (rank %d) while holding %s (rank %d); %s",
+						name, rank, hn, hr, orderDoc)
+				}
 			}
-			*held = append(*held, heldLock{name, rank})
+			held[name] = rank
 		} else {
-			releaseHeld(held, name)
+			delete(held, name)
 		}
+		return
+	}
+	if !report {
+		// Plain calls never change the held set; summary and interface
+		// checks only report.
 		return
 	}
 	callee, iface := s.callee(call)
 	if iface {
-		if h := worstHeld(*held, pageStoreRank); h != nil {
+		if hn, hr, bad := worstHeld(held, pageStoreRank); bad {
 			s.pass.Reportf(call.Pos(),
 				"PageStore call may acquire %s (rank %d) while holding %s (rank %d); %s",
-				pageStoreLock, pageStoreRank, h.name, h.rank, orderDoc)
+				pageStoreLock, pageStoreRank, hn, hr, orderDoc)
 		}
 		return
 	}
@@ -381,52 +360,23 @@ func (s *sim) checkCall(call *ast.CallExpr, held *[]heldLock) {
 	sort.Strings(names)
 	for _, name := range names {
 		rank := sum.acquires[name]
-		if h := worstHeld(*held, rank); h != nil {
+		if hn, hr, bad := worstHeld(held, rank); bad {
 			s.pass.Reportf(call.Pos(),
 				"call to %s may acquire %s (rank %d) while %s (rank %d) is held; %s",
-				callee.Name(), name, rank, h.name, h.rank, orderDoc)
+				callee.Name(), name, rank, hn, hr, orderDoc)
 			return
 		}
 	}
 }
 
 // worstHeld returns the highest-ranked held lock whose rank is >= rank (an
-// ordering violation: only strictly greater ranks may be acquired), or nil.
-func worstHeld(held []heldLock, rank int) *heldLock {
-	var worst *heldLock
-	for i := range held {
-		if held[i].rank >= rank && (worst == nil || held[i].rank > worst.rank) {
-			worst = &held[i]
+// ordering violation: only strictly greater ranks may be acquired).
+func worstHeld(held heldFact, rank int) (string, int, bool) {
+	worstName, worstRank := "", -1
+	for name, r := range held {
+		if r >= rank && (r > worstRank || (r == worstRank && name < worstName)) {
+			worstName, worstRank = name, r
 		}
 	}
-	return worst
-}
-
-func releaseHeld(held *[]heldLock, name string) {
-	h := *held
-	for i := len(h) - 1; i >= 0; i-- {
-		if h[i].name == name {
-			*held = append(h[:i], h[i+1:]...)
-			return
-		}
-	}
-}
-
-func cloneHeld(held []heldLock) []heldLock {
-	return append([]heldLock(nil), held...)
-}
-
-// intersectHeld keeps locks present in both states — the sound "must-hold"
-// merge after branches that rejoin.
-func intersectHeld(a, b []heldLock) []heldLock {
-	var out []heldLock
-	for _, h := range a {
-		for _, g := range b {
-			if h.name == g.name {
-				out = append(out, h)
-				break
-			}
-		}
-	}
-	return out
+	return worstName, worstRank, worstRank >= 0
 }

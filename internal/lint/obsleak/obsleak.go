@@ -1,14 +1,17 @@
 // Package obsleak extends the plaintextflow property to the observability
 // subsystem: metrics record only counts, durations and sizes — never key
-// material or plaintext. It reuses the shared taint engine and the same
-// decrypt/open source set, but its sinks are the internal/obs recording
-// calls (Counter.Add, Histogram.Observe, Registry.Counter(name), spans, …)
-// instead of formatting functions.
+// material or plaintext. It reuses the shared flow-sensitive taint engine
+// and the same decrypt/open source set, but its sinks are the internal/obs
+// recording calls (Counter.Add, Histogram.Observe, Registry.Counter(name),
+// spans, …) instead of formatting functions. Callee summaries from
+// internal/lint/callgraph make the pass interprocedural: handing a tainted
+// value to a helper that records it is reported at the call site.
 //
-// len() and cap() sanitize: the SIZE of a plaintext buffer is part of the
-// declared observable channel (batch sizes, value lengths already cross the
-// boundary as ciphertext lengths), so obs.Histogram("x").Observe(int64(len(pt)))
-// is legal while Observe(int64(pt[0])) is not.
+// len() and cap() sanitize (universally, shared with every other policy):
+// the SIZE of a plaintext buffer is part of the declared observable channel
+// (batch sizes, value lengths already cross the boundary as ciphertext
+// lengths), so obs.Histogram("x").Observe(int64(len(pt))) is legal while
+// Observe(int64(pt[0])) is not.
 //
 // The pass runs over the enclave, exprsvc and aecrypto packages — the code
 // that both handles plaintext and is instrumented.
@@ -16,9 +19,9 @@ package obsleak
 
 import (
 	"go/ast"
-	"go/types"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/callgraph"
 	"alwaysencrypted/internal/lint/taint"
 )
 
@@ -43,23 +46,24 @@ func run(pass *analysis.Pass) (any, error) {
 	if !applies {
 		return nil, nil
 	}
+	oracle := callgraph.For(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkFunc(pass, oracle, fn)
 		}
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, oracle taint.Oracle, fn *ast.FuncDecl) {
 	c := taint.NewChecker(taint.Config{
-		Pass:      pass,
-		IsSource:  taint.EnclaveSources(pass),
-		Sanitizes: sanitizes(pass),
+		Pass:    pass,
+		Sources: taint.EnclaveSources(pass),
+		Oracle:  oracle,
 	})
 	c.Analyze(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -67,44 +71,21 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		name := obsSinkName(pass, call)
-		if name == "" {
-			return true
-		}
-		for _, arg := range call.Args {
-			if c.ExprTainted(arg) {
-				pass.Reportf(arg.Pos(),
-					"plaintext-derived value reaches obs.%s: metrics record only counts, durations and sizes, never plaintext or key material",
-					name)
+		if name := taint.ObsSink(pass.TypesInfo, call); name != "" {
+			for _, arg := range call.Args {
+				if c.ExprTainted(arg) {
+					pass.Reportf(arg.Pos(),
+						"plaintext-derived value reaches obs.%s: metrics record only counts, durations and sizes, never plaintext or key material",
+						name)
+				}
 			}
+		}
+		for _, hit := range callgraph.CallSiteHits(c, pass.TypesInfo, call, oracle, "obs") {
+			fn := taint.CalleeFunc(pass.TypesInfo, call)
+			pass.Reportf(call.Pos(),
+				"plaintext-derived value reaches obs.%s inside %s: metrics record only counts, durations and sizes, never plaintext or key material",
+				hit.Desc, fn.Name())
 		}
 		return true
 	})
-}
-
-// sanitizes marks len() and cap() as cleansing: sizes are declared safe.
-func sanitizes(pass *analysis.Pass) func(call *ast.CallExpr) bool {
-	return func(call *ast.CallExpr) bool {
-		id, ok := call.Fun.(*ast.Ident)
-		if !ok || (id.Name != "len" && id.Name != "cap") {
-			return false
-		}
-		_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
-		return builtin
-	}
-}
-
-// obsSinkName returns "<Recv>.<Method>" (or the function name) for calls
-// into the obs package, or "" for anything else. Every obs entry point that
-// accepts data is a sink: recording methods take values, registry lookups
-// take instrument names — neither may carry plaintext.
-func obsSinkName(pass *analysis.Pass, call *ast.CallExpr) string {
-	fn := taint.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || !analysis.PackagePathIs(fn.Pkg(), "obs") {
-		return ""
-	}
-	if recv := taint.RecvTypeName(fn); recv != "" {
-		return recv + "." + fn.Name()
-	}
-	return fn.Name()
 }

@@ -1,0 +1,34 @@
+package enclave
+
+import (
+	"aecrypto"
+	"obs"
+)
+
+// RecordViaHelper: recordSample's summary shows its parameter reaching
+// Histogram.Observe, so handing it plaintext is reported at the call site —
+// the interprocedural case the old intra-procedural pass missed.
+func RecordViaHelper(reg *obs.Registry, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	recordSample(reg, int64(pt[0])) // want `plaintext-derived value reaches obs\.Histogram\.Observe inside recordSample`
+}
+
+// RecordSizeViaHelper is clean: len() sanitizes, so the helper receives a
+// declared-channel size, not plaintext.
+func RecordSizeViaHelper(reg *obs.Registry, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	recordSample(reg, int64(len(pt)))
+}
+
+// KillBeforeRecord is clean: the sample is overwritten with a constant
+// before recording (flow-sensitive kill).
+func KillBeforeRecord(reg *obs.Registry, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	v := int64(pt[0])
+	v = 1
+	reg.Counter("enclave.ops").Add(uint64(v))
+}
+
+func recordSample(reg *obs.Registry, v int64) {
+	reg.Histogram("enclave.samples").Observe(v)
+}

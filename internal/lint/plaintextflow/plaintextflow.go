@@ -1,11 +1,16 @@
-// Package plaintextflow is an intra-procedural taint pass that re-proves,
-// statically, the "no plaintext in error paths" property the enclave
-// currently asserts only in comments and tests (§4.4.1: failures surface as
-// coarse information; Figure 5: only declared comparison results cross the
-// boundary in the clear).
+// Package plaintextflow is a taint pass that re-proves, statically, the "no
+// plaintext in error paths" property the enclave currently asserts only in
+// comments and tests (§4.4.1: failures surface as coarse information;
+// Figure 5: only declared comparison results cross the boundary in the
+// clear).
 //
 // Sources are the shared decrypt/open primitive set (taint.EnclaveSources);
-// propagation is the shared engine in internal/lint/taint.
+// propagation is the flow-sensitive engine in internal/lint/taint, so a
+// buffer that is overwritten with clean data before a format call is not
+// flagged, and one tainted only on some branch is flagged only after the
+// merge. Summaries from internal/lint/callgraph make the pass
+// interprocedural: passing a tainted value to a helper whose summary shows
+// the parameter reaching fmt/log/panic is reported at the call site.
 //
 // Sinks — host-visible formatting channels where plaintext must never land:
 // fmt.Errorf / Sprintf / Sprint / Sprintln / Print / Printf / Println /
@@ -15,14 +20,16 @@
 // leave an evaluation (the caller is responsible for them being ciphertext
 // or declared comparison outputs).
 //
-// The pass runs over the enclave, exprsvc and aecrypto packages — the code
-// that handles plaintext inside the trust boundary.
+// The pass runs over the enclave, exprsvc, aecrypto, keys and attestation
+// packages — the code that handles plaintext or key material inside the
+// trust boundary.
 package plaintextflow
 
 import (
 	"go/ast"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/callgraph"
 	"alwaysencrypted/internal/lint/taint"
 )
 
@@ -34,7 +41,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // trustedPackages are the short names of the packages the pass applies to.
-var trustedPackages = []string{"enclave", "exprsvc", "aecrypto"}
+var trustedPackages = []string{"enclave", "exprsvc", "aecrypto", "keys", "attestation"}
 
 func run(pass *analysis.Pass) (any, error) {
 	applies := false
@@ -47,22 +54,24 @@ func run(pass *analysis.Pass) (any, error) {
 	if !applies {
 		return nil, nil
 	}
+	oracle := callgraph.For(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkFunc(pass, oracle, fn)
 		}
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, oracle taint.Oracle, fn *ast.FuncDecl) {
 	c := taint.NewChecker(taint.Config{
-		Pass:     pass,
-		IsSource: taint.EnclaveSources(pass),
+		Pass:    pass,
+		Sources: taint.EnclaveSources(pass),
+		Oracle:  oracle,
 	})
 	c.Analyze(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -71,13 +80,14 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		checkSink(pass, c, call)
+		checkCallSite(pass, c, oracle, call)
 		return true
 	})
 }
 
 // checkSink reports tainted arguments reaching a formatting/panic sink.
 func checkSink(pass *analysis.Pass, c *taint.Checker, call *ast.CallExpr) {
-	name := sinkName(pass, call)
+	name := taint.FormatSink(pass.TypesInfo, call)
 	if name == "" {
 		return
 	}
@@ -90,30 +100,13 @@ func checkSink(pass *analysis.Pass, c *taint.Checker, call *ast.CallExpr) {
 	}
 }
 
-// sinkName returns a printable sink name, or "" if the call is not a sink.
-func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
-	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-		return "panic"
+// checkCallSite reports tainted arguments flowing into a callee whose
+// summary shows them reaching a formatting sink.
+func checkCallSite(pass *analysis.Pass, c *taint.Checker, oracle taint.Oracle, call *ast.CallExpr) {
+	for _, hit := range callgraph.CallSiteHits(c, pass.TypesInfo, call, oracle, "format") {
+		fn := taint.CalleeFunc(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"plaintext-derived value reaches %s inside %s: decrypted data must stay inside the enclave boundary; errors must be coarse (§4.4.1)",
+			hit.Desc, fn.Name())
 	}
-	fn := taint.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil {
-		return ""
-	}
-	pkg, name := fn.Pkg().Path(), fn.Name()
-	switch pkg {
-	case "fmt":
-		switch name {
-		case "Errorf", "Sprintf", "Sprint", "Sprintln",
-			"Print", "Printf", "Println",
-			"Fprint", "Fprintf", "Fprintln":
-			return "fmt." + name
-		}
-	case "errors":
-		if name == "New" {
-			return "errors.New"
-		}
-	case "log":
-		return "log." + name
-	}
-	return ""
 }

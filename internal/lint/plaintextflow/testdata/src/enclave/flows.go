@@ -1,0 +1,130 @@
+package enclave
+
+import (
+	"errors"
+	"fmt"
+
+	"aecrypto"
+)
+
+var errOpenFailed = errors.New("enclave: open failed")
+
+// KillOnReassign: the engine is flow-sensitive — overwriting the buffer
+// with clean data kills its taint, so the later format call is legal.
+func KillOnReassign(key *aecrypto.CellKey, cell []byte) string {
+	buf, err := key.Decrypt(cell)
+	if err != nil {
+		return "error"
+	}
+	use(buf)
+	buf = []byte("redacted")
+	return fmt.Sprintf("cell state: %s", buf)
+}
+
+// TaintAfterUse: taint introduced AFTER a format call does not flag the
+// earlier use (the old flow-insensitive engine flagged both).
+func TaintAfterUse(key *aecrypto.CellKey, cell []byte) string {
+	buf := []byte("header")
+	s := fmt.Sprintf("prefix: %s", buf)
+	buf, _ = key.Decrypt(cell)
+	use(buf)
+	return s
+}
+
+// BranchTaint: tainted on one branch means tainted at the merge.
+func BranchTaint(key *aecrypto.CellKey, cell []byte, raw bool) string {
+	buf := []byte("empty")
+	if raw {
+		buf, _ = key.Decrypt(cell)
+	}
+	return fmt.Sprintf("%s", buf) // want "plaintext-derived value reaches fmt.Sprintf"
+}
+
+// WrapBeforeLaterTaint is the regression for the removed blanket error-type
+// exemption: the old engine's function-wide err object forced that hack
+// because transform(pt) below would have tainted err retroactively,
+// flagging the EARLIER wrap. Flow-sensitive kills make the early wrap clean
+// on principle, with no type-based exemption.
+func WrapBeforeLaterTaint(key *aecrypto.CellKey, cell []byte) ([]byte, error) {
+	data, err := frame(cell)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: bad frame: %w", err)
+	}
+	pt, err := key.Decrypt(data)
+	if err != nil {
+		return nil, errOpenFailed
+	}
+	out, err := transform(pt)
+	if err != nil {
+		return nil, errOpenFailed
+	}
+	return out, nil
+}
+
+// OpenAndWrapLeaky: interprocedural finding — leakyWrap's summary records
+// that its parameter reaches fmt.Errorf, so handing it plaintext is
+// reported at the call site.
+func OpenAndWrapLeaky(key *aecrypto.CellKey, cell []byte) error {
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		return errOpenFailed
+	}
+	return leakyWrap(pt) // want "plaintext-derived value reaches fmt.Errorf inside leakyWrap"
+}
+
+// ErrorCarrierCaught: describeCell formats its parameter into the error it
+// returns. Error values are sentinels, so the returned error itself carries
+// no labels — the leak is reported where it happens, at the call that hands
+// plaintext to the formatting helper. This is the true positive the old
+// blanket error exemption could never catch.
+func ErrorCarrierCaught(key *aecrypto.CellKey, cell []byte) error {
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		return errOpenFailed
+	}
+	derr := describeCell(pt) // want "plaintext-derived value reaches fmt.Errorf inside describeCell"
+	return fmt.Errorf("enclave: describe: %w", derr)
+}
+
+// CleanHelperCall: transform consumes plaintext but neither leaks it to a
+// sink nor returns it through its error, so the call site is clean and the
+// error wrap is clean.
+func CleanHelperCall(key *aecrypto.CellKey, cell []byte) error {
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		return errOpenFailed
+	}
+	if _, err := transform(pt); err != nil {
+		return fmt.Errorf("enclave: transform failed: %w", err)
+	}
+	return nil
+}
+
+// leakyWrap formats its parameter into an error: a summary-visible sink.
+func leakyWrap(b []byte) error {
+	return fmt.Errorf("enclave: unexpected cell contents %x", b)
+}
+
+// describeCell returns an error carrying its parameter's bytes.
+func describeCell(b []byte) error {
+	return fmt.Errorf("cell<%x>", b)
+}
+
+// transform consumes plaintext but keeps its error coarse.
+func transform(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("enclave: empty input")
+	}
+	out := append([]byte(nil), b...)
+	return out, nil
+}
+
+// frame is a clean pre-processing helper.
+func frame(b []byte) ([]byte, error) {
+	if len(b) < 2 {
+		return nil, errors.New("enclave: short frame")
+	}
+	return b[2:], nil
+}
+
+func use(b []byte) {}

@@ -1,0 +1,117 @@
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alwaysencrypted/internal/lint/analysis"
+)
+
+// Sink classifiers shared by the analyzers (direct reporting) and the
+// callgraph summary builder (recording which params reach which sinks, so
+// call sites can report interprocedurally).
+
+// FormatSink returns a printable name when call is a host-visible formatting
+// channel (fmt printers, errors.New, log, panic), or "".
+func FormatSink(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin || info.Uses[id] == nil {
+			return "panic"
+		}
+	}
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "fmt":
+		switch name {
+		case "Errorf", "Sprintf", "Sprint", "Sprintln",
+			"Print", "Printf", "Println",
+			"Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name
+		}
+	case "errors":
+		if name == "New" {
+			return "errors.New"
+		}
+	case "log":
+		return "log." + name
+	}
+	return ""
+}
+
+// ObsSink returns "<Recv>.<Method>" (or the function name) for calls into
+// the obs package, or "". Every obs entry point that accepts data is a sink:
+// recording methods take values, registry lookups take instrument names —
+// neither may carry plaintext.
+func ObsSink(info *types.Info, call *ast.CallExpr) string {
+	fn := CalleeFunc(info, call)
+	if fn == nil || !analysis.PackagePathIs(fn.Pkg(), "obs") {
+		return ""
+	}
+	if recv := RecvTypeName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// CompareSink classifies n as a variable-time comparison of data-carrying
+// operands: an ==/!=/</<=/>/>= between integers, strings or byte arrays, or
+// a bytes.Equal/bytes.Compare call. It returns the sink description and the
+// operand expressions, or ("", nil).
+//
+// Comparisons of bools, interfaces, pointers, channels and nil are not data
+// comparisons (branching on err != nil is control flow, not a timing oracle
+// over secret bytes) and are never flagged. subtle.* and hmac.Equal never
+// reach here: they are universal sanitizers.
+func CompareSink(info *types.Info, n ast.Node) (string, []ast.Expr) {
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return "", nil
+		}
+		if !comparableSecretType(info, n.X) || !comparableSecretType(info, n.Y) {
+			return "", nil
+		}
+		return n.Op.String(), []ast.Expr{n.X, n.Y}
+	case *ast.CallExpr:
+		fn := CalleeFunc(info, n)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "bytes" {
+			return "", nil
+		}
+		switch fn.Name() {
+		case "Equal", "Compare":
+			return "bytes." + fn.Name(), n.Args
+		}
+	}
+	return "", nil
+}
+
+// comparableSecretType reports whether e's type can hold secret data whose
+// comparison is timing-relevant: integers (pad counts, length fields),
+// strings, and byte arrays (digest values compared with ==).
+func comparableSecretType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		if t.Info()&(types.IsInteger|types.IsString) != 0 {
+			return true
+		}
+		return false
+	case *types.Array:
+		elem, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && elem.Kind() == types.Byte
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package sqltypes
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDecodeErrorIsCoarse pins the §4.4.1 error-channel contract: Decode and
+// Compare operate on decrypted cell values, so their errors must be the bare
+// sentinels — no kind bytes, no operand types — or plaintext-derived data
+// rides out through the error string (the leak the plaintextflow analyzer
+// flags interprocedurally at every Decode call site).
+func TestDecodeErrorIsCoarse(t *testing.T) {
+	_, err := Decode([]byte{0xEE, 1, 2, 3})
+	if !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("want ErrBadEncoding, got %v", err)
+	}
+	if err.Error() != ErrBadEncoding.Error() {
+		t.Fatalf("error carries detail beyond the sentinel: %q", err)
+	}
+	if strings.Contains(err.Error(), "0xEE") || strings.Contains(err.Error(), "238") {
+		t.Fatalf("error leaks the undecodable byte: %q", err)
+	}
+}
+
+func TestCompareErrorIsCoarse(t *testing.T) {
+	_, err := Compare(Str("a"), Bool(true))
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("want ErrTypeMismatch, got %v", err)
+	}
+	if err.Error() != ErrTypeMismatch.Error() {
+		t.Fatalf("error carries operand kinds: %q", err)
+	}
+}

@@ -139,7 +139,9 @@ func Compare(a, b Value) (int, error) {
 		if a.Kind == KindFloat && b.Kind == KindInt {
 			return cmpFloat(a.F, float64(b.I)), nil
 		}
-		return 0, fmt.Errorf("%w: %s vs %s", ErrTypeMismatch, a.Kind, b.Kind)
+		// Coarse on purpose: the kinds describe decrypted operands, and
+		// error strings cross the enclave boundary (§4.4.1).
+		return 0, ErrTypeMismatch
 	}
 	switch a.Kind {
 	case KindInt, KindDatetime:
@@ -160,7 +162,7 @@ func Compare(a, b Value) (int, error) {
 		}
 		return cmpInt(int64(x), int64(y)), nil
 	default:
-		return 0, fmt.Errorf("%w: %s", ErrTypeMismatch, a.Kind)
+		return 0, ErrTypeMismatch
 	}
 }
 
@@ -345,7 +347,10 @@ func Decode(b []byte) (Value, error) {
 		}
 		return Bool(body[0] != 0), nil
 	default:
-		return Value{}, fmt.Errorf("%w: kind %d", ErrBadEncoding, b[0])
+		// Coarse on purpose: b may be a decrypted cell, and echoing its
+		// leading byte into the error would leak plaintext through the
+		// error channel (§4.4.1).
+		return Value{}, ErrBadEncoding
 	}
 }
 
