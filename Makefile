@@ -29,10 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# TPC-C benchmark artifact: per-transaction-type latency percentiles and
-# enclave boundary traffic in the stable BENCH_tpcc.json schema.
+# Benchmark artifacts: per-transaction-type latency percentiles and enclave
+# boundary traffic (BENCH_tpcc.json), plus steady-state replication lag, redo
+# throughput and failover timing under the same workload (BENCH_repl.json).
 bench:
 	$(GO) run ./cmd/tpccbench -experiment bench -duration 2s -out BENCH_tpcc.json
+	$(GO) run ./cmd/tpccbench -experiment repl -duration 2s -repl-out BENCH_repl.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

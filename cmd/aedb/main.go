@@ -28,13 +28,22 @@ func main() {
 	noCTR := flag.Bool("no-ctr", false, "disable constant-time recovery (§4.5)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	metricsAddr := flag.String("metrics", "", "serve the metrics snapshot as JSON on this address (e.g. 127.0.0.1:14331; empty = off)")
+	replListen := flag.String("repl-listen", "", "serve the WAL-shipping replication endpoint on this address (e.g. 127.0.0.1:14340; empty = off)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary's replication endpoint (see -repl-listen on the primary)")
+	promote := flag.Bool("promote", false, "with -replica-of: promote to primary automatically when the replication stream is lost")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		runReplica(*listen, *replicaOf, *enclaveThreads, *promote, *statsEvery, *metricsAddr)
+		return
+	}
 
 	srv, err := core.StartServer(core.ServerConfig{
 		Listen:             *listen,
 		EnclaveThreads:     *enclaveThreads,
 		SynchronousEnclave: *syncEnclave,
 		DisableCTR:         *noCTR,
+		ReplListen:         *replListen,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aedb:", err)
@@ -42,6 +51,9 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("aedb: serving on %s (enclave threads=%d, CTR=%v)\n", srv.Addr(), *enclaveThreads, !*noCTR)
+	if srv.ReplAddr() != "" {
+		fmt.Printf("aedb: replication endpoint on %s\n", srv.ReplAddr())
+	}
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()

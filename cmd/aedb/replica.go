@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"alwaysencrypted/internal/core"
+)
+
+// runReplica boots a read replica against the primary's replication endpoint
+// and blocks until interrupted. With autoPromote, losing the replication
+// stream (primary death, WAL truncation past our position) promotes the
+// replica to a standalone primary instead of exiting.
+//
+// A cross-process replica cannot share in-memory trust anchors with its
+// primary, so it generates fresh ones: clients that fail over to it must
+// fetch its Policy before attesting (see DESIGN.md, "Replication &
+// failover").
+func runReplica(listen, primary string, enclaveThreads int, autoPromote bool, statsEvery time.Duration, metricsAddr string) {
+	rs, err := core.StartReplicaServer(core.ReplicaConfig{
+		Primary:        primary,
+		Listen:         listen,
+		ReplicaID:      fmt.Sprintf("aedb-%d", os.Getpid()),
+		EnclaveThreads: enclaveThreads,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aedb:", err)
+		os.Exit(1)
+	}
+	defer rs.Close()
+	fmt.Printf("aedb: replica of %s serving reads on %s (promote-on-loss=%v)\n", primary, rs.Addr(), autoPromote)
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", rs.Obs())
+		ms := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aedb: metrics:", err)
+			}
+		}()
+		defer ms.Close()
+		fmt.Printf("aedb: metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var tick <-chan time.Time
+	if statsEvery > 0 {
+		t := time.NewTicker(statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\naedb: shutting down")
+			return
+		case <-rs.Replication.Done():
+			if err := rs.Replication.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "aedb: replication stream lost:", err)
+			} else {
+				fmt.Println("aedb: replication stream closed")
+			}
+			if !autoPromote {
+				return
+			}
+			start := time.Now()
+			if err := rs.Promote(); err != nil {
+				fmt.Fprintln(os.Stderr, "aedb: promote:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("aedb: promoted to primary in %s; serving writes on %s\n",
+				time.Since(start).Round(time.Millisecond), rs.Addr())
+			// From here on we are an ordinary primary; keep serving until
+			// interrupted.
+			for {
+				select {
+				case <-stop:
+					fmt.Println("\naedb: shutting down")
+					return
+				case <-tick:
+					printStats(rs.Server)
+				}
+			}
+		case <-tick:
+			fmt.Printf("aedb: replica applied LSN %d\n", rs.Replication.AppliedLSN())
+		}
+	}
+}
+
+func printStats(srv *core.Server) {
+	st := srv.Enclave.Dump()
+	scans, seeks, execs := srv.Engine.Stats()
+	fmt.Printf("aedb: execs=%d scans=%d seeks=%d | enclave sessions=%d ceks=%d evals=%d queue=%d sleeps=%d\n",
+		execs, scans, seeks, st.Sessions, st.InstalledCEKs, st.Evaluations, st.QueueTasks, st.WorkerSleeps)
+}

@@ -9,6 +9,7 @@
 //	tpccbench -experiment fig9 [-threads 16]
 //	tpccbench -experiment fig5
 //	tpccbench -experiment bench [-out BENCH_tpcc.json]
+//	tpccbench -experiment repl [-repl-out BENCH_repl.json]
 //	tpccbench -experiment all
 //
 // The bench experiment is the `make bench` artifact: one plaintext and one
@@ -38,6 +39,7 @@ func main() {
 	warehouses := flag.Int("warehouses", 2, "TPC-C warehouse count (scaled)")
 	threads := flag.Int("threads", 16, "client threads for fig9 (the paper's full-load point)")
 	out := flag.String("out", "BENCH_tpcc.json", "output path for the bench experiment")
+	replOut := flag.String("repl-out", "BENCH_repl.json", "output path for the repl experiment")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 		runFigure5()
 	case "bench":
 		runBench(scale, *duration, *warmup, *out)
+	case "repl":
+		runRepl(scale, *duration, *warmup, *replOut)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()

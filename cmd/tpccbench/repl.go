@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/repl"
+	"alwaysencrypted/internal/tpcc"
+)
+
+// runRepl measures WAL-shipping replication under TPC-C: the replica first
+// redoes the whole load phase (bulk redo throughput), then tracks the primary
+// through a measured run (steady-state lag), and finally the primary is
+// killed and the replica promoted (failover timeline). Results land in the
+// schema-versioned BENCH_repl.json.
+func runRepl(scale tpcc.Scale, d, warmup time.Duration, out string) {
+	fmt.Println("=== Replication: redo throughput, steady-state lag under TPC-C, failover ===")
+	w := newWorld(tpcc.ModePlaintext, scale, 1)
+	defer w.Close()
+
+	primReg := obs.New("repl-primary")
+	p := repl.NewPrimary(w.Engine.WAL(), primReg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go p.Serve(l)
+
+	repReg := obs.New("repl-replica")
+	redoStart := time.Now()
+	rs, err := core.StartReplicaServer(core.ReplicaConfig{
+		Primary: l.Addr().String(), ReplicaID: "bench-replica", EnclaveThreads: 1, Obs: repReg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rs.Close()
+
+	// Phase 1: the replica redoes the entire load-phase backlog.
+	if err := rs.Replication.WaitForLSN(w.Engine.WAL().NextLSN(), 120*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "replica catch-up:", err)
+		os.Exit(1)
+	}
+	redoElapsed := time.Since(redoStart)
+	redoRecords := repReg.Counter("repl.redo_records").Value()
+	fmt.Printf("catch-up: %d records redone in %.2fs (%.0f rec/s)\n",
+		redoRecords, redoElapsed.Seconds(), float64(redoRecords)/redoElapsed.Seconds())
+
+	// Phase 2: TPC-C against the primary while sampling replica lag.
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var lagRecs, lagMs []int64
+	go func() {
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				mu.Lock()
+				lagRecs = append(lagRecs, repReg.Gauge("repl.lag_records").Value())
+				lagMs = append(lagMs, repReg.Gauge("repl.lag_ms").Value())
+				mu.Unlock()
+			}
+		}
+	}()
+	res, err := tpcc.RunOnWorld(w, tpcc.BenchConfig{
+		Mode: tpcc.ModePlaintext, Scale: w.Scale, Threads: 8, Duration: d, Warmup: warmup,
+	})
+	close(stop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rs.Replication.WaitForLSN(w.Engine.WAL().NextLSN(), 120*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "replica drain:", err)
+		os.Exit(1)
+	}
+	mu.Lock()
+	recSamples := append([]int64(nil), lagRecs...)
+	msSamples := append([]int64(nil), lagMs...)
+	mu.Unlock()
+
+	// Phase 3: kill the primary's replication endpoint and promote.
+	l.Close()
+	p.Close()
+	select {
+	case <-rs.Replication.Done():
+	case <-time.After(30 * time.Second):
+		fmt.Fprintln(os.Stderr, "replica never noticed primary death")
+		os.Exit(1)
+	}
+	failStart := time.Now()
+	if err := rs.Promote(); err != nil {
+		fmt.Fprintln(os.Stderr, "promote:", err)
+		os.Exit(1)
+	}
+	failoverMs := float64(time.Since(failStart).Nanoseconds()) / 1e6
+
+	// The promoted server answers queries; count warehouses as a sanity row.
+	db, err := rs.Connect(core.ClientConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "post-failover connect:", err)
+		os.Exit(1)
+	}
+	rows, err := db.Exec("SELECT w_id FROM warehouse", nil)
+	db.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "post-failover query:", err)
+		os.Exit(1)
+	}
+
+	run := repl.BenchRun{
+		Workload:             "tpcc-plaintext",
+		DurationMs:           float64(d.Nanoseconds()) / 1e6,
+		RecordsShipped:       primReg.Counter("repl.records_shipped").Value(),
+		BatchesSent:          primReg.Counter("repl.batches_sent").Value(),
+		RedoRecords:          repReg.Counter("repl.redo_records").Value(),
+		RedoRecordsPerSecond: float64(redoRecords) / redoElapsed.Seconds(),
+		LagRecordsP50:        percentileI64(recSamples, 50),
+		LagRecordsP95:        percentileI64(recSamples, 95),
+		LagRecordsMax:        percentileI64(recSamples, 100),
+		LagMsP50:             percentileI64(msSamples, 50),
+		LagMsP95:             percentileI64(msSamples, 95),
+		LagMsMax:             percentileI64(msSamples, 100),
+		LagSamples:           len(recSamples),
+		FailoverMs:           failoverMs,
+		PostFailoverRows:     len(rows.Values),
+	}
+	if err := repl.NewBenchReport(run).WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("steady state: %.2f tx/s primary, lag p50=%d p95=%d records (p50=%d p95=%d ms) over %d samples\n",
+		res.Throughput, run.LagRecordsP50, run.LagRecordsP95, run.LagMsP50, run.LagMsP95, run.LagSamples)
+	fmt.Printf("failover: %.1fms to promote, %d warehouses readable after\n", failoverMs, run.PostFailoverRows)
+	fmt.Printf("wrote %s (schema %s)\n", out, repl.BenchSchema)
+}
+
+// percentileI64 reports the pth percentile (nearest-rank) of samples.
+func percentileI64(samples []int64, pct int) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := pct * len(s) / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

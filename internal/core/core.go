@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"alwaysencrypted/internal/aecrypto"
@@ -28,6 +29,7 @@ import (
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/repl"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/tds"
 )
@@ -60,6 +62,10 @@ type ServerConfig struct {
 	// fresh private registry. The same registry is shared by the enclave,
 	// the engine and the buffer pool, and survives enclave restarts.
 	Obs *obs.Registry
+	// ReplListen, when set, serves the WAL-shipping replication endpoint on
+	// this TCP address ("127.0.0.1:0" for an ephemeral port). Empty disables
+	// replication.
+	ReplListen string
 }
 
 // Server is a running deployment.
@@ -67,12 +73,18 @@ type Server struct {
 	Engine  *engine.Engine
 	Enclave *enclave.Enclave
 	TDS     *tds.Server
+	// Repl is the replication endpoint (nil unless ServerConfig.ReplListen
+	// was set or this is a replica deployment's primary half).
+	Repl *repl.Primary
 
-	addr     string
-	listener net.Listener
-	policy   attestation.Policy
-	image    *enclave.Image
-	options  enclave.Options
+	addr         string
+	listener     net.Listener
+	replAddr     string
+	replListener net.Listener
+	policy       attestation.Policy
+	image        *enclave.Image
+	hgs          *attestation.HGS
+	options      enclave.Options
 }
 
 // StartServer boots the enclave, registers the host with a fresh HGS, and
@@ -140,6 +152,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Enclave: encl,
 		TDS:     tds.NewServer(eng),
 		image:   image,
+		hgs:     hgs,
 		options: opts,
 		policy: attestation.Policy{
 			HGSKey:            hgs.SigningKey(),
@@ -156,8 +169,31 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	srv.listener = l
 	srv.addr = l.Addr().String()
 	go srv.TDS.Serve(l)
+	if cfg.ReplListen != "" {
+		if err := srv.ServeReplication(cfg.ReplListen); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
 	return srv, nil
 }
+
+// ServeReplication opens the WAL-shipping endpoint on addr. Replicas connect
+// here (core.StartReplicaServer, aedb -replica-of).
+func (s *Server) ServeReplication(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Repl = repl.NewPrimary(s.Engine.WAL(), s.options.Obs)
+	s.replListener = l
+	s.replAddr = l.Addr().String()
+	go s.Repl.Serve(l)
+	return nil
+}
+
+// ReplAddr is the replication endpoint's TCP address ("" if not serving).
+func (s *Server) ReplAddr() string { return s.replAddr }
 
 // Addr is the server's TCP address.
 func (s *Server) Addr() string { return s.addr }
@@ -175,6 +211,12 @@ func (s *Server) Obs() *obs.Registry { return s.options.Obs }
 func (s *Server) Close() {
 	if s.listener != nil {
 		s.listener.Close()
+	}
+	if s.replListener != nil {
+		s.replListener.Close()
+	}
+	if s.Repl != nil {
+		s.Repl.Close()
 	}
 	s.TDS.Close()
 	s.Enclave.Close()
@@ -198,6 +240,195 @@ func (s *Server) RestartEnclave() error {
 	s.Engine.InvalidatePlans()
 	old.Close()
 	return nil
+}
+
+// Trust bundles the attestation anchors a replica must share with its
+// primary so that a client's existing Policy verifies the replica's enclave
+// after failover: the same signed enclave image (same author ID) and the
+// same HGS (same signing key). In a real deployment these are distributed
+// out of band; in-process they are handed over directly.
+type Trust struct {
+	Image *enclave.Image
+	HGS   *attestation.HGS
+}
+
+// Trust returns this deployment's anchors for provisioning replicas.
+func (s *Server) Trust() Trust { return Trust{Image: s.image, HGS: s.hgs} }
+
+// ReplicaConfig configures a read-replica deployment.
+type ReplicaConfig struct {
+	// Primary is the primary's replication endpoint (Server.ReplAddr()).
+	Primary string
+	// Listen is the replica's own TDS address for read traffic; empty means
+	// an ephemeral loopback port.
+	Listen string
+	// ReplicaID names the replica in the primary's stream table; empty
+	// derives one from the connection.
+	ReplicaID string
+	// Trust carries the primary's attestation anchors. nil generates fresh
+	// ones (cross-process replicas): replication still works, but clients
+	// must fetch the replica's own Policy before attesting post-failover.
+	Trust *Trust
+	// EnclaveThreads, Obs as in ServerConfig.
+	EnclaveThreads int
+	Obs            *obs.Registry
+}
+
+// ReplicaServer is a running read replica: a full deployment (enclave, host,
+// engine, TDS front door) whose engine is fed by a redo loop instead of
+// writers, serving read-only traffic — encrypted cells come back as
+// ciphertext, since the replica's enclave holds no CEKs. Promote turns it
+// into a primary.
+type ReplicaServer struct {
+	*Server
+	Replication *repl.Replica
+
+	promoted    atomic.Bool
+	cleanerStop func()
+	failoverNs  *obs.Histogram
+	promotions  *obs.Counter
+}
+
+// StartReplicaServer boots a replica deployment and starts its redo loop
+// against the primary.
+func StartReplicaServer(cfg ReplicaConfig) (*ReplicaServer, error) {
+	if cfg.EnclaveThreads == 0 {
+		cfg.EnclaveThreads = 4
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New("replica")
+	}
+
+	trust := cfg.Trust
+	if trust == nil {
+		// Standalone anchors: a cross-process replica cannot share in-memory
+		// trust. Attestation against this replica needs its own Policy().
+		authorKey, err := aecrypto.GenerateRSAKey()
+		if err != nil {
+			return nil, err
+		}
+		image, err := enclave.SignImage(authorKey, []byte("always-encrypted-es-enclave"), 2)
+		if err != nil {
+			return nil, err
+		}
+		hgs, err := attestation.NewHGS()
+		if err != nil {
+			return nil, err
+		}
+		trust = &Trust{Image: image, HGS: hgs}
+	}
+
+	spin := 20 * time.Microsecond
+	if runtime.NumCPU() == 1 {
+		spin = 2 * time.Microsecond
+	}
+	opts := enclave.Options{
+		Threads:      cfg.EnclaveThreads,
+		SpinDuration: spin,
+		CrossingCost: time.Microsecond,
+		Obs:          reg,
+	}
+	encl, err := enclave.Load(trust.Image, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The replica host attests with its own boot measurement, registered
+	// with the shared HGS: clients trust the HGS key, not the specific host.
+	tcg := []byte("core-replica-boot-measurement")
+	host, err := attestation.NewHost(tcg, 10)
+	if err != nil {
+		encl.Close()
+		return nil, err
+	}
+	trust.HGS.RegisterHost(tcg)
+
+	eng := engine.New(engine.Config{
+		Enclave: encl, Host: host, HGS: trust.HGS, CTR: true, Obs: reg,
+	})
+	srv := &Server{
+		Engine:  eng,
+		Enclave: encl,
+		TDS:     tds.NewServer(eng),
+		image:   trust.Image,
+		hgs:     trust.HGS,
+		options: opts,
+		policy: attestation.Policy{
+			HGSKey:            trust.HGS.SigningKey(),
+			TrustedAuthorIDs:  []attestation.Measurement{trust.Image.AuthorID()},
+			MinEnclaveVersion: trust.Image.Version,
+			MinHostVersion:    10,
+		},
+	}
+	l, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		encl.Close()
+		return nil, err
+	}
+	srv.listener = l
+	srv.addr = l.Addr().String()
+	go srv.TDS.Serve(l)
+
+	rep, err := repl.StartReplica(repl.ReplicaConfig{
+		PrimaryAddr: cfg.Primary,
+		ReplicaID:   cfg.ReplicaID,
+		Engine:      eng,
+		Obs:         reg,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &ReplicaServer{
+		Server:      srv,
+		Replication: rep,
+		failoverNs:  reg.Histogram("repl.failover_ns"),
+		promotions:  reg.Counter("repl.promotions"),
+	}, nil
+}
+
+// Promote turns the replica into a primary: the redo loop is drained and
+// stopped, queued-but-never-applied encrypted-index work of in-flight
+// transactions is dropped, crash recovery rolls those transactions back
+// (deferring encrypted-index undo exactly as §4.5 does after a crash), a
+// fresh enclave is loaded, and the engine starts accepting writes. Clients
+// reconnect, re-attest against the fresh enclave and re-install CEKs —
+// which lets the background cleaner resolve whatever recovery deferred.
+func (rs *ReplicaServer) Promote() error {
+	if !rs.promoted.CompareAndSwap(false, true) {
+		return nil
+	}
+	start := time.Now()
+	rs.Replication.Stop()
+	rs.Replication.Applier().DropInflightPending()
+	rs.Engine.Recover()
+	if err := rs.RestartEnclave(); err != nil {
+		return err
+	}
+	rs.Engine.SetReadOnly(false)
+	// Deferred redo transactions (encrypted-index work queued for lack of
+	// keys) resolve in the background once a client re-attests and ships
+	// CEKs to the fresh enclave.
+	rs.cleanerStop = rs.Engine.StartCleaner(20 * time.Millisecond)
+	rs.failoverNs.Observe(time.Since(start).Nanoseconds())
+	rs.promotions.Inc()
+	return nil
+}
+
+// Promoted reports whether Promote has run.
+func (rs *ReplicaServer) Promoted() bool { return rs.promoted.Load() }
+
+// Close stops the redo loop (if still running), the cleaner and the
+// deployment.
+func (rs *ReplicaServer) Close() {
+	rs.Replication.Stop()
+	if rs.cleanerStop != nil {
+		rs.cleanerStop()
+	}
+	rs.Server.Close()
 }
 
 // ClientConfig configures application connections.
@@ -230,6 +461,26 @@ func (s *Server) Connect(cfg ClientConfig) (*DB, error) {
 		DescribeCache:   cfg.DescribeCache,
 	}
 	conn, err := driver.Dial(s.addr, dcfg, cfg.SharedCache)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Conn: conn}, nil
+}
+
+// ConnectAddrs opens an application connection with automatic failover
+// across several server addresses (primary first, replicas after). The
+// policy must cover every listed server — which shared-Trust replicas
+// satisfy by construction.
+func ConnectAddrs(addrs []string, policy attestation.Policy, cfg ClientConfig, reg *obs.Registry) (*DB, error) {
+	dcfg := driver.Config{
+		AlwaysEncrypted: cfg.AlwaysEncrypted,
+		Providers:       cfg.Providers,
+		TrustedKeyPaths: cfg.TrustedKeyPaths,
+		Policy:          &policy,
+		DescribeCache:   cfg.DescribeCache,
+		Obs:             reg,
+	}
+	conn, err := driver.DialMulti(addrs, dcfg, cfg.SharedCache)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,7 @@ import (
 	"alwaysencrypted/internal/enclave"
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/obs"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/tds"
 )
@@ -61,6 +62,9 @@ type Config struct {
 	ForceEncrypted []string
 	// Now is a clock hook for cache-expiry tests.
 	Now func() time.Time
+	// Obs receives driver instruments (driver.failovers,
+	// driver.attestations, driver.reattestations); nil disables them.
+	Obs *obs.Registry
 }
 
 // Errors surfaced by the driver.
@@ -79,6 +83,12 @@ type Conn struct {
 	tds    *tds.Conn
 	caches *Cache
 
+	// addrs holds the failover address list (primary first, replicas after);
+	// current indexes the address the live connection was dialed to. Empty
+	// addrs means a single-endpoint connection with no failover.
+	addrs   []string
+	current int
+
 	secret    [32]byte
 	hasSecret bool
 	sid       uint64
@@ -92,9 +102,21 @@ type Conn struct {
 	// session's secret.
 	installedCEKs map[string]bool
 
+	// inTxn tracks an open explicit transaction: failover retry is unsafe
+	// mid-transaction (the server rolled it back with the dead session).
+	inTxn bool
+	// failedOver marks that at least one failover occurred on this Conn; the
+	// next successful attestation counts as a re-attestation.
+	failedOver bool
+
 	// Stats
 	DescribeCalls int
 	ExecCalls     int
+	Failovers     int
+
+	failovers *obs.Counter
+	attests   *obs.Counter
+	reattests *obs.Counter
 }
 
 // Cache holds the process-wide driver caches of §4.1: decrypted CEKs and
@@ -114,6 +136,15 @@ type cekEntry struct {
 // NewCache creates an empty shared cache.
 func NewCache() *Cache {
 	return &Cache{ceks: make(map[string]cekEntry), describes: make(map[string]*tds.DescribeResp)}
+}
+
+// invalidateDescribes drops cached describe results. They embed the enclave
+// session id of the server that produced them; after failover that session
+// is gone.
+func (c *Cache) invalidateDescribes() {
+	c.mu.Lock()
+	c.describes = make(map[string]*tds.DescribeResp)
+	c.mu.Unlock()
 }
 
 // Zeroize wipes every cached plaintext CEK root and derived cell key and
@@ -142,7 +173,13 @@ func Open(nc net.Conn, cfg Config, cache *Cache) *Conn {
 	if cache == nil {
 		cache = NewCache()
 	}
-	return &Conn{cfg: cfg, tds: tds.NewConn(nc), caches: cache, installedCEKs: make(map[string]bool)}
+	return &Conn{
+		cfg: cfg, tds: tds.NewConn(nc), caches: cache,
+		installedCEKs: make(map[string]bool),
+		failovers:     cfg.Obs.Counter("driver.failovers"),
+		attests:       cfg.Obs.Counter("driver.attestations"),
+		reattests:     cfg.Obs.Counter("driver.reattestations"),
+	}
 }
 
 // Dial connects over TCP.
@@ -152,6 +189,80 @@ func Dial(addr string, cfg Config, cache *Cache) (*Conn, error) {
 		return nil, fmt.Errorf("driver: dial: %w", err)
 	}
 	return Open(nc, cfg, cache), nil
+}
+
+// DialMulti connects to the first reachable address and arms automatic
+// failover across the rest: when the live server dies mid-statement, the
+// driver reconnects to the next address (a promoted replica), drops every
+// piece of per-session security state — the enclave session secret, the
+// session id, the nonce counter, the record of installed CEKs, cached
+// describe results — re-runs the full attestation protocol against the new
+// enclave, re-installs sealed CEKs, and retries the statement once. Plaintext
+// CEK caches survive (they are client-side property, §4.1); everything bound
+// to the dead enclave session does not.
+func DialMulti(addrs []string, cfg Config, cache *Cache) (*Conn, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("driver: no addresses")
+	}
+	var lastErr error
+	for i, addr := range addrs {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := Open(nc, cfg, cache)
+		c.addrs = addrs
+		c.current = i
+		return c, nil
+	}
+	return nil, fmt.Errorf("driver: dial: no address reachable: %w", lastErr)
+}
+
+// failover reconnects to the next reachable address and resets all state
+// bound to the previous server's enclave session. Returns false when no
+// other endpoint accepts the connection.
+func (c *Conn) failover() bool {
+	if len(c.addrs) < 2 {
+		return false
+	}
+	c.tds.Close()
+	for off := 1; off <= len(c.addrs); off++ {
+		i := (c.current + off) % len(c.addrs)
+		nc, err := net.Dial("tcp", c.addrs[i])
+		if err != nil {
+			continue
+		}
+		c.tds = tds.NewConn(nc)
+		c.current = i
+		// Security state bound to the dead enclave session: gone. The new
+		// server's enclave (fresh after promotion) never saw our secret, our
+		// nonces or our CEK installations.
+		c.hasSecret = false
+		c.secret = [32]byte{}
+		c.sid = 0
+		c.nonce = 0
+		c.dh = nil
+		c.installedCEKs = make(map[string]bool)
+		// Cached describes embed the dead enclave session id; drop them.
+		c.caches.invalidateDescribes()
+		c.failedOver = true
+		c.Failovers++
+		c.failovers.Inc()
+		return true
+	}
+	return false
+}
+
+// retryable reports whether an error warrants failover: transport-level
+// failures only. A *tds.ServerError means the server processed the request
+// and said no — retrying elsewhere would duplicate effects or mask bugs.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *tds.ServerError
+	return !errors.As(err, &se)
 }
 
 // Close closes the connection.
@@ -168,8 +279,19 @@ type Rows struct {
 func (r *Rows) Row(i int) []sqltypes.Value { return r.Values[i] }
 
 // Exec runs a parameterized statement with plaintext arguments, applying the
-// full transparency pipeline.
+// full transparency pipeline. With a DialMulti connection, a transport
+// failure fails over to the next address and retries once — unless an
+// explicit transaction is open (its state died with the server; the
+// application must restart it).
 func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error) {
+	rows, err := c.execOnce(query, args)
+	if err != nil && retryable(err) && !c.inTxn && c.failover() {
+		rows, err = c.execOnce(query, args)
+	}
+	return rows, err
+}
+
+func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (*Rows, error) {
 	c.ExecCalls++
 	if !c.cfg.AlwaysEncrypted {
 		// Plain connection: parameters travel as canonical encodings.
@@ -207,10 +329,28 @@ func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error)
 	return c.decodeResult(rs, desc)
 }
 
-// Begin, Commit and Rollback issue transaction-control statements.
-func (c *Conn) Begin() error    { _, err := c.Exec("BEGIN TRANSACTION", nil); return err }
-func (c *Conn) Commit() error   { _, err := c.Exec("COMMIT", nil); return err }
-func (c *Conn) Rollback() error { _, err := c.Exec("ROLLBACK", nil); return err }
+// Begin, Commit and Rollback issue transaction-control statements. The
+// driver tracks the open-transaction state so failover never silently
+// retries half a transaction on a new server.
+func (c *Conn) Begin() error {
+	_, err := c.Exec("BEGIN TRANSACTION", nil)
+	if err == nil {
+		c.inTxn = true
+	}
+	return err
+}
+
+func (c *Conn) Commit() error {
+	_, err := c.Exec("COMMIT", nil)
+	c.inTxn = false
+	return err
+}
+
+func (c *Conn) Rollback() error {
+	_, err := c.Exec("ROLLBACK", nil)
+	c.inTxn = false
+	return err
+}
 
 // describe performs (or serves from cache) the describe round trip,
 // including attestation on first enclave use.
@@ -252,6 +392,10 @@ func (c *Conn) describe(query string) (*tds.DescribeResp, error) {
 		c.hasSecret = true
 		c.sid = resp.EnclaveSID
 		c.dh = nil
+		c.attests.Inc()
+		if c.failedOver {
+			c.reattests.Inc()
+		}
 		// The shared secret is cached for the connection; later describes
 		// skip the attestation protocol (§4.1).
 	}

@@ -12,14 +12,22 @@ import (
 )
 
 // executeCreateTable creates a table and an implicit unique PK index over
-// its PRIMARY KEY columns, if any.
-func (e *Engine) executeCreateTable(st CreateTableStmt) error {
+// its PRIMARY KEY columns, if any. It returns the table's first heap page id,
+// which the DDL log record carries so replicas materialize the same page.
+func (e *Engine) executeCreateTable(st CreateTableStmt) (storage.PageID, error) {
+	return e.createTable(st, storage.InvalidPageID)
+}
+
+// createTable is the shared body: firstPage == InvalidPageID allocates fresh
+// (primary); otherwise the heap's first page is materialized at that id
+// (replica redo).
+func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID) (storage.PageID, error) {
 	cols := make([]Column, len(st.Cols))
 	var pkCols []int
 	for i, def := range st.Cols {
 		enc, err := e.catalog.EncTypeFor(def.Enc)
 		if err != nil {
-			return err
+			return storage.InvalidPageID, err
 		}
 		cols[i] = Column{
 			Name: def.Name, Kind: def.Kind,
@@ -30,13 +38,19 @@ func (e *Engine) executeCreateTable(st CreateTableStmt) error {
 			pkCols = append(pkCols, i)
 		}
 	}
-	heap, err := storage.NewHeap(e.pool)
+	var heap *storage.Heap
+	var err error
+	if firstPage == storage.InvalidPageID {
+		heap, err = storage.NewHeap(e.pool)
+	} else {
+		heap, err = storage.NewHeapAt(e.pool, firstPage)
+	}
 	if err != nil {
-		return err
+		return storage.InvalidPageID, err
 	}
 	tbl := &Table{Name: st.Name, Cols: cols, Heap: heap}
 	if err := e.catalog.AddTable(tbl); err != nil {
-		return err
+		return storage.InvalidPageID, err
 	}
 	if len(pkCols) > 0 {
 		names := make([]string, len(pkCols))
@@ -44,11 +58,11 @@ func (e *Engine) executeCreateTable(st CreateTableStmt) error {
 			names[i] = cols[pos].Name
 		}
 		if err := e.addIndex(tbl, "pk_"+st.Name, pkCols, names, true, true, false); err != nil {
-			return err
+			return storage.InvalidPageID, err
 		}
 	}
 	e.InvalidatePlans()
-	return nil
+	return heap.FirstPage(), nil
 }
 
 // executeCreateIndex builds an index, populating it from existing rows.
@@ -239,14 +253,25 @@ func (s *Session) executeAlterColumn(st AlterColumnStmt) error {
 				r.cells = append(r.cells, nil)
 			}
 			r.cells[col.Pos] = out[i]
-			if _, err := tbl.Heap.Update(r.rid, encodeRow(r.cells)); err != nil {
+			rec := encodeRow(r.cells)
+			rid2, err := tbl.Heap.Update(r.rid, rec)
+			if err != nil {
 				return err
 			}
+			// Redo-only rewrite (Txn 0): replicas re-encrypt nothing — they
+			// apply the ciphertext rewrite physically.
+			e.wal.Append(storage.Record{
+				Type: storage.RecHeapUpdate, Table: tbl.Name,
+				Row: r.rid, NewRow: rid2, New: rec,
+			})
 		}
 	}
 
 	// Update the catalog type and rebuild indexes containing the column.
 	col.Enc = to
+	e.wal.Append(storage.Record{
+		Type: storage.RecAlterEnc, Table: tbl.Name, DDL: encodeAlterEnc(col.Name, to),
+	})
 	for _, idx := range tbl.Indexes {
 		contains := false
 		for _, pos := range idx.ColPos {
@@ -342,12 +367,21 @@ func (e *Engine) AlterColumnClientSide(table, column string, to sqltypes.EncType
 			r.cells = append(r.cells, nil)
 		}
 		r.cells[col.Pos] = out
-		if _, err := tbl.Heap.Update(r.rid, encodeRow(r.cells)); err != nil {
+		rec := encodeRow(r.cells)
+		rid2, err := tbl.Heap.Update(r.rid, rec)
+		if err != nil {
 			return err
 		}
+		e.wal.Append(storage.Record{
+			Type: storage.RecHeapUpdate, Table: tbl.Name,
+			Row: r.rid, NewRow: rid2, New: rec,
+		})
 	}
 
 	col.Enc = to
+	e.wal.Append(storage.Record{
+		Type: storage.RecAlterEnc, Table: tbl.Name, DDL: encodeAlterEnc(col.Name, to),
+	})
 	for _, idx := range tbl.Indexes {
 		contains := false
 		for _, pos := range idx.ColPos {

@@ -50,8 +50,13 @@ type Engine struct {
 	nextTxn  uint64
 	active   map[uint64]*Txn
 	deferred map[uint64]*deferredTxn
+	deferSeq uint64 // orders deferred registrations for in-order resolution
 
 	nextSession atomic.Uint64
+
+	// readOnly marks a replica engine: only SELECTs are admitted until the
+	// replica is promoted (mutations would fork its log from the primary's).
+	readOnly atomic.Bool
 
 	// Registry-backed instruments; pointers cached at construction so the
 	// per-row hot paths never touch the registry's lock.
@@ -111,6 +116,13 @@ func (e *Engine) WAL() *storage.WAL { return e.wal }
 // Enclave returns the configured enclave, or nil.
 func (e *Engine) Enclave() *enclave.Enclave { return e.cfg.Enclave }
 
+// SetReadOnly toggles replica mode: mutating statements are rejected with
+// ErrReadOnly. Promotion clears it.
+func (e *Engine) SetReadOnly(v bool) { e.readOnly.Store(v) }
+
+// ReadOnly reports whether the engine is serving as a read replica.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
 // Stats reports engine operation counters. It is a compatibility shim over
 // the obs registry, which is the single source of truth.
 func (e *Engine) Stats() (scans, seeks, execs uint64) {
@@ -156,6 +168,7 @@ var (
 	ErrTxnInProgress  = errors.New("engine: transaction already in progress")
 	ErrRollbackFailed = errors.New("engine: rollback could not restore a row")
 	ErrNotNull        = errors.New("engine: NULL value in NOT NULL column")
+	ErrReadOnly       = errors.New("engine: read replica is read-only until promoted")
 )
 
 // Begin starts an explicit transaction on the session.
@@ -218,7 +231,7 @@ func (e *Engine) commitTxn(t *Txn) error {
 // logically (B+-tree navigation — the enclave-dependent path), heap changes
 // physically via before-images.
 func (e *Engine) rollbackTxn(t *Txn) error {
-	err := e.undoOps(t.ops)
+	err := e.undoOps(t.id, t.ops)
 	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort})
 	e.versions.Drop(t.id)
 	e.locks.ReleaseAll(t.id)
@@ -228,71 +241,109 @@ func (e *Engine) rollbackTxn(t *Txn) error {
 	return err
 }
 
-// undoOps reverses a slice of operations (newest first).
-func (e *Engine) undoOps(ops []txnOp) error {
+// undoOps reverses a slice of operations (newest first). Every undo action
+// is logged as a compensation log record (CLR) attributed to txn, so a
+// replica replaying the log applies undo physically — it never has to
+// re-derive it, which for encrypted indexes it could not do without keys.
+func (e *Engine) undoOps(txn uint64, ops []txnOp) error {
 	for i := len(ops) - 1; i >= 0; i-- {
-		if err := e.undoOne(&ops[i]); err != nil {
+		if err := e.undoOne(txn, &ops[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (e *Engine) undoOne(op *txnOp) error {
+// undoOne reverses a single operation and logs the CLR. Heap undo holds the
+// table mutex across the heap change and the WAL append so the log order
+// matches the page mutation order — the invariant physical replay relies on.
+func (e *Engine) undoOne(txn uint64, op *txnOp) error {
 	switch op.typ {
 	case storage.RecHeapInsert:
 		tbl, err := e.catalog.Table(op.table)
 		if err != nil {
 			return err
 		}
-		return tbl.Heap.Delete(op.row)
+		tbl.mu.Lock()
+		defer tbl.mu.Unlock()
+		if err := tbl.Heap.Delete(op.row); err != nil {
+			return err
+		}
+		e.wal.Append(storage.Record{Txn: txn, Type: storage.RecHeapDelete,
+			Table: op.table, Row: op.row, Old: op.new, CLR: true})
+		return nil
 	case storage.RecHeapDelete:
 		tbl, err := e.catalog.Table(op.table)
 		if err != nil {
 			return err
 		}
+		tbl.mu.Lock()
+		defer tbl.mu.Unlock()
 		if err := tbl.Heap.RestoreAt(op.row, op.old); err != nil {
 			return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
 		}
+		e.wal.Append(storage.Record{Txn: txn, Type: storage.RecHeapInsert,
+			Table: op.table, Row: op.row, New: op.old, CLR: true})
 		return nil
 	case storage.RecHeapUpdate:
 		tbl, err := e.catalog.Table(op.table)
 		if err != nil {
 			return err
 		}
+		tbl.mu.Lock()
+		defer tbl.mu.Unlock()
 		if op.newRow != op.row && op.newRow != 0 {
-			// The update relocated the row; undo the move.
+			// The update relocated the row; undo the move. Logged as a CLR
+			// delete + CLR insert pair so replay restores the exact slot.
 			if err := tbl.Heap.Delete(op.newRow); err != nil {
 				return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
 			}
+			e.wal.Append(storage.Record{Txn: txn, Type: storage.RecHeapDelete,
+				Table: op.table, Row: op.newRow, Old: op.new, CLR: true})
 			if err := tbl.Heap.RestoreAt(op.row, op.old); err != nil {
 				return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
 			}
+			e.wal.Append(storage.Record{Txn: txn, Type: storage.RecHeapInsert,
+				Table: op.table, Row: op.row, New: op.old, CLR: true})
 			return nil
 		}
-		if _, err := tbl.Heap.Update(op.row, op.old); err != nil {
+		rid2, err := tbl.Heap.Update(op.row, op.old)
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrRollbackFailed, err)
 		}
+		e.wal.Append(storage.Record{Txn: txn, Type: storage.RecHeapUpdate,
+			Table: op.table, Row: op.row, NewRow: rid2, Old: op.new, New: op.old, CLR: true})
 		return nil
 	case storage.RecIndexInsert:
 		idx, err := e.catalog.Index(op.table)
 		if err != nil {
 			return err
 		}
-		_, err = idx.Tree.Delete(op.key, op.row) // logical undo (§4.5)
-		return err
+		if _, err := idx.Tree.Delete(op.key, op.row); err != nil { // logical undo (§4.5)
+			return err
+		}
+		e.wal.Append(storage.Record{Txn: txn, Type: storage.RecIndexDelete,
+			Table: op.table, Row: op.row, Key: op.key, CLR: true})
+		return nil
 	case storage.RecIndexDelete:
 		idx, err := e.catalog.Index(op.table)
 		if err != nil {
 			return err
 		}
-		return idx.Tree.Insert(op.key, op.row)
+		if err := idx.Tree.Insert(op.key, op.row); err != nil {
+			return err
+		}
+		e.wal.Append(storage.Record{Txn: txn, Type: storage.RecIndexInsert,
+			Table: op.table, Row: op.row, Key: op.key, CLR: true})
+		return nil
 	default:
 		return nil
 	}
 }
 
 // log appends a WAL record and mirrors it into the transaction's undo list.
+// Callers logging heap records must hold the table mutex so log order and
+// page mutation order agree.
 func (t *Txn) log(op txnOp) {
 	t.engine.wal.Append(storage.Record{
 		Txn: t.id, Type: op.typ, Table: op.table,
@@ -310,23 +361,28 @@ func (e *Engine) insertRow(t *Txn, tbl *Table, cells [][]byte) (storage.RowID, e
 		}
 	}
 	rec := encodeRow(cells)
+	opStart := len(t.ops)
 	tbl.mu.Lock()
 	rid, err := tbl.Heap.Insert(rec)
-	tbl.mu.Unlock()
 	if err != nil {
+		tbl.mu.Unlock()
 		return 0, err
 	}
-	if err := e.locks.Lock(t.id, tbl.Name, rid); err != nil {
-		tbl.Heap.Delete(rid)
-		return 0, err
-	}
-	opStart := len(t.ops)
+	// Log under the table mutex: WAL order must match page mutation order
+	// for physical replay on replicas.
 	t.log(txnOp{typ: storage.RecHeapInsert, table: tbl.Name, row: rid, new: rec})
+	tbl.mu.Unlock()
+	if err := e.locks.Lock(t.id, tbl.Name, rid); err != nil {
+		// Undo the insert through the normal path so a CLR is logged.
+		e.undoOps(t.id, t.ops[opStart:])
+		t.ops = t.ops[:opStart]
+		return 0, err
+	}
 	for _, idx := range tbl.Indexes {
 		key := copyKey(idx.indexKeyFor(cells))
 		if err := idx.Tree.Insert(key, rid); err != nil {
 			// Undo what this statement did so far (statement atomicity).
-			e.undoOps(t.ops[opStart:])
+			e.undoOps(t.id, t.ops[opStart:])
 			t.ops = t.ops[:opStart]
 			return 0, err
 		}
@@ -350,14 +406,15 @@ func (e *Engine) updateRow(t *Txn, tbl *Table, rid storage.RowID, oldCells, newC
 	newRec := encodeRow(newCells)
 	e.versions.Record(t.id, tbl.Name, rid, oldRec)
 
+	opStart := len(t.ops)
 	tbl.mu.Lock()
 	newRID, err := tbl.Heap.Update(rid, newRec)
-	tbl.mu.Unlock()
 	if err != nil {
+		tbl.mu.Unlock()
 		return 0, err
 	}
-	opStart := len(t.ops)
 	t.log(txnOp{typ: storage.RecHeapUpdate, table: tbl.Name, row: rid, newRow: newRID, old: oldRec, new: newRec})
+	tbl.mu.Unlock()
 
 	for _, idx := range tbl.Indexes {
 		oldKey := idx.indexKeyFor(oldCells)
@@ -370,13 +427,13 @@ func (e *Engine) updateRow(t *Txn, tbl *Table, rid storage.RowID, oldCells, newC
 		ok := copyKey(oldKey)
 		nk := copyKey(newKey)
 		if _, err := idx.Tree.Delete(ok, rid); err != nil {
-			e.undoOps(t.ops[opStart:])
+			e.undoOps(t.id, t.ops[opStart:])
 			t.ops = t.ops[:opStart]
 			return 0, err
 		}
 		t.log(txnOp{typ: storage.RecIndexDelete, table: idx.Name, row: rid, key: ok})
 		if err := idx.Tree.Insert(nk, newRID); err != nil {
-			e.undoOps(t.ops[opStart:])
+			e.undoOps(t.id, t.ops[opStart:])
 			t.ops = t.ops[:opStart]
 			return 0, err
 		}
@@ -396,7 +453,7 @@ func (e *Engine) deleteRow(t *Txn, tbl *Table, rid storage.RowID, cells [][]byte
 	for _, idx := range tbl.Indexes {
 		key := copyKey(idx.indexKeyFor(cells))
 		if _, err := idx.Tree.Delete(key, rid); err != nil {
-			e.undoOps(t.ops[opStart:])
+			e.undoOps(t.id, t.ops[opStart:])
 			t.ops = t.ops[:opStart]
 			return err
 		}
@@ -404,13 +461,15 @@ func (e *Engine) deleteRow(t *Txn, tbl *Table, rid storage.RowID, cells [][]byte
 	}
 	tbl.mu.Lock()
 	err := tbl.Heap.Delete(rid)
+	if err == nil {
+		t.log(txnOp{typ: storage.RecHeapDelete, table: tbl.Name, row: rid, old: rec})
+	}
 	tbl.mu.Unlock()
 	if err != nil {
-		e.undoOps(t.ops[opStart:])
+		e.undoOps(t.id, t.ops[opStart:])
 		t.ops = t.ops[:opStart]
 		return err
 	}
-	t.log(txnOp{typ: storage.RecHeapDelete, table: tbl.Name, row: rid, old: rec})
 	return nil
 }
 

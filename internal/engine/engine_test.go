@@ -16,6 +16,7 @@ import (
 	"alwaysencrypted/internal/exprsvc"
 	"alwaysencrypted/internal/keys"
 	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
 )
 
 // testEnv is a full server-plus-trusted-client fixture: engine, enclave,
@@ -25,6 +26,7 @@ import (
 type testEnv struct {
 	t         *testing.T
 	engine    *Engine
+	store     *storage.MemStore
 	encl      *enclave.Enclave
 	host      *attestation.Host
 	hgs       *attestation.HGS
@@ -80,7 +82,8 @@ func newTestEnv(t *testing.T, ctr bool) *testEnv {
 		MinHostVersion:    10,
 	}
 
-	env.engine = New(Config{Enclave: env.encl, Host: env.host, HGS: env.hgs, CTR: ctr})
+	env.store = storage.NewMemStore()
+	env.engine = New(Config{Enclave: env.encl, Host: env.host, HGS: env.hgs, CTR: ctr, Store: env.store})
 	env.session = env.engine.NewSession()
 
 	env.vault = keys.NewMemoryVault(keys.ProviderVault)

@@ -38,6 +38,14 @@ func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.ReadOnly() {
+		// A replica admits reads only: any mutation (including BEGIN, whose
+		// log record would fork the replica's mirrored log from the
+		// primary's) is rejected until promotion.
+		if _, ok := plan.stmt.(SelectStmt); !ok {
+			return nil, ErrReadOnly
+		}
+	}
 	defer e.spanExec.ObserveSince(e.obs.Now())
 	switch st := plan.stmt.(type) {
 	case BeginStmt:
@@ -61,14 +69,35 @@ func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 			return e.executeDelete(t, plan, params)
 		})
 	case CreateTableStmt:
-		return &ResultSet{}, e.executeCreateTable(st)
+		pid, err := e.executeCreateTable(st)
+		if err != nil {
+			return nil, err
+		}
+		// DDL is logged by statement text; the first heap page id rides in
+		// the Row field so a replica materializes the identical page.
+		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query, Row: storage.NewRowID(pid, 0)})
+		return &ResultSet{}, nil
 	case CreateIndexStmt:
-		return &ResultSet{}, e.executeCreateIndex(st)
+		if err := e.executeCreateIndex(st); err != nil {
+			return nil, err
+		}
+		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
+		return &ResultSet{}, nil
 	case CreateCMKStmt:
-		return &ResultSet{}, e.executeCreateCMK(st)
+		if err := e.executeCreateCMK(st); err != nil {
+			return nil, err
+		}
+		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
+		return &ResultSet{}, nil
 	case CreateCEKStmt:
-		return &ResultSet{}, e.executeCreateCEK(st)
+		if err := e.executeCreateCEK(st); err != nil {
+			return nil, err
+		}
+		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
+		return &ResultSet{}, nil
 	case AlterColumnStmt:
+		// executeAlterColumn logs its own records: physical rewrites per
+		// cell, then a RecAlterEnc carrying the catalog change.
 		return &ResultSet{}, s.executeAlterColumn(st)
 	default:
 		return nil, fmt.Errorf("engine: cannot execute %T", plan.stmt)

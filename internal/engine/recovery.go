@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,7 +37,14 @@ import (
 // deferredTxn is a transaction recovery could not finish.
 type deferredTxn struct {
 	txn     *Txn
-	pending []txnOp // operations still to undo, oldest first
+	pending []txnOp // operations still to undo (or, for redo, apply), oldest first
+	// redo marks replication-redo deferral: the pending ops are *forward*
+	// encrypted-index operations a replica could not apply for lack of keys.
+	// Resolution applies them in order instead of undoing them.
+	redo bool
+	// seq orders deferred registrations; resolution runs in seq order so
+	// cross-transaction operations on the same index replay as logged.
+	seq uint64
 }
 
 // RecoveryReport summarizes a Recover run.
@@ -109,12 +117,12 @@ func (e *Engine) undoTxnForRecovery(t *Txn, rep *RecoveryReport) bool {
 		// Best-effort: all key-free undos (heap, plaintext indexes) complete
 		// now so the database is immediately consistent and lock-free; only
 		// encrypted-index undos remain.
-		pending, err = e.tryUndo(t.ops)
+		pending, err = e.tryUndo(t.id, t.ops)
 	} else {
 		// Strict reverse order, stopping at the first failure: the rows the
 		// transaction touched stay as they were, protected only by its
 		// locks — the §4.5 availability hazard.
-		pending, err = e.undoStrict(t.ops)
+		pending, err = e.undoStrict(t.id, t.ops)
 	}
 	if err == nil {
 		e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort})
@@ -123,7 +131,10 @@ func (e *Engine) undoTxnForRecovery(t *Txn, rep *RecoveryReport) bool {
 		return true
 	}
 
-	d := &deferredTxn{txn: t, pending: pending}
+	e.txnMu.Lock()
+	e.deferSeq++
+	d := &deferredTxn{txn: t, pending: pending, seq: e.deferSeq}
+	e.txnMu.Unlock()
 	e.wal.PinTxn(t.id, t.beginLSN)
 	if e.cfg.CTR {
 		// Under constant-time recovery the database comes up with all locks
@@ -145,11 +156,11 @@ func (e *Engine) undoTxnForRecovery(t *Txn, rep *RecoveryReport) bool {
 // first, together with the first error. Key-free undos — all heap undos and
 // plaintext index undos — always complete, so a deferred transaction's
 // pending list shrinks to exactly the encrypted-index work.
-func (e *Engine) tryUndo(ops []txnOp) ([]txnOp, error) {
+func (e *Engine) tryUndo(txn uint64, ops []txnOp) ([]txnOp, error) {
 	var failed []txnOp
 	var firstErr error
 	for i := len(ops) - 1; i >= 0; i-- {
-		if err := e.undoOne(&ops[i]); err != nil {
+		if err := e.undoOne(txn, &ops[i]); err != nil {
 			failed = append(failed, ops[i])
 			if firstErr == nil {
 				firstErr = err
@@ -164,13 +175,46 @@ func (e *Engine) tryUndo(ops []txnOp) ([]txnOp, error) {
 
 // undoStrict undoes ops in strict reverse order, stopping at the first
 // failure and returning everything not yet undone (oldest first).
-func (e *Engine) undoStrict(ops []txnOp) ([]txnOp, error) {
+func (e *Engine) undoStrict(txn uint64, ops []txnOp) ([]txnOp, error) {
 	for i := len(ops) - 1; i >= 0; i-- {
-		if err := e.undoOne(&ops[i]); err != nil {
+		if err := e.undoOne(txn, &ops[i]); err != nil {
 			return append([]txnOp(nil), ops[:i+1]...), err
 		}
 	}
 	return nil, nil
+}
+
+// applyStrict applies forward operations in order, stopping at the first
+// failure and returning everything not yet applied. It is the resolution
+// path for replication-redo deferrals: once keys arrive, the queued
+// encrypted-index work replays exactly as the primary logged it.
+func (e *Engine) applyStrict(ops []txnOp) ([]txnOp, error) {
+	for i := range ops {
+		if err := e.applyOne(&ops[i]); err != nil {
+			return append([]txnOp(nil), ops[i:]...), err
+		}
+	}
+	return nil, nil
+}
+
+func (e *Engine) applyOne(op *txnOp) error {
+	switch op.typ {
+	case storage.RecIndexInsert:
+		idx, err := e.catalog.Index(op.table)
+		if err != nil {
+			return err
+		}
+		return idx.Tree.Insert(op.key, op.row)
+	case storage.RecIndexDelete:
+		idx, err := e.catalog.Index(op.table)
+		if err != nil {
+			return err
+		}
+		_, err = idx.Tree.Delete(op.key, op.row)
+		return err
+	default:
+		return nil
+	}
 }
 
 // DeferredCount reports how many transactions await resolution.
@@ -190,6 +234,11 @@ func (e *Engine) ResolveDeferred() (resolved int, firstErr error) {
 	for id := range e.deferred {
 		ids = append(ids, id)
 	}
+	// Resolve in registration order: redo deferrals carry forward operations
+	// whose cross-transaction order on a shared index must match the log.
+	sort.Slice(ids, func(i, j int) bool {
+		return e.deferred[ids[i]].seq < e.deferred[ids[j]].seq
+	})
 	e.txnMu.Unlock()
 
 	for _, id := range ids {
@@ -199,7 +248,13 @@ func (e *Engine) ResolveDeferred() (resolved int, firstErr error) {
 		if !ok {
 			continue
 		}
-		pending, err := e.undoStrict(d.pending)
+		var pending []txnOp
+		var err error
+		if d.redo {
+			pending, err = e.applyStrict(d.pending)
+		} else {
+			pending, err = e.undoStrict(d.txn.id, d.pending)
+		}
 		if err != nil {
 			d.pending = pending
 			if firstErr == nil {
@@ -214,7 +269,12 @@ func (e *Engine) ResolveDeferred() (resolved int, firstErr error) {
 }
 
 func (e *Engine) finishDeferred(d *deferredTxn) {
-	e.wal.Append(storage.Record{Txn: d.txn.id, Type: storage.RecAbort})
+	if !d.redo {
+		// Redo deferrals stem from the primary's log, which already carries
+		// the transaction's commit/abort record; logging another would fork
+		// the replica's copy of the log.
+		e.wal.Append(storage.Record{Txn: d.txn.id, Type: storage.RecAbort})
+	}
 	e.wal.UnpinTxn(d.txn.id)
 	e.versions.Drop(d.txn.id)
 	e.locks.ReleaseAll(d.txn.id)
@@ -239,8 +299,13 @@ func (e *Engine) ForceResolveDeferred() []string {
 
 	invalidated := make(map[string]bool)
 	for _, d := range ds {
-		// Retry once more: undos that can complete without keys do.
-		pending, _ := e.tryUndo(d.pending)
+		pending := d.pending
+		if !d.redo {
+			// Retry once more: undos that can complete without keys do.
+			pending, _ = e.tryUndo(d.txn.id, d.pending)
+		}
+		// Redo deferrals hold *unapplied* forward index ops: never undo
+		// those — the indexes they target are simply invalidated below.
 		for i := range pending {
 			op := &pending[i]
 			if op.typ != storage.RecIndexInsert && op.typ != storage.RecIndexDelete {

@@ -1,0 +1,80 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema identifies the BENCH_repl.json layout. Bump only with a new
+// suffix; downstream tooling keys on this string.
+const BenchSchema = "alwaysencrypted/repl-bench/v1"
+
+// BenchReport is the stable serialized form of a replication benchmark run:
+// steady-state lag under load, redo throughput, and (when exercised) the
+// failover timeline.
+type BenchReport struct {
+	Schema string   `json:"schema"`
+	Run    BenchRun `json:"run"`
+}
+
+// BenchRun holds one measurement.
+type BenchRun struct {
+	Workload   string  `json:"workload"`
+	DurationMs float64 `json:"duration_ms"`
+
+	// Primary-side volume.
+	RecordsShipped uint64 `json:"records_shipped"`
+	BatchesSent    uint64 `json:"batches_sent"`
+
+	// Replica-side redo.
+	RedoRecords          uint64  `json:"redo_records"`
+	RedoRecordsPerSecond float64 `json:"redo_records_per_second"`
+
+	// Steady-state lag samples (records behind primary, and shipment age in
+	// milliseconds), summarized as percentiles.
+	LagRecordsP50 int64 `json:"lag_records_p50"`
+	LagRecordsP95 int64 `json:"lag_records_p95"`
+	LagRecordsMax int64 `json:"lag_records_max"`
+	LagMsP50      int64 `json:"lag_ms_p50"`
+	LagMsP95      int64 `json:"lag_ms_p95"`
+	LagMsMax      int64 `json:"lag_ms_max"`
+	LagSamples    int   `json:"lag_samples"`
+
+	// Failover, when the run exercised it.
+	FailoverMs       float64 `json:"failover_ms,omitempty"`
+	ReattestCount    uint64  `json:"reattest_count,omitempty"`
+	PostFailoverRows int     `json:"post_failover_rows,omitempty"`
+}
+
+// NewBenchReport wraps a run in the versioned envelope.
+func NewBenchReport(run BenchRun) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Run: run}
+}
+
+// WriteFile serializes the report to path (the BENCH_repl.json artifact).
+func (rep *BenchReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ValidateBenchReport checks the invariants downstream tooling relies on.
+func ValidateBenchReport(b []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("repl: bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("repl: bench report schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.Run.DurationMs <= 0 {
+		return nil, fmt.Errorf("repl: bench report has no duration")
+	}
+	if rep.Run.LagSamples == 0 {
+		return nil, fmt.Errorf("repl: bench report has no lag samples")
+	}
+	return &rep, nil
+}

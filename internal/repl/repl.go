@@ -1,0 +1,249 @@
+// Package repl implements WAL-shipping replication: a primary streams its
+// write-ahead log to read replicas over a framed gob protocol (the same
+// framing discipline as the TDS front door, internal/tds), replicas apply
+// physical redo into their own buffer pools, and a replica can be promoted
+// to primary after the original dies.
+//
+// The trust story mirrors the paper's: the replication stream is served by
+// the untrusted server and carries exactly what the log carries — for
+// encrypted columns, ciphertext. A replica never receives CEKs with the
+// stream (its enclave is empty), so a compromised replica host learns
+// nothing beyond what the primary's host already exposes. The Primary
+// carries a Tap, like the TDS server, so the leakage harness can observe
+// every shipped byte and assert that invariant.
+//
+// Flow control is LSN-based: each replica acknowledges the highest LSN it
+// has durably applied, the primary records that progress in the WAL's
+// stream table, and log truncation is gated on the slowest replica — the
+// replication analogue of §4.5's "deferred transactions pin the log".
+package repl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/storage"
+	"alwaysencrypted/internal/tds"
+)
+
+// Hello is the replica's stream subscription: who it is and the first LSN it
+// still needs. Everything before FromLSN is implicitly acknowledged.
+type Hello struct {
+	ReplicaID string
+	FromLSN   uint64
+}
+
+// Batch is one shipment of log records. An empty Records slice is a
+// heartbeat: it carries the primary's current NextLSN so an idle replica can
+// still measure lag, and keeps the connection's liveness observable.
+type Batch struct {
+	Records []storage.Record
+	// NextLSN is the primary's next-to-be-assigned LSN at send time.
+	NextLSN uint64
+	// SentAtUnixNano timestamps the shipment for lag-seconds measurement.
+	SentAtUnixNano int64
+	// Err is a terminal stream error (e.g. the requested LSN was truncated);
+	// the replica must re-seed from a fresh copy.
+	Err string
+}
+
+// Ack is the replica's progress report: every record up to and including
+// AckLSN has been applied to its local WAL and storage.
+type Ack struct {
+	AckLSN uint64
+}
+
+// Primary serves the replication endpoint over a listener: one goroutine per
+// replica, streaming from the shared WAL.
+type Primary struct {
+	WAL *storage.WAL
+	// Tap observes stream traffic ("p→r" batches, "r→p" acks) — the leakage
+	// harness hook, as on the TDS server.
+	Tap tds.Tap
+
+	// IdleTimeout bounds the wait for a replica's next ack; WriteTimeout
+	// bounds one batch write. Zero means the tds package defaults.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+	// BatchMax caps records per batch (default 256, keeping batches well
+	// under the frame limit).
+	BatchMax int
+	// Heartbeat is the idle-stream heartbeat interval (default 200ms).
+	Heartbeat time.Duration
+
+	batches  *obs.Counter
+	records  *obs.Counter
+	replicas *obs.Gauge
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewPrimary wraps a WAL as a replication source, reporting into reg (nil for
+// none).
+func NewPrimary(wal *storage.WAL, reg *obs.Registry) *Primary {
+	p := &Primary{
+		WAL:      wal,
+		conns:    make(map[net.Conn]struct{}),
+		batches:  reg.Counter("repl.batches_sent"),
+		records:  reg.Counter("repl.records_shipped"),
+		replicas: reg.Gauge("repl.replicas_connected"),
+	}
+	if reg != nil {
+		reg.GaugeFunc("repl.min_acked_lsn", func() int64 {
+			ack, ok := wal.MinStreamAck()
+			if !ok {
+				return 0
+			}
+			return int64(ack)
+		})
+	}
+	return p
+}
+
+// Serve accepts replica connections until the listener closes.
+func (p *Primary) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		go p.handle(conn)
+	}
+}
+
+// ServeConn streams to a single established connection (e.g. one side of
+// net.Pipe); it blocks until the stream ends.
+func (p *Primary) ServeConn(conn net.Conn) { p.handle(conn) }
+
+// Close tears down all replica streams.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	p.done = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = map[net.Conn]struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Primary) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
+	idle, write := p.IdleTimeout, p.WriteTimeout
+	if idle == 0 {
+		idle = tds.DefaultIdleTimeout
+	}
+	if write == 0 {
+		write = tds.DefaultWriteTimeout
+	}
+	batchMax := p.BatchMax
+	if batchMax <= 0 {
+		batchMax = 256
+	}
+	heartbeat := p.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 200 * time.Millisecond
+	}
+
+	fr := tds.NewFrameReader(conn, idle)
+	fw := tds.NewFrameWriter(conn, write)
+	dec := gob.NewDecoder(fr)
+	enc := gob.NewEncoder(fw)
+
+	var hello Hello
+	if err := fr.BeginMessage(); err != nil {
+		return
+	}
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if p.Tap != nil {
+		p.Tap("r→p", &hello)
+	}
+	id := hello.ReplicaID
+	if id == "" {
+		id = conn.RemoteAddr().String()
+	}
+	// Register stream progress: everything before FromLSN is already applied
+	// on the replica side, so truncation may pass it but nothing newer.
+	p.WAL.PinStream(id, hello.FromLSN-1)
+	defer p.WAL.UnpinStream(id)
+	p.replicas.Add(1)
+	defer p.replicas.Add(-1)
+
+	// Acks arrive asynchronously on the same connection; a dead replica is
+	// detected here and stops the Follow loop.
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for {
+			var ack Ack
+			if err := fr.BeginMessage(); err != nil {
+				return
+			}
+			if err := dec.Decode(&ack); err != nil {
+				return
+			}
+			if p.Tap != nil {
+				p.Tap("r→p", &ack)
+			}
+			p.WAL.PinStream(id, ack.AckLSN)
+		}
+	}()
+
+	from := hello.FromLSN
+	for {
+		recs, next, err := p.WAL.Follow(from, batchMax, stop, heartbeat)
+		if errors.Is(err, storage.ErrFollowStopped) {
+			return
+		}
+		batch := Batch{Records: recs, NextLSN: next, SentAtUnixNano: time.Now().UnixNano()}
+		if err != nil {
+			batch.Err = err.Error()
+		}
+		if p.Tap != nil {
+			p.Tap("p→r", &batch)
+		}
+		if err := enc.Encode(&batch); err != nil {
+			return
+		}
+		if err := fw.Flush(); err != nil {
+			return
+		}
+		p.batches.Inc()
+		p.records.Add(uint64(len(recs)))
+		if batch.Err != "" {
+			return
+		}
+		if n := len(recs); n > 0 {
+			from = recs[n-1].LSN + 1
+		}
+	}
+}
+
+// MinAckedLSN reports the slowest connected replica's progress.
+func (p *Primary) MinAckedLSN() (uint64, bool) { return p.WAL.MinStreamAck() }
+
+// ErrStream is the terminal-error wrapper replicas see for Batch.Err.
+var ErrStream = errors.New("repl: stream error from primary")
+
+func streamErr(msg string) error { return fmt.Errorf("%w: %s", ErrStream, msg) }

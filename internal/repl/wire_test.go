@@ -1,0 +1,180 @@
+package repl
+
+import (
+	"encoding/gob"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/storage"
+	"alwaysencrypted/internal/tds"
+)
+
+// fakeReplica speaks the replica half of the protocol by hand, so the
+// Primary can be tested without an engine.
+type fakeReplica struct {
+	conn net.Conn
+	fr   *tds.FrameReader
+	fw   *tds.FrameWriter
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+func dialFake(t *testing.T, p *Primary, id string, from uint64) *fakeReplica {
+	t.Helper()
+	c, s := net.Pipe()
+	t.Cleanup(func() { c.Close(); s.Close() })
+	go p.ServeConn(s)
+	f := &fakeReplica{conn: c, fr: tds.NewFrameReader(c, 0), fw: tds.NewFrameWriter(c, time.Second)}
+	f.dec = gob.NewDecoder(f.fr)
+	f.enc = gob.NewEncoder(f.fw)
+	if err := f.enc.Encode(&Hello{ReplicaID: id, FromLSN: from}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fakeReplica) recv(t *testing.T) Batch {
+	t.Helper()
+	var b Batch
+	if err := f.fr.BeginMessage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.dec.Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func (f *fakeReplica) ack(t *testing.T, lsn uint64) {
+	t.Helper()
+	if err := f.enc.Encode(&Ack{AckLSN: lsn}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimaryStreamsAndTracksAcks(t *testing.T) {
+	wal := storage.NewWAL()
+	for i := 0; i < 5; i++ {
+		wal.Append(storage.Record{Type: storage.RecCheckpoint})
+	}
+	p := NewPrimary(wal, nil)
+	defer p.Close()
+
+	f := dialFake(t, p, "fake-1", 1)
+	var got []storage.Record
+	for len(got) < 5 {
+		b := f.recv(t)
+		if b.Err != "" {
+			t.Fatalf("stream error: %s", b.Err)
+		}
+		got = append(got, b.Records...)
+	}
+	if got[0].LSN != 1 || got[4].LSN != 5 {
+		t.Fatalf("records %d..%d", got[0].LSN, got[4].LSN)
+	}
+
+	// Until an ack arrives, truncation is held at the subscription point.
+	if err := wal.TruncateBefore(4); err == nil {
+		t.Fatal("truncation passed an unacked replica")
+	}
+	f.ack(t, 5)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ack, ok := p.MinAckedLSN(); ok && ack == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ack never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := wal.TruncateBefore(6); err != nil {
+		t.Fatal(err)
+	}
+
+	// New appends keep flowing on the live stream.
+	wal.Append(storage.Record{Type: storage.RecCheckpoint})
+	b := f.recv(t)
+	if len(b.Records) != 1 || b.Records[0].LSN != 6 {
+		t.Fatalf("live batch = %+v", b)
+	}
+}
+
+func TestPrimaryHeartbeatOnIdleStream(t *testing.T) {
+	wal := storage.NewWAL()
+	wal.Append(storage.Record{Type: storage.RecCheckpoint})
+	p := NewPrimary(wal, nil)
+	p.Heartbeat = 10 * time.Millisecond
+	defer p.Close()
+
+	f := dialFake(t, p, "fake-hb", 1)
+	b := f.recv(t) // the backlog
+	if len(b.Records) != 1 {
+		t.Fatalf("backlog = %d records", len(b.Records))
+	}
+	f.ack(t, 1)
+	b = f.recv(t) // caught up: next shipment is a heartbeat
+	if len(b.Records) != 0 || b.Err != "" {
+		t.Fatalf("heartbeat = %+v", b)
+	}
+	if b.NextLSN != 2 {
+		t.Fatalf("heartbeat NextLSN = %d, want 2", b.NextLSN)
+	}
+	if b.SentAtUnixNano == 0 {
+		t.Fatal("heartbeat not timestamped")
+	}
+}
+
+func TestPrimaryRejectsTruncatedSubscription(t *testing.T) {
+	wal := storage.NewWAL()
+	for i := 0; i < 10; i++ {
+		wal.Append(storage.Record{Type: storage.RecCheckpoint})
+	}
+	if err := wal.TruncateBefore(6); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPrimary(wal, nil)
+	defer p.Close()
+
+	f := dialFake(t, p, "fake-stale", 3)
+	b := f.recv(t)
+	if b.Err == "" || !strings.Contains(b.Err, "truncated") {
+		t.Fatalf("stale subscription batch = %+v", b)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := NewBenchReport(BenchRun{
+		Workload:   "tpcc",
+		DurationMs: 1500,
+		LagSamples: 10,
+	})
+	path := t.TempDir() + "/BENCH_repl.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Run.Workload != "tpcc" {
+		t.Fatalf("round trip = %+v", got.Run)
+	}
+	// A schema mismatch is a hard error.
+	if _, err := ValidateBenchReport([]byte(`{"schema":"other/v9","run":{"duration_ms":1,"lag_samples":1}}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

@@ -139,6 +139,33 @@ func (b *BufferPool) NewPage(pageType uint8) (*Frame, error) {
 	return f, nil
 }
 
+// NewPageAt materializes a fresh page under a caller-chosen id — replication
+// redo, where the replica must reproduce the primary's page allocations
+// exactly rather than ask the allocator for the next free id. The page is
+// written through to the store immediately so the store's allocation cursor
+// advances past id (MemStore and FileStore both bump their next-page counter
+// on out-of-range writes), keeping post-promotion allocations collision-free.
+func (b *BufferPool) NewPageAt(id PageID, pageType uint8) (*Frame, error) {
+	b.mu.Lock()
+	f, err := b.newFrameLocked(id)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	b.mu.Unlock()
+	f.page.Init(id, pageType)
+	if err := b.store.WritePage(id, f.page.Bytes()); err != nil {
+		b.mu.Lock()
+		f.pins--
+		delete(b.frames, id)
+		b.lru.Remove(f.elem)
+		b.mu.Unlock()
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
 // newFrameLocked inserts a pinned frame for id, evicting if needed.
 // Called with b.mu held.
 func (b *BufferPool) newFrameLocked(id PageID) (*Frame, error) {

@@ -34,6 +34,18 @@ func NewHeap(pool *BufferPool) (*Heap, error) {
 	return &Heap{pool: pool, first: id, last: id}, nil
 }
 
+// NewHeapAt creates an empty heap whose first page is materialized under a
+// caller-chosen id — replaying a CREATE TABLE from the log, where the replica
+// must reuse the page id the primary allocated.
+func NewHeapAt(pool *BufferPool, id PageID) (*Heap, error) {
+	f, err := pool.NewPageAt(id, PageTypeHeap)
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(f, true)
+	return &Heap{pool: pool, first: id, last: id}, nil
+}
+
 // OpenHeap reattaches to an existing heap chain starting at first,
 // recounting rows (used after recovery).
 func OpenHeap(pool *BufferPool, first PageID) (*Heap, error) {
@@ -117,6 +129,107 @@ func (h *Heap) Insert(rec []byte) (RowID, error) {
 	h.last = newID
 	h.rows++
 	return NewRowID(newID, slot), nil
+}
+
+// ErrRedoDiverged reports that replaying a logged operation produced a
+// different row placement than the log records — the replica's pages no
+// longer mirror the primary's and it must re-seed.
+var ErrRedoDiverged = errors.New("storage: redo diverged from logged row placement")
+
+// ApplyInsert re-executes the Insert algorithm during log replay, verifying
+// that the row lands at the logged RowID. When the primary grew the chain the
+// replica materializes the same page id (NewPageAt) instead of allocating, so
+// page images stay byte-identical — including the tail-page compaction that a
+// failed insert attempt leaves behind.
+func (h *Heap) ApplyInsert(rid RowID, rec []byte) error {
+	if len(rec) > MaxRecordSize {
+		return ErrRecordSize
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page().Insert(rec)
+	if err == nil {
+		got := NewRowID(h.last, slot)
+		f.Latch.Unlock()
+		h.pool.Unpin(f, true)
+		if got != rid {
+			return fmt.Errorf("%w: inserted at %v, log says %v", ErrRedoDiverged, got, rid)
+		}
+		h.rows++
+		return nil
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, false)
+	if !errors.Is(err, ErrPageFull) {
+		return err
+	}
+	if rid.Page() == h.last {
+		return fmt.Errorf("%w: tail page %d full but log places row there", ErrRedoDiverged, h.last)
+	}
+	nf, err := h.pool.NewPageAt(rid.Page(), PageTypeHeap)
+	if err != nil {
+		return err
+	}
+	nf.Latch.Lock()
+	slot, err = nf.Page().Insert(rec)
+	nf.Latch.Unlock()
+	h.pool.Unpin(nf, true)
+	if err != nil {
+		return err
+	}
+	if slot != rid.Slot() {
+		return fmt.Errorf("%w: fresh page slot %d, log says %d", ErrRedoDiverged, slot, rid.Slot())
+	}
+	of, err := h.pool.Fetch(h.last)
+	if err != nil {
+		return err
+	}
+	of.Latch.Lock()
+	of.Page().SetNext(rid.Page())
+	of.Latch.Unlock()
+	h.pool.Unpin(of, true)
+	h.last = rid.Page()
+	h.rows++
+	return nil
+}
+
+// ApplyUpdate re-executes an Update during log replay. An in-place update
+// (rid == newRID) must succeed in place; a relocating one re-runs the failed
+// in-place attempt first — mirroring the compaction it performs on the
+// primary — then deletes and reinserts at the logged destination.
+func (h *Heap) ApplyUpdate(rid, newRID RowID, rec []byte) error {
+	if len(rec) > MaxRecordSize {
+		return ErrRecordSize
+	}
+	f, err := h.pool.Fetch(rid.Page())
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	f.Latch.Lock()
+	uerr := f.Page().Update(rid.Slot(), rec)
+	f.Latch.Unlock()
+	h.pool.Unpin(f, uerr == nil)
+	if rid == newRID {
+		if uerr != nil {
+			return fmt.Errorf("%w: in-place update failed (%v), log says it fit", ErrRedoDiverged, uerr)
+		}
+		return nil
+	}
+	if uerr == nil {
+		return fmt.Errorf("%w: update fit in place, log says it relocated to %v", ErrRedoDiverged, newRID)
+	}
+	if !errors.Is(uerr, ErrPageFull) {
+		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
+	}
+	if err := h.Delete(rid); err != nil {
+		return err
+	}
+	return h.ApplyInsert(newRID, rec)
 }
 
 // RestoreAt puts a record back into the exact RowID it occupied before a

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
 // RecType enumerates write-ahead log record types. Heap records carry
@@ -25,6 +27,8 @@ const (
 	RecIndexInsert // Index (in Table field), Key, Row
 	RecIndexDelete // Index (in Table field), Key, Row
 	RecCheckpoint
+	RecDDL      // DDL statement text; Row carries the first heap page for CREATE TABLE
+	RecAlterEnc // encryption-scheme change for one column (Table, DDL = encoded spec)
 )
 
 func (t RecType) String() string {
@@ -47,6 +51,10 @@ func (t RecType) String() string {
 		return "INDEX-DELETE"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecDDL:
+		return "DDL"
+	case RecAlterEnc:
+		return "ALTER-ENC"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -63,6 +71,12 @@ type Record struct {
 	Key    [][]byte // index key components
 	Old    []byte   // heap before image
 	New    []byte   // heap after image
+	DDL    string   // statement text for RecDDL / encoded spec for RecAlterEnc
+	// CLR marks a compensation log record: an undo action logged during
+	// rollback so that replicas can apply undo physically instead of
+	// re-deriving it. A CLR heap insert restores into an exact slot
+	// (RestoreAt) rather than appending at the tail.
+	CLR bool
 }
 
 // WAL is the write-ahead log: an append-only record sequence with monotonic
@@ -74,12 +88,16 @@ type WAL struct {
 	nextLSN uint64
 	// pinned holds LSNs that must survive truncation (deferred txn begins).
 	pinned map[uint64]uint64 // txn -> begin LSN
-	base   uint64            // LSN of records[0]
+	// streams holds per-replica progress: truncation may not pass the next
+	// record a connected replica still needs.
+	streams map[string]uint64 // replica id -> highest acked LSN
+	base    uint64            // LSN of records[0]
+	waiter  chan struct{}     // closed (and replaced) on every append
 }
 
 // NewWAL returns an empty log.
 func NewWAL() *WAL {
-	return &WAL{nextLSN: 1, pinned: make(map[uint64]uint64)}
+	return &WAL{nextLSN: 1, pinned: make(map[uint64]uint64), streams: make(map[string]uint64)}
 }
 
 // Append adds a record, assigning and returning its LSN.
@@ -92,7 +110,136 @@ func (w *WAL) Append(rec Record) uint64 {
 		w.base = rec.LSN
 	}
 	w.records = append(w.records, rec)
+	w.wakeLocked()
 	return rec.LSN
+}
+
+// AppendAt mirrors a record that already carries an LSN assigned elsewhere —
+// the replica's local copy of the primary's log. Records whose LSN is below
+// the local high-water mark are ignored, which makes replaying an overlapping
+// stream after reconnect harmless.
+func (w *WAL) AppendAt(rec Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rec.LSN < w.nextLSN {
+		return
+	}
+	if len(w.records) == 0 {
+		w.base = rec.LSN
+	}
+	w.records = append(w.records, rec)
+	w.nextLSN = rec.LSN + 1
+	w.wakeLocked()
+}
+
+func (w *WAL) wakeLocked() {
+	if w.waiter != nil {
+		close(w.waiter)
+		w.waiter = nil
+	}
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Errors from the streaming reader.
+var (
+	// ErrLSNTruncated means the requested start LSN has already been
+	// truncated away; the follower must re-seed from a full copy.
+	ErrLSNTruncated = errors.New("storage: requested LSN already truncated")
+	// ErrFollowStopped is returned when the stop channel fires mid-wait.
+	ErrFollowStopped = errors.New("storage: follow stopped")
+)
+
+// Follow returns up to max records starting at LSN from, blocking until at
+// least one is available. If wait > 0 and nothing arrives within it, Follow
+// returns an empty batch with a nil error — a heartbeat carrying the current
+// next-LSN so followers can measure lag on an idle primary. The second return
+// is the log's next LSN at snapshot time.
+func (w *WAL) Follow(from uint64, max int, stop <-chan struct{}, wait time.Duration) ([]Record, uint64, error) {
+	for {
+		w.mu.Lock()
+		if from < w.base {
+			low := w.base
+			w.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: LSN %d < retained base %d", ErrLSNTruncated, from, low)
+		}
+		if n := len(w.records); n > 0 && from <= w.records[n-1].LSN {
+			i := sort.Search(n, func(i int) bool { return w.records[i].LSN >= from })
+			end := n
+			if max > 0 && i+max < end {
+				end = i + max
+			}
+			out := make([]Record, end-i)
+			copy(out, w.records[i:end])
+			next := w.nextLSN
+			w.mu.Unlock()
+			return out, next, nil
+		}
+		// Caught up: wait for the next append.
+		if w.waiter == nil {
+			w.waiter = make(chan struct{})
+		}
+		ch := w.waiter
+		next := w.nextLSN
+		w.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if wait > 0 {
+			timer = time.NewTimer(wait)
+			timeout = timer.C
+		}
+		select {
+		case <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, next, ErrFollowStopped
+		case <-timeout:
+			return nil, next, nil
+		}
+	}
+}
+
+// PinStream records a replica's replication progress: records after ack must
+// survive truncation while the stream is registered.
+func (w *WAL) PinStream(id string, ackLSN uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.streams[id] = ackLSN
+}
+
+// UnpinStream drops a replica's hold on the log (replica disconnected; if it
+// returns after truncation it must re-seed).
+func (w *WAL) UnpinStream(id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.streams, id)
+}
+
+// MinStreamAck returns the lowest acked LSN across registered streams and
+// whether any stream is registered.
+func (w *WAL) MinStreamAck() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var min uint64
+	found := false
+	for _, ack := range w.streams {
+		if !found || ack < min {
+			min = ack
+			found = true
+		}
+	}
+	return min, found
 }
 
 // Records returns a snapshot copy of the retained log.
@@ -136,6 +283,11 @@ func (w *WAL) TruncateBefore(lsn uint64) error {
 	for txn, begin := range w.pinned {
 		if begin < lsn {
 			return fmt.Errorf("%w: txn %d pins LSN %d", ErrTruncationBlocked, txn, begin)
+		}
+	}
+	for id, ack := range w.streams {
+		if ack+1 < lsn {
+			return fmt.Errorf("%w: replica %q acked only LSN %d", ErrTruncationBlocked, id, ack)
 		}
 	}
 	i := 0
@@ -190,6 +342,12 @@ func (w *WAL) Serialize() []byte {
 		}
 		wBytes(r.Old)
 		wBytes(r.New)
+		wBytes([]byte(r.DDL))
+		if r.CLR {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
 	}
 	return buf.Bytes()
 }
@@ -274,6 +432,16 @@ func LoadWAL(data []byte) (*WAL, error) {
 		if rec.New, err = rBytes(); err != nil {
 			return nil, err
 		}
+		ddl, err := rBytes()
+		if err != nil {
+			return nil, err
+		}
+		rec.DDL = string(ddl)
+		clr := make([]byte, 1)
+		if _, err := r.Read(clr); err != nil {
+			return nil, ErrBadWAL
+		}
+		rec.CLR = clr[0] != 0
 		w.records = append(w.records, rec)
 	}
 	if len(w.records) > 0 {

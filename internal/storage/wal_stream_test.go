@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func appendN(w *WAL, n int) {
+	for i := 0; i < n; i++ {
+		w.Append(Record{Type: RecCheckpoint})
+	}
+}
+
+func TestFollowBatching(t *testing.T) {
+	w := NewWAL()
+	appendN(w, 5)
+
+	recs, next, err := w.Follow(1, 2, nil, 0)
+	if err != nil || len(recs) != 2 || recs[0].LSN != 1 || recs[1].LSN != 2 {
+		t.Fatalf("Follow(1,2) = %v recs, next %d, err %v", len(recs), next, err)
+	}
+	if next != 6 {
+		t.Fatalf("next = %d, want 6", next)
+	}
+	recs, _, err = w.Follow(3, 100, nil, 0)
+	if err != nil || len(recs) != 3 || recs[2].LSN != 5 {
+		t.Fatalf("Follow(3,100) = %v recs, err %v", len(recs), err)
+	}
+}
+
+func TestFollowBlocksUntilAppend(t *testing.T) {
+	w := NewWAL()
+	appendN(w, 1)
+	got := make(chan uint64, 1)
+	go func() {
+		recs, _, err := w.Follow(2, 10, nil, 0)
+		if err != nil || len(recs) == 0 {
+			got <- 0
+			return
+		}
+		got <- recs[0].LSN
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Append(Record{Type: RecCheckpoint})
+	select {
+	case lsn := <-got:
+		if lsn != 2 {
+			t.Fatalf("woke with LSN %d, want 2", lsn)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Follow never woke on append")
+	}
+}
+
+func TestFollowHeartbeatAndStop(t *testing.T) {
+	w := NewWAL()
+	appendN(w, 3)
+
+	// Caught up + wait expires: empty batch, nil error, current next-LSN —
+	// the heartbeat an idle primary ships for lag measurement.
+	recs, next, err := w.Follow(4, 10, nil, 5*time.Millisecond)
+	if err != nil || len(recs) != 0 || next != 4 {
+		t.Fatalf("heartbeat = %d recs, next %d, err %v", len(recs), next, err)
+	}
+
+	stop := make(chan struct{})
+	close(stop)
+	if _, _, err := w.Follow(4, 10, stop, time.Second); !errors.Is(err, ErrFollowStopped) {
+		t.Fatalf("stopped Follow err = %v", err)
+	}
+}
+
+func TestFollowTruncatedStart(t *testing.T) {
+	w := NewWAL()
+	appendN(w, 10)
+	if err := w.TruncateBefore(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Follow(3, 10, nil, 0); !errors.Is(err, ErrLSNTruncated) {
+		t.Fatalf("Follow below base err = %v", err)
+	}
+	// The base itself still streams.
+	recs, _, err := w.Follow(6, 10, nil, 0)
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("Follow(base) = %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestStreamPinsGateTruncation(t *testing.T) {
+	w := NewWAL()
+	appendN(w, 10)
+
+	w.PinStream("r1", 3) // r1 has applied through LSN 3
+	w.PinStream("r2", 8)
+	if min, ok := w.MinStreamAck(); !ok || min != 3 {
+		t.Fatalf("MinStreamAck = %d, %v", min, ok)
+	}
+
+	// Truncation may drop what every replica has applied (LSN < 4)…
+	if err := w.TruncateBefore(4); err != nil {
+		t.Fatal(err)
+	}
+	// …but not records r1 still needs.
+	if err := w.TruncateBefore(6); !errors.Is(err, ErrTruncationBlocked) {
+		t.Fatalf("truncation past a replica = %v", err)
+	}
+
+	// Progress unblocks it; disconnect releases the hold entirely.
+	w.PinStream("r1", 9)
+	if err := w.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+	w.UnpinStream("r1")
+	w.UnpinStream("r2")
+	if _, ok := w.MinStreamAck(); ok {
+		t.Fatal("streams still registered after unpin")
+	}
+	if err := w.TruncateBefore(11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAtMirrorsAndDedups(t *testing.T) {
+	w := NewWAL()
+	w.AppendAt(Record{LSN: 5, Type: RecCheckpoint})
+	w.AppendAt(Record{LSN: 3, Type: RecCheckpoint}) // below high-water: ignored
+	w.AppendAt(Record{LSN: 6, Type: RecCheckpoint})
+	if got := w.NextLSN(); got != 7 {
+		t.Fatalf("NextLSN = %d, want 7", got)
+	}
+	recs := w.Records()
+	if len(recs) != 2 || recs[0].LSN != 5 || recs[1].LSN != 6 {
+		t.Fatalf("records = %+v", recs)
+	}
+}

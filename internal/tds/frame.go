@@ -1,0 +1,133 @@
+package tds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Frame layer: every gob message travels inside one length-prefixed frame
+// (u32 big-endian length, then payload). The length prefix is what lets an
+// untrusted peer be bounded — a decoder fed straight from the socket would
+// happily allocate whatever an attacker's stream announces, and a stalled
+// peer would pin the handler goroutine forever. The same limits are reused
+// by the replication protocol (internal/repl).
+const (
+	// MaxFrameSize bounds a single frame and, because writers emit one frame
+	// per message, a single protocol message.
+	MaxFrameSize = 4 << 20
+
+	// DefaultIdleTimeout is how long a server-side read waits for the next
+	// frame before the connection is considered abandoned.
+	DefaultIdleTimeout = 5 * time.Minute
+
+	// DefaultWriteTimeout bounds writing one response to a peer that has
+	// stopped draining its socket.
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// ErrFrameTooLarge reports a frame (or message) exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("tds: frame exceeds maximum size")
+
+// FrameReader adapts a connection into an io.Reader that transparently
+// spans frame boundaries, enforcing MaxFrameSize per frame and an optional
+// per-message byte budget. gob decoders are stateful across messages, so the
+// decoder reads from one persistent FrameReader; call BeginMessage before
+// each Decode to arm the budget and the idle deadline.
+type FrameReader struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	remaining int // bytes left in the current frame
+	budget    int // bytes left for the current message; <0 disables
+	idle      time.Duration
+}
+
+// NewFrameReader wraps conn. idle == 0 disables read deadlines (client side,
+// where a query may legitimately run long).
+func NewFrameReader(conn net.Conn, idle time.Duration) *FrameReader {
+	return &FrameReader{conn: conn, br: bufio.NewReader(conn), budget: -1, idle: idle}
+}
+
+// BeginMessage arms the byte budget for the next Decode and, when an idle
+// timeout is configured, requires the whole message to arrive within it.
+func (fr *FrameReader) BeginMessage() error {
+	fr.budget = MaxFrameSize
+	if fr.idle > 0 {
+		return fr.conn.SetReadDeadline(time.Now().Add(fr.idle))
+	}
+	return nil
+}
+
+func (fr *FrameReader) Read(p []byte) (int, error) {
+	if fr.remaining == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > MaxFrameSize {
+			return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		}
+		fr.remaining = int(n)
+	}
+	// A message spread over several frames may not exceed the budget either.
+	if fr.budget == 0 {
+		return 0, fmt.Errorf("%w: message exceeds %d bytes", ErrFrameTooLarge, MaxFrameSize)
+	}
+	if fr.budget > 0 && len(p) > fr.budget {
+		p = p[:fr.budget]
+	}
+	if len(p) > fr.remaining {
+		p = p[:fr.remaining]
+	}
+	n, err := fr.br.Read(p)
+	fr.remaining -= n
+	if fr.budget > 0 {
+		fr.budget -= n
+	}
+	return n, err
+}
+
+// FrameWriter buffers one message and emits it as a single frame on Flush.
+type FrameWriter struct {
+	conn    net.Conn
+	buf     []byte
+	timeout time.Duration
+}
+
+// NewFrameWriter wraps conn. timeout == 0 disables write deadlines.
+func NewFrameWriter(conn net.Conn, timeout time.Duration) *FrameWriter {
+	return &FrameWriter{conn: conn, timeout: timeout}
+}
+
+func (fw *FrameWriter) Write(p []byte) (int, error) {
+	if len(fw.buf)+len(p) > MaxFrameSize {
+		return 0, ErrFrameTooLarge
+	}
+	fw.buf = append(fw.buf, p...)
+	return len(p), nil
+}
+
+// Flush frames and sends the buffered message.
+func (fw *FrameWriter) Flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	if fw.timeout > 0 {
+		if err := fw.conn.SetWriteDeadline(time.Now().Add(fw.timeout)); err != nil {
+			return err
+		}
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(fw.buf)))
+	if _, err := fw.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.conn.Write(fw.buf)
+	fw.buf = fw.buf[:0]
+	return err
+}

@@ -1,0 +1,132 @@
+package tds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func framePair(t *testing.T, idle time.Duration) (client net.Conn, fr *FrameReader) {
+	t.Helper()
+	c, s := net.Pipe()
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, NewFrameReader(s, idle)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	fw := NewFrameWriter(c, 0)
+	fr := NewFrameReader(s, 0)
+
+	msg := bytes.Repeat([]byte("payload."), 100)
+	go func() {
+		fw.Write(msg)
+		fw.Flush()
+	}()
+	if err := fr.BeginMessage(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(fr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted in framing")
+	}
+}
+
+func TestFrameRejectsOversizedHeader(t *testing.T) {
+	client, fr := framePair(t, 0)
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+		client.Write(hdr[:])
+	}()
+	fr.BeginMessage()
+	if _, err := fr.Read(make([]byte, 16)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame header err = %v", err)
+	}
+}
+
+func TestFrameRejectsZeroLengthHeader(t *testing.T) {
+	client, fr := framePair(t, 0)
+	go client.Write([]byte{0, 0, 0, 0})
+	fr.BeginMessage()
+	if _, err := fr.Read(make([]byte, 16)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("zero-length frame err = %v", err)
+	}
+}
+
+// A message split across many small frames must still respect the per-message
+// budget: an attacker cannot dodge MaxFrameSize by chunking.
+func TestFrameBudgetSpansFrames(t *testing.T) {
+	client, fr := framePair(t, 0)
+	go func() {
+		chunk := make([]byte, 1<<20) // 1 MiB per frame, 4 MiB limit
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(chunk)))
+		for i := 0; i < 6; i++ {
+			if _, err := client.Write(hdr[:]); err != nil {
+				return
+			}
+			if _, err := client.Write(chunk); err != nil {
+				return
+			}
+		}
+	}()
+	fr.BeginMessage()
+	n, err := io.Copy(io.Discard, io.LimitReader(fr, 8<<20))
+	_ = n
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("budget overflow err = %v (after %d bytes)", err, n)
+	}
+}
+
+func TestFrameWriterRefusesOversizedMessage(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	fw := NewFrameWriter(c, 0)
+	if _, err := fw.Write(make([]byte, MaxFrameSize)); err != nil {
+		t.Fatalf("max-size write: %v", err)
+	}
+	if _, err := fw.Write([]byte{1}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("overflow write err = %v", err)
+	}
+}
+
+func TestFrameIdleTimeout(t *testing.T) {
+	_, fr := framePair(t, 30*time.Millisecond)
+	if err := fr.BeginMessage(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fr.Read(make([]byte, 16))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("idle read err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("idle timeout took far too long")
+	}
+}
+
+func TestFrameWriteTimeout(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	fw := NewFrameWriter(c, 30*time.Millisecond)
+	// Nobody reads from s: the pipe write must give up at the deadline.
+	fw.Write(make([]byte, 64))
+	err := fw.Flush()
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled flush err = %v", err)
+	}
+}

@@ -15,13 +15,13 @@
 package tds
 
 import (
-	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"alwaysencrypted/internal/attestation"
 	"alwaysencrypted/internal/engine"
@@ -86,6 +86,12 @@ type Server struct {
 	Engine *engine.Engine
 	Tap    Tap
 
+	// IdleTimeout bounds the wait for the next request frame; WriteTimeout
+	// bounds writing one response. Zero means the package defaults — a
+	// stalled or oversized peer can no longer pin a handler goroutine.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
@@ -138,12 +144,22 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	sess := s.Engine.NewSession()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	dec := gob.NewDecoder(r)
-	enc := gob.NewEncoder(w)
+	idle, write := s.IdleTimeout, s.WriteTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	}
+	if write == 0 {
+		write = DefaultWriteTimeout
+	}
+	fr := NewFrameReader(conn, idle)
+	fw := NewFrameWriter(conn, write)
+	dec := gob.NewDecoder(fr)
+	enc := gob.NewEncoder(fw)
 	for {
 		var req Request
+		if err := fr.BeginMessage(); err != nil {
+			return
+		}
 		if err := dec.Decode(&req); err != nil {
 			if sess.InTxn() {
 				// Connection dropped mid-transaction: roll back, as a real
@@ -162,7 +178,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if err := fw.Flush(); err != nil {
 			return
 		}
 	}
@@ -201,9 +217,10 @@ func (s *Server) dispatch(sess *engine.Session, req *Request) *Response {
 // logic (that lives in the driver package). Not safe for concurrent use.
 type Conn struct {
 	conn net.Conn
+	fr   *FrameReader
+	fw   *FrameWriter
 	dec  *gob.Decoder
 	enc  *gob.Encoder
-	w    *bufio.Writer
 }
 
 // Dial connects to a server address.
@@ -215,10 +232,12 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(c), nil
 }
 
-// NewConn wraps an established transport (TCP or net.Pipe).
+// NewConn wraps an established transport (TCP or net.Pipe). The client
+// enforces frame limits but no deadlines: a query may legitimately run long.
 func NewConn(c net.Conn) *Conn {
-	w := bufio.NewWriter(c)
-	return &Conn{conn: c, dec: gob.NewDecoder(bufio.NewReader(c)), enc: gob.NewEncoder(w), w: w}
+	fr := NewFrameReader(c, 0)
+	fw := NewFrameWriter(c, 0)
+	return &Conn{conn: c, fr: fr, fw: fw, dec: gob.NewDecoder(fr), enc: gob.NewEncoder(fw)}
 }
 
 // Close shuts the connection down.
@@ -229,10 +248,13 @@ func (c *Conn) roundTrip(req *Request) (*Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("tds: send: %w", err)
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.fw.Flush(); err != nil {
 		return nil, fmt.Errorf("tds: flush: %w", err)
 	}
 	var resp Response
+	if err := c.fr.BeginMessage(); err != nil {
+		return nil, fmt.Errorf("tds: recv: %w", err)
+	}
 	if err := c.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("tds: connection closed")
