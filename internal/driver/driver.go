@@ -73,6 +73,13 @@ var (
 	ErrForcedEncryption  = errors.New("driver: server claims a force-encrypted parameter is plaintext")
 	ErrNoPolicy          = errors.New("driver: enclave query requires an attestation policy")
 	ErrCMKNotEnclaveable = errors.New("driver: CMK does not authorize enclave computations for this CEK")
+	// ErrIndeterminate reports a DML statement whose outcome is unknown: the
+	// connection died after the statement was sent, so the old primary may
+	// have applied (and replicated) it before dying. The driver fails over but
+	// does NOT re-execute — transparent retry would give at-least-once
+	// semantics (duplicate rows, double-applied updates). The application must
+	// verify state before retrying.
+	ErrIndeterminate = errors.New("driver: statement outcome indeterminate after connection loss")
 )
 
 // Conn is an AE-aware client connection. Not safe for concurrent use; open
@@ -197,9 +204,10 @@ func Dial(addr string, cfg Config, cache *Cache) (*Conn, error) {
 // piece of per-session security state — the enclave session secret, the
 // session id, the nonce counter, the record of installed CEKs, cached
 // describe results — re-runs the full attestation protocol against the new
-// enclave, re-installs sealed CEKs, and retries the statement once. Plaintext
-// CEK caches survive (they are client-side property, §4.1); everything bound
-// to the dead enclave session does not.
+// enclave, re-installs sealed CEKs, and retries the statement once when the
+// retry cannot duplicate effects (see Exec for the exactly-once rules).
+// Plaintext CEK caches survive (they are client-side property, §4.1);
+// everything bound to the dead enclave session does not.
 func DialMulti(addrs []string, cfg Config, cache *Cache) (*Conn, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("driver: no addresses")
@@ -265,6 +273,14 @@ func retryable(err error) bool {
 	return !errors.As(err, &se)
 }
 
+// retrySafe reports whether re-executing the statement after failover cannot
+// duplicate effects even if the dead primary already applied it: reads, and
+// BEGIN (the old server's transaction died with its session).
+func retrySafe(query string) bool {
+	q := strings.ToUpper(strings.TrimSpace(query))
+	return strings.HasPrefix(q, "SELECT") || strings.HasPrefix(q, "BEGIN")
+}
+
 // Close closes the connection.
 func (c *Conn) Close() error { return c.tds.Close() }
 
@@ -280,18 +296,35 @@ func (r *Rows) Row(i int) []sqltypes.Value { return r.Values[i] }
 
 // Exec runs a parameterized statement with plaintext arguments, applying the
 // full transparency pipeline. With a DialMulti connection, a transport
-// failure fails over to the next address and retries once — unless an
-// explicit transaction is open (its state died with the server; the
-// application must restart it).
+// failure fails over to the next address and retries once — but only when the
+// retry cannot duplicate effects: the statement never reached the wire (the
+// failure hit the describe/attestation/CEK phase), or it is read-only. A DML
+// statement that may have executed before the connection died gets
+// ErrIndeterminate instead: the old primary could have applied and shipped
+// the write before crashing, so silently re-running it on the promoted
+// replica would double-apply. No retry happens inside an explicit transaction
+// either (its state died with the server; the application must restart it).
 func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error) {
-	rows, err := c.execOnce(query, args)
-	if err != nil && retryable(err) && !c.inTxn && c.failover() {
-		rows, err = c.execOnce(query, args)
+	rows, sent, err := c.execOnce(query, args)
+	if err == nil || !retryable(err) || c.inTxn {
+		return rows, err
 	}
-	return rows, err
+	if !sent || retrySafe(query) {
+		if c.failover() {
+			rows, _, err = c.execOnce(query, args)
+		}
+		return rows, err
+	}
+	// DML with unknown outcome: fail over so the connection stays usable for
+	// the application's own recovery, but surface the indeterminacy.
+	c.failover()
+	return nil, fmt.Errorf("%w: %v", ErrIndeterminate, err)
 }
 
-func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (*Rows, error) {
+// execOnce runs the statement once. sent reports whether the execute request
+// itself may have reached the server — the point past which a transport
+// failure leaves the statement's outcome unknown.
+func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (rows *Rows, sent bool, err error) {
 	c.ExecCalls++
 	if !c.cfg.AlwaysEncrypted {
 		// Plain connection: parameters travel as canonical encodings.
@@ -301,32 +334,34 @@ func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (*Rows, er
 		}
 		rs, err := c.tds.Exec(query, wire)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		return c.decodeResult(rs, nil)
+		rows, err = c.decodeResult(rs, nil)
+		return rows, true, err
 	}
 
 	desc, err := c.describe(query)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	// Enclave preparation: install CEKs and, for DDL, authorization.
 	if desc.Desc.NeedsEnclave {
 		if err := c.prepareEnclave(query, desc); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 
 	wire, err := c.encryptParams(&desc.Desc, args)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	rs, err := c.tds.Exec(query, wire)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	return c.decodeResult(rs, desc)
+	rows, err = c.decodeResult(rs, desc)
+	return rows, true, err
 }
 
 // Begin, Commit and Rollback issue transaction-control statements. The

@@ -114,7 +114,15 @@ func (c *Catalog) Table(name string) (*Table, error) {
 }
 
 // AddTable registers a table.
-func (c *Catalog) AddTable(t *Table) error {
+func (c *Catalog) AddTable(t *Table) error { return c.AddTableLogged(t, nil) }
+
+// AddTableLogged registers a table, running log (when non-nil) inside the
+// catalog's critical section after the uniqueness check and before the table
+// becomes visible. Primaries log the creating RecDDL there: a concurrent
+// session can only reach the table after the catalog lock is released, so its
+// WAL records are guaranteed to sequence after the record that creates the
+// table — otherwise replica redo would hit table-not-found and halt.
+func (c *Catalog) AddTableLogged(t *Table, log func()) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name)
@@ -126,12 +134,19 @@ func (c *Catalog) AddTable(t *Table) error {
 		t.Cols[i].Pos = i
 		t.colIdx[strings.ToLower(t.Cols[i].Name)] = i
 	}
+	if log != nil {
+		log()
+	}
 	c.tables[key] = t
 	return nil
 }
 
 // AddIndex registers an index and attaches it to its table.
-func (c *Catalog) AddIndex(idx *Index) error {
+func (c *Catalog) AddIndex(idx *Index) error { return c.AddIndexLogged(idx, nil) }
+
+// AddIndexLogged registers an index, running log (when non-nil) before the
+// index becomes visible — same ordering guarantee as AddTableLogged.
+func (c *Catalog) AddIndexLogged(idx *Index, log func()) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(idx.Name)
@@ -141,6 +156,9 @@ func (c *Catalog) AddIndex(idx *Index) error {
 	t, ok := c.tables[strings.ToLower(idx.Table)]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, idx.Table)
+	}
+	if log != nil {
+		log()
 	}
 	c.indexes[key] = idx
 	t.Indexes = append(t.Indexes, idx)
@@ -170,24 +188,38 @@ func (c *Catalog) Tables() []string {
 }
 
 // AddCMK stores column master key metadata.
-func (c *Catalog) AddCMK(m *keys.CMKMetadata) error {
+func (c *Catalog) AddCMK(m *keys.CMKMetadata) error { return c.AddCMKLogged(m, nil) }
+
+// AddCMKLogged stores CMK metadata, logging before visibility (a CREATE CEK
+// referencing this CMK must sequence after the record that creates it).
+func (c *Catalog) AddCMKLogged(m *keys.CMKMetadata, log func()) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(m.Name)
 	if _, ok := c.cmks[key]; ok {
 		return fmt.Errorf("%w: CMK %s", ErrExists, m.Name)
 	}
+	if log != nil {
+		log()
+	}
 	c.cmks[key] = m
 	return nil
 }
 
 // AddCEK stores column encryption key metadata.
-func (c *Catalog) AddCEK(m *keys.CEKMetadata) error {
+func (c *Catalog) AddCEK(m *keys.CEKMetadata) error { return c.AddCEKLogged(m, nil) }
+
+// AddCEKLogged stores CEK metadata, logging before visibility — DDL that
+// references the CEK (CREATE TABLE) must sequence after its creating record.
+func (c *Catalog) AddCEKLogged(m *keys.CEKMetadata, log func()) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(m.Name)
 	if _, ok := c.ceks[key]; ok {
 		return fmt.Errorf("%w: CEK %s", ErrExists, m.Name)
+	}
+	if log != nil {
+		log()
 	}
 	c.ceks[key] = m
 	return nil

@@ -11,17 +11,15 @@ import (
 	"alwaysencrypted/internal/storage"
 )
 
-// executeCreateTable creates a table and an implicit unique PK index over
-// its PRIMARY KEY columns, if any. It returns the table's first heap page id,
-// which the DDL log record carries so replicas materialize the same page.
-func (e *Engine) executeCreateTable(st CreateTableStmt) (storage.PageID, error) {
-	return e.createTable(st, storage.InvalidPageID)
-}
-
-// createTable is the shared body: firstPage == InvalidPageID allocates fresh
-// (primary); otherwise the heap's first page is materialized at that id
-// (replica redo).
-func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID) (storage.PageID, error) {
+// createTable is the shared CREATE TABLE body: firstPage == InvalidPageID
+// allocates fresh (primary); otherwise the heap's first page is materialized
+// at that id (replica redo). logDDL, when non-nil, receives the first heap
+// page id and must append the creating RecDDL; it runs inside the catalog's
+// critical section, before the table becomes visible, so no concurrent
+// session can log operations against the table ahead of the record that
+// creates it. Replica redo passes nil — the replica mirrors the primary's
+// log verbatim and never appends its own records.
+func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID, logDDL func(storage.PageID)) (storage.PageID, error) {
 	cols := make([]Column, len(st.Cols))
 	var pkCols []int
 	for i, def := range st.Cols {
@@ -49,7 +47,12 @@ func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID) (stor
 		return storage.InvalidPageID, err
 	}
 	tbl := &Table{Name: st.Name, Cols: cols, Heap: heap}
-	if err := e.catalog.AddTable(tbl); err != nil {
+	var log func()
+	if logDDL != nil {
+		first := heap.FirstPage()
+		log = func() { logDDL(first) }
+	}
+	if err := e.catalog.AddTableLogged(tbl, log); err != nil {
 		return storage.InvalidPageID, err
 	}
 	if len(pkCols) > 0 {
@@ -57,7 +60,8 @@ func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID) (stor
 		for i, pos := range pkCols {
 			names[i] = cols[pos].Name
 		}
-		if err := e.addIndex(tbl, "pk_"+st.Name, pkCols, names, true, true, false); err != nil {
+		// The table's RecDDL covers the implicit PK index; no separate record.
+		if err := e.addIndex(tbl, "pk_"+st.Name, pkCols, names, true, true, false, nil); err != nil {
 			return storage.InvalidPageID, err
 		}
 	}
@@ -67,8 +71,9 @@ func (e *Engine) createTable(st CreateTableStmt, firstPage storage.PageID) (stor
 
 // executeCreateIndex builds an index, populating it from existing rows.
 // Clustered indexes on encrypted columns are refused: invalidating one would
-// lose data (§4.5).
-func (e *Engine) executeCreateIndex(st CreateIndexStmt) error {
+// lose data (§4.5). logDDL (nil on replicas) appends the creating RecDDL
+// before the index becomes visible in the catalog.
+func (e *Engine) executeCreateIndex(st CreateIndexStmt, logDDL func()) error {
 	tbl, err := e.catalog.Table(st.Table)
 	if err != nil {
 		return err
@@ -90,7 +95,7 @@ func (e *Engine) executeCreateIndex(st CreateIndexStmt) error {
 	if st.Clustered && anyEncrypted {
 		return errors.New("engine: clustered indexes on encrypted columns are not supported (§4.5)")
 	}
-	if err := e.addIndex(tbl, st.Name, pos, names, st.Unique, false, st.Clustered); err != nil {
+	if err := e.addIndex(tbl, st.Name, pos, names, st.Unique, false, st.Clustered, logDDL); err != nil {
 		return err
 	}
 	e.InvalidatePlans()
@@ -100,7 +105,7 @@ func (e *Engine) executeCreateIndex(st CreateIndexStmt) error {
 // addIndex creates, registers and backfills an index. Building an index on
 // an encrypted range column sorts the data via enclave comparisons — the
 // index-build ordering leakage of Figure 5.
-func (e *Engine) addIndex(tbl *Table, name string, pos []int, names []string, unique, primary, clustered bool) error {
+func (e *Engine) addIndex(tbl *Table, name string, pos []int, names []string, unique, primary, clustered bool, logDDL func()) error {
 	tree, rangeCapable, ceks, err := e.buildIndexTree(tbl, pos, unique)
 	if err != nil {
 		return err
@@ -124,29 +129,30 @@ func (e *Engine) addIndex(tbl *Table, name string, pos []int, names []string, un
 	if err != nil {
 		return err
 	}
-	return e.catalog.AddIndex(idx)
+	return e.catalog.AddIndexLogged(idx, logDDL)
 }
 
 // executeCreateCMK stores column master key metadata. The signature is
 // validated client-side (the server cannot: it has no key material); the
-// engine stores it verbatim so clients can verify it later (§2.2).
-func (e *Engine) executeCreateCMK(st CreateCMKStmt) error {
-	return e.catalog.AddCMK(&keys.CMKMetadata{
+// engine stores it verbatim so clients can verify it later (§2.2). logDDL
+// (nil on replicas) appends the creating RecDDL before visibility.
+func (e *Engine) executeCreateCMK(st CreateCMKStmt, logDDL func()) error {
+	return e.catalog.AddCMKLogged(&keys.CMKMetadata{
 		Name:           st.Name,
 		ProviderName:   st.ProviderName,
 		KeyPath:        st.KeyPath,
 		EnclaveEnabled: st.EnclaveComputations,
 		Signature:      st.Signature,
-	})
+	}, logDDL)
 }
 
 // executeCreateCEK stores column encryption key metadata: the RSA-OAEP
 // wrapped value and its signature, bound to a CMK.
-func (e *Engine) executeCreateCEK(st CreateCEKStmt) error {
+func (e *Engine) executeCreateCEK(st CreateCEKStmt, logDDL func()) error {
 	if _, err := e.catalog.CMK(st.CMK); err != nil {
 		return err
 	}
-	return e.catalog.AddCEK(&keys.CEKMetadata{
+	return e.catalog.AddCEKLogged(&keys.CEKMetadata{
 		Name: st.Name,
 		Values: []keys.CEKValue{{
 			CMKName:        st.CMK,
@@ -154,7 +160,7 @@ func (e *Engine) executeCreateCEK(st CreateCEKStmt) error {
 			EncryptedValue: st.EncryptedValue,
 			Signature:      st.Signature,
 		}},
-	})
+	}, logDDL)
 }
 
 // executeAlterColumn performs online initial encryption, key rotation or

@@ -69,31 +69,35 @@ func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 			return e.executeDelete(t, plan, params)
 		})
 	case CreateTableStmt:
-		pid, err := e.executeCreateTable(st)
+		// DDL is logged by statement text; the first heap page id rides in
+		// the Row field so a replica materializes the identical page. The
+		// append runs inside the catalog's critical section, before the
+		// object is visible: a concurrent session's records against the new
+		// object can never sequence ahead of the record that creates it.
+		_, err := e.createTable(st, storage.InvalidPageID, func(first storage.PageID) {
+			e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query, Row: storage.NewRowID(first, 0)})
+		})
 		if err != nil {
 			return nil, err
 		}
-		// DDL is logged by statement text; the first heap page id rides in
-		// the Row field so a replica materializes the identical page.
-		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query, Row: storage.NewRowID(pid, 0)})
 		return &ResultSet{}, nil
 	case CreateIndexStmt:
-		if err := e.executeCreateIndex(st); err != nil {
+		logDDL := func() { e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query}) }
+		if err := e.executeCreateIndex(st, logDDL); err != nil {
 			return nil, err
 		}
-		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
 		return &ResultSet{}, nil
 	case CreateCMKStmt:
-		if err := e.executeCreateCMK(st); err != nil {
+		logDDL := func() { e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query}) }
+		if err := e.executeCreateCMK(st, logDDL); err != nil {
 			return nil, err
 		}
-		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
 		return &ResultSet{}, nil
 	case CreateCEKStmt:
-		if err := e.executeCreateCEK(st); err != nil {
+		logDDL := func() { e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query}) }
+		if err := e.executeCreateCEK(st, logDDL); err != nil {
 			return nil, err
 		}
-		e.wal.Append(storage.Record{Type: storage.RecDDL, DDL: query})
 		return &ResultSet{}, nil
 	case AlterColumnStmt:
 		// executeAlterColumn logs its own records: physical rewrites per

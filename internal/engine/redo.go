@@ -212,14 +212,16 @@ func (ra *RedoApplier) applyDDL(rec *storage.Record) error {
 	}
 	switch st := stmt.(type) {
 	case CreateTableStmt:
-		_, err := e.createTable(st, rec.Row.Page())
+		// nil logDDL throughout: the replica mirrors the primary's records
+		// via AppendAt and never appends its own.
+		_, err := e.createTable(st, rec.Row.Page(), nil)
 		return err
 	case CreateIndexStmt:
 		return ra.applyCreateIndex(st)
 	case CreateCMKStmt:
-		return e.executeCreateCMK(st)
+		return e.executeCreateCMK(st, nil)
 	case CreateCEKStmt:
-		return e.executeCreateCEK(st)
+		return e.executeCreateCEK(st, nil)
 	default:
 		return fmt.Errorf("%w: unexpected DDL record %q", ErrRedoDiverged, rec.DDL)
 	}
@@ -231,7 +233,7 @@ func (ra *RedoApplier) applyDDL(rec *storage.Record) error {
 // heap, which physical redo keeps complete.
 func (ra *RedoApplier) applyCreateIndex(st CreateIndexStmt) error {
 	e := ra.e
-	err := e.executeCreateIndex(st)
+	err := e.executeCreateIndex(st, nil)
 	if err == nil {
 		return nil
 	}

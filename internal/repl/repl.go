@@ -166,6 +166,9 @@ func (p *Primary) handle(conn net.Conn) {
 
 	fr := tds.NewFrameReader(conn, idle)
 	fw := tds.NewFrameWriter(conn, write)
+	// Hello/acks from the replica stay capped at MaxFrameSize; outbound
+	// batches (page images can be big) stream across frames.
+	fw.SetStreaming(true)
 	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(fw)
 
@@ -182,6 +185,12 @@ func (p *Primary) handle(conn net.Conn) {
 	id := hello.ReplicaID
 	if id == "" {
 		id = conn.RemoteAddr().String()
+	}
+	// LSNs start at 1; FromLSN == 0 (never sent by our replicas) would
+	// underflow the ack below to 2^64-1 and disable log retention for this
+	// stream. Clamp it to "from the beginning".
+	if hello.FromLSN == 0 {
+		hello.FromLSN = 1
 	}
 	// Register stream progress: everything before FromLSN is already applied
 	// on the replica side, so truncation may pass it but nothing newer.

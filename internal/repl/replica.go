@@ -149,7 +149,9 @@ func (r *Replica) run() {
 	}
 	// No idle timeout on the batch reader: the primary heartbeats, and a dead
 	// primary closes the socket (or is detected by the operator promoting us).
+	// No per-message cap either — batches stream across frames.
 	fr := tds.NewFrameReader(r.conn, 0)
+	fr.SetMessageLimit(0)
 	fw := tds.NewFrameWriter(r.conn, write)
 	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(fw)

@@ -134,6 +134,29 @@ func TestPrimaryHeartbeatOnIdleStream(t *testing.T) {
 	}
 }
 
+// A Hello with FromLSN == 0 (LSNs start at 1) must not underflow the stream
+// pin to 2^64-1 — that would wreck log retention for the replica.
+func TestPrimaryClampsZeroFromLSN(t *testing.T) {
+	wal := storage.NewWAL()
+	wal.Append(storage.Record{Type: storage.RecCheckpoint})
+	p := NewPrimary(wal, nil)
+	defer p.Close()
+
+	f := dialFake(t, p, "fake-zero", 0)
+	b := f.recv(t)
+	if b.Err != "" || len(b.Records) != 1 || b.Records[0].LSN != 1 {
+		t.Fatalf("zero-FromLSN batch = %+v", b)
+	}
+	// The stream registered with ack 0, not an underflowed huge value.
+	if ack, ok := p.MinAckedLSN(); !ok || ack != 0 {
+		t.Fatalf("min acked = %d, %v", ack, ok)
+	}
+	// Retention still holds for the un-acked record.
+	if err := wal.TruncateBefore(2); err == nil {
+		t.Fatal("truncation ignored the zero-FromLSN stream")
+	}
+}
+
 func TestPrimaryRejectsTruncatedSubscription(t *testing.T) {
 	wal := storage.NewWAL()
 	for i := 0; i < 10; i++ {

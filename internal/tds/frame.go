@@ -10,15 +10,23 @@ import (
 	"time"
 )
 
-// Frame layer: every gob message travels inside one length-prefixed frame
+// Frame layer: every gob message travels inside length-prefixed frames
 // (u32 big-endian length, then payload). The length prefix is what lets an
 // untrusted peer be bounded — a decoder fed straight from the socket would
 // happily allocate whatever an attacker's stream announces, and a stalled
 // peer would pin the handler goroutine forever. The same limits are reused
 // by the replication protocol (internal/repl).
+//
+// The limits are asymmetric by direction. Requests (client→server,
+// replica→primary) are capped at MaxFrameSize per message: the server never
+// buffers more than that for an untrusted peer. Responses (server→client,
+// primary→replica) may legitimately be large — a big SELECT, a batch of WAL
+// records — so response writers stream one message across several
+// MaxFrameSize frames and response readers disable the per-message budget
+// while keeping the per-frame cap.
 const (
-	// MaxFrameSize bounds a single frame and, because writers emit one frame
-	// per message, a single protocol message.
+	// MaxFrameSize bounds a single frame, and — for request directions — a
+	// single protocol message.
 	MaxFrameSize = 4 << 20
 
 	// DefaultIdleTimeout is how long a server-side read waits for the next
@@ -43,19 +51,31 @@ type FrameReader struct {
 	br        *bufio.Reader
 	remaining int // bytes left in the current frame
 	budget    int // bytes left for the current message; <0 disables
+	limit     int // per-message budget armed by BeginMessage; <=0 disables
 	idle      time.Duration
 }
 
 // NewFrameReader wraps conn. idle == 0 disables read deadlines (client side,
-// where a query may legitimately run long).
+// where a query may legitimately run long). The per-message budget defaults
+// to MaxFrameSize; see SetMessageLimit.
 func NewFrameReader(conn net.Conn, idle time.Duration) *FrameReader {
-	return &FrameReader{conn: conn, br: bufio.NewReader(conn), budget: -1, idle: idle}
+	return &FrameReader{conn: conn, br: bufio.NewReader(conn), budget: -1, limit: MaxFrameSize, idle: idle}
 }
+
+// SetMessageLimit changes the per-message byte budget armed by BeginMessage.
+// n <= 0 removes the budget entirely (per-frame caps still apply): the mode
+// used when reading responses from one's own upstream — a client reading
+// result sets, a replica reading WAL batches — which may span many frames.
+func (fr *FrameReader) SetMessageLimit(n int) { fr.limit = n }
 
 // BeginMessage arms the byte budget for the next Decode and, when an idle
 // timeout is configured, requires the whole message to arrive within it.
 func (fr *FrameReader) BeginMessage() error {
-	fr.budget = MaxFrameSize
+	if fr.limit > 0 {
+		fr.budget = fr.limit
+	} else {
+		fr.budget = -1
+	}
 	if fr.idle > 0 {
 		return fr.conn.SetReadDeadline(time.Now().Add(fr.idle))
 	}
@@ -76,7 +96,7 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 	}
 	// A message spread over several frames may not exceed the budget either.
 	if fr.budget == 0 {
-		return 0, fmt.Errorf("%w: message exceeds %d bytes", ErrFrameTooLarge, MaxFrameSize)
+		return 0, fmt.Errorf("%w: message exceeds %d bytes", ErrFrameTooLarge, fr.limit)
 	}
 	if fr.budget > 0 && len(p) > fr.budget {
 		p = p[:fr.budget]
@@ -92,11 +112,19 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// FrameWriter buffers one message and emits it as a single frame on Flush.
+// FrameWriter buffers one message and emits it as frames. In the default
+// (request) mode a message must fit one frame: exceeding MaxFrameSize fails
+// the write, discards the partial message and poisons the writer so later
+// writes fail fast instead of flushing a half-encoded gob message that would
+// desync the peer's stream. In streaming (response) mode — SetStreaming —
+// an oversized message is emitted as several full frames plus a final
+// partial one, so large result sets and WAL batches are not size-capped.
 type FrameWriter struct {
 	conn    net.Conn
 	buf     []byte
 	timeout time.Duration
+	stream  bool
+	err     error // sticky: set on overflow or transport failure
 }
 
 // NewFrameWriter wraps conn. timeout == 0 disables write deadlines.
@@ -104,30 +132,70 @@ func NewFrameWriter(conn net.Conn, timeout time.Duration) *FrameWriter {
 	return &FrameWriter{conn: conn, timeout: timeout}
 }
 
+// SetStreaming switches the writer into multi-frame message mode (used for
+// the response direction, whose reader runs without a message budget).
+func (fw *FrameWriter) SetStreaming(on bool) { fw.stream = on }
+
 func (fw *FrameWriter) Write(p []byte) (int, error) {
-	if len(fw.buf)+len(p) > MaxFrameSize {
-		return 0, ErrFrameTooLarge
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	if !fw.stream {
+		if len(fw.buf)+len(p) > MaxFrameSize {
+			// Drop the partial message: a later Flush must never send half a
+			// gob message. The encoder's state is unknowable from here, so the
+			// writer is poisoned rather than left looking usable.
+			fw.buf = fw.buf[:0]
+			fw.err = ErrFrameTooLarge
+			return 0, fw.err
+		}
+		fw.buf = append(fw.buf, p...)
+		return len(p), nil
+	}
+	total := len(p)
+	for len(fw.buf)+len(p) > MaxFrameSize {
+		n := MaxFrameSize - len(fw.buf)
+		fw.buf = append(fw.buf, p[:n]...)
+		if err := fw.emit(); err != nil {
+			return 0, err
+		}
+		p = p[n:]
 	}
 	fw.buf = append(fw.buf, p...)
-	return len(p), nil
+	return total, nil
 }
 
-// Flush frames and sends the buffered message.
-func (fw *FrameWriter) Flush() error {
-	if len(fw.buf) == 0 {
-		return nil
-	}
+// emit sends the buffered bytes as one frame.
+func (fw *FrameWriter) emit() error {
 	if fw.timeout > 0 {
 		if err := fw.conn.SetWriteDeadline(time.Now().Add(fw.timeout)); err != nil {
+			fw.buf = fw.buf[:0]
+			fw.err = err
 			return err
 		}
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(fw.buf)))
 	if _, err := fw.conn.Write(hdr[:]); err != nil {
+		fw.buf = fw.buf[:0]
+		fw.err = err
 		return err
 	}
 	_, err := fw.conn.Write(fw.buf)
 	fw.buf = fw.buf[:0]
+	if err != nil {
+		fw.err = err
+	}
 	return err
+}
+
+// Flush frames and sends the rest of the buffered message.
+func (fw *FrameWriter) Flush() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	return fw.emit()
 }

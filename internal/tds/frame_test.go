@@ -101,6 +101,71 @@ func TestFrameWriterRefusesOversizedMessage(t *testing.T) {
 	}
 }
 
+// An overflow discards the partial message and poisons the writer: nothing of
+// the half-encoded gob message may ever reach the wire (it would desync the
+// peer's decoder), and later writes fail fast instead of looking usable.
+func TestFrameWriterPoisonedAfterOverflow(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	fw := NewFrameWriter(c, 0)
+	if _, err := fw.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("overflow not reported")
+	}
+	if _, err := fw.Write([]byte{1}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("write after overflow did not fail fast")
+	}
+	if err := fw.Flush(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("flush after overflow did not fail fast")
+	}
+	// The buffered 64-byte prefix must not have been flushed.
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if n, err := s.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("poisoned writer leaked %d bytes to the wire", n)
+	}
+}
+
+// Streaming mode (the response direction) carries one message across several
+// frames; a reader with the message budget disabled reassembles it intact.
+func TestFrameStreamingSpansFrames(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	fw := NewFrameWriter(c, 0)
+	fw.SetStreaming(true)
+	fr := NewFrameReader(s, 0)
+	fr.SetMessageLimit(0)
+
+	msg := make([]byte, (2*MaxFrameSize)+12345) // 3 frames
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if _, err := fw.Write(msg); err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- fw.Flush()
+	}()
+	if err := fr.BeginMessage(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(fr, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("multi-frame message corrupted")
+	}
+}
+
 func TestFrameIdleTimeout(t *testing.T) {
 	_, fr := framePair(t, 30*time.Millisecond)
 	if err := fr.BeginMessage(); err != nil {

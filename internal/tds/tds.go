@@ -153,6 +153,9 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	fr := NewFrameReader(conn, idle)
 	fw := NewFrameWriter(conn, write)
+	// Requests from the untrusted client stay capped at MaxFrameSize;
+	// responses (result sets can be big) stream across frames.
+	fw.SetStreaming(true)
 	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(fw)
 	for {
@@ -233,9 +236,13 @@ func Dial(addr string) (*Conn, error) {
 }
 
 // NewConn wraps an established transport (TCP or net.Pipe). The client
-// enforces frame limits but no deadlines: a query may legitimately run long.
+// enforces per-frame limits but no deadlines (a query may legitimately run
+// long) and no per-message cap on responses (a large result set arrives as
+// several frames). Requests it sends must fit the server's MaxFrameSize
+// message budget; an oversized one fails locally without touching the wire.
 func NewConn(c net.Conn) *Conn {
 	fr := NewFrameReader(c, 0)
+	fr.SetMessageLimit(0)
 	fw := NewFrameWriter(c, 0)
 	return &Conn{conn: c, fr: fr, fw: fw, dec: gob.NewDecoder(fr), enc: gob.NewEncoder(fw)}
 }

@@ -175,3 +175,43 @@ func TestPipeTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A result set bigger than MaxFrameSize must reach the client: the server
+// streams the response across several frames instead of dropping the
+// connection (the pre-framing behavior for big scans).
+func TestLargeResultSetStreams(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE big (id int PRIMARY KEY, v varchar(8000))", nil); err != nil {
+		t.Fatal(err)
+	}
+	val := strings.Repeat("v", 4000)
+	rows := (MaxFrameSize / len(val)) + 64 // comfortably past one frame
+	for i := 1; i <= rows; i++ {
+		if _, err := c.Exec("INSERT INTO big (id, v) VALUES (@i, @v)", map[string][]byte{
+			"i": sqltypes.Int(int64(i)).Encode(), "v": sqltypes.Str(val).Encode(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := c.Exec("SELECT id, v FROM big", nil)
+	if err != nil {
+		t.Fatalf("large SELECT: %v", err)
+	}
+	if len(rs.Rows) != rows {
+		t.Fatalf("rows = %d, want %d", len(rs.Rows), rows)
+	}
+	v, _ := sqltypes.Decode(rs.Rows[0][1])
+	if v.S != val {
+		t.Fatal("large result payload corrupted")
+	}
+	// The connection stays healthy for the next round trip.
+	if _, err := c.Exec("SELECT id FROM big WHERE id = @i",
+		map[string][]byte{"i": sqltypes.Int(1).Encode()}); err != nil {
+		t.Fatal(err)
+	}
+}
