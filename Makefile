@@ -30,11 +30,14 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark artifacts: per-transaction-type latency percentiles and enclave
-# boundary traffic (BENCH_tpcc.json), plus steady-state replication lag, redo
-# throughput and failover timing under the same workload (BENCH_repl.json).
+# boundary traffic (BENCH_tpcc.json), steady-state replication lag, redo
+# throughput and failover timing under the same workload (BENCH_repl.json),
+# and the §4.6 batching ablation — enclave crossings per transaction vs the
+# engine's rows-per-batch knob (BENCH_batch.json).
 bench:
 	$(GO) run ./cmd/tpccbench -experiment bench -duration 2s -out BENCH_tpcc.json
 	$(GO) run ./cmd/tpccbench -experiment repl -duration 2s -repl-out BENCH_repl.json
+	$(GO) run ./cmd/tpccbench -experiment batch -batch-out BENCH_batch.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"alwaysencrypted/internal/tpcc"
+)
+
+// runBatch produces the BENCH_batch.json artifact: the §4.6 batching
+// ablation. It sweeps the engine's rows-per-batch knob over fresh
+// SQL-AE-RND-STOCK worlds (STOCK.S_QUANTITY enclave-encrypted, synchronous
+// enclave so crossings are deterministic) and reports enclave crossings per
+// NewOrder/Stock-Level transaction plus client-observed p50/p95 latency.
+func runBatch(scale tpcc.Scale, txPerPhase int, out string) {
+	fmt.Println("=== Batch ablation: enclave crossings per transaction vs batch size (§4.6) ===")
+	fmt.Printf("(mode %s, synchronous enclave, %d transactions per phase)\n\n",
+		tpcc.ModeRNDStock, txPerPhase)
+	rep, err := tpcc.RunBatchExperiment(tpcc.BatchExperimentConfig{
+		Scale:      scale,
+		BatchSizes: []int{1, 16, 64, 256},
+		TxPerPhase: txPerPhase,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-6s | %24s | %24s | %12s\n", "", "new_order", "stock_level", "combined")
+	fmt.Printf("%-6s | %10s %6s %6s | %10s %6s %6s | %12s\n",
+		"batch", "cross/tx", "p50us", "p95us", "cross/tx", "p50us", "p95us", "cross/tx")
+	for _, run := range rep.Runs {
+		no, sl, all := run.Phases["new_order"], run.Phases["stock_level"], run.Phases["combined"]
+		fmt.Printf("%-6d | %10.1f %6d %6d | %10.1f %6d %6d | %12.1f\n",
+			run.BatchSize,
+			no.CrossingsPerTx, no.P50US, no.P95US,
+			sl.CrossingsPerTx, sl.P50US, sl.P95US,
+			all.CrossingsPerTx)
+	}
+	fmt.Printf("\ncrossings/txn reduction at batch %d vs %d: stock_level %.1fx, combined %.1fx\n",
+		rep.Runs[len(rep.Runs)-1].BatchSize, rep.Runs[0].BatchSize,
+		rep.Reductions["stock_level"], rep.Reductions["combined"])
+	if err := rep.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", out, tpcc.BatchSchema)
+}

@@ -10,11 +10,16 @@
 //	tpccbench -experiment fig5
 //	tpccbench -experiment bench [-out BENCH_tpcc.json]
 //	tpccbench -experiment repl [-repl-out BENCH_repl.json]
+//	tpccbench -experiment batch [-batch-out BENCH_batch.json] [-batch-tx 150]
 //	tpccbench -experiment all
 //
 // The bench experiment is the `make bench` artifact: one plaintext and one
 // enclave run, serialized with per-transaction-type latency percentiles and
 // enclave boundary traffic in the stable tpcc.BenchSchema JSON layout.
+//
+// The batch experiment is the §4.6 ablation: it sweeps the engine's
+// rows-per-batch knob (1/16/64/256) over the SQL-AE-RND-STOCK configuration
+// and reports enclave crossings per NewOrder/Stock-Level transaction.
 //
 // Absolute numbers depend on the machine; the shape — who wins and by
 // roughly what factor — is the reproduction target.
@@ -40,6 +45,8 @@ func main() {
 	threads := flag.Int("threads", 16, "client threads for fig9 (the paper's full-load point)")
 	out := flag.String("out", "BENCH_tpcc.json", "output path for the bench experiment")
 	replOut := flag.String("repl-out", "BENCH_repl.json", "output path for the repl experiment")
+	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch experiment")
+	batchTx := flag.Int("batch-tx", 150, "transactions per phase for the batch experiment")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -57,6 +64,8 @@ func main() {
 		runBench(scale, *duration, *warmup, *out)
 	case "repl":
 		runRepl(scale, *duration, *warmup, *replOut)
+	case "batch":
+		runBatch(scale, *batchTx, *batchOut)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()

@@ -1,0 +1,146 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// TestEvalExpressionBatchOneSubmit: a batch of N rows must be one work-queue
+// submit — the §4.6 amortization this API exists for — with correct per-row
+// results.
+func TestEvalExpressionBatchOneSubmit(t *testing.T) {
+	reg := obs.New("test")
+	e := testEnclave(t, Options{Threads: 2, Obs: reg})
+	_, key, handle := setupExprSession(t, e)
+
+	const n = 32
+	rows := make([][][]byte, n)
+	for i := range rows {
+		rows[i] = [][]byte{encInt(t, key, int64(i)), encInt(t, key, 7)}
+	}
+	tasksBefore := reg.Counter("enclave.queue.tasks").Value()
+	outs, errs, err := e.EvalExpressionBatch(handle, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := reg.Counter("enclave.queue.tasks").Value() - tasksBefore; d != 1 {
+		t.Fatalf("batch of %d rows made %d queue submits, want 1", n, d)
+	}
+	for i := range rows {
+		if errs[i] != nil {
+			t.Fatalf("row %d: %v", i, errs[i])
+		}
+		v, err := sqltypes.Decode(outs[i][0])
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if want := i == 7; v.Bool_ != want {
+			t.Fatalf("row %d = %v, want %v", i, v.Bool_, want)
+		}
+	}
+}
+
+// TestEvalExpressionBatchRowIsolation: a row that faults inside the enclave
+// (corrupt ciphertext) yields a per-row error; its neighbors still succeed.
+func TestEvalExpressionBatchRowIsolation(t *testing.T) {
+	e := testEnclave(t, Options{Threads: 1})
+	_, key, handle := setupExprSession(t, e)
+
+	rows := [][][]byte{
+		{encInt(t, key, 1), encInt(t, key, 1)},
+		{[]byte("corrupt envelope"), encInt(t, key, 1)},
+		{encInt(t, key, 2), encInt(t, key, 2)},
+	}
+	outs, errs, err := e.EvalExpressionBatch(handle, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good rows errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("corrupt row did not error")
+	}
+	for _, i := range []int{0, 2} {
+		if v, _ := sqltypes.Decode(outs[i][0]); !v.Bool_ {
+			t.Fatalf("row %d should compare equal", i)
+		}
+	}
+}
+
+// TestEvalExpressionBatchErrors: closed enclave / unknown handle are
+// call-level errors that lose the whole batch.
+func TestEvalExpressionBatchErrors(t *testing.T) {
+	e := testEnclave(t, Options{Threads: 1})
+	if _, _, err := e.EvalExpressionBatch(999, [][][]byte{{nil}}); !errors.Is(err, ErrNoHandle) {
+		t.Fatalf("unknown handle err = %v", err)
+	}
+	_, _, handle := setupExprSession(t, e)
+	e.Close()
+	if _, _, err := e.EvalExpressionBatch(handle, [][][]byte{{nil}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed err = %v", err)
+	}
+}
+
+// TestSyncModeCountsCrossings: Synchronous mode pays two boundary
+// transitions per call (enter + exit) and must account for them in
+// enclave.crossings — whether the call carries one row or a whole batch.
+func TestSyncModeCountsCrossings(t *testing.T) {
+	reg := obs.New("test")
+	e := testEnclave(t, Options{Threads: 1, Synchronous: true, Obs: reg})
+	_, key, handle := setupExprSession(t, e)
+	crossings := reg.Counter("enclave.crossings")
+
+	before := crossings.Value()
+	if _, err := e.EvalExpression(handle, [][]byte{encInt(t, key, 1), encInt(t, key, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if d := crossings.Value() - before; d != 2 {
+		t.Fatalf("single eval crossings delta = %d, want 2", d)
+	}
+
+	rows := make([][][]byte, 16)
+	for i := range rows {
+		rows[i] = [][]byte{encInt(t, key, int64(i)), encInt(t, key, 3)}
+	}
+	before = crossings.Value()
+	if _, _, err := e.EvalExpressionBatch(handle, rows); err != nil {
+		t.Fatal(err)
+	}
+	if d := crossings.Value() - before; d != 2 {
+		t.Fatalf("batch eval crossings delta = %d, want 2", d)
+	}
+}
+
+// TestRowsPerCrossingHistogram: the new instrument records 1 for single
+// calls and the batch size for batched calls.
+func TestRowsPerCrossingHistogram(t *testing.T) {
+	reg := obs.New("test")
+	e := testEnclave(t, Options{Threads: 1, Obs: reg})
+	_, key, handle := setupExprSession(t, e)
+
+	if _, err := e.EvalExpression(handle, [][]byte{encInt(t, key, 1), encInt(t, key, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][][]byte, 8)
+	for i := range rows {
+		rows[i] = [][]byte{encInt(t, key, int64(i)), encInt(t, key, 3)}
+	}
+	if _, _, err := e.EvalExpressionBatch(handle, rows); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["enclave.eval.rows_per_crossing"]
+	if !ok {
+		t.Fatal("rows_per_crossing histogram missing from snapshot")
+	}
+	if h.Count != 2 {
+		t.Fatalf("samples = %d, want 2 (one per crossing-paying call)", h.Count)
+	}
+	if h.Max < 8 {
+		t.Fatalf("max = %d, want >= 8 (the batch size)", h.Max)
+	}
+}

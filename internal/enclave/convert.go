@@ -149,13 +149,7 @@ func (e *Enclave) ConvertCells(sid uint64, proof *ConversionProof, from, to sqlt
 		}
 		return nil
 	}
-	if e.queue != nil {
-		e.queue.submit(func() { err = convert() })
-	} else {
-		spinFor(e.opts.CrossingCost)
-		err = convert()
-		spinFor(e.opts.CrossingCost)
-	}
+	e.enter(func() { err = convert() })
 	if err != nil {
 		return nil, err
 	}
@@ -198,13 +192,7 @@ func (e *Enclave) Compare(cekName string, a, b []byte) (int, error) {
 		res, err = sqltypes.Compare(va, vb)
 		return err
 	}
-	if e.queue != nil {
-		e.queue.submit(func() { err = cmp() })
-	} else {
-		spinFor(e.opts.CrossingCost)
-		err = cmp()
-		spinFor(e.opts.CrossingCost)
-	}
+	e.enter(func() { err = cmp() })
 	if err != nil {
 		return 0, err
 	}

@@ -177,8 +177,10 @@ type Enclave struct {
 	evals     *obs.Counter
 	converts  *obs.Counter
 	faults    *obs.Counter
+	crossings *obs.Counter   // boundary transitions; shared with the work queue
 	evalCall  *obs.Histogram // host-observed EvalExpression latency
-	evalBatch *obs.Histogram // input slots per EvalExpression call
+	evalBatch *obs.Histogram // input slots per evaluated row
+	evalRows  *obs.Histogram // rows amortized over one boundary crossing
 }
 
 // session is per-shared-secret enclave state.
@@ -254,8 +256,10 @@ func Load(image *Image, hostVersion int, opts Options) (*Enclave, error) {
 		evals:       reg.Counter("enclave.evals"),
 		converts:    reg.Counter("enclave.converts"),
 		faults:      reg.Counter("enclave.faults"),
+		crossings:   reg.Counter("enclave.crossings"),
 		evalCall:    reg.Histogram("enclave.eval.call_ns"),
 		evalBatch:   reg.Histogram("enclave.eval.batch"),
+		evalRows:    reg.Histogram("enclave.eval.rows_per_crossing"),
 	}
 	// Live object counts surface as gauge callbacks: the session/CEK/expr
 	// tables stay the single authority and snapshots read them on demand.
@@ -544,18 +548,63 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 	}
 	start := e.obs.Now()
 	e.evalBatch.Observe(int64(len(inputs)))
+	e.evalRows.Observe(1)
 	var outs [][]byte
 	var err error
 	run := func() { outs, err = e.evalLocked(re, inputs) }
-	if e.queue != nil {
-		e.queue.submit(run)
-	} else {
-		spinFor(e.opts.CrossingCost) // enter
-		run()
-		spinFor(e.opts.CrossingCost) // exit
-	}
+	e.enter(run)
 	e.evalCall.ObserveSince(start)
 	return outs, err
+}
+
+// EvalExpressionBatch evaluates a registered expression over N rows of
+// input slots with ONE enclave transition for the whole batch: a single
+// work-queue submit whose worker loops over the rows inside the enclave
+// (§4.6 batching — "the cost of enclave transitions ... amortized over
+// larger units of work"). The boundary contract is EvalExpression's,
+// row-wise: ciphertext in, per-row outputs/errors out, nothing else. A
+// non-nil top-level error (closed enclave, unknown handle) loses the
+// whole batch.
+func (e *Enclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byte, []error, error) {
+	if e.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	e.mu.RLock()
+	re, ok := e.exprs[handle]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, nil, ErrNoHandle
+	}
+	start := e.obs.Now()
+	for _, row := range rows {
+		e.evalBatch.Observe(int64(len(row)))
+	}
+	e.evalRows.Observe(int64(len(rows)))
+	outs := make([][][]byte, len(rows))
+	errs := make([]error, len(rows))
+	e.enter(func() {
+		for i, row := range rows {
+			outs[i], errs[i] = e.evalLocked(re, row)
+		}
+	})
+	e.evalCall.ObserveSince(start)
+	return outs, errs, nil
+}
+
+// enter runs fn inside the enclave: one queue submit in the default
+// configuration, or an inline call paying (and counting) two boundary
+// transitions in Synchronous mode. The queue's worker accounts for its own
+// crossings.
+func (e *Enclave) enter(fn func()) {
+	if e.queue != nil {
+		e.queue.submit(fn)
+		return
+	}
+	e.crossings.Inc()
+	spinFor(e.opts.CrossingCost) // enter
+	fn()
+	e.crossings.Inc()
+	spinFor(e.opts.CrossingCost) // exit
 }
 
 // evalLocked runs inside an enclave thread. Panics are converted into the

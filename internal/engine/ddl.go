@@ -235,9 +235,10 @@ func (s *Session) executeAlterColumn(st AlterColumnStmt) error {
 		return err
 	}
 
-	const batch = 256
-	for lo := 0; lo < len(rows); lo += batch {
-		hi := lo + batch
+	// One enclave crossing converts a whole batch of cells; the batch size
+	// is the same knob the executor's filter pipeline amortizes over.
+	for lo := 0; lo < len(rows); lo += e.batch {
+		hi := lo + e.batch
 		if hi > len(rows) {
 			hi = len(rows)
 		}

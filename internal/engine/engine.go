@@ -32,6 +32,10 @@ type Config struct {
 	// into; nil creates a private one. Pass the same registry to
 	// enclave.Options.Obs to get one snapshot across the trust boundary.
 	Obs *obs.Registry
+	// BatchSize is the executor's rows-per-batch for batched filter
+	// evaluation and the ALTER…ENCRYPTED rewrite loop — the §4.6
+	// crossing-amortization factor. <= 0 defaults to DefaultBatchSize.
+	BatchSize int
 }
 
 // Engine is the database engine instance — the untrusted server process.
@@ -67,6 +71,9 @@ type Engine struct {
 	spanBind            *obs.Histogram
 	spanPlan            *obs.Histogram
 	spanExec            *obs.Histogram
+
+	// batch is the normalized Config.BatchSize.
+	batch int
 }
 
 // New builds an engine.
@@ -76,6 +83,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 4096
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -101,6 +111,7 @@ func New(cfg Config) *Engine {
 		spanBind:  reg.Histogram("engine.stmt.bind_ns"),
 		spanPlan:  reg.Histogram("engine.stmt.plan_ns"),
 		spanExec:  reg.Histogram("engine.stmt.exec_ns"),
+		batch:     cfg.BatchSize,
 	}
 }
 

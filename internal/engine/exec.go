@@ -156,14 +156,6 @@ func (p *Plan) evaluator() (*exprsvc.Evaluator, error) {
 	return got.(*exprsvc.Evaluator), nil
 }
 
-// matchRow applies the residual filter to a combined slot row.
-func (p *Plan) matchRow(ev *exprsvc.Evaluator, slots [][]byte) (bool, error) {
-	if ev == nil {
-		return true, nil
-	}
-	return ev.EvalBool(slots)
-}
-
 // buildSlots assembles the evaluator input: outer cells, inner cells (join),
 // then parameter values in plan order.
 func (p *Plan) buildSlots(outer, inner [][]byte, params Params) ([][]byte, error) {
@@ -182,16 +174,20 @@ func (p *Plan) buildSlots(outer, inner [][]byte, params Params) ([][]byte, error
 	return slots, nil
 }
 
-// matchedRow is an outer-table row that satisfied the access path.
+// matchedRow is an outer-table row (or joined pair) that survived the
+// residual filter. slots stay valid only for the duration of the consumer
+// callback — copy anything that must outlive it.
 type matchedRow struct {
 	rid   storage.RowID
-	cells [][]byte
 	slots [][]byte // combined slot row (join: outer+inner)
 }
 
-// iterateOuter streams outer-table rows through the access path and residual
-// filter. For joins, each outer row is probed against the inner table and fn
-// receives one call per joined pair.
+// iterateOuter streams outer-table rows through the access path and the
+// batched residual filter: candidate rows accumulate in a rowBatcher and the
+// filter program runs once per batch (one enclave crossing per batch for
+// enclave predicates, §4.6). fn receives surviving rows — for joins, one
+// call per joined pair — in the same order row-at-a-time execution would
+// produce.
 func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) (bool, error)) error {
 	ev, err := plan.evaluator()
 	if err != nil {
@@ -200,20 +196,17 @@ func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) 
 	if ev != nil {
 		defer plan.evalPool.Put(ev)
 	}
+	b := &rowBatcher{plan: plan, ev: ev, fn: fn, size: e.batch}
 
-	probe := func(rid storage.RowID, cells [][]byte) (bool, error) {
+	probe := func(rid storage.RowID, cells [][]byte) error {
 		if plan.join == nil {
 			slots, err := plan.buildSlots(cells, nil, params)
 			if err != nil {
-				return false, err
+				return err
 			}
-			ok, err := plan.matchRow(ev, slots)
-			if err != nil || !ok {
-				return err == nil, err
-			}
-			return fn(&matchedRow{rid: rid, cells: cells, slots: slots})
+			return b.add(rid, slots)
 		}
-		return e.probeJoin(plan, ev, rid, cells, params, fn)
+		return e.probeJoin(plan, b, rid, cells, params)
 	}
 
 	if plan.access.index != nil {
@@ -233,12 +226,14 @@ func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) 
 			if err != nil {
 				return err
 			}
-			cont, err := probe(ent.Row, cells)
-			if err != nil || !cont {
+			if err := probe(ent.Row, cells); err != nil {
 				return err
 			}
+			if b.stopped {
+				return nil
+			}
 		}
-		return nil
+		return b.flush()
 	}
 
 	e.scans.Add(1)
@@ -248,45 +243,45 @@ func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) 
 		if err != nil {
 			return false, err
 		}
-		// Copy: heap scan cells alias page memory.
-		cp := make([][]byte, len(cells))
-		for i, c := range cells {
-			if c != nil {
-				cp[i] = append([]byte(nil), c...)
-			}
-		}
-		cont, err := probe(rid, cp)
-		if err != nil {
+		// Heap scan cells alias page memory: copy into the batch arena,
+		// reclaimed wholesale once the batch drains instead of one heap
+		// allocation per cell whether or not the row survives the filter.
+		if err := probe(rid, b.arena.copyRow(cells)); err != nil {
 			return false, err
 		}
-		if !cont {
+		if b.stopped {
 			return false, stop
 		}
 		return true, nil
 	})
-	if errors.Is(err, stop) {
-		return nil
+	if err != nil && !errors.Is(err, stop) {
+		return err
 	}
-	return err
+	return b.flush()
 }
 
-// probeJoin probes the inner table for one outer row.
-func (e *Engine) probeJoin(plan *Plan, ev *exprsvc.Evaluator, rid storage.RowID, outer [][]byte,
-	params Params, fn func(m *matchedRow) (bool, error)) (bool, error) {
+// probeJoin probes the inner table for one outer row, feeding joined pairs
+// into the shared batch. Pairs accumulate ACROSS outer rows — a per-outer
+// batch would hold only the handful of pairs one outer row produces and
+// amortize nothing.
+func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [][]byte,
+	params Params) error {
 	j := plan.join
-	emit := func(inner [][]byte) (bool, error) {
+	// The outer row's cells (arena-backed on the heap-scan path) are shared
+	// by every pair this probe adds; pin the arena so an intermediate flush
+	// cannot reclaim them while more pairs are coming.
+	b.pinned = true
+	defer func() {
+		b.pinned = false
+		b.maybeReset()
+	}()
+
+	add := func(inner [][]byte) error {
 		slots, err := plan.buildSlots(outer, inner, params)
 		if err != nil {
-			return false, err
+			return err
 		}
-		ok, err := plan.matchRow(ev, slots)
-		if err != nil {
-			return false, err
-		}
-		if !ok {
-			return true, nil
-		}
-		return fn(&matchedRow{rid: rid, cells: outer, slots: slots})
+		return b.add(rid, slots)
 	}
 
 	if j.innerIndex != nil {
@@ -295,11 +290,11 @@ func (e *Engine) probeJoin(plan *Plan, ev *exprsvc.Evaluator, rid storage.RowID,
 			joinKey[0] = outer[j.outerCol]
 		}
 		if len(joinKey[0]) == 0 {
-			return true, nil // NULL joins nothing
+			return nil // NULL joins nothing
 		}
 		entries, err := j.innerIndex.Tree.SeekExact(joinKey, 0)
 		if err != nil {
-			return false, err
+			return err
 		}
 		e.seeks.Add(1)
 		for _, ent := range entries {
@@ -309,45 +304,38 @@ func (e *Engine) probeJoin(plan *Plan, ev *exprsvc.Evaluator, rid storage.RowID,
 			}
 			cells, err := decodeRow(rec)
 			if err != nil {
-				return false, err
+				return err
 			}
-			cont, err := emit(cells)
-			if err != nil || !cont {
-				return cont, err
+			if err := add(cells); err != nil {
+				return err
+			}
+			if b.stopped {
+				return nil
 			}
 		}
-		return true, nil
+		return nil
 	}
 
 	// Inner scan: the join equality is part of the filter program.
 	e.scans.Add(1)
-	cont := true
 	stop := errors.New("stop")
 	err := j.table.Heap.Scan(func(_ storage.RowID, rec []byte) (bool, error) {
 		cells, err := decodeRow(rec)
 		if err != nil {
 			return false, err
 		}
-		cp := make([][]byte, len(cells))
-		for i, c := range cells {
-			if c != nil {
-				cp[i] = append([]byte(nil), c...)
-			}
-		}
-		c, err := emit(cp)
-		if err != nil {
+		if err := add(b.arena.copyRow(cells)); err != nil {
 			return false, err
 		}
-		if !c {
-			cont = false
+		if b.stopped {
 			return false, stop
 		}
 		return true, nil
 	})
 	if err != nil && !errors.Is(err, stop) {
-		return false, err
+		return err
 	}
-	return cont, nil
+	return nil
 }
 
 // indexEntries executes the plan's index access path.

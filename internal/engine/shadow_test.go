@@ -14,7 +14,7 @@ import (
 // shadow map — end-to-end correctness of parser, binder, planner, executor,
 // indexes and transactions under one roof.
 func TestShadowModelPlaintext(t *testing.T) {
-	runShadowModel(t, false)
+	runShadowModel(t, false, 0)
 }
 
 // TestShadowModelEncrypted runs the same workload with the value column
@@ -22,11 +22,26 @@ func TestShadowModelPlaintext(t *testing.T) {
 // index comparison routes through the enclave, and results must still match
 // the shadow exactly.
 func TestShadowModelEncrypted(t *testing.T) {
-	runShadowModel(t, true)
+	runShadowModel(t, true, 0)
 }
 
-func runShadowModel(t *testing.T, encrypted bool) {
+// TestShadowModelEncryptedBatchSizes reruns the encrypted workload at the
+// degenerate (1), awkward (3, never divides the row counts evenly) and
+// production (256) batch sizes: the batched pipeline must be observationally
+// identical to row-at-a-time execution at every batch size.
+func TestShadowModelEncryptedBatchSizes(t *testing.T) {
+	for _, size := range []int{1, 3, 256} {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			runShadowModel(t, true, size)
+		})
+	}
+}
+
+func runShadowModel(t *testing.T, encrypted bool, batchSize int) {
 	env := newTestEnv(t, false)
+	if batchSize > 0 {
+		env.engine.batch = batchSize
+	}
 	valType := "int"
 	if encrypted {
 		env.provisionKeys("CMK1", "CEK1", true)
@@ -132,6 +147,140 @@ func runShadowModel(t *testing.T, encrypted bool) {
 		}
 		if got.I != v {
 			t.Fatalf("id %d: v=%v want %d", id, got, v)
+		}
+	}
+}
+
+// newStraddleEnv builds a table with an RND-encrypted, enclave-enabled value
+// column and no index on it, so predicates on v run through the batched
+// heap-scan filter pipeline.
+func newStraddleEnv(t *testing.T, batchSize int) *testEnv {
+	env := newTestEnv(t, false)
+	env.engine.batch = batchSize
+	env.provisionKeys("CMK1", "CEK1", true)
+	env.mustExec("CREATE TABLE s (id int PRIMARY KEY, v int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))", nil)
+	env.attest("SELECT id FROM s WHERE v = @v")
+	env.installCEKs("CEK1")
+	return env
+}
+
+// TestBatchedLimitStraddle: LIMIT must stop exactly where row-at-a-time
+// execution would, in heap order, even when the stop point falls in the
+// middle of a batch. 25 alternating rows with LIMIT 4 straddle every batch
+// size under test (1 divides it, 3 doesn't, 256 holds the whole scan).
+func TestBatchedLimitStraddle(t *testing.T) {
+	for _, size := range []int{1, 3, 256} {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			env := newStraddleEnv(t, size)
+			var wantIDs []int64
+			for id := int64(1); id <= 25; id++ {
+				v := int64(1)
+				if id%2 == 1 {
+					v = 7
+					wantIDs = append(wantIDs, id)
+				}
+				env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
+					Params{"i": intParam(id), "v": env.enc("CEK1", sqltypes.Int(v), aecrypto.Randomized)})
+			}
+			rs := env.mustExec("SELECT id FROM s WHERE v = @v LIMIT 4",
+				Params{"v": env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)})
+			if len(rs.Rows) != 4 {
+				t.Fatalf("LIMIT 4 returned %d rows", len(rs.Rows))
+			}
+			for i, row := range rs.Rows {
+				got, err := sqltypes.Decode(row[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.I != wantIDs[i] {
+					t.Fatalf("row %d: id=%d, want %d (heap order)", i, got.I, wantIDs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedStopShadowsLaterError: a row AFTER the LIMIT stop point whose
+// ciphertext is garbage must never surface an error — row-at-a-time
+// execution would have stopped before evaluating it, and a straddling batch
+// must preserve that even though the batched evaluation already saw the
+// poisoned row. Without the LIMIT the same scan must fail.
+func TestBatchedStopShadowsLaterError(t *testing.T) {
+	for _, size := range []int{1, 3, 256} {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			env := newStraddleEnv(t, size)
+			match := env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)
+			for id := int64(1); id <= 3; id++ {
+				env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
+					Params{"i": intParam(id), "v": env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)})
+			}
+			// Poisoned row in heap position 4: the server stores parameter
+			// bytes as-is (it cannot decrypt them), so garbage goes in.
+			env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
+				Params{"i": intParam(4), "v": []byte("garbage ciphertext bytes")})
+			env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
+				Params{"i": intParam(5), "v": env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)})
+
+			rs := env.mustExec("SELECT id FROM s WHERE v = @v LIMIT 3", Params{"v": match})
+			if len(rs.Rows) != 3 {
+				t.Fatalf("LIMIT 3 returned %d rows", len(rs.Rows))
+			}
+			if _, err := env.session.Execute("SELECT id FROM s WHERE v = @v", Params{"v": match}); err == nil {
+				t.Fatal("unlimited scan over the poisoned row must fail")
+			}
+		})
+	}
+}
+
+// TestBatchedJoinEquivalence: the nested-loop join feeds joined pairs into
+// one batch shared ACROSS outer rows, with an enclave residual on the inner
+// side. Results (content and order) must be identical at every batch size,
+// including outer rows whose NULL join key joins nothing.
+func TestBatchedJoinEquivalence(t *testing.T) {
+	run := func(t *testing.T, size int) [][2]int64 {
+		env := newTestEnv(t, false)
+		env.engine.batch = size
+		env.provisionKeys("CMK1", "CEK1", true)
+		env.mustExec("CREATE TABLE st (sid int PRIMARY KEY, q int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))", nil)
+		env.mustExec("CREATE TABLE o (oid int PRIMARY KEY, item int)", nil)
+		env.attest("SELECT o.oid, st.sid FROM o JOIN st ON o.item = st.sid WHERE st.q < @t")
+		env.installCEKs("CEK1")
+		for sid := int64(1); sid <= 10; sid++ {
+			env.mustExec("INSERT INTO st (sid, q) VALUES (@s, @q)", Params{
+				"s": intParam(sid),
+				"q": env.enc("CEK1", sqltypes.Int(sid*5), aecrypto.Randomized)})
+		}
+		for oid := int64(1); oid <= 30; oid++ {
+			item := intParam(oid%10 + 1)
+			if oid%11 == 0 {
+				item = nil // NULL join key: joins nothing
+			}
+			env.mustExec("INSERT INTO o (oid, item) VALUES (@o, @i)",
+				Params{"o": intParam(oid), "i": item})
+		}
+		rs := env.mustExec("SELECT o.oid, st.sid FROM o JOIN st ON o.item = st.sid WHERE st.q < @t",
+			Params{"t": env.enc("CEK1", sqltypes.Int(27), aecrypto.Randomized)})
+		var out [][2]int64
+		for _, row := range rs.Rows {
+			a, _ := sqltypes.Decode(row[0])
+			b, _ := sqltypes.Decode(row[1])
+			out = append(out, [2]int64{a.I, b.I})
+		}
+		return out
+	}
+	ref := run(t, 1)
+	if len(ref) == 0 {
+		t.Fatal("reference join produced no rows")
+	}
+	for _, size := range []int{3, 256} {
+		got := run(t, size)
+		if len(got) != len(ref) {
+			t.Fatalf("batch=%d: %d rows, want %d", size, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("batch=%d row %d: %v, want %v", size, i, got[i], ref[i])
+			}
 		}
 	}
 }

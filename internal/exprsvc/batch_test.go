@@ -1,0 +1,252 @@
+package exprsvc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// cmpProg compiles `slot0 <op> slot1` over an enclave-enabled RND column.
+func cmpProg(t *testing.T, op CompOp, info EncInfo) *Program {
+	t.Helper()
+	expr := Cmp{Op: op, L: SlotRef{Slot: 0, Info: info}, R: SlotRef{Slot: 1, Info: info}}
+	prog, err := Compile("batch", expr, []EncInfo{info, info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestEvalBoolBatchMatchesSingle: the batched path must return exactly the
+// per-row results of row-at-a-time evaluation, while crossing the enclave
+// boundary once per TMEval instruction instead of once per row.
+func TestEvalBoolBatchMatchesSingle(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	info := rndEnclaveInfo(sqltypes.KindInt, cek)
+	prog := cmpProg(t, CmpGT, info)
+
+	encl := &fakeEnclave{keys: ring}
+	ev, err := NewEvaluator(prog, nil, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	threshold := encryptVal(t, key, sqltypes.Int(50), aecrypto.Randomized)
+	var rows [][][]byte
+	var want []bool
+	for i := int64(0); i < 20; i++ {
+		v := i * 10
+		rows = append(rows, [][]byte{encryptVal(t, key, sqltypes.Int(v), aecrypto.Randomized), threshold})
+		want = append(want, v > 50)
+	}
+	// A NULL column cell: comparisons against NULL are false (§4.4.1 NULL
+	// semantics), never an error.
+	rows = append(rows, [][]byte{nil, threshold})
+	want = append(want, false)
+
+	// Reference: row-at-a-time on a fresh evaluator.
+	refEv, err := NewEvaluator(prog, nil, &fakeEnclave{keys: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		got, err := refEv.EvalBool(row)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("reference row %d = %v, want %v", i, got, want[i])
+		}
+	}
+
+	encl.calls = 0
+	matches, rowErrs, err := ev.EvalBoolBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encl.calls != 1 {
+		t.Fatalf("batch of %d rows made %d enclave calls, want 1", len(rows), encl.calls)
+	}
+	for i := range rows {
+		if rowErrs[i] != nil {
+			t.Fatalf("row %d: unexpected error %v", i, rowErrs[i])
+		}
+		if matches[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, matches[i], want[i])
+		}
+	}
+}
+
+// TestEvalBatchPerRowErrors: a corrupt ciphertext fails only its own row;
+// neighbors in the same batch still evaluate, and so do rows in a later
+// batch through the same evaluator.
+func TestEvalBatchPerRowErrors(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	info := rndEnclaveInfo(sqltypes.KindInt, cek)
+	prog := cmpProg(t, CmpEQ, info)
+
+	encl := &fakeEnclave{keys: ring}
+	ev, err := NewEvaluator(prog, nil, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	param := encryptVal(t, key, sqltypes.Int(7), aecrypto.Randomized)
+	good := encryptVal(t, key, sqltypes.Int(7), aecrypto.Randomized)
+	bad := []byte("not a ciphertext envelope at all")
+
+	matches, rowErrs, err := ev.EvalBoolBatch([][][]byte{
+		{good, param},
+		{bad, param},
+		{good, param},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowErrs[0] != nil || rowErrs[2] != nil {
+		t.Fatalf("good rows errored: %v / %v", rowErrs[0], rowErrs[2])
+	}
+	if rowErrs[1] == nil {
+		t.Fatal("corrupt row did not error")
+	}
+	if !matches[0] || !matches[2] {
+		t.Fatalf("good rows = %v/%v, want true/true", matches[0], matches[2])
+	}
+	if matches[1] {
+		t.Fatal("errored row must not match")
+	}
+
+	// The evaluator stays usable after a batch with row errors.
+	got, err := ev.EvalBool([][]byte{good, param})
+	if err != nil || !got {
+		t.Fatalf("follow-up single eval = %v, err %v", got, err)
+	}
+}
+
+// TestEvalBatchWidthMismatch: a row with the wrong slot count fails that row
+// with ErrStack, exactly as Eval would, without sinking the batch.
+func TestEvalBatchWidthMismatch(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	info := rndEnclaveInfo(sqltypes.KindInt, cek)
+	prog := cmpProg(t, CmpEQ, info)
+
+	ev, err := NewEvaluator(prog, nil, &fakeEnclave{keys: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := encryptVal(t, key, sqltypes.Int(1), aecrypto.Randomized)
+	matches, rowErrs, err := ev.EvalBoolBatch([][][]byte{
+		{a, a},
+		{a}, // too narrow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowErrs[0] != nil {
+		t.Fatalf("well-formed row errored: %v", rowErrs[0])
+	}
+	if !errors.Is(rowErrs[1], ErrStack) {
+		t.Fatalf("narrow row error = %v, want ErrStack", rowErrs[1])
+	}
+	if !matches[0] {
+		t.Fatal("well-formed row should match")
+	}
+}
+
+// TestEvalBatchPlaintextProgramNoEnclave: fully host-side programs batch
+// without any enclave caller at all.
+func TestEvalBatchPlaintextProgramNoEnclave(t *testing.T) {
+	inputs := []EncInfo{Plain(sqltypes.KindInt), Plain(sqltypes.KindInt)}
+	expr := Cmp{Op: CmpLT, L: SlotRef{Slot: 0, Info: inputs[0]}, R: SlotRef{Slot: 1, Info: inputs[1]}}
+	prog, err := Compile("lt", expr, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, rowErrs, err := ev.EvalBoolBatch([][][]byte{
+		{sqltypes.Int(1).Encode(), sqltypes.Int(2).Encode()},
+		{sqltypes.Int(3).Encode(), sqltypes.Int(2).Encode()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range rowErrs {
+		if e != nil {
+			t.Fatalf("row %d: %v", i, e)
+		}
+	}
+	if !matches[0] || matches[1] {
+		t.Fatalf("matches = %v, want [true false]", matches)
+	}
+}
+
+// TestQuickEvalBatchAgreesWithSingle: property check — for random operator /
+// operand mixes the batch result equals the single-row result, including
+// NULLs, across every comparison operator.
+func TestQuickEvalBatchAgreesWithSingle(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	info := rndEnclaveInfo(sqltypes.KindInt, cek)
+	for op := 0; op < 6; op++ {
+		prog := cmpProg(t, CompOp(op), info)
+		batchEv, err := NewEvaluator(prog, nil, &fakeEnclave{keys: ring})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleEv, err := NewEvaluator(prog, nil, &fakeEnclave{keys: ring})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][][]byte
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				rows = append(rows, [][]byte{
+					encryptVal(t, key, sqltypes.Int(a), aecrypto.Randomized),
+					encryptVal(t, key, sqltypes.Int(b), aecrypto.Randomized),
+				})
+			}
+			rows = append(rows, [][]byte{encryptVal(t, key, sqltypes.Int(a), aecrypto.Randomized), nil})
+		}
+		matches, rowErrs, err := batchEv.EvalBoolBatch(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			single, serr := singleEv.EvalBool(row)
+			if (serr == nil) != (rowErrs[i] == nil) {
+				t.Fatalf("op %d row %d: single err %v, batch err %v", op, i, serr, rowErrs[i])
+			}
+			if serr == nil && single != matches[i] {
+				t.Fatalf("op %d row %d: single %v, batch %v", op, i, single, matches[i])
+			}
+		}
+	}
+}
+
+// failingBatchEnclave returns a call-level error from EvalExpressionBatch —
+// the whole batch must fail, not individual rows.
+type failingBatchEnclave struct{ fakeEnclave }
+
+func (f *failingBatchEnclave) EvalExpressionBatch(uint64, [][][]byte) ([][][]byte, []error, error) {
+	return nil, nil, fmt.Errorf("enclave gone")
+}
+
+func TestEvalBatchCallLevelError(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	info := rndEnclaveInfo(sqltypes.KindInt, cek)
+	prog := cmpProg(t, CmpEQ, info)
+	encl := &failingBatchEnclave{fakeEnclave{keys: ring}}
+	ev, err := NewEvaluator(prog, nil, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := encryptVal(t, key, sqltypes.Int(1), aecrypto.Randomized)
+	_, _, err = ev.EvalBoolBatch([][][]byte{{a, a}})
+	if err == nil {
+		t.Fatal("call-level enclave failure must fail the batch")
+	}
+}

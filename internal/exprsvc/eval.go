@@ -18,10 +18,15 @@ type KeyRing interface {
 
 // EnclaveCaller abstracts the host→enclave invocation used by TMEval. The
 // expression is registered once and subsequently invoked by handle,
-// matching the registration pattern of §3.
+// matching the registration pattern of §3. EvalExpressionBatch runs the
+// same registered expression over many rows in one boundary crossing
+// (§4.6 amortization): per-row outputs and errors line up with the input
+// rows, while the second error reports call-level failures that sink the
+// whole batch.
 type EnclaveCaller interface {
 	RegisterExpression(serialized []byte) (uint64, error)
 	EvalExpression(handle uint64, inputs [][]byte) ([][]byte, error)
+	EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byte, []error, error)
 }
 
 // Evaluation errors.
@@ -122,6 +127,15 @@ func (ev *Evaluator) pop() (entry, error) {
 // value encodings for plaintext slots; an empty slot is SQL NULL. The
 // returned slices are valid until the next Eval call.
 func (ev *Evaluator) Eval(inputs [][]byte) ([][]byte, error) {
+	return ev.evalRow(inputs, nil)
+}
+
+// evalRow interprets the program over one row. tm, when non-nil, resolves
+// the result of the TMEval instruction at a given pc instead of a live
+// enclave call — EvalBatch pre-computes those results one batch at a time.
+// The program is straight-line (no branches), so every TMEval executes
+// exactly once per row and hoisting is semantics-preserving.
+func (ev *Evaluator) evalRow(inputs [][]byte, tm func(pc int) ([][]byte, error)) ([][]byte, error) {
 	if len(inputs) != len(ev.prog.Inputs) {
 		return nil, fmt.Errorf("%w: %d inputs for %d slots", ErrStack, len(inputs), len(ev.prog.Inputs))
 	}
@@ -189,7 +203,15 @@ func (ev *Evaluator) Eval(inputs [][]byte) ([][]byte, error) {
 				return nil, err
 			}
 		case OpTMEval:
-			if err := ev.tmEval(in, inputs); err != nil {
+			if tm != nil {
+				outs, err := tm(pc)
+				if err != nil {
+					return nil, err
+				}
+				if err := ev.tmPush(outs); err != nil {
+					return nil, err
+				}
+			} else if err := ev.tmEval(in, inputs); err != nil {
 				return nil, err
 			}
 		default:
@@ -362,17 +384,33 @@ func (ev *Evaluator) tmEval(in *Instr, inputs [][]byte) error {
 	if ev.encl == nil || in.Arg >= len(ev.handles) {
 		return errors.New("exprsvc: TMEval without a registered enclave expression")
 	}
-	args := make([][]byte, len(in.InSlots))
-	for j, s := range in.InSlots {
-		if s < 0 || s >= len(inputs) {
-			return fmt.Errorf("%w: TMEval slot %d", ErrStack, s)
-		}
-		args[j] = inputs[s]
+	args, err := ev.tmArgs(in, inputs)
+	if err != nil {
+		return err
 	}
 	outs, err := ev.encl.EvalExpression(ev.handles[in.Arg], args)
 	if err != nil {
 		return err
 	}
+	return ev.tmPush(outs)
+}
+
+// tmArgs gathers a TMEval instruction's enclave arguments. They come purely
+// from the input slots, never from the host stack — that is what makes
+// batch-hoisting the enclave calls sound.
+func (ev *Evaluator) tmArgs(in *Instr, inputs [][]byte) ([][]byte, error) {
+	args := make([][]byte, len(in.InSlots))
+	for j, s := range in.InSlots {
+		if s < 0 || s >= len(inputs) {
+			return nil, fmt.Errorf("%w: TMEval slot %d", ErrStack, s)
+		}
+		args[j] = inputs[s]
+	}
+	return args, nil
+}
+
+// tmPush pushes an enclave sub-program's result onto the host stack.
+func (ev *Evaluator) tmPush(outs [][]byte) error {
 	if len(outs) == 0 {
 		return errors.New("exprsvc: enclave returned no outputs")
 	}
@@ -386,4 +424,118 @@ func (ev *Evaluator) tmEval(in *Instr, inputs [][]byte) error {
 	}
 	ev.push(entry{v: v, label: sqltypes.PlaintextType})
 	return nil
+}
+
+// EvalBatch runs the program over N rows of input slots, making one
+// EvalExpressionBatch call per TMEval instruction instead of one
+// EvalExpression call per row per instruction (§4.6). Per-row results and
+// errors line up with rows; rows that fail do not disturb their neighbors.
+// The call-level error is non-nil only when the whole batch is lost (e.g.
+// the enclave is closed). Returned output slices are owned by the caller.
+func (ev *Evaluator) EvalBatch(rows [][][]byte) ([][][]byte, []error, error) {
+	results := make([][][]byte, len(rows))
+	rowErrs := make([]error, len(rows))
+	for i, row := range rows {
+		if len(row) != len(ev.prog.Inputs) {
+			rowErrs[i] = fmt.Errorf("%w: %d inputs for %d slots", ErrStack, len(row), len(ev.prog.Inputs))
+		}
+	}
+
+	// Hoist enclave work: for each TMEval pc, gather the still-live rows'
+	// arguments and cross the boundary once for all of them.
+	var resolved [][][][]byte // [pc][row] → enclave outputs
+	for pc := range ev.prog.Code {
+		in := &ev.prog.Code[pc]
+		if in.Op != OpTMEval {
+			continue
+		}
+		if resolved == nil {
+			resolved = make([][][][]byte, len(ev.prog.Code))
+		}
+		resolved[pc] = make([][][]byte, len(rows))
+		if ev.encl == nil || in.Arg >= len(ev.handles) {
+			err := errors.New("exprsvc: TMEval without a registered enclave expression")
+			for i := range rows {
+				if rowErrs[i] == nil {
+					rowErrs[i] = err
+				}
+			}
+			continue
+		}
+		batch := make([][][]byte, 0, len(rows))
+		live := make([]int, 0, len(rows))
+		for i, row := range rows {
+			if rowErrs[i] != nil {
+				continue
+			}
+			args, err := ev.tmArgs(in, row)
+			if err != nil {
+				rowErrs[i] = err
+				continue
+			}
+			batch = append(batch, args)
+			live = append(live, i)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		outs, errs, err := ev.encl.EvalExpressionBatch(ev.handles[in.Arg], batch)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(outs) != len(batch) || len(errs) != len(batch) {
+			return nil, nil, fmt.Errorf("%w: enclave batch returned %d/%d results for %d rows", ErrStack, len(outs), len(errs), len(batch))
+		}
+		for j, i := range live {
+			if errs[j] != nil {
+				rowErrs[i] = errs[j]
+				continue
+			}
+			resolved[pc][i] = outs[j]
+		}
+	}
+
+	for i, row := range rows {
+		if rowErrs[i] != nil {
+			continue
+		}
+		outs, err := ev.evalRow(row, func(pc int) ([][]byte, error) {
+			return resolved[pc][i], nil
+		})
+		if err != nil {
+			rowErrs[i] = err
+			continue
+		}
+		// ev.outs is reused across rows; the buffers inside are fresh per
+		// row, so a shallow copy of the header slice is enough.
+		results[i] = append([][]byte(nil), outs...)
+	}
+	return results, rowErrs, nil
+}
+
+// EvalBoolBatch is the batched form of EvalBool: one shared boundary
+// crossing per TMEval instruction, output slot 0 decoded per row as the
+// filter-predicate truth value.
+func (ev *Evaluator) EvalBoolBatch(rows [][][]byte) ([]bool, []error, error) {
+	outs, rowErrs, err := ev.EvalBatch(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	matches := make([]bool, len(rows))
+	for i := range rows {
+		if rowErrs[i] != nil {
+			continue
+		}
+		o := outs[i]
+		if len(o) == 0 || len(o[0]) == 0 {
+			continue
+		}
+		v, err := sqltypes.Decode(o[0])
+		if err != nil {
+			rowErrs[i] = err
+			continue
+		}
+		matches[i] = truthy(v)
+	}
+	return matches, rowErrs, nil
 }

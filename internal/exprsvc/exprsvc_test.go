@@ -44,6 +44,22 @@ func (f *fakeEnclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, 
 	return f.progs[handle].Eval(inputs)
 }
 
+func (f *fakeEnclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byte, []error, error) {
+	f.calls++
+	outs := make([][][]byte, len(rows))
+	errs := make([]error, len(rows))
+	for i, row := range rows {
+		res, err := f.progs[handle].Eval(row)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		// Eval reuses its output header slice across calls; copy it.
+		outs[i] = append([][]byte(nil), res...)
+	}
+	return outs, errs, nil
+}
+
 func newCEK(t testing.TB) (string, *aecrypto.CellKey, mapKeyRing) {
 	t.Helper()
 	root, err := aecrypto.GenerateKey()

@@ -1,0 +1,149 @@
+package leakage
+
+import (
+	"fmt"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/exprsvc"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// This file extends the strong-adversary harness to the batched evaluation
+// path (§4.6): when the executor amortizes enclave crossings by shipping a
+// whole row-batch per call, the adversary's view of one crossing must be
+// exactly the union of the row-at-a-time views — ciphertext envelopes in,
+// per-row boolean results out — plus the grouping itself, which row-at-a-time
+// already leaked through call adjacency. Nothing new may cross in the clear:
+// no decrypted operands, no surviving-row offsets, no per-row metadata.
+
+// BatchBoundaryObservation is the §2.6 strong adversary's complete record of
+// the host↔enclave boundary during an experiment: every call, with the raw
+// bytes that crossed in each direction. The adversary sits on the host, so
+// it sees the arguments and results of every enclave invocation verbatim.
+type BatchBoundaryObservation struct {
+	Calls   int
+	RowsIn  [][][]byte // per input row: the slot bytes shipped to the enclave
+	RowsOut [][][]byte // per input row: the result bytes returned (nil on row error)
+}
+
+// singleKeyRing resolves every CEK name to one cell key — the sealed session
+// key material of the enclave stand-in.
+type singleKeyRing struct{ key *aecrypto.CellKey }
+
+func (r singleKeyRing) CellKey(string) (*aecrypto.CellKey, error) { return r.key, nil }
+
+// observedEnclave is the enclave stand-in for the batched experiments: like
+// enclaveCmp it performs the real cryptographic work (deserialize on
+// registration, evaluate with session keys), while recording exactly the
+// bytes that cross the boundary — the adversary's view.
+type observedEnclave struct {
+	keys  exprsvc.KeyRing
+	progs []*exprsvc.Evaluator
+	Obs   BatchBoundaryObservation
+}
+
+func copyRow(cells [][]byte) [][]byte {
+	out := make([][]byte, len(cells))
+	for i, c := range cells {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+func (o *observedEnclave) RegisterExpression(serialized []byte) (uint64, error) {
+	p, err := exprsvc.Deserialize(serialized)
+	if err != nil {
+		return 0, err
+	}
+	o.progs = append(o.progs, exprsvc.NewEnclaveEvaluator(p, o.keys, false))
+	return uint64(len(o.progs) - 1), nil
+}
+
+func (o *observedEnclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, error) {
+	o.Obs.Calls++
+	o.Obs.RowsIn = append(o.Obs.RowsIn, copyRow(inputs))
+	outs, err := o.progs[handle].Eval(inputs)
+	if err != nil {
+		o.Obs.RowsOut = append(o.Obs.RowsOut, nil)
+		return nil, err
+	}
+	o.Obs.RowsOut = append(o.Obs.RowsOut, copyRow(outs))
+	return outs, nil
+}
+
+func (o *observedEnclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byte, []error, error) {
+	o.Obs.Calls++
+	outs := make([][][]byte, len(rows))
+	errs := make([]error, len(rows))
+	for i, row := range rows {
+		o.Obs.RowsIn = append(o.Obs.RowsIn, copyRow(row))
+		res, err := o.progs[handle].Eval(row)
+		if err != nil {
+			errs[i] = err
+			o.Obs.RowsOut = append(o.Obs.RowsOut, nil)
+			continue
+		}
+		outs[i] = copyRow(res)
+		o.Obs.RowsOut = append(o.Obs.RowsOut, outs[i])
+	}
+	return outs, errs, nil
+}
+
+// BatchedCrossingView runs the predicate `value < @t` over RND-encrypted
+// values through the batched evaluation path and returns what the adversary
+// observed at the boundary, alongside the ciphertexts the host shipped and
+// the per-row boolean outcomes. The host-side evaluator holds no keys — the
+// compilation split (Figure 7) forces all encrypted operands through the
+// observed enclave calls, so the observation is complete.
+func BatchedCrossingView(values []int64, threshold int64, key *aecrypto.CellKey, batched bool) (*BatchBoundaryObservation, [][][]byte, []bool, error) {
+	const cek = "K"
+	info := exprsvc.EncInfo{Kind: sqltypes.KindInt, Enc: sqltypes.EncType{
+		Scheme: sqltypes.SchemeRandomized, CEKName: cek, EnclaveEnabled: true}}
+	expr := exprsvc.Cmp{Op: exprsvc.CmpLT,
+		L: exprsvc.SlotRef{Slot: 0, Info: info, Name: "T.value"},
+		R: exprsvc.SlotRef{Slot: 1, Info: info, Name: "@t"}}
+	prog, err := exprsvc.Compile("batched-leakage", expr, []exprsvc.EncInfo{info, info})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	encl := &observedEnclave{keys: singleKeyRing{key}}
+	ev, err := exprsvc.NewEvaluator(prog, nil, encl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rows := make([][][]byte, len(values))
+	for i, v := range values {
+		cv, err := key.Encrypt(sqltypes.Int(v).Encode(), aecrypto.Randomized)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ct, err := key.Encrypt(sqltypes.Int(threshold).Encode(), aecrypto.Randomized)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows[i] = [][]byte{cv, ct}
+	}
+	var matches []bool
+	if batched {
+		var rowErrs []error
+		matches, rowErrs, err = ev.EvalBoolBatch(rows)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i, re := range rowErrs {
+			if re != nil {
+				return nil, nil, nil, fmt.Errorf("row %d: %w", i, re)
+			}
+		}
+	} else {
+		matches = make([]bool, len(rows))
+		for i, row := range rows {
+			m, err := ev.EvalBool(row)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("row %d: %w", i, err)
+			}
+			matches[i] = m
+		}
+	}
+	return &encl.Obs, rows, matches, nil
+}

@@ -1,0 +1,102 @@
+package leakage
+
+import (
+	"bytes"
+	"testing"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// TestBatchedCrossingLeaksNoMoreThanRowAtATime is the Figure 5 check for the
+// §4.6 batched evaluation path: one batched crossing must carry exactly the
+// ciphertext envelopes in and per-row boolean results out — the same bytes N
+// row-at-a-time crossings carried — with the call count (N → 1) the only
+// thing the batching changed.
+func TestBatchedCrossingLeaksNoMoreThanRowAtATime(t *testing.T) {
+	key := testKey(t)
+	values := []int64{5, 42, 17, 99, 3, 42, 64, 8, 23, 77, 1, 50, 36, 42, 90, 12}
+	const threshold = 40
+
+	batched, rows, matches, err := BatchedCrossingView(values, threshold, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, singleMatches, err := BatchedCrossingView(values, threshold, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One crossing for the whole batch vs one per row.
+	if batched.Calls != 1 {
+		t.Fatalf("batched run crossed the boundary %d times, want 1", batched.Calls)
+	}
+	if single.Calls != len(values) {
+		t.Fatalf("row-at-a-time run crossed %d times, want %d", single.Calls, len(values))
+	}
+
+	// Inbound: the batched crossing carried exactly the ciphertext envelopes
+	// the host shipped — same cells, same bytes, nothing extra.
+	if len(batched.RowsIn) != len(rows) {
+		t.Fatalf("observed %d input rows, want %d", len(batched.RowsIn), len(rows))
+	}
+	for i, row := range rows {
+		got := batched.RowsIn[i]
+		if len(got) != len(row) {
+			t.Fatalf("row %d: %d cells crossed, want %d", i, len(got), len(row))
+		}
+		for j := range row {
+			if !bytes.Equal(got[j], row[j]) {
+				t.Fatalf("row %d cell %d: observed bytes differ from shipped ciphertext", i, j)
+			}
+		}
+	}
+	// No plaintext operand encoding appears anywhere in the inbound bytes.
+	for _, v := range append(append([]int64(nil), values...), threshold) {
+		plain := sqltypes.Int(v).Encode()
+		for i, row := range batched.RowsIn {
+			for j, cell := range row {
+				if bytes.Contains(cell, plain) {
+					t.Fatalf("row %d cell %d: plaintext encoding of %d crossed the boundary", i, j, v)
+				}
+			}
+		}
+	}
+
+	// Outbound: per-row boolean results and nothing else — exactly the two
+	// canonical bool encodings, one cell per row, matching the query answer.
+	trueEnc, falseEnc := sqltypes.Bool(true).Encode(), sqltypes.Bool(false).Encode()
+	if len(batched.RowsOut) != len(values) {
+		t.Fatalf("observed %d output rows, want %d", len(batched.RowsOut), len(values))
+	}
+	for i, out := range batched.RowsOut {
+		if len(out) != 1 {
+			t.Fatalf("row %d: %d output cells crossed, want 1", i, len(out))
+		}
+		want := falseEnc
+		if values[i] < threshold {
+			want = trueEnc
+		}
+		if !bytes.Equal(out[0], want) {
+			t.Fatalf("row %d: output is not the canonical boolean encoding", i)
+		}
+		if matches[i] != (values[i] < threshold) {
+			t.Fatalf("row %d: wrong answer %v", i, matches[i])
+		}
+	}
+
+	// The batched observation equals the row-at-a-time observation row for
+	// row on the outbound side (the inbound ciphertexts differ only by RND
+	// nonces). No row counts, offsets or survivor sets leaked beyond what N
+	// adjacent single calls already revealed.
+	if len(single.RowsOut) != len(batched.RowsOut) {
+		t.Fatalf("row-at-a-time observed %d output rows vs batched %d", len(single.RowsOut), len(batched.RowsOut))
+	}
+	for i := range batched.RowsOut {
+		if !bytes.Equal(single.RowsOut[i][0], batched.RowsOut[i][0]) {
+			t.Fatalf("row %d: batched output differs from row-at-a-time output", i)
+		}
+		if singleMatches[i] != matches[i] {
+			t.Fatalf("row %d: answers diverge between paths", i)
+		}
+	}
+}

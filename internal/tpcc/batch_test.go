@@ -1,0 +1,72 @@
+package tpcc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBatchExperiment runs a miniature sweep (two batch sizes, small scale)
+// and checks the physics the full artifact relies on: the Stock-Level and
+// combined phases cross the enclave, crossings per transaction strictly
+// drop as the batch grows, and the written report round-trips validation.
+func TestBatchExperiment(t *testing.T) {
+	rep, err := RunBatchExperiment(BatchExperimentConfig{
+		Scale:      smallScale(),
+		BatchSizes: []int{1, 8},
+		TxPerPhase: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rep.Runs[0], rep.Runs[1]
+	for _, name := range []string{"stock_level", "combined"} {
+		base, at := small.Phases[name].CrossingsPerTx, large.Phases[name].CrossingsPerTx
+		if base == 0 {
+			t.Fatalf("%s: no crossings at batch size 1", name)
+		}
+		if at >= base {
+			t.Fatalf("%s: crossings/tx did not drop: %.1f at 1, %.1f at 8", name, base, at)
+		}
+		if red := rep.Reductions[name]; red <= 1 {
+			t.Fatalf("%s: reduction = %.2f", name, red)
+		}
+	}
+	// NewOrder touches STOCK only through plaintext PK predicates: no
+	// enclave crossings regardless of batch size.
+	if c := small.Phases["new_order"].Crossings; c != 0 {
+		t.Fatalf("new_order crossed the enclave %d times at batch size 1", c)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBatchReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 2 || back.Runs[1].BatchSize != 8 {
+		t.Fatalf("round-trip lost runs: %+v", back.Runs)
+	}
+}
+
+func TestValidateBatchReportRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad schema":  `{"schema":"nope","runs":[]}`,
+		"no runs":     `{"schema":"alwaysencrypted/tpcc-batch/v1","runs":[]}`,
+		"not json":    `{`,
+		"one run":     `{"schema":"alwaysencrypted/tpcc-batch/v1","runs":[{"batch_size":1,"phases":{}}]}`,
+		"bad sizes":   `{"schema":"alwaysencrypted/tpcc-batch/v1","runs":[{"batch_size":8,"phases":{}},{"batch_size":1,"phases":{}}]}`,
+		"empty phase": `{"schema":"alwaysencrypted/tpcc-batch/v1","runs":[{"batch_size":1,"phases":{}},{"batch_size":8,"phases":{}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ValidateBatchReport([]byte(body)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package tpcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// BatchSchema identifies the BENCH_batch.json layout. Bump only with a new
+// suffix; downstream tooling keys on this string.
+const BatchSchema = "alwaysencrypted/tpcc-batch/v1"
+
+// BatchReport is the stable serialized form of the batching ablation: one
+// run per engine batch size, each measuring the NewOrder/Stock-Level
+// workload on a fresh SQL-AE-RND-STOCK world with a synchronous enclave.
+type BatchReport struct {
+	Schema      string `json:"schema"`
+	Mode        string `json:"mode"`
+	SyncEnclave bool   `json:"sync_enclave"`
+	TxPerPhase  int    `json:"tx_per_phase"`
+
+	Runs []BatchRun `json:"runs"`
+
+	// Reductions maps each phase to crossings-per-transaction at the
+	// smallest batch size divided by the same at the largest — the §4.6
+	// amortization factor. Phases with no crossings at either endpoint
+	// (NewOrder's plaintext-predicate point lookups) are omitted.
+	Reductions map[string]float64 `json:"reductions"`
+}
+
+// BatchRun is one swept batch size.
+type BatchRun struct {
+	BatchSize int                   `json:"batch_size"`
+	Phases    map[string]BatchPhase `json:"phases"`
+}
+
+// BatchPhase summarizes one workload phase at one batch size. Latencies are
+// client-observed per-transaction wall time in microseconds.
+type BatchPhase struct {
+	Tx             int     `json:"tx"`
+	Crossings      uint64  `json:"crossings"`
+	EnclaveEvals   uint64  `json:"enclave_evals"`
+	CrossingsPerTx float64 `json:"crossings_per_tx"`
+	P50US          int64   `json:"p50_us"`
+	P95US          int64   `json:"p95_us"`
+}
+
+// WriteFile serializes the report to path (the BENCH_batch.json artifact).
+func (rep *BatchReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ValidateBatchReport checks the invariants downstream tooling relies on.
+// It parses from bytes so tests can validate the written artifact verbatim.
+func ValidateBatchReport(b []byte) (*BatchReport, error) {
+	var rep BatchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("tpcc: batch report: %w", err)
+	}
+	if rep.Schema != BatchSchema {
+		return nil, fmt.Errorf("tpcc: batch report schema %q, want %q", rep.Schema, BatchSchema)
+	}
+	if len(rep.Runs) < 2 {
+		return nil, fmt.Errorf("tpcc: batch report needs >= 2 batch sizes, got %d", len(rep.Runs))
+	}
+	prev := 0
+	for i, run := range rep.Runs {
+		if run.BatchSize <= prev {
+			return nil, fmt.Errorf("tpcc: run %d: batch sizes must ascend (%d after %d)", i, run.BatchSize, prev)
+		}
+		prev = run.BatchSize
+		for _, name := range batchPhases {
+			ph, ok := run.Phases[name]
+			if !ok {
+				return nil, fmt.Errorf("tpcc: run %d: missing phase %q", i, name)
+			}
+			if ph.Tx <= 0 {
+				return nil, fmt.Errorf("tpcc: run %d %s: no transactions", i, name)
+			}
+			if ph.P50US > ph.P95US {
+				return nil, fmt.Errorf("tpcc: run %d %s: p50 %d > p95 %d", i, name, ph.P50US, ph.P95US)
+			}
+			want := float64(ph.Crossings) / float64(ph.Tx)
+			if math.Abs(ph.CrossingsPerTx-want) > 1e-6 {
+				return nil, fmt.Errorf("tpcc: run %d %s: crossings_per_tx %g inconsistent with %d/%d",
+					i, name, ph.CrossingsPerTx, ph.Crossings, ph.Tx)
+			}
+		}
+	}
+	if _, ok := rep.Reductions["combined"]; !ok {
+		return nil, fmt.Errorf("tpcc: batch report missing combined reduction")
+	}
+	if _, ok := rep.Reductions["stock_level"]; !ok {
+		return nil, fmt.Errorf("tpcc: batch report missing stock_level reduction")
+	}
+	return &rep, nil
+}

@@ -32,6 +32,12 @@ const (
 	// ModeRND is SQL-AE-RND: PII columns randomized-encrypted with
 	// enclave-enabled keys.
 	ModeRND
+	// ModeRNDStock is SQL-AE-RND plus STOCK.S_QUANTITY randomized-encrypted
+	// under the same enclave-enabled CEK. It puts enclave expression work on
+	// the NewOrder and Stock-Level hot paths (every s_quantity predicate
+	// routes through the enclave) and is the configuration the batching
+	// ablation (-experiment batch) measures crossings-per-transaction on.
+	ModeRNDStock
 )
 
 func (m Mode) String() string {
@@ -44,13 +50,18 @@ func (m Mode) String() string {
 		return "SQL-AE-DET"
 	case ModeRND:
 		return "SQL-AE-RND"
+	case ModeRNDStock:
+		return "SQL-AE-RND-STOCK"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
 
 // Encrypted reports whether the mode stores ciphertext.
-func (m Mode) Encrypted() bool { return m == ModeDET || m == ModeRND }
+func (m Mode) Encrypted() bool { return m == ModeDET || m == ModeRND || m == ModeRNDStock }
+
+// EnclaveEnabled reports whether the mode provisions enclave-enabled keys.
+func (m Mode) EnclaveEnabled() bool { return m == ModeRND || m == ModeRNDStock }
 
 // AEConnection reports whether the driver uses the AE connection string.
 func (m Mode) AEConnection() bool { return m != ModePlaintext }
@@ -65,7 +76,7 @@ func encClause(m Mode, cek string) string {
 	switch m {
 	case ModeDET:
 		return fmt.Sprintf(" ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = %s, ENCRYPTION_TYPE = Deterministic, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')", cek)
-	case ModeRND:
+	case ModeRND, ModeRNDStock:
 		return fmt.Sprintf(" ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = %s, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')", cek)
 	default:
 		return ""
@@ -79,6 +90,13 @@ func SchemaDDL(m Mode, cek string) []string {
 			if col == pii {
 				return col + " " + typ + encClause(m, cek)
 			}
+		}
+		return col + " " + typ
+	}
+	// sq encrypts STOCK.S_QUANTITY only in the stock-encrypted ablation mode.
+	sq := func(col, typ string) string {
+		if m == ModeRNDStock {
+			return col + " " + typ + encClause(m, cek)
 		}
 		return col + " " + typ
 	}
@@ -110,9 +128,9 @@ func SchemaDDL(m Mode, cek string) []string {
 			ol_amount float, ol_dist_info char(24))`,
 		`CREATE TABLE item (i_id int PRIMARY KEY, i_im_id int, i_name varchar(24),
 			i_price float, i_data varchar(50))`,
-		`CREATE TABLE stock (s_w_id int PRIMARY KEY, s_i_id int PRIMARY KEY,
-			s_quantity int, s_ytd float, s_order_cnt int, s_remote_cnt int,
-			s_data varchar(50))`,
+		fmt.Sprintf(`CREATE TABLE stock (s_w_id int PRIMARY KEY, s_i_id int PRIMARY KEY,
+			%s, s_ytd float, s_order_cnt int, s_remote_cnt int,
+			s_data varchar(50))`, sq("s_quantity", "int")),
 		// §5.3: NONCLUSTERED non-unique index (the spec would require a
 		// unique constraint on these columns).
 		`CREATE NONCLUSTERED INDEX customer_nc1 ON customer (c_w_id, c_d_id, c_last, c_first, c_id)`,

@@ -44,7 +44,7 @@ func TestLastName(t *testing.T) {
 }
 
 func TestSchemaDDLParsesInAllModes(t *testing.T) {
-	for _, m := range []Mode{ModePlaintext, ModePlaintextAEConn, ModeDET, ModeRND} {
+	for _, m := range []Mode{ModePlaintext, ModePlaintextAEConn, ModeDET, ModeRND, ModeRNDStock} {
 		stmts := SchemaDDL(m, CEKName)
 		if len(stmts) != 12 {
 			t.Fatalf("%v: %d statements", m, len(stmts))
@@ -156,6 +156,43 @@ func runAllTransactionTypes(t *testing.T, mode Mode) {
 func TestTransactionsPlaintext(t *testing.T) { runAllTransactionTypes(t, ModePlaintext) }
 func TestTransactionsDET(t *testing.T)       { runAllTransactionTypes(t, ModeDET) }
 func TestTransactionsRND(t *testing.T)       { runAllTransactionTypes(t, ModeRND) }
+func TestTransactionsRNDStock(t *testing.T)  { runAllTransactionTypes(t, ModeRNDStock) }
+
+// TestRNDStockEnclaveOnHotPath: with s_quantity encrypted, NewOrder and
+// Stock-Level perform enclave expression work (the batching ablation's hot
+// path), and the column is stored randomized + enclave-enabled.
+func TestRNDStockEnclaveOnHotPath(t *testing.T) {
+	w := loadWorld(t, ModeRNDStock)
+	tbl, err := w.Engine.Catalog().Table("stock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tbl.Col("s_quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Enc.Scheme != sqltypes.SchemeRandomized || !col.Enc.EnclaveEnabled {
+		t.Fatalf("s_quantity enc = %+v", col.Enc)
+	}
+	conn, err := w.Connect(false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	term := NewTerminal(w, conn, 1, 42)
+	before := w.Encl.Dump().Evaluations
+	for i := 0; i < 3; i++ {
+		if err := term.NewOrder(); err != nil {
+			t.Fatalf("NewOrder %d: %v", i, err)
+		}
+		if err := term.StockLevel(); err != nil {
+			t.Fatalf("StockLevel %d: %v", i, err)
+		}
+	}
+	if after := w.Encl.Dump().Evaluations; after == before {
+		t.Fatal("RND-STOCK hot path performed no enclave evaluations")
+	}
+}
 
 // TestRNDWorkloadUsesEnclave: in RND mode the C_LAST lookups route through
 // the enclave; in DET/plaintext modes the enclave stays idle.

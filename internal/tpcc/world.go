@@ -51,6 +51,10 @@ type WorldOptions struct {
 	EnclaveThreads int  // §5.1 allocates four
 	SyncEnclave    bool // ablation: disable the §4.6 queue
 	CTR            bool
+	// BatchSize is the engine's rows-per-batch for batched expression
+	// evaluation; 0 uses engine.DefaultBatchSize. The batch ablation
+	// (-experiment batch) sweeps it.
+	BatchSize int
 }
 
 // CEKName is the single CEK used for all encrypted columns (§5.3).
@@ -108,7 +112,8 @@ func NewWorld(opt WorldOptions) (*World, error) {
 		MinHostVersion:    10,
 	}
 
-	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR, Obs: w.Obs})
+	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR, Obs: w.Obs,
+		BatchSize: opt.BatchSize})
 	w.Server = tds.NewServer(w.Engine)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -176,7 +181,7 @@ func (w *World) provisionKeys() error {
 	if _, err := w.Vault.CreateKey(path); err != nil {
 		return err
 	}
-	enclaveEnabled := w.Mode == ModeRND
+	enclaveEnabled := w.Mode.EnclaveEnabled()
 	cmk, err := keys.ProvisionCMK(w.Vault, CMKName, path, enclaveEnabled)
 	if err != nil {
 		return err
