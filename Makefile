@@ -15,9 +15,11 @@ vet:
 
 # On failure aelint prints a per-analyzer finding count summary to stderr
 # after the diagnostics, so a red `make verify` shows where the findings
-# concentrate without re-running anything.
+# concentrate without re-running anything. Set AELINT_JSON=<path> to also
+# write the machine-readable findings report (per-analyzer counts and
+# durations); CI uploads it as an artifact.
 lint:
-	$(GO) run ./cmd/aelint ./...
+	$(GO) run ./cmd/aelint $(if $(AELINT_JSON),-json $(AELINT_JSON)) ./...
 
 test:
 	$(GO) test ./...

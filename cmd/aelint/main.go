@@ -2,27 +2,37 @@
 // It is the static half of the enclave security argument (DESIGN.md,
 // "Trust-boundary enforcement"): properties the type system cannot express —
 // state-thread discipline, plaintext containment, boundary signatures, lock
-// ordering, key-material hygiene, constant-time comparison, IV provenance —
-// are enforced here and wired into `make verify`.
+// ordering, key-material hygiene, constant-time comparison, IV provenance,
+// secret escape and retention, atomic-access consistency — are enforced here
+// and wired into `make verify`.
 //
 // Usage:
 //
-//	aelint [-list] [packages]
+//	aelint [-list] [-json report.json] [packages]
 //
 // Packages default to ./... . Findings print as
 // file:line:col: analyzer: message, and any finding makes the exit status 1
 // with a per-analyzer finding count on stderr. A finding can be waived with
 // a justified line directive:
 //
-//	//aelint:ignore <analyzer> <why this is safe>
+//	//aelint:ignore <analyzer> reason=<why this is safe>
+//
+// The reason= is mandatory; bare, unused or unknown-analyzer directives are
+// themselves findings (reported under the pseudo-analyzer "ignorepolicy").
+// With -json, a machine-readable report — per-analyzer finding counts and
+// wall-clock durations plus the finding list — is written to the given path
+// for CI artifact upload; the human-readable output is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/atomicmix"
 	"alwaysencrypted/internal/lint/boundaryapi"
 	"alwaysencrypted/internal/lint/callgraph"
 	"alwaysencrypted/internal/lint/ctcompare"
@@ -32,6 +42,8 @@ import (
 	"alwaysencrypted/internal/lint/lockorder"
 	"alwaysencrypted/internal/lint/obsleak"
 	"alwaysencrypted/internal/lint/plaintextflow"
+	"alwaysencrypted/internal/lint/secretescape"
+	"alwaysencrypted/internal/lint/secretretain"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -43,15 +55,45 @@ var analyzers = []*analysis.Analyzer{
 	keyzero.Analyzer,
 	ctcompare.Analyzer,
 	ivsanity.Analyzer,
+	secretescape.Analyzer,
+	secretretain.Analyzer,
+	atomicmix.Analyzer,
+}
+
+// ignorePolicy is the pseudo-analyzer name for directive-audit findings:
+// //aelint:ignore lines that are bare, unused, or name an unknown analyzer.
+const ignorePolicy = "ignorepolicy"
+
+// report is the -json output, schema "alwaysencrypted/aelint-report/v1".
+type report struct {
+	Schema    string           `json:"schema"`
+	Packages  []string         `json:"packages"`
+	Findings  int              `json:"findings"`
+	Analyzers []*analyzerReport `json:"analyzers"`
+	Details   []finding        `json:"details,omitempty"`
+}
+
+type analyzerReport struct {
+	Name       string `json:"name"`
+	Findings   int    `json:"findings"`
+	DurationMS int64  `json:"duration_ms"`
+}
+
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonPath := flag.String("json", "", "write a JSON findings report to this path")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-15s %s\n", ignorePolicy, "audit //aelint:ignore directives: reasons mandatory, no dead or unknown waivers")
 		return
 	}
 	patterns := flag.Args()
@@ -63,30 +105,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aelint: %v\n", err)
 		os.Exit(2)
 	}
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
 	// Load returns packages in dependency order; registering summaries in
 	// that order lets callers see callee summaries (interprocedural checks).
 	callgraph.RegisterPackages(pkgs)
-	findings := 0
-	perAnalyzer := map[string]int{}
+	rep := report{Schema: "alwaysencrypted/aelint-report/v1"}
+	perAnalyzer := map[string]*analyzerReport{}
+	for _, a := range analyzers {
+		ar := &analyzerReport{Name: a.Name}
+		perAnalyzer[a.Name] = ar
+		rep.Analyzers = append(rep.Analyzers, ar)
+	}
+	auditRep := &analyzerReport{Name: ignorePolicy}
+	perAnalyzer[ignorePolicy] = auditRep
+	rep.Analyzers = append(rep.Analyzers, auditRep)
+	emit := func(pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos).String()
+			fmt.Printf("%s: %s: %s\n", pos, name, d.Message)
+			rep.Findings++
+			perAnalyzer[name].Findings++
+			rep.Details = append(rep.Details, finding{Analyzer: name, Position: pos, Message: d.Message})
+		}
+	}
 	for _, pkg := range pkgs {
+		rep.Packages = append(rep.Packages, pkg.PkgPath)
 		for _, a := range analyzers {
+			start := time.Now()
 			diags, err := analysis.RunAnalyzer(a, pkg)
+			perAnalyzer[a.Name].DurationMS += time.Since(start).Milliseconds()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "aelint: %s: %s: %v\n", pkg.PkgPath, a.Name, err)
 				os.Exit(2)
 			}
-			for _, d := range diags {
-				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
-				findings++
-				perAnalyzer[a.Name]++
-			}
+			emit(pkg, a.Name, diags)
+		}
+		// Directive audit runs after every analyzer has had its chance to
+		// mark directives used — an unused one is a dead waiver.
+		start := time.Now()
+		emit(pkg, ignorePolicy, analysis.IgnoreFindings(pkg, known))
+		auditRep.DurationMS += time.Since(start).Milliseconds()
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aelint: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "aelint: %d finding(s)\n", findings)
-		for _, a := range analyzers {
-			if n := perAnalyzer[a.Name]; n > 0 {
-				fmt.Fprintf(os.Stderr, "aelint:   %-15s %d\n", a.Name, n)
+	if rep.Findings > 0 {
+		fmt.Fprintf(os.Stderr, "aelint: %d finding(s)\n", rep.Findings)
+		for _, ar := range rep.Analyzers {
+			if ar.Findings > 0 {
+				fmt.Fprintf(os.Stderr, "aelint:   %-15s %d\n", ar.Name, ar.Findings)
 			}
 		}
 		os.Exit(1)

@@ -198,7 +198,11 @@ type session struct {
 // traffic decomposition (which opcodes the enclave executes, how often)
 // without touching the evaluator's inner loop.
 type registeredExpr struct {
-	prog    *exprsvc.Program
+	prog *exprsvc.Program
+	// Pooled evaluators hold only borrowed CEK aliases: their KeyRing is the
+	// enclave's own ceks table, which Close ranges and zeroizes. Recycled
+	// evaluators never own key material.
+	//aelint:ignore secretretain reason=pooled evaluators hold aliases owned by e.ceks; zeroized in Enclave.Close
 	pool    sync.Pool
 	opTally []opCount
 }
@@ -302,7 +306,7 @@ func (e *Enclave) Close() {
 	for _, key := range e.ceks {
 		key.Zeroize()
 	}
-	//aelint:ignore enclavestate state thread joined above; teardown is single-threaded
+	//aelint:ignore enclavestate reason=state thread joined above; teardown is single-threaded
 	e.sessions, e.ceks, e.exprs = map[uint64]*session{}, map[string]*aecrypto.CellKey{}, map[uint64]*registeredExpr{}
 	e.mu.Unlock()
 }

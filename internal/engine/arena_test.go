@@ -1,0 +1,158 @@
+package engine
+
+// Regression tests for the cellArena batch-lifetime contract (batch.go): the
+// heap-scan path copies row cells into the arena, the arena is reclaimed
+// wholesale once a batch drains, and therefore NOTHING emitted from a batch
+// may retain arena-backed cells past the consumer callback. executeSelect's
+// per-cell copy is the load-bearing half of that contract; these tests make
+// the aliasing hazard observable so removing the copy (or resetting the
+// arena while a join pin is outstanding) fails deterministically instead of
+// corrupting results only under the right batch geometry.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// TestArenaMultiBatchScanIntegrity runs a full-scan SELECT at BatchSize 2 so
+// the nine matching rows drain through five flush/reset cycles, each reusing
+// the same arena chunk bytes. If any emitted row still aliased the arena, a
+// later batch would overwrite its distinctive cells and the per-row check
+// would see another row's values.
+func TestArenaMultiBatchScanIntegrity(t *testing.T) {
+	env := newTestEnv(t, false)
+	env.engine.batch = 2
+	env.mustExec("CREATE TABLE notes (id int PRIMARY KEY, tag int, body varchar(30))", nil)
+	for i := int64(1); i <= 9; i++ {
+		env.mustExec("INSERT INTO notes (id, tag, body) VALUES (@i, @t, @b)", Params{
+			"i": intParam(i), "t": intParam(1), "b": strParam(fmt.Sprintf("body-%03d", i)),
+		})
+	}
+	// WHERE on the non-indexed tag column forces the heap-scan (arena) path.
+	rs := env.mustExec("SELECT id, body FROM notes WHERE tag = @t", Params{"t": intParam(1)})
+	if len(rs.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rs.Rows))
+	}
+	seen := map[int64]bool{}
+	for _, row := range rs.Rows {
+		id, _ := sqltypes.Decode(row[0])
+		body, _ := sqltypes.Decode(row[1])
+		if want := fmt.Sprintf("body-%03d", id.I); body.S != want {
+			t.Fatalf("row %d carries %q, want %q: emitted cell aliased arena memory reused by a later batch", id.I, body.S, want)
+		}
+		if seen[id.I] {
+			t.Fatalf("row %d emitted twice", id.I)
+		}
+		seen[id.I] = true
+	}
+}
+
+// TestArenaJoinPinIntegrity drives the probeJoin pin/release path: the
+// outer row's arena-backed cells are shared by every joined pair the probe
+// adds, and intermediate flushes (forced here by BatchSize 2 against three
+// pairs per outer row) must not reclaim them mid-probe. Wrong pin handling
+// shows up as pairs carrying another outer row's cells.
+func TestArenaJoinPinIntegrity(t *testing.T) {
+	env := newTestEnv(t, false)
+	env.engine.batch = 2
+	env.mustExec("CREATE TABLE side (id int PRIMARY KEY, label varchar(20))", nil)
+	env.mustExec("CREATE TABLE fact (fid int PRIMARY KEY, sid int, fname varchar(20), grp int)", nil)
+	for i := int64(1); i <= 3; i++ {
+		env.mustExec("INSERT INTO side (id, label) VALUES (@i, @l)",
+			Params{"i": intParam(i), "l": strParam(fmt.Sprintf("label-%d", i))})
+	}
+	for i := int64(1); i <= 9; i++ {
+		env.mustExec("INSERT INTO fact (fid, sid, fname, grp) VALUES (@f, @s, @n, @g)", Params{
+			"f": intParam(i), "s": intParam(i%3 + 1),
+			"n": strParam(fmt.Sprintf("fact-%d", i)), "g": intParam(1),
+		})
+	}
+	// grp is not indexed, so fact is scanned (arena path) as the outer table.
+	rs := env.mustExec(
+		"SELECT fact.fid, fact.fname, side.label FROM fact JOIN side ON fact.sid = side.id WHERE fact.grp = @g",
+		Params{"g": intParam(1)})
+	if len(rs.Rows) != 9 {
+		t.Fatalf("join rows = %d, want 9", len(rs.Rows))
+	}
+	for _, row := range rs.Rows {
+		fid, _ := sqltypes.Decode(row[0])
+		fname, _ := sqltypes.Decode(row[1])
+		label, _ := sqltypes.Decode(row[2])
+		if want := fmt.Sprintf("fact-%d", fid.I); fname.S != want {
+			t.Fatalf("pair for fid %d carries %q, want %q", fid.I, fname.S, want)
+		}
+		if want := fmt.Sprintf("label-%d", fid.I%3+1); label.S != want {
+			t.Fatalf("pair for fid %d joined %q, want %q: outer cells reclaimed mid-probe", fid.I, label.S, want)
+		}
+	}
+}
+
+// arenaCell builds a cell of distinctive bytes sized to land many cells in
+// one chunk, so offset reuse after reset is byte-for-byte observable.
+func arenaCell(ch byte) [][]byte { return [][]byte{bytes.Repeat([]byte{ch}, 64)} }
+
+// TestRowBatcherArenaReuseAfterFlush pins down the copy contract at the
+// rowBatcher level: a consumer that retains emitted slots past its callback
+// observes the next batch's bytes, because flush resets the arena and the
+// bump allocator restarts at offset zero. This is the hazard executeSelect's
+// per-cell copy exists to absorb — if this test ever stops seeing reuse, the
+// arena has silently started leaking per-batch allocations instead.
+func TestRowBatcherArenaReuseAfterFlush(t *testing.T) {
+	var retained [][]byte // deliberately violates the contract to observe it
+	b := &rowBatcher{size: 2, fn: func(m *matchedRow) (bool, error) {
+		retained = append(retained, m.slots...)
+		return true, nil
+	}}
+	if err := b.add(storage.RowID(1), b.arena.copyRow(arenaCell('A'))); err != nil {
+		t.Fatal(err)
+	}
+	// Second add fills the batch and flushes; the arena resets behind it.
+	if err := b.add(storage.RowID(2), b.arena.copyRow(arenaCell('B'))); err != nil {
+		t.Fatal(err)
+	}
+	if len(retained) != 2 || retained[0][0] != 'A' || retained[1][0] != 'B' {
+		t.Fatalf("sanity: callback saw %q/%q", retained[0][:1], retained[1][:1])
+	}
+	// The next batch's first copy lands at offset zero of the same chunk,
+	// directly over the retained 'A' cell.
+	_ = b.arena.copyRow(arenaCell('C'))
+	if retained[0][0] != 'C' {
+		t.Fatalf("retained cell reads %q after reset; arena no longer reuses chunks, batch lifetime contract changed", retained[0][:1])
+	}
+}
+
+// TestRowBatcherPinBlocksResetUntilRelease proves the join pin actually
+// holds arena memory across an intermediate flush, and that release really
+// does return it to the allocator.
+func TestRowBatcherPinBlocksResetUntilRelease(t *testing.T) {
+	b := &rowBatcher{size: 2, fn: func(m *matchedRow) (bool, error) { return true, nil }}
+	outer := b.arena.copyRow(arenaCell('O'))
+
+	// A probe in flight: pairs sharing the outer cells keep arriving while
+	// the batch flushes in between.
+	b.pinned = true
+	for i := 0; i < 3; i++ { // three pairs at size 2 → one intermediate flush
+		pair := [][]byte{outer[0], b.arena.copyCell(bytes.Repeat([]byte{'p'}, 64))}
+		if err := b.add(storage.RowID(uint64(i)), pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(outer[0], bytes.Repeat([]byte{'O'}, 64)) {
+		t.Fatal("pinned outer cells were reclaimed by an intermediate flush")
+	}
+
+	// Probe done: release the pin, drain, and confirm the chunk is reused.
+	b.pinned = false
+	if err := b.flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.maybeReset()
+	_ = b.arena.copyRow(arenaCell('X'))
+	if outer[0][0] != 'X' {
+		t.Fatal("arena not reclaimed after pin release")
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+// Batch poisoning × early stop: when a batch straddles the point where the
+// consumer stops (LIMIT reached), rows past the stop point are discarded
+// unevaluated — exactly as row-at-a-time execution would never have reached
+// them — so a poisoned row BEYOND the limit must not fail the statement,
+// while a poisoned row BEFORE it must (rowBatcher.flush in batch.go).
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/exprsvc"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// ltEvaluator compiles `slot0 < slot1` over plaintext ints — a residual
+// filter whose rows can be poisoned with undecodable cell bytes.
+func ltEvaluator(t *testing.T) *exprsvc.Evaluator {
+	t.Helper()
+	inputs := []exprsvc.EncInfo{exprsvc.Plain(sqltypes.KindInt), exprsvc.Plain(sqltypes.KindInt)}
+	expr := exprsvc.Cmp{Op: exprsvc.CmpLT,
+		L: exprsvc.SlotRef{Slot: 0, Info: inputs[0]},
+		R: exprsvc.SlotRef{Slot: 1, Info: inputs[1]}}
+	prog, err := exprsvc.Compile("lt", expr, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := exprsvc.NewEvaluator(prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func intCell(v int64) []byte { return sqltypes.Int(v).Encode() }
+
+// TestBatchPoisonBeyondLimitDiscarded: the consumer stops at the first
+// emitted row (LIMIT 1); a poisoned row later in the same batch is past the
+// stop point and must be discarded without failing the statement.
+func TestBatchPoisonBeyondLimitDiscarded(t *testing.T) {
+	emitted := 0
+	b := &rowBatcher{ev: ltEvaluator(t), size: 3, fn: func(m *matchedRow) (bool, error) {
+		emitted++
+		return false, nil // LIMIT 1
+	}}
+	bound := intCell(100)
+	rows := [][][]byte{
+		{intCell(1), bound},           // matches; consumer stops here
+		{[]byte("not an int"), bound}, // poisoned, beyond the stop point
+		{intCell(2), bound},           // likewise unreached
+	}
+	for i, r := range rows {
+		if err := b.add(storage.RowID(uint64(i)), r); err != nil {
+			t.Fatalf("poisoned row beyond LIMIT failed the statement: %v", err)
+		}
+	}
+	if err := b.flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d rows, want 1", emitted)
+	}
+	if !b.stopped {
+		t.Fatal("batcher did not record the stop")
+	}
+}
+
+// TestBatchPoisonBeforeLimitFails: a poisoned row the consumer would have
+// reached fails the statement, even though a later row would have satisfied
+// the limit.
+func TestBatchPoisonBeforeLimitFails(t *testing.T) {
+	emitted := 0
+	b := &rowBatcher{ev: ltEvaluator(t), size: 3, fn: func(m *matchedRow) (bool, error) {
+		emitted++
+		return false, nil
+	}}
+	bound := intCell(100)
+	rows := [][][]byte{
+		{[]byte("not an int"), bound}, // poisoned, before any emission
+		{intCell(1), bound},
+		{intCell(2), bound},
+	}
+	var flushErr error
+	for i, r := range rows {
+		if flushErr = b.add(storage.RowID(uint64(i)), r); flushErr != nil {
+			break
+		}
+	}
+	if flushErr == nil {
+		flushErr = b.flush()
+	}
+	if flushErr == nil {
+		t.Fatal("poisoned row before the stop point did not fail the statement")
+	}
+	if emitted != 0 {
+		t.Fatalf("emitted %d rows from a failed batch, want 0", emitted)
+	}
+}
+
+// TestBatchStoppedDiscardsPendingRows: once stopped, later adds and flushes
+// evaluate nothing and emit nothing — pending rows drain straight to the
+// floor, poisoned or not.
+func TestBatchStoppedDiscardsPendingRows(t *testing.T) {
+	emitted := 0
+	b := &rowBatcher{ev: ltEvaluator(t), size: 2, fn: func(m *matchedRow) (bool, error) {
+		emitted++
+		return false, nil
+	}}
+	bound := intCell(100)
+	if err := b.add(storage.RowID(1), [][]byte{intCell(1), bound}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.add(storage.RowID(2), [][]byte{intCell(2), bound}); err != nil {
+		t.Fatal(err) // full batch: flush, emit row 1, stop
+	}
+	if emitted != 1 || !b.stopped {
+		t.Fatalf("emitted=%d stopped=%v after limit, want 1/true", emitted, b.stopped)
+	}
+	// Everything after the stop — including a poisoned row — is discarded.
+	if err := b.add(storage.RowID(3), [][]byte{[]byte("junk"), bound}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 {
+		t.Fatalf("stopped batcher emitted %d rows, want 1", emitted)
+	}
+}

@@ -56,6 +56,10 @@ type Plan struct {
 	sets     []compiledSet
 	insertTo []insertBinding
 
+	// Host-side evaluators are built with a nil KeyRing — ciphertext-only
+	// expression shells whose enclave sub-programs run remotely — so their
+	// cellKeys cache is never populated.
+	//aelint:ignore secretretain reason=host-side evaluators have nil KeyRing; cellKeys never holds key material
 	evalPool sync.Pool
 }
 

@@ -1,0 +1,196 @@
+package exprsvc
+
+// Call-level failure paths of EvalBatch: what happens when the enclave
+// itself — not an individual row — fails between or during batch flushes.
+// The contract under test (eval.go): a call-level error returns
+// (nil, nil, err) with no partial per-row results, the evaluator carries no
+// poisoned state into the next flush, and recovery is a matter of the
+// enclave coming back (same handle) or re-registering (restart).
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+var errTornDown = errors.New("enclave: torn down")
+
+// scriptedEnclave is a fakeEnclave whose EvalExpressionBatch fails at
+// scripted call numbers or while closed, modelling an enclave lost between
+// flushes. All calls are serialized under one mutex so concurrent
+// evaluators can share it under -race.
+type scriptedEnclave struct {
+	fakeEnclave
+	mu         sync.Mutex
+	batchCalls int
+	failOn     map[int]error
+	closed     atomic.Bool
+}
+
+func (s *scriptedEnclave) EvalExpressionBatch(h uint64, rows [][][]byte) ([][][]byte, []error, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, nil, errTornDown
+	}
+	s.batchCalls++
+	if err := s.failOn[s.batchCalls]; err != nil {
+		return nil, nil, err
+	}
+	return s.fakeEnclave.EvalExpressionBatch(h, rows)
+}
+
+// evalRows builds N (value, threshold) ciphertext rows with the expected
+// GT-against-50 truth per row.
+func evalRows(t *testing.T, key *aecrypto.CellKey, n int) ([][][]byte, []bool) {
+	t.Helper()
+	threshold := encryptVal(t, key, sqltypes.Int(50), aecrypto.Randomized)
+	rows := make([][][]byte, n)
+	want := make([]bool, n)
+	for i := range rows {
+		v := int64(i * 20)
+		rows[i] = [][]byte{encryptVal(t, key, sqltypes.Int(v), aecrypto.Randomized), threshold}
+		want[i] = v > 50
+	}
+	return rows, want
+}
+
+func checkBatch(t *testing.T, ev *Evaluator, rows [][][]byte, want []bool) {
+	t.Helper()
+	matches, rowErrs, err := ev.EvalBoolBatch(rows)
+	if err != nil {
+		t.Fatalf("flush failed: %v", err)
+	}
+	for i := range rows {
+		if rowErrs[i] != nil {
+			t.Fatalf("row %d: %v", i, rowErrs[i])
+		}
+		if matches[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, matches[i], want[i])
+		}
+	}
+}
+
+// TestEvalBatchEnclaveLostOnSecondFlush: the first flush succeeds, the
+// enclave dies for exactly the second flush, and the third works again
+// (transient fault — the handle is still registered). The failed flush must
+// return (nil, nil, err) with no partial results, and must not poison the
+// evaluator for the flush after it.
+func TestEvalBatchEnclaveLostOnSecondFlush(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	prog := cmpProg(t, CmpGT, rndEnclaveInfo(sqltypes.KindInt, cek))
+	encl := &scriptedEnclave{fakeEnclave: fakeEnclave{keys: ring}, failOn: map[int]error{2: errTornDown}}
+	ev, err := NewEvaluator(prog, nil, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, want := evalRows(t, key, 6)
+
+	checkBatch(t, ev, rows, want) // flush 1
+
+	matches, rowErrs, err := ev.EvalBoolBatch(rows) // flush 2: enclave gone
+	if !errors.Is(err, errTornDown) {
+		t.Fatalf("flush 2 error = %v, want errTornDown", err)
+	}
+	if matches != nil || rowErrs != nil {
+		t.Fatalf("call-level failure leaked partial results: matches=%v rowErrs=%v", matches, rowErrs)
+	}
+
+	checkBatch(t, ev, rows, want) // flush 3: recovered, same handle
+}
+
+// TestEvalBatchClosedThenRestart: the enclave closes for good between
+// flushes. The old evaluator fails every subsequent flush — its handle died
+// with the enclave — and recovery requires what a driver restart does:
+// re-registering the program against the restarted enclave with a fresh
+// evaluator.
+func TestEvalBatchClosedThenRestart(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	prog := cmpProg(t, CmpGT, rndEnclaveInfo(sqltypes.KindInt, cek))
+	encl := &scriptedEnclave{fakeEnclave: fakeEnclave{keys: ring}}
+	ev, err := NewEvaluator(prog, nil, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, want := evalRows(t, key, 4)
+	checkBatch(t, ev, rows, want)
+
+	encl.closed.Store(true)
+	for flush := 0; flush < 2; flush++ {
+		if _, _, err := ev.EvalBoolBatch(rows); !errors.Is(err, errTornDown) {
+			t.Fatalf("flush %d after close: err = %v, want errTornDown", flush, err)
+		}
+	}
+
+	// Restart: a fresh enclave instance; the statement must be re-prepared.
+	restarted := &scriptedEnclave{fakeEnclave: fakeEnclave{keys: ring}}
+	ev2, err := NewEvaluator(prog, nil, restarted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, ev2, rows, want)
+
+	// The old evaluator still points at the dead enclave.
+	if _, _, err := ev.EvalBoolBatch(rows); !errors.Is(err, errTornDown) {
+		t.Fatalf("old evaluator after restart: err = %v, want errTornDown", err)
+	}
+}
+
+// TestEvalBatchConcurrentTeardown: several evaluators flush batches against
+// one shared enclave while it is torn down mid-flight. Every flush must
+// either fully succeed or fail with the teardown error — never mixed or
+// partial results. Run under -race this also proves the failure path itself
+// is data-race free.
+func TestEvalBatchConcurrentTeardown(t *testing.T) {
+	cek, key, ring := newCEK(t)
+	prog := cmpProg(t, CmpGT, rndEnclaveInfo(sqltypes.KindInt, cek))
+	encl := &scriptedEnclave{fakeEnclave: fakeEnclave{keys: ring}}
+
+	const workers = 4
+	evs := make([]*Evaluator, workers)
+	for i := range evs {
+		ev, err := NewEvaluator(prog, nil, encl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = ev
+	}
+	rows, want := evalRows(t, key, 5)
+
+	var sawTeardown atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev *Evaluator) {
+			defer wg.Done()
+			for {
+				matches, rowErrs, err := ev.EvalBoolBatch(rows)
+				if err != nil {
+					if !errors.Is(err, errTornDown) {
+						t.Errorf("unexpected flush error: %v", err)
+					}
+					if matches != nil || rowErrs != nil {
+						t.Error("failed flush returned partial results")
+					}
+					sawTeardown.Add(1)
+					return
+				}
+				for i := range rows {
+					if rowErrs[i] != nil || matches[i] != want[i] {
+						t.Errorf("row %d = %v (err %v), want %v", i, matches[i], rowErrs[i], want[i])
+						return
+					}
+				}
+			}
+		}(evs[w])
+	}
+	encl.closed.Store(true)
+	wg.Wait()
+	if got := sawTeardown.Load(); got != workers {
+		t.Fatalf("%d workers saw teardown, want %d", got, workers)
+	}
+}

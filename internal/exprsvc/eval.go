@@ -59,6 +59,11 @@ type Evaluator struct {
 	stack        []entry
 	outs         [][]byte
 	// cellKeys caches resolved keys per CEK name for the evaluator lifetime.
+	// The entries are borrowed aliases: KeyRing.CellKey returns pointers into
+	// the ring's own cache, and the ring's owner (enclave CEK table, driver
+	// cache) zeroizes them on eviction/teardown. Zeroizing here would wipe
+	// keys still live in the owner.
+	//aelint:ignore secretretain reason=aliases owned by the KeyRing; its owner zeroizes them on evict/teardown
 	cellKeys map[string]*aecrypto.CellKey
 }
 

@@ -176,6 +176,39 @@ func (v *MemoryVault) DeleteKey(path string) {
 	delete(v.keys, path)
 }
 
+// Zeroize retires every CMK in the vault: private components are wiped and
+// the map is reset, so a decommissioned vault cannot unwrap CEKs even if its
+// heap is later exposed. This is the Zeroize-on-evict path the secretretain
+// analyzer requires of any long-lived container of key material.
+func (v *MemoryVault) Zeroize() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, k := range v.keys {
+		zeroizeRSA(k)
+	}
+	v.keys = make(map[string]*rsa.PrivateKey)
+}
+
+// zeroizeRSA clears the private components of an RSA key in place. big.Int
+// cannot guarantee its old limbs are wiped, so this is best-effort hygiene:
+// after the call the key can no longer sign or unwrap, and the precomputed
+// CRT values — the fast path an attacker would actually lift — are dropped.
+func zeroizeRSA(k *rsa.PrivateKey) {
+	if k == nil {
+		return
+	}
+	if k.D != nil {
+		k.D.SetInt64(0)
+	}
+	for _, p := range k.Primes {
+		if p != nil {
+			p.SetInt64(0)
+		}
+	}
+	k.Primes = nil
+	k.Precomputed = rsa.PrecomputedValues{}
+}
+
 func (v *MemoryVault) get(path string) (*rsa.PrivateKey, error) {
 	v.mu.Lock()
 	v.calls++

@@ -191,3 +191,42 @@ func TestVaultDeleteKey(t *testing.T) {
 		t.Fatal("key still present after delete")
 	}
 }
+
+func TestVaultZeroizeRetiresKeys(t *testing.T) {
+	v := newVaultWithKey(t, "p")
+	v.mu.RLock()
+	key := v.keys["p"]
+	v.mu.RUnlock()
+	if key == nil || key.D.Sign() == 0 {
+		t.Fatal("sanity: vault key missing or degenerate before Zeroize")
+	}
+
+	v.Zeroize()
+
+	// The vault forgot the key entirely...
+	if _, err := v.PublicKey("p"); err == nil {
+		t.Fatal("key still resolvable after Zeroize")
+	}
+	if _, err := v.Unwrap("p", nil); err == nil {
+		t.Fatal("Unwrap still works after Zeroize")
+	}
+	// ...and any alias to the old key object lost its private components,
+	// so a retained pointer cannot be used to unwrap CEKs either.
+	if key.D.Sign() != 0 {
+		t.Fatal("private exponent not wiped by Zeroize")
+	}
+	if key.Primes != nil {
+		t.Fatal("prime factors not dropped by Zeroize")
+	}
+	if key.Precomputed.Dp != nil {
+		t.Fatal("CRT precomputation not dropped by Zeroize")
+	}
+
+	// A zeroized vault stays usable for fresh keys (rotation re-provisions).
+	if _, err := v.CreateKey("q"); err != nil {
+		t.Fatalf("CreateKey after Zeroize: %v", err)
+	}
+	if _, err := v.PublicKey("q"); err != nil {
+		t.Fatalf("fresh key not resolvable after Zeroize: %v", err)
+	}
+}

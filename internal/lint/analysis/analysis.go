@@ -8,12 +8,16 @@
 // The framework adds one feature the suite relies on: suppression
 // directives. A comment of the form
 //
-//	//aelint:ignore <analyzer-name> <justification>
+//	//aelint:ignore <analyzer-name> reason=<justification>
 //
 // on the flagged line, or on the line directly above it, silences that
-// analyzer for that line. Every use must carry a justification; the
+// analyzer for that line. The reason= justification is mandatory: the
 // directive exists for the rare places where the analyzed property is
-// guaranteed by something the analyzer cannot see (e.g. a goroutine join).
+// guaranteed by something the analyzer cannot see (e.g. a goroutine join),
+// and that argument must be recorded at the waiver site. IgnoreFindings
+// audits the directives themselves — a directive without reason=, one
+// naming an unknown analyzer, or one that suppressed nothing in a full run
+// is itself a finding, so waivers cannot rot silently.
 package analysis
 
 import (
@@ -58,7 +62,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // RunAnalyzer applies a to pkg, returning the diagnostics sorted by position
-// with //aelint:ignore-suppressed findings removed.
+// with //aelint:ignore-suppressed findings removed. Directives that suppress
+// a diagnostic are marked used, which IgnoreFindings consults after a full
+// run to flag waivers that no longer waive anything.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
@@ -72,11 +78,22 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if _, err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	ignored := ignoredLines(pkg, a.Name)
+	dirs := pkg.IgnoreDirectives()
+	byLine := make(map[lineKey][]*IgnoreDirective)
+	for _, dir := range dirs {
+		if dir.Analyzer != a.Name && dir.Analyzer != "*" {
+			continue
+		}
+		byLine[lineKey{dir.File, dir.Line}] = append(byLine[lineKey{dir.File, dir.Line}], dir)
+		byLine[lineKey{dir.File, dir.Line + 1}] = append(byLine[lineKey{dir.File, dir.Line + 1}], dir)
+	}
 	kept := diags[:0]
 	for _, d := range diags {
 		p := pkg.Fset.Position(d.Pos)
-		if ignored[lineKey{p.Filename, p.Line}] {
+		if matched := byLine[lineKey{p.Filename, p.Line}]; len(matched) > 0 {
+			for _, dir := range matched {
+				dir.Used = true
+			}
 			continue
 		}
 		kept = append(kept, d)
@@ -90,28 +107,75 @@ type lineKey struct {
 	line int
 }
 
-// ignoredLines collects the lines suppressed for the named analyzer: a
-// directive suppresses its own line and the line below it.
-func ignoredLines(pkg *Package, name string) map[lineKey]bool {
-	out := make(map[lineKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "aelint:ignore") {
-					continue
+// IgnoreDirective is one parsed //aelint:ignore comment.
+type IgnoreDirective struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string // named analyzer, or "*"
+	Reason   string // text after reason=; empty means the directive is bare
+	// Used records that at least one diagnostic was suppressed by this
+	// directive during the RunAnalyzer calls made so far.
+	Used bool
+}
+
+// IgnoreDirectives parses (once) and returns the package's //aelint:ignore
+// directives.
+func (p *Package) IgnoreDirectives() []*IgnoreDirective {
+	p.dirOnce.Do(func() {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "aelint:ignore") {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "aelint:ignore"))
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					dir := &IgnoreDirective{Pos: c.Pos(), Analyzer: fields[0]}
+					if idx := strings.Index(rest, "reason="); idx >= 0 {
+						dir.Reason = strings.TrimSpace(rest[idx+len("reason="):])
+					}
+					pos := p.Fset.Position(c.Pos())
+					dir.File, dir.Line = pos.Filename, pos.Line
+					p.dirs = append(p.dirs, dir)
 				}
-				rest := strings.Fields(strings.TrimPrefix(text, "aelint:ignore"))
-				if len(rest) == 0 || (rest[0] != name && rest[0] != "*") {
-					continue
-				}
-				p := pkg.Fset.Position(c.Pos())
-				out[lineKey{p.Filename, p.Line}] = true
-				out[lineKey{p.Filename, p.Line + 1}] = true
 			}
 		}
+	})
+	return p.dirs
+}
+
+// IgnoreFindings audits the package's ignore directives after every analyzer
+// has run: a directive must name a known analyzer (or "*"), must carry a
+// reason= justification, and must have suppressed at least one diagnostic.
+// A bare or stale waiver is as much a defect as the finding it once hid —
+// without this check the justification discipline decays one merge at a
+// time. Call it only after RunAnalyzer ran for every analyzer in `known` on
+// this package, since Used accumulates across those runs.
+func IgnoreFindings(pkg *Package, known []string) []Diagnostic {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
 	}
+	var out []Diagnostic
+	for _, dir := range pkg.IgnoreDirectives() {
+		switch {
+		case dir.Analyzer != "*" && !knownSet[dir.Analyzer]:
+			out = append(out, Diagnostic{Pos: dir.Pos, Message: fmt.Sprintf(
+				"//aelint:ignore names unknown analyzer %q", dir.Analyzer)})
+		case dir.Reason == "":
+			out = append(out, Diagnostic{Pos: dir.Pos, Message: fmt.Sprintf(
+				"//aelint:ignore %s lacks a reason= justification: every waiver must record why the analyzed property holds anyway", dir.Analyzer)})
+		case !dir.Used:
+			out = append(out, Diagnostic{Pos: dir.Pos, Message: fmt.Sprintf(
+				"//aelint:ignore %s suppresses nothing: the finding it waived is gone, remove the directive", dir.Analyzer)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }
 

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFixture type-checks one in-memory file into a Package.
+func parseFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "fixture", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// flagIdent reports every occurrence of the identifier "flagged".
+var flagIdent = &Analyzer{
+	Name: "flagident",
+	Doc:  "test analyzer: reports each use of the identifier named flagged",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "flagged" {
+					pass.Reportf(id.Pos(), "identifier flagged")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+const ignoreSrc = `package fixture
+
+var flagged = 1 //aelint:ignore flagident reason=same-line waiver under test
+
+//aelint:ignore flagident reason=line-above waiver under test
+var _ = flagged
+
+var _ = flagged + 1
+
+//aelint:ignore flagident
+var _ = flagged + 2
+
+//aelint:ignore flagident reason=nothing below ever trips
+var clean = 3
+
+//aelint:ignore nosuchanalyzer reason=name does not exist
+var alsoClean = 4
+`
+
+func TestIgnoreSuppressionAndAudit(t *testing.T) {
+	pkg := parseFixture(t, ignoreSrc)
+
+	diags, err := RunAnalyzer(flagIdent, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four uses of `flagged`; the same-line, line-above, and bare directives
+	// each suppress one. Only the unannotated use survives.
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if line := pkg.Fset.Position(diags[0].Pos).Line; line != 8 {
+		t.Errorf("surviving diagnostic on line %d, want 8", line)
+	}
+
+	audit := IgnoreFindings(pkg, []string{flagIdent.Name})
+	var msgs []string
+	for _, d := range audit {
+		msgs = append(msgs, d.Message)
+	}
+	if len(audit) != 3 {
+		t.Fatalf("got %d audit findings, want 3: %v", len(audit), msgs)
+	}
+	// In positional order: the bare directive, the unused directive, the
+	// unknown-analyzer directive.
+	for i, want := range []string{"lacks a reason=", "suppresses nothing", "unknown analyzer"} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("audit[%d] = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}
+
+func TestIgnoreWildcardMatchesAnyAnalyzer(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+var flagged = 1 //aelint:ignore * reason=wildcard waiver under test
+`)
+	diags, err := RunAnalyzer(flagIdent, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("wildcard directive did not suppress: %v", diags)
+	}
+	if audit := IgnoreFindings(pkg, []string{flagIdent.Name}); len(audit) != 0 {
+		t.Fatalf("used wildcard directive flagged by audit: %v", audit)
+	}
+}
+
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	pkg := parseFixture(t, `package fixture
+
+var flagged = 1 //aelint:ignore otherchecker reason=names a different analyzer
+`)
+	diags, err := RunAnalyzer(flagIdent, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (directive names another analyzer)", len(diags))
+	}
+	// otherchecker is a known analyzer that simply never ran a finding here:
+	// the directive is unused.
+	audit := IgnoreFindings(pkg, []string{flagIdent.Name, "otherchecker"})
+	if len(audit) != 1 || !strings.Contains(audit[0].Message, "suppresses nothing") {
+		t.Fatalf("audit = %v, want one unused-directive finding", audit)
+	}
+}

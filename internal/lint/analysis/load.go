@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -25,6 +26,9 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	dirOnce sync.Once
+	dirs    []*IgnoreDirective
 }
 
 // ListedPackage is the subset of `go list -json` output the loader consumes.

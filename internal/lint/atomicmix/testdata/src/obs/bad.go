@@ -1,0 +1,33 @@
+package obs
+
+import "sync/atomic"
+
+// counterSet mixes atomic and plain access to the same field.
+type counterSet struct {
+	hits  uint64
+	total uint64
+}
+
+func (c *counterSet) record() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.total, 1)
+}
+
+func (c *counterSet) snapshot() uint64 {
+	return c.hits // want `hits is accessed through sync/atomic \(bad\.go:\d+\) but plainly here`
+}
+
+func (c *counterSet) reset() {
+	c.total = 0 // want `total is accessed through sync/atomic \(bad\.go:\d+\) but plainly here`
+}
+
+// globalGen is a package-level var under the same rule.
+var globalGen uint64
+
+func nextGen() uint64 {
+	return atomic.AddUint64(&globalGen, 1)
+}
+
+func peekGen() uint64 {
+	return globalGen // want `globalGen is accessed through sync/atomic \(bad\.go:\d+\) but plainly here`
+}

@@ -1,0 +1,36 @@
+package obs
+
+import "sync/atomic"
+
+// typedCounters use the typed atomics: safe by construction, nothing for
+// the pass to track.
+type typedCounters struct {
+	hits  atomic.Uint64
+	ready atomic.Bool
+}
+
+func (t *typedCounters) record() {
+	t.hits.Add(1)
+	t.ready.Store(true)
+}
+
+func (t *typedCounters) snapshot() uint64 {
+	return t.hits.Load()
+}
+
+// consistent uses function-form atomics everywhere: no mixing, no finding.
+type consistent struct {
+	n uint64
+}
+
+func (c *consistent) bump() { atomic.AddUint64(&c.n, 1) }
+
+func (c *consistent) read() uint64 { return atomic.LoadUint64(&c.n) }
+
+// newConsistent initializes plainly before publishing: the constructor
+// exception — the object is frame-local until returned.
+func newConsistent(seed uint64) *consistent {
+	c := &consistent{}
+	c.n = seed
+	return c
+}

@@ -29,7 +29,7 @@ func (e *Enclave) NewSession(sid uint64) error {
 // Teardown demonstrates a justified suppression: the caller guarantees the
 // state thread has exited.
 func (e *Enclave) Teardown() {
-	//aelint:ignore enclavestate state thread joined; teardown owns the state exclusively
+	//aelint:ignore enclavestate reason=state thread joined; teardown owns the state exclusively
 	e.sessions = nil
 }
 

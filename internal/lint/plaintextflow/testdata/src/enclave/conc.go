@@ -1,0 +1,90 @@
+package enclave
+
+import (
+	"fmt"
+	"log"
+
+	"aecrypto"
+)
+
+// SpawnSendLeak: a goroutine is not a laundering step. The spawned closure
+// feeds the channel with plaintext, the receive reads it back, and the
+// format call leaks it.
+func SpawnSendLeak(key *aecrypto.CellKey, cell []byte) error {
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		return err
+	}
+	out := make(chan []byte, 1)
+	go func() { out <- pt }()
+	got := <-out
+	return fmt.Errorf("enclave: eval failed on %x", got) // want `plaintext-derived value reaches fmt\.Errorf`
+}
+
+// PipelineLeak: decrypt inside the producer goroutine, range-receive in the
+// consumer — the channel carries the taint between them.
+func PipelineLeak(key *aecrypto.CellKey, cells [][]byte) {
+	ch := make(chan []byte)
+	go func() {
+		for _, c := range cells {
+			pt, _ := key.Decrypt(c)
+			ch <- pt
+		}
+		close(ch)
+	}()
+	for pt := range ch {
+		log.Printf("row: %x", pt) // want `plaintext-derived value reaches log\.Printf`
+	}
+}
+
+// CommaOkLeak: the two-valued receive form taints the value, not the ok.
+func CommaOkLeak(key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	ch := make(chan []byte, 1)
+	ch <- pt
+	if got, ok := <-ch; ok {
+		panic(string(got)) // want `plaintext-derived value reaches panic`
+	}
+}
+
+// SelectSendLeak: a send in a select arm feeds the channel like any other.
+func SelectSendLeak(key *aecrypto.CellKey, cell []byte, ch chan []byte) {
+	pt, _ := key.Decrypt(cell)
+	select {
+	case ch <- pt:
+	default:
+	}
+	fmt.Printf("queued %x", <-ch) // want `plaintext-derived value reaches fmt\.Printf`
+}
+
+// SpawnCallLeak: go f(pt) reports through f's summary at the spawn site,
+// exactly like a synchronous call.
+func SpawnCallLeak(key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	go leakyWrap(pt) // want `plaintext-derived value reaches fmt\.Errorf inside leakyWrap`
+}
+
+// CoordinationClean: channels that carry only clean signals stay clean —
+// the conduit model taints the channel object per payload, not per use.
+func CoordinationClean(key *aecrypto.CellKey, cell []byte) error {
+	pt, err := key.Decrypt(cell)
+	if err != nil {
+		return err
+	}
+	use(pt)
+	done := make(chan string, 1)
+	go func() { done <- "committed" }()
+	return fmt.Errorf("enclave: state now %q", <-done)
+}
+
+// ReceiveThenKill: flow-sensitivity survives the conduit — overwriting the
+// received value with clean data kills its taint before the format call.
+func ReceiveThenKill(key *aecrypto.CellKey, cell []byte) string {
+	pt, _ := key.Decrypt(cell)
+	ch := make(chan []byte, 1)
+	ch <- pt
+	got := <-ch
+	use(got)
+	got = []byte("redacted")
+	return fmt.Sprintf("cell state: %s", got)
+}

@@ -1,0 +1,12 @@
+package secretescape_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/secretescape"
+)
+
+func TestSecretEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", secretescape.Analyzer, "enclave", "aecrypto", "hostobs")
+}

@@ -1,0 +1,23 @@
+// Package aecrypto is a fixture stub of the real cell-crypto package: the
+// analyzer matches CellKey.Decrypt and GenerateKey by package and receiver.
+package aecrypto
+
+// CellKey mirrors the derived-key holder.
+type CellKey struct{ root []byte }
+
+// Decrypt stands in for envelope opening; its first result is plaintext.
+func (k *CellKey) Decrypt(envelope []byte) ([]byte, error) {
+	return envelope, nil
+}
+
+// GenerateKey mirrors CEK generation; its first result is key material.
+func GenerateKey() ([]byte, error) {
+	return make([]byte, 32), nil
+}
+
+// Zeroize wipes a byte slice.
+func Zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

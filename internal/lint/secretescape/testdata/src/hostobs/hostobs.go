@@ -1,0 +1,7 @@
+// Package hostobs is a fixture stub of host-side observability: it lives
+// outside the enclave trust domain, so callbacks registered here must not
+// capture secrets.
+package hostobs
+
+// OnFlush registers a host-side hook.
+func OnFlush(f func()) {}

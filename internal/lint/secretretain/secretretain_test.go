@@ -1,0 +1,12 @@
+package secretretain_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/secretretain"
+)
+
+func TestSecretRetain(t *testing.T) {
+	analysistest.Run(t, "testdata", secretretain.Analyzer, "enclave")
+}

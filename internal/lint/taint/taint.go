@@ -43,6 +43,15 @@
 // join into the enclosing state (union, no kills — the closure may run at
 // any time or not at all), and sink checks inside closure bodies see that
 // saturated state.
+//
+// Concurrency does not launder taint. A channel is modeled as a conduit:
+// every send ORs the payload's labels into the channel object (weak update
+// — a later clean send cannot recall an in-flight secret), and every
+// receive form (<-ch, v := <-ch, v, ok := <-ch, range ch) reads the
+// channel's accumulated labels back out. This holds whether the send sits
+// in straight-line code, in a spawned closure (go func() { ch <- pt }()),
+// or in a select arm. go f(x) needs no special rule: sinks inside f are
+// found through f's own summary, reported at the spawn site like any call.
 package taint
 
 import (
@@ -266,6 +275,13 @@ func (c *Checker) transfer(st State, n ast.Node) State {
 		c.exprEffects(st, n.Call)
 	case *ast.SendStmt:
 		c.exprEffects(st, n.Value)
+		// A channel is a conduit: the channel object accumulates the labels
+		// of everything sent on it, and receives (<-ch, range ch, v, ok :=
+		// <-ch) read those labels back out through ExprLabels. Weak update —
+		// a send never cleans what an earlier send put in flight.
+		if labels := c.ExprLabels(st, n.Value); labels != 0 {
+			c.weakAssign(st, n.Chan, labels)
+		}
 	case *ast.IncDecStmt:
 		c.exprEffects(st, n.X)
 	case *ast.ReturnStmt:
@@ -574,6 +590,14 @@ func (c *Checker) closureEffect(st State, lit *ast.FuncLit) {
 					if labels := c.ExprLabels(st, n.Rhs[i]); labels != 0 {
 						changed = c.weakAssign(st, n.Lhs[i], labels) || changed
 					}
+				}
+			case *ast.SendStmt:
+				// go func() { ch <- pt }(): the spawned closure feeds the
+				// channel, so the channel object picks up the payload's
+				// labels in the enclosing state and any receive — inside or
+				// outside the closure — reads them back.
+				if labels := c.ExprLabels(st, n.Value); labels != 0 {
+					changed = c.weakAssign(st, n.Chan, labels) || changed
 				}
 			case *ast.CallExpr:
 				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
