@@ -34,12 +34,15 @@ race:
 # Benchmark artifacts: per-transaction-type latency percentiles and enclave
 # boundary traffic (BENCH_tpcc.json), steady-state replication lag, redo
 # throughput and failover timing under the same workload (BENCH_repl.json),
-# and the §4.6 batching ablation — enclave crossings per transaction vs the
-# engine's rows-per-batch knob (BENCH_batch.json).
+# the §4.6 batching ablation — enclave crossings per transaction vs the
+# engine's rows-per-batch knob (BENCH_batch.json) — and the tracing
+# experiment: per-statement tracing overhead at 1% sampling plus
+# per-transaction-type span attribution (BENCH_trace.json).
 bench:
 	$(GO) run ./cmd/tpccbench -experiment bench -duration 2s -out BENCH_tpcc.json
 	$(GO) run ./cmd/tpccbench -experiment repl -duration 2s -repl-out BENCH_repl.json
 	$(GO) run ./cmd/tpccbench -experiment batch -batch-out BENCH_batch.json
+	$(GO) run ./cmd/tpccbench -experiment trace -duration 2s -trace-out BENCH_trace.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

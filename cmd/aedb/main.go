@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/obs/trace"
 )
 
 func main() {
@@ -31,10 +32,19 @@ func main() {
 	replListen := flag.String("repl-listen", "", "serve the WAL-shipping replication endpoint on this address (e.g. 127.0.0.1:14340; empty = off)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary's replication endpoint (see -repl-listen on the primary)")
 	promote := flag.Bool("promote", false, "with -replica-of: promote to primary automatically when the replication stream is lost")
+	traceAddr := flag.String("trace-listen", "", "enable per-statement tracing and serve sampled traces as JSON on this address (GET /traces; e.g. 127.0.0.1:14332; empty = off)")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling probability in [0,1] (with -trace-listen)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "always keep statements at least this slow, regardless of sampling (0 = off)")
+	traceCap := flag.Int("trace-capacity", trace.DefaultCapacity, "completed-trace ring capacity; overflow drops oldest")
 	flag.Parse()
 
+	var tracePolicy *trace.Policy
+	if *traceAddr != "" {
+		tracePolicy = &trace.Policy{SampleRate: *traceSample, SlowThreshold: *traceSlow, Capacity: *traceCap}
+	}
+
 	if *replicaOf != "" {
-		runReplica(*listen, *replicaOf, *enclaveThreads, *promote, *statsEvery, *metricsAddr)
+		runReplica(*listen, *replicaOf, *enclaveThreads, *promote, *statsEvery, *metricsAddr, *traceAddr, tracePolicy)
 		return
 	}
 
@@ -44,6 +54,7 @@ func main() {
 		SynchronousEnclave: *syncEnclave,
 		DisableCTR:         *noCTR,
 		ReplListen:         *replListen,
+		Trace:              tracePolicy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aedb:", err)
@@ -66,6 +77,20 @@ func main() {
 		}()
 		defer ms.Close()
 		fmt.Printf("aedb: metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
+	if *traceAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/traces", trace.Handler(srv.Traces()))
+		ts := &http.Server{Addr: *traceAddr, Handler: mux}
+		go func() {
+			if err := ts.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aedb: traces:", err)
+			}
+		}()
+		defer ts.Close()
+		fmt.Printf("aedb: traces on http://%s/traces (sample=%.2f slow=%s); inspect with aetrace\n",
+			*traceAddr, *traceSample, *traceSlow)
 	}
 
 	stop := make(chan os.Signal, 1)

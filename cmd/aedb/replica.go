@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/obs/trace"
 )
 
 // runReplica boots a read replica against the primary's replication endpoint
@@ -19,12 +20,13 @@ import (
 // primary, so it generates fresh ones: clients that fail over to it must
 // fetch its Policy before attesting (see DESIGN.md, "Replication &
 // failover").
-func runReplica(listen, primary string, enclaveThreads int, autoPromote bool, statsEvery time.Duration, metricsAddr string) {
+func runReplica(listen, primary string, enclaveThreads int, autoPromote bool, statsEvery time.Duration, metricsAddr, traceAddr string, tracePolicy *trace.Policy) {
 	rs, err := core.StartReplicaServer(core.ReplicaConfig{
 		Primary:        primary,
 		Listen:         listen,
 		ReplicaID:      fmt.Sprintf("aedb-%d", os.Getpid()),
 		EnclaveThreads: enclaveThreads,
+		Trace:          tracePolicy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aedb:", err)
@@ -44,6 +46,19 @@ func runReplica(listen, primary string, enclaveThreads int, autoPromote bool, st
 		}()
 		defer ms.Close()
 		fmt.Printf("aedb: metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	if traceAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/traces", trace.Handler(rs.Traces()))
+		ts := &http.Server{Addr: traceAddr, Handler: mux}
+		go func() {
+			if err := ts.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aedb: traces:", err)
+			}
+		}()
+		defer ts.Close()
+		fmt.Printf("aedb: traces on http://%s/traces (redo traces link back to primary statements)\n", traceAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alwaysencrypted/internal/obs/trace"
+)
+
+// exec [0,100) containing two crossings [10,30) and [40,50): exec's
+// exclusive time is 70, crossings 30, and with plan [100,120) the trace
+// attributes 120/150 of wall.
+func testTrace() *trace.ExportTrace {
+	return &trace.ExportTrace{
+		ID: "00112233445566778899aabbccddeeff", Kind: "select", WallNS: 150,
+		Spans: []trace.ExportSpan{
+			{Name: "exec", StartNS: 0, DurNS: 100},
+			{Name: "enclave.crossing", StartNS: 10, DurNS: 20, Attrs: map[string]int64{"rows": 8}},
+			{Name: "enclave.crossing", StartNS: 40, DurNS: 10, Attrs: map[string]int64{"rows": 4}},
+			{Name: "plan", StartNS: 100, DurNS: 20},
+		},
+	}
+}
+
+func TestExclusiveTimeAttribution(t *testing.T) {
+	a := trace.Attribute(testTrace())
+	if got := a.ByName["exec"].ExclusiveNS; got != 70 {
+		t.Fatalf("exec exclusive = %d, want 70 (children subtracted)", got)
+	}
+	cr := a.ByName["enclave.crossing"]
+	if cr.Count != 2 || cr.ExclusiveNS != 30 {
+		t.Fatalf("crossing = %+v", cr)
+	}
+	if a.AttributedNS != 120 {
+		t.Fatalf("attributed = %d, want 120", a.AttributedNS)
+	}
+	if s := a.Share(); s < 0.79 || s > 0.81 {
+		t.Fatalf("share = %v, want 0.8", s)
+	}
+	order := a.Sorted()
+	if order[0].Name != "exec" {
+		t.Fatalf("sorted[0] = %s", order[0].Name)
+	}
+}
+
+// Identical intervals must nest (longest/first wins as parent), not crash
+// or double-count.
+func TestForestIdenticalIntervals(t *testing.T) {
+	tr := &trace.ExportTrace{
+		ID: strings.Repeat("a", 32), Kind: "select", WallNS: 100,
+		Spans: []trace.ExportSpan{
+			{Name: "a", StartNS: 0, DurNS: 50},
+			{Name: "b", StartNS: 0, DurNS: 50},
+		},
+	}
+	a := trace.Attribute(tr)
+	if a.AttributedNS != 50 {
+		t.Fatalf("attributed = %d, want 50 (one root)", a.AttributedNS)
+	}
+	if a.ByName["a"].ExclusiveNS+a.ByName["b"].ExclusiveNS != 50 {
+		t.Fatalf("exclusive sums = %d + %d, want 50 total",
+			a.ByName["a"].ExclusiveNS, a.ByName["b"].ExclusiveNS)
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	var sb strings.Builder
+	render(&sb, testTrace(), 24)
+	out := sb.String()
+	for _, want := range []string{"enclave.crossing", "rows=8", "(unattributed)", "attributed: 80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

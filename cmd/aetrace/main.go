@@ -1,0 +1,229 @@
+// Command aetrace inspects per-statement traces exported by an Always
+// Encrypted server (aedb -trace-listen, or a BENCH artifact on disk). It
+// renders a waterfall of one trace's spans — lex/parse/bind/plan, exec,
+// WAL appends, and each enclave boundary crossing with its rows-per-crossing
+// count — plus an exclusive-time attribution table answering "where did this
+// statement's wall time go", the per-statement analog of the paper's Fig. 8
+// overhead breakdown.
+//
+// Usage:
+//
+//	aetrace [flags] [source]
+//
+// source is an http(s) URL, a file path, or "-" for stdin; default is the
+// local aedb trace endpoint. Everything in the export is timings, counts and
+// statement kinds — never query text or data — so traces are safe to share.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"alwaysencrypted/internal/obs/trace"
+)
+
+func main() {
+	sel := flag.String("trace", "", "show the trace whose ID starts with this prefix (default: the slowest)")
+	list := flag.Bool("list", false, "list all traces, one line each, and exit")
+	minAttr := flag.Float64("min-attribution", 0, "exit non-zero unless the shown trace attributes at least this fraction of wall time to named spans (e.g. 0.95)")
+	width := flag.Int("width", 48, "waterfall bar width in characters")
+	flag.Parse()
+
+	src := "http://127.0.0.1:14332/traces"
+	if flag.NArg() > 0 {
+		src = flag.Arg(0)
+	}
+	raw, err := read(src)
+	if err != nil {
+		fail(err)
+	}
+	doc, err := trace.Decode(raw)
+	if err != nil {
+		fail(err)
+	}
+	if len(doc.Traces) == 0 {
+		fmt.Println("aetrace: no traces (is sampling on? try -trace-sample 1 on the server)")
+		return
+	}
+
+	if *list {
+		for i := range doc.Traces {
+			t := &doc.Traces[i]
+			fmt.Println(summaryLine(t))
+		}
+		return
+	}
+
+	t := pick(doc, *sel)
+	if t == nil {
+		fail(fmt.Errorf("no trace matches prefix %q", *sel))
+	}
+	render(os.Stdout, t, *width)
+
+	a := trace.Attribute(t)
+	if *minAttr > 0 && a.Share() < *minAttr {
+		fmt.Fprintf(os.Stderr, "aetrace: only %.1f%% of wall time attributed (need %.1f%%)\n",
+			100*a.Share(), 100**minAttr)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aetrace:", err)
+	os.Exit(1)
+}
+
+func read(src string) ([]byte, error) {
+	switch {
+	case src == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	default:
+		return os.ReadFile(src)
+	}
+}
+
+// pick selects the trace to render: by ID prefix, else the slowest.
+func pick(doc *trace.ExportDoc, prefix string) *trace.ExportTrace {
+	if prefix != "" {
+		for i := range doc.Traces {
+			if strings.HasPrefix(doc.Traces[i].ID, prefix) {
+				return &doc.Traces[i]
+			}
+		}
+		return nil
+	}
+	var slowest *trace.ExportTrace
+	for i := range doc.Traces {
+		if slowest == nil || doc.Traces[i].WallNS > slowest.WallNS {
+			slowest = &doc.Traces[i]
+		}
+	}
+	return slowest
+}
+
+func summaryLine(t *trace.ExportTrace) string {
+	flags := ""
+	if t.Err {
+		flags = " ERR"
+	}
+	link := ""
+	if t.Link != "" {
+		link = " link=" + t.Link[:8]
+	}
+	return fmt.Sprintf("%s  %-8s %10s  %2d spans%s%s",
+		t.ID, t.Kind, dur(t.WallNS), len(t.Spans), flags, link)
+}
+
+// render prints the waterfall and the attribution table for one trace.
+func render(w io.Writer, t *trace.ExportTrace, width int) {
+	if width < 8 {
+		width = 8
+	}
+	fmt.Fprintf(w, "trace %s  kind=%s  wall=%s", t.ID, t.Kind, dur(t.WallNS))
+	if t.Err {
+		fmt.Fprint(w, "  ERR")
+	}
+	if t.Link != "" {
+		fmt.Fprintf(w, "  link=%s", t.Link)
+	}
+	fmt.Fprintln(w)
+
+	spans := append([]trace.ExportSpan(nil), t.Spans...)
+	sort.SliceStable(spans, func(a, b int) bool {
+		if spans[a].StartNS != spans[b].StartNS {
+			return spans[a].StartNS < spans[b].StartNS
+		}
+		return spans[a].DurNS > spans[b].DurNS
+	})
+	nameW := 4
+	for i := range spans {
+		if n := len(spans[i].Name); n > nameW {
+			nameW = n
+		}
+	}
+	for i := range spans {
+		sp := &spans[i]
+		fmt.Fprintf(w, "  %-*s %s %10s%s\n", nameW, sp.Name, bar(sp, t.WallNS, width), dur(sp.DurNS), attrs(sp))
+	}
+
+	a := trace.Attribute(t)
+	fmt.Fprintf(w, "\n  %-*s %7s %6s %10s\n", nameW, "phase", "share", "count", "self")
+	for _, st := range a.Sorted() {
+		share := 0.0
+		if t.WallNS > 0 {
+			share = 100 * float64(st.ExclusiveNS) / float64(t.WallNS)
+		}
+		fmt.Fprintf(w, "  %-*s %6.1f%% %6d %10s\n", nameW, st.Name, share, st.Count, dur(st.ExclusiveNS))
+	}
+	un := t.WallNS - a.AttributedNS
+	if un < 0 {
+		un = 0
+	}
+	fmt.Fprintf(w, "  %-*s %6.1f%% %6s %10s\n", nameW, "(unattributed)",
+		100*(1-a.Share()), "-", dur(un))
+	fmt.Fprintf(w, "  attributed: %.1f%% of wall time\n", 100*a.Share())
+}
+
+// bar draws the span's window within the trace's wall time. The track is
+// built as runes: '·' is multi-byte, so byte indexing would split it.
+func bar(sp *trace.ExportSpan, wallNS int64, width int) string {
+	b := make([]rune, width)
+	for i := range b {
+		b[i] = '·'
+	}
+	if wallNS <= 0 {
+		return string(b)
+	}
+	lo := int(sp.StartNS * int64(width) / wallNS)
+	hi := int((sp.StartNS + sp.DurNS) * int64(width) / wallNS)
+	if lo >= width {
+		lo = width - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > width {
+		hi = width
+	}
+	for i := lo; i < hi; i++ {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func attrs(sp *trace.ExportSpan) string {
+	if len(sp.Attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, sp.Attrs[k]))
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
+}
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

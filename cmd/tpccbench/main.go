@@ -11,6 +11,7 @@
 //	tpccbench -experiment bench [-out BENCH_tpcc.json]
 //	tpccbench -experiment repl [-repl-out BENCH_repl.json]
 //	tpccbench -experiment batch [-batch-out BENCH_batch.json] [-batch-tx 150]
+//	tpccbench -experiment trace [-trace-out BENCH_trace.json] [-trace-sample 0.01]
 //	tpccbench -experiment all
 //
 // The bench experiment is the `make bench` artifact: one plaintext and one
@@ -47,6 +48,8 @@ func main() {
 	replOut := flag.String("repl-out", "BENCH_repl.json", "output path for the repl experiment")
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "output path for the batch experiment")
 	batchTx := flag.Int("batch-tx", 150, "transactions per phase for the batch experiment")
+	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the trace experiment")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate for the trace overhead arm")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -66,6 +69,8 @@ func main() {
 		runRepl(scale, *duration, *warmup, *replOut)
 	case "batch":
 		runBatch(scale, *batchTx, *batchOut)
+	case "trace":
+		runTrace(scale, *duration, *warmup, *traceSample, *traceOut)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"alwaysencrypted/internal/tpcc"
+)
+
+// runTrace produces the BENCH_trace.json artifact: the throughput cost of
+// per-statement tracing at the production sampling rate, and per-transaction
+// -type attribution profiles from a full-sampling capture — where each
+// TPC-C transaction's wall time goes, span by span.
+func runTrace(scale tpcc.Scale, d, warmup time.Duration, sampleRate float64, out string) {
+	rep, err := tpcc.RunTraceExperiment(tpcc.TraceExperimentConfig{
+		Scale: scale, Threads: 8, Duration: d, Warmup: warmup,
+		SampleRate: sampleRate, Reps: reps,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ov := rep.Overhead
+	fmt.Printf("tracing overhead @%g sampling: baseline %.2f tx/s, traced %.2f tx/s (%.2f%%)\n",
+		ov.SampleRate, ov.BaselineTPS, ov.TracedTPS, ov.OverheadPct)
+	names := make([]string, 0, len(rep.TxTypes))
+	for name := range rep.TxTypes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := rep.TxTypes[name]
+		if st.Traces == 0 {
+			fmt.Printf("%-14s no traces captured\n", name)
+			continue
+		}
+		fmt.Printf("%-14s %5d traces, attributed share p50=%.3f p95=%.3f\n",
+			name, st.Traces, st.AttributedShareP50, st.AttributedShareP95)
+	}
+
+	if err := rep.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", out, tpcc.TraceSchema)
+}

@@ -29,6 +29,7 @@ import (
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/repl"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/tds"
@@ -66,6 +67,10 @@ type ServerConfig struct {
 	// this TCP address ("127.0.0.1:0" for an ephemeral port). Empty disables
 	// replication.
 	ReplListen string
+	// Trace, when non-nil, enables per-statement distributed tracing with
+	// the given sampling policy. Completed traces land in a bounded ring
+	// exposed via Server.Traces (and aedb's -trace-listen endpoint).
+	Trace *trace.Policy
 }
 
 // Server is a running deployment.
@@ -144,8 +149,13 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	hgs.RegisterHost(tcg)
 
+	var tracer *trace.Tracer
+	if cfg.Trace != nil {
+		tracer = trace.NewTracer(*cfg.Trace)
+	}
 	eng := engine.New(engine.Config{
 		Enclave: encl, Host: host, HGS: hgs, CTR: !cfg.DisableCTR, Obs: reg,
+		Tracer: tracer,
 	})
 	srv := &Server{
 		Engine:  eng,
@@ -206,6 +216,9 @@ func (s *Server) Policy() attestation.Policy { return s.policy }
 // Obs returns the deployment's shared metrics registry: enclave, engine and
 // buffer-pool instruments all record here, across enclave restarts.
 func (s *Server) Obs() *obs.Registry { return s.options.Obs }
+
+// Traces returns the completed-trace ring (nil when tracing is disabled).
+func (s *Server) Traces() *trace.Store { return s.Engine.Tracer().Store() }
 
 // Close shuts the deployment down.
 func (s *Server) Close() {
@@ -269,9 +282,12 @@ type ReplicaConfig struct {
 	// ones (cross-process replicas): replication still works, but clients
 	// must fetch the replica's own Policy before attesting post-failover.
 	Trust *Trust
-	// EnclaveThreads, Obs as in ServerConfig.
+	// EnclaveThreads, Obs, Trace as in ServerConfig. With tracing enabled,
+	// redo batches applied from the primary produce traces whose Link field
+	// carries the originating statement's trace ID.
 	EnclaveThreads int
 	Obs            *obs.Registry
+	Trace          *trace.Policy
 }
 
 // ReplicaServer is a running read replica: a full deployment (enclave, host,
@@ -346,8 +362,13 @@ func StartReplicaServer(cfg ReplicaConfig) (*ReplicaServer, error) {
 	}
 	trust.HGS.RegisterHost(tcg)
 
+	var tracer *trace.Tracer
+	if cfg.Trace != nil {
+		tracer = trace.NewTracer(*cfg.Trace)
+	}
 	eng := engine.New(engine.Config{
 		Enclave: encl, Host: host, HGS: trust.HGS, CTR: true, Obs: reg,
+		Tracer: tracer,
 	})
 	srv := &Server{
 		Engine:  eng,

@@ -33,6 +33,7 @@ import (
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/tds"
 )
@@ -120,6 +121,16 @@ type Conn struct {
 	DescribeCalls int
 	ExecCalls     int
 	Failovers     int
+
+	// lastTrace is the trace ID minted for the most recent statement; see
+	// LastTraceID. Benchmarks use it to join client-side latency samples
+	// with server-side traces.
+	lastTrace trace.ID
+	// traceLog accumulates every minted trace ID while collectTraces is on
+	// (CollectTraceIDs), so a caller can join all statements of a multi-
+	// statement transaction to their server-side traces.
+	collectTraces bool
+	traceLog      []trace.ID
 
 	failovers *obs.Counter
 	attests   *obs.Counter
@@ -326,13 +337,20 @@ func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error)
 // failure leaves the statement's outcome unknown.
 func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (rows *Rows, sent bool, err error) {
 	c.ExecCalls++
+	// Mint the statement's trace context client-side: the server trace for
+	// this statement carries our ID, so a client latency sample can be
+	// joined to its server-side span breakdown.
+	c.lastTrace = trace.NewID()
+	if c.collectTraces {
+		c.traceLog = append(c.traceLog, c.lastTrace)
+	}
 	if !c.cfg.AlwaysEncrypted {
 		// Plain connection: parameters travel as canonical encodings.
 		wire := make(map[string][]byte, len(args))
 		for name, v := range args {
 			wire[name] = v.Encode()
 		}
-		rs, err := c.tds.Exec(query, wire)
+		rs, err := c.tds.ExecTrace(query, wire, c.lastTrace)
 		if err != nil {
 			return nil, true, err
 		}
@@ -356,13 +374,30 @@ func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (rows *Row
 	if err != nil {
 		return nil, false, err
 	}
-	rs, err := c.tds.Exec(query, wire)
+	rs, err := c.tds.ExecTrace(query, wire, c.lastTrace)
 	if err != nil {
 		return nil, true, err
 	}
 	rows, err = c.decodeResult(rs, desc)
 	return rows, true, err
 }
+
+// LastTraceID returns the trace ID minted for the most recent Exec (zero
+// before the first statement). On a failover retry it is the retry's ID —
+// the ID the server that actually executed the statement traced it under.
+func (c *Conn) LastTraceID() trace.ID { return c.lastTrace }
+
+// CollectTraceIDs resets the trace-ID log and turns collection on or off.
+// While on, every Exec's minted ID is appended; CollectedTraceIDs returns
+// the batch. Off by default — the log costs one append per statement.
+func (c *Conn) CollectTraceIDs(on bool) {
+	c.collectTraces = on
+	c.traceLog = c.traceLog[:0]
+}
+
+// CollectedTraceIDs returns the trace IDs minted since the last
+// CollectTraceIDs call. The slice is reused; copy it to keep it.
+func (c *Conn) CollectedTraceIDs() []trace.ID { return c.traceLog }
 
 // Begin, Commit and Rollback issue transaction-control statements. The
 // driver tracks the open-transaction state so failover never silently

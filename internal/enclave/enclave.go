@@ -550,14 +550,14 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 	if !ok {
 		return nil, ErrNoHandle
 	}
-	start := e.obs.Now()
+	sp := e.evalCall.StartSpan()
 	e.evalBatch.Observe(int64(len(inputs)))
 	e.evalRows.Observe(1)
 	var outs [][]byte
 	var err error
 	run := func() { outs, err = e.evalLocked(re, inputs) }
 	e.enter(run)
-	e.evalCall.ObserveSince(start)
+	sp.End()
 	return outs, err
 }
 
@@ -579,7 +579,7 @@ func (e *Enclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byt
 	if !ok {
 		return nil, nil, ErrNoHandle
 	}
-	start := e.obs.Now()
+	sp := e.evalCall.StartSpan()
 	for _, row := range rows {
 		e.evalBatch.Observe(int64(len(row)))
 	}
@@ -591,7 +591,7 @@ func (e *Enclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byt
 			outs[i], errs[i] = e.evalLocked(re, row)
 		}
 	})
-	e.evalCall.ObserveSince(start)
+	sp.End()
 	return outs, errs, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"alwaysencrypted/internal/btree"
 	"alwaysencrypted/internal/enclave"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/storage"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	// evaluation and the ALTER…ENCRYPTED rewrite loop — the §4.6
 	// crossing-amortization factor. <= 0 defaults to DefaultBatchSize.
 	BatchSize int
+	// Tracer records per-statement traces (lifecycle spans, enclave
+	// crossings, WAL waits). nil disables tracing: every trace call site
+	// degrades to a nil-receiver no-op.
+	Tracer *trace.Tracer
 }
 
 // Engine is the database engine instance — the untrusted server process.
@@ -74,6 +79,9 @@ type Engine struct {
 
 	// batch is the normalized Config.BatchSize.
 	batch int
+
+	// tracer mints per-statement traces; nil when tracing is disabled.
+	tracer *trace.Tracer
 }
 
 // New builds an engine.
@@ -112,11 +120,15 @@ func New(cfg Config) *Engine {
 		spanPlan:  reg.Histogram("engine.stmt.plan_ns"),
 		spanExec:  reg.Histogram("engine.stmt.exec_ns"),
 		batch:     cfg.BatchSize,
+		tracer:    cfg.Tracer,
 	}
 }
 
 // Obs returns the registry the engine reports into.
 func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// Tracer returns the statement tracer, or nil when tracing is disabled.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Catalog exposes the catalog (tools, tests).
 func (e *Engine) Catalog() *Catalog { return e.catalog }
@@ -147,7 +159,19 @@ type Session struct {
 	id         uint64
 	txn        *Txn // explicit transaction, if open
 	EnclaveSID uint64
+
+	// traceID is the client-supplied trace context for the NEXT statement
+	// (set by the TDS layer before Execute, consumed by it).
+	traceID trace.ID
+	// act is the statement currently being traced on this session; nil
+	// outside Execute or when tracing is disabled.
+	act *trace.Active
 }
+
+// SetTraceID installs the client's trace context for the next statement.
+// A zero ID is fine: the tracer mints a server-side one so statements from
+// old clients still trace.
+func (s *Session) SetTraceID(id trace.ID) { s.traceID = id }
 
 // NewSession opens a server session.
 func (e *Engine) NewSession() *Session {
@@ -160,6 +184,12 @@ type Txn struct {
 	beginLSN uint64
 	ops      []txnOp
 	engine   *Engine
+
+	// act is the active trace of the statement currently running in this
+	// transaction (explicit transactions span statements, so it is reset
+	// per statement). WAL records logged through the txn carry its trace
+	// ID, and appends record wal.append spans against it. nil is fine.
+	act *trace.Active
 }
 
 // txnOp is one logged operation, kept for rollback in reverse order.
@@ -187,7 +217,7 @@ func (s *Session) Begin() error {
 	if s.txn != nil {
 		return ErrTxnInProgress
 	}
-	s.txn = s.engine.beginTxn()
+	s.txn = s.engine.beginTxn(s.act)
 	return nil
 }
 
@@ -214,13 +244,15 @@ func (s *Session) Rollback() error {
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.txn != nil }
 
-func (e *Engine) beginTxn() *Txn {
+func (e *Engine) beginTxn(act *trace.Active) *Txn {
 	e.txnMu.Lock()
 	id := e.nextTxn
 	e.nextTxn++
 	e.txnMu.Unlock()
-	txn := &Txn{id: id, engine: e}
-	txn.beginLSN = e.wal.Append(storage.Record{Txn: id, Type: storage.RecBegin})
+	txn := &Txn{id: id, engine: e, act: act}
+	sp := act.StartSpan("wal.append")
+	txn.beginLSN = e.wal.Append(storage.Record{Txn: id, Type: storage.RecBegin, Trace: act.ID()})
+	sp.End()
 	e.txnMu.Lock()
 	e.active[id] = txn
 	e.txnMu.Unlock()
@@ -228,7 +260,9 @@ func (e *Engine) beginTxn() *Txn {
 }
 
 func (e *Engine) commitTxn(t *Txn) error {
-	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecCommit})
+	sp := t.act.StartSpan("wal.commit")
+	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecCommit, Trace: t.act.ID()})
+	sp.End()
 	e.versions.MarkCommitted(t.id)
 	e.versions.Drop(t.id)
 	e.locks.ReleaseAll(t.id)
@@ -243,7 +277,7 @@ func (e *Engine) commitTxn(t *Txn) error {
 // physically via before-images.
 func (e *Engine) rollbackTxn(t *Txn) error {
 	err := e.undoOps(t.id, t.ops)
-	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort})
+	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort, Trace: t.act.ID()})
 	e.versions.Drop(t.id)
 	e.locks.ReleaseAll(t.id)
 	e.txnMu.Lock()
@@ -356,10 +390,13 @@ func (e *Engine) undoOne(txn uint64, op *txnOp) error {
 // Callers logging heap records must hold the table mutex so log order and
 // page mutation order agree.
 func (t *Txn) log(op txnOp) {
+	sp := t.act.StartSpan("wal.append")
 	t.engine.wal.Append(storage.Record{
 		Txn: t.id, Type: op.typ, Table: op.table,
 		Row: op.row, NewRow: op.newRow, Key: op.key, Old: op.old, New: op.new,
+		Trace: t.act.ID(),
 	})
+	sp.End()
 	t.ops = append(t.ops, op)
 }
 

@@ -82,11 +82,11 @@ func TestPlanCacheReuse(t *testing.T) {
 	env := newTestEnv(t, false)
 	env.mustExec("CREATE TABLE t (id int PRIMARY KEY, v int)", nil)
 	q := "SELECT v FROM t WHERE id = @i"
-	p1, err := env.engine.getPlan(q)
+	p1, err := env.engine.getPlan(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := env.engine.getPlan(q)
+	p2, err := env.engine.getPlan(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestPlanCacheReuse(t *testing.T) {
 	}
 	// DDL invalidates the cache.
 	env.mustExec("CREATE TABLE t2 (id int PRIMARY KEY)", nil)
-	p3, err := env.engine.getPlan(q)
+	p3, err := env.engine.getPlan(q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"alwaysencrypted/internal/exprsvc"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 	"alwaysencrypted/internal/storage"
 )
@@ -30,14 +31,59 @@ type ResultSet struct {
 // ones. The server never sees plaintext for encrypted parameters.
 type Params map[string][]byte
 
-// Execute runs one statement on the session.
+// Execute runs one statement on the session. It owns the statement's trace
+// lifecycle: the trace starts here (under the client's trace context, if
+// the TDS layer installed one), every lifecycle phase and crossing records
+// spans against it, and Finish applies the sampling keep policy.
 func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
+	act := s.engine.tracer.Start(s.traceID, trace.KindUnknown)
+	s.traceID = trace.ID{}
+	s.act = act
+	if s.txn != nil {
+		s.txn.act = act // explicit txn: records log under this statement's trace
+	}
+	rs, err := s.execute(act, query, params)
+	if s.txn != nil {
+		s.txn.act = nil
+	}
+	s.act = nil
+	act.Finish(err)
+	return rs, err
+}
+
+// stmtKind classifies a parsed statement for the trace's closed kind enum —
+// the only statement description a trace export ever carries.
+func stmtKind(st Stmt) trace.Kind {
+	switch st.(type) {
+	case SelectStmt:
+		return trace.KindSelect
+	case InsertStmt:
+		return trace.KindInsert
+	case UpdateStmt:
+		return trace.KindUpdate
+	case DeleteStmt:
+		return trace.KindDelete
+	case BeginStmt:
+		return trace.KindBegin
+	case CommitStmt:
+		return trace.KindCommit
+	case RollbackStmt:
+		return trace.KindRollback
+	default:
+		return trace.KindDDL
+	}
+}
+
+func (s *Session) execute(act *trace.Active, query string, params Params) (*ResultSet, error) {
 	e := s.engine
 	e.execs.Inc()
-	plan, err := e.getPlan(query)
+	planSp := act.StartSpan("plan")
+	plan, err := e.getPlan(query, act)
+	planSp.End()
 	if err != nil {
 		return nil, err
 	}
+	act.SetKind(stmtKind(plan.stmt))
 	if e.ReadOnly() {
 		// A replica admits reads only: any mutation (including BEGIN, whose
 		// log record would fork the replica's mirrored log from the
@@ -46,7 +92,19 @@ func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 			return nil, ErrReadOnly
 		}
 	}
-	defer e.spanExec.ObserveSince(e.obs.Now())
+	hsp := e.spanExec.StartSpan()
+	defer hsp.End()
+	execSp := act.StartSpan("exec")
+	stall0 := e.pool.MissStallNS()
+	defer func() {
+		// Buffer-pool miss stalls are attributed by cumulative delta: exact
+		// for a single session, an upper bound when statements overlap (see
+		// BufferPool.MissStallNS).
+		if d := e.pool.MissStallNS() - stall0; d > 0 {
+			execSp.Attr("bufpool.miss_stall_ns", d)
+		}
+		execSp.End()
+	}()
 	switch st := plan.stmt.(type) {
 	case BeginStmt:
 		return &ResultSet{}, s.Begin()
@@ -55,7 +113,7 @@ func (s *Session) Execute(query string, params Params) (*ResultSet, error) {
 	case RollbackStmt:
 		return &ResultSet{}, s.Rollback()
 	case SelectStmt:
-		return e.executeSelect(plan, st, params)
+		return e.executeSelect(act, plan, st, params)
 	case InsertStmt:
 		return s.withTxn(func(t *Txn) (*ResultSet, error) {
 			return e.executeInsert(t, plan, params)
@@ -113,7 +171,7 @@ func (s *Session) withTxn(fn func(t *Txn) (*ResultSet, error)) (*ResultSet, erro
 	if s.txn != nil {
 		return fn(s.txn)
 	}
-	t := s.engine.beginTxn()
+	t := s.engine.beginTxn(s.act)
 	rs, err := fn(t)
 	if err != nil {
 		if rbErr := s.engine.rollbackTxn(t); rbErr != nil {
@@ -188,13 +246,19 @@ type matchedRow struct {
 // enclave predicates, §4.6). fn receives surviving rows — for joins, one
 // call per joined pair — in the same order row-at-a-time execution would
 // produce.
-func (e *Engine) iterateOuter(plan *Plan, params Params, fn func(m *matchedRow) (bool, error)) error {
+func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn func(m *matchedRow) (bool, error)) error {
 	ev, err := plan.evaluator()
 	if err != nil {
 		return err
 	}
 	if ev != nil {
-		defer plan.evalPool.Put(ev)
+		// The evaluator is pooled across sessions: attach the statement's
+		// trace for the duration of this iteration and detach before Put.
+		ev.SetTrace(act)
+		defer func() {
+			ev.SetTrace(nil)
+			plan.evalPool.Put(ev)
+		}()
 	}
 	b := &rowBatcher{plan: plan, ev: ev, fn: fn, size: e.batch}
 
@@ -405,7 +469,7 @@ type indexEntry struct {
 }
 
 // executeSelect runs a SELECT and materializes the result set.
-func (e *Engine) executeSelect(plan *Plan, st SelectStmt, params Params) (*ResultSet, error) {
+func (e *Engine) executeSelect(act *trace.Active, plan *Plan, st SelectStmt, params Params) (*ResultSet, error) {
 	rs := &ResultSet{}
 	for _, item := range plan.items {
 		rs.Columns = append(rs.Columns, ColumnMeta{Name: item.name, Kind: item.kind, Enc: item.enc})
@@ -420,7 +484,7 @@ func (e *Engine) executeSelect(plan *Plan, st SelectStmt, params Params) (*Resul
 	}
 
 	if !hasAgg {
-		err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+		err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
 			row := make([][]byte, len(plan.items))
 			for i, item := range plan.items {
 				if item.slot < len(m.slots) && len(m.slots[item.slot]) > 0 {
@@ -441,7 +505,7 @@ func (e *Engine) executeSelect(plan *Plan, st SelectStmt, params Params) (*Resul
 	for i := range plan.items {
 		aggs[i] = &aggState{distinct: make(map[string]bool)}
 	}
-	err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+	err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
 		for i, item := range plan.items {
 			var cell []byte
 			if item.slot >= 0 && item.slot < len(m.slots) {
@@ -574,7 +638,7 @@ func (e *Engine) executeInsert(t *Txn, plan *Plan, params Params) (*ResultSet, e
 // latest committed value or updates are lost.
 func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
 	tbl := plan.table
-	rids, err := e.collectTargetRIDs(plan, params)
+	rids, err := e.collectTargetRIDs(t.act, plan, params)
 	if err != nil {
 		return nil, err
 	}
@@ -606,9 +670,9 @@ func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, e
 
 // collectTargetRIDs materializes the row ids matching the plan (mutating
 // while scanning is unsound).
-func (e *Engine) collectTargetRIDs(plan *Plan, params Params) ([]storage.RowID, error) {
+func (e *Engine) collectTargetRIDs(act *trace.Active, plan *Plan, params Params) ([]storage.RowID, error) {
 	var rids []storage.RowID
-	err := e.iterateOuter(plan, params, func(m *matchedRow) (bool, error) {
+	err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
 		rids = append(rids, m.rid)
 		return true, nil
 	})
@@ -635,7 +699,11 @@ func (e *Engine) lockAndRevalidate(t *Txn, plan *Plan, params Params, rid storag
 		if err != nil {
 			return nil, false, err
 		}
-		defer plan.evalPool.Put(ev)
+		ev.SetTrace(t.act)
+		defer func() {
+			ev.SetTrace(nil)
+			plan.evalPool.Put(ev)
+		}()
 		slots, err := plan.buildSlots(cells, nil, params)
 		if err != nil {
 			return nil, false, err
@@ -747,7 +815,7 @@ func toFloat(v sqltypes.Value) float64 {
 // executeDelete removes every matching row, re-validating under the lock.
 func (e *Engine) executeDelete(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
 	tbl := plan.table
-	rids, err := e.collectTargetRIDs(plan, params)
+	rids, err := e.collectTargetRIDs(t.act, plan, params)
 	if err != nil {
 		return nil, err
 	}

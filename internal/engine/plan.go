@@ -8,6 +8,7 @@ import (
 
 	"alwaysencrypted/internal/exprsvc"
 	"alwaysencrypted/internal/keys"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 )
 
@@ -112,9 +113,9 @@ var (
 // lifecycle phase (lex, parse, bind, plan overall) records its latency; on a
 // plan-cache hit only the plan span fires, so the histograms expose the
 // cache's effect directly.
-func (e *Engine) getPlan(query string) (*Plan, error) {
-	planStart := e.obs.Now()
-	defer e.spanPlan.ObserveSince(planStart)
+func (e *Engine) getPlan(query string, act *trace.Active) (*Plan, error) {
+	hsp := e.spanPlan.StartSpan()
+	defer hsp.End()
 
 	e.planMu.Lock()
 	if p, ok := e.plans[query]; ok {
@@ -124,21 +125,27 @@ func (e *Engine) getPlan(query string) (*Plan, error) {
 	e.planMu.Unlock()
 
 	lexStart := e.obs.Now()
+	lexSp := act.StartSpan("lex")
 	toks, err := lexTokens(query)
+	lexSp.End()
 	if err != nil {
 		return nil, err
 	}
 	e.spanLex.ObserveSince(lexStart)
 
 	parseStart := e.obs.Now()
+	parseSp := act.StartSpan("parse")
 	stmt, err := parseTokens(query, toks)
+	parseSp.End()
 	if err != nil {
 		return nil, err
 	}
 	e.spanParse.ObserveSince(parseStart)
 
 	bindStart := e.obs.Now()
+	bindSp := act.StartSpan("bind")
 	p, err := e.bind(query, stmt)
+	bindSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -945,7 +952,7 @@ func (e *Engine) collectKeyMetadata(desc *DescribeResult, name string) error {
 // Describe runs encryption type deduction for a query and returns the
 // sp_describe_parameter_encryption output (§4.1).
 func (e *Engine) Describe(query string) (*DescribeResult, error) {
-	p, err := e.getPlan(query)
+	p, err := e.getPlan(query, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"alwaysencrypted/internal/aecrypto"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 )
 
@@ -65,6 +66,65 @@ type Evaluator struct {
 	// keys still live in the owner.
 	//aelint:ignore secretretain reason=aliases owned by the KeyRing; its owner zeroizes them on evict/teardown
 	cellKeys map[string]*aecrypto.CellKey
+	// act, when non-nil, receives one "enclave.crossing" span per
+	// host→enclave boundary crossing. Installed by the engine around each
+	// statement (SetTrace) and cleared before the evaluator returns to its
+	// pool, so trace state never leaks across statements.
+	act *trace.Active
+	// subOps caches per-sub-program opcode tallies for crossing-span
+	// attributes, decoded lazily (only when tracing) and reused for the
+	// evaluator's lifetime — the sub-programs are immutable.
+	subOps [][]trace.Attr
+}
+
+// SetTrace installs (act non-nil) or clears (nil) the statement trace that
+// enclave boundary crossings report into. The engine owns the call pairing;
+// the evaluator itself never retains a trace past a statement.
+func (ev *Evaluator) SetTrace(act *trace.Active) { ev.act = act }
+
+// crossingSpan opens an "enclave.crossing" span for one boundary crossing of
+// sub-program sub over rows rows, attaching the row count and the enclave
+// program's per-opcode instruction tallies. Attributes are counts only —
+// never operand bytes or values — per the trace leakage contract.
+func (ev *Evaluator) crossingSpan(sub, rows int) trace.SpanRef {
+	if ev.act == nil {
+		return trace.SpanRef{}
+	}
+	sp := ev.act.StartSpan("enclave.crossing")
+	sp.Attr("rows", int64(rows))
+	for _, a := range ev.opTallies(sub) {
+		sp.Attr(a.Key, a.Value)
+	}
+	return sp
+}
+
+// opTallies returns (computing once) the opcode histogram of enclave
+// sub-program sub as span attributes named "op.<opcode>".
+func (ev *Evaluator) opTallies(sub int) []trace.Attr {
+	if ev.subOps == nil {
+		ev.subOps = make([][]trace.Attr, len(ev.prog.Subs))
+	}
+	if sub < 0 || sub >= len(ev.subOps) {
+		return nil
+	}
+	if ev.subOps[sub] == nil {
+		var counts [len(opcodeNames)]int64
+		if p, err := Deserialize(ev.prog.Subs[sub]); err == nil {
+			for i := range p.Code {
+				if op := p.Code[i].Op; int(op) < len(counts) {
+					counts[op]++
+				}
+			}
+		}
+		attrs := make([]trace.Attr, 0, 4)
+		for op, c := range counts {
+			if c > 0 {
+				attrs = append(attrs, trace.Attr{Key: "op." + Opcode(op).String(), Value: c})
+			}
+		}
+		ev.subOps[sub] = attrs
+	}
+	return ev.subOps[sub]
 }
 
 // NewEvaluator prepares a program for execution. If the program contains
@@ -393,7 +453,9 @@ func (ev *Evaluator) tmEval(in *Instr, inputs [][]byte) error {
 	if err != nil {
 		return err
 	}
+	sp := ev.crossingSpan(in.Arg, 1)
 	outs, err := ev.encl.EvalExpression(ev.handles[in.Arg], args)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -484,7 +546,9 @@ func (ev *Evaluator) EvalBatch(rows [][][]byte) ([][][]byte, []error, error) {
 		if len(batch) == 0 {
 			continue
 		}
+		sp := ev.crossingSpan(in.Arg, len(batch))
 		outs, errs, err := ev.encl.EvalExpressionBatch(ev.handles[in.Arg], batch)
+		sp.End()
 		if err != nil {
 			return nil, nil, err
 		}

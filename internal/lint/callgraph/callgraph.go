@@ -291,6 +291,11 @@ func sinkHits(reg *Registry, pkg *analysis.Package, fd *ast.FuncDecl, chk *taint
 				record("obs", desc, chk.LabelsAt(a), a.Pos())
 			}
 		}
+		if desc := taint.TraceSink(pkg.Info, call); desc != "" {
+			for _, a := range call.Args {
+				record("trace", desc, chk.LabelsAt(a), a.Pos())
+			}
+		}
 		// Transitive: fold callee sink hits through this call's arguments.
 		if fn := taint.CalleeFunc(pkg.Info, call); fn != nil {
 			if sum := reg.Summary(fn); sum != nil {

@@ -80,10 +80,25 @@ func checkFunc(pass *analysis.Pass, oracle taint.Oracle, fn *ast.FuncDecl) {
 				}
 			}
 		}
+		if name := taint.TraceSink(pass.TypesInfo, call); name != "" {
+			for _, arg := range call.Args {
+				if c.ExprTainted(arg) {
+					pass.Reportf(arg.Pos(),
+						"plaintext-derived value reaches trace.%s: span attributes carry only counts and timings, never plaintext or key material",
+						name)
+				}
+			}
+		}
 		for _, hit := range callgraph.CallSiteHits(c, pass.TypesInfo, call, oracle, "obs") {
 			fn := taint.CalleeFunc(pass.TypesInfo, call)
 			pass.Reportf(call.Pos(),
 				"plaintext-derived value reaches obs.%s inside %s: metrics record only counts, durations and sizes, never plaintext or key material",
+				hit.Desc, fn.Name())
+		}
+		for _, hit := range callgraph.CallSiteHits(c, pass.TypesInfo, call, oracle, "trace") {
+			fn := taint.CalleeFunc(pass.TypesInfo, call)
+			pass.Reportf(call.Pos(),
+				"plaintext-derived value reaches trace.%s inside %s: span attributes carry only counts and timings, never plaintext or key material",
 				hit.Desc, fn.Name())
 		}
 		return true

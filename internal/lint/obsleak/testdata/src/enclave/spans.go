@@ -1,0 +1,53 @@
+package enclave
+
+import (
+	"aecrypto"
+	"obs/trace"
+)
+
+// SpanLeaky feeds decrypted bytes into span attributes and names: both the
+// attribute value and the span/attr name strings ride the trace export, so
+// every trace entry point is a sink.
+func SpanLeaky(act *trace.Active, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	sp := act.StartSpan("enclave.crossing")
+	sp.Attr("first", int64(pt[0])) // want `plaintext-derived value reaches trace\.SpanRef\.Attr`
+	sp.End()
+	act.StartSpan(string(pt)) // want `plaintext-derived value reaches trace\.Active\.StartSpan`
+}
+
+// SpanSizes is clean: rows-per-crossing counts and plaintext lengths are the
+// declared observable channel, and len() sanitizes.
+func SpanSizes(act *trace.Active, key *aecrypto.CellKey, cells [][]byte) {
+	sp := act.StartSpan("enclave.crossing")
+	sp.Attr("rows", int64(len(cells)))
+	total := 0
+	for _, cell := range cells {
+		pt, err := key.Decrypt(cell)
+		if err != nil {
+			continue
+		}
+		total += len(pt)
+	}
+	sp.Attr("bytes", int64(total))
+	sp.End()
+}
+
+// AttrViaHelper: tallyAttr's summary shows its parameter reaching
+// SpanRef.Attr, so handing it plaintext is reported at the call site.
+func AttrViaHelper(act *trace.Active, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	tallyAttr(act, int64(pt[0])) // want `plaintext-derived value reaches trace\.SpanRef\.Attr inside tallyAttr`
+}
+
+// AttrSizeViaHelper is clean: the helper receives a sanitized length.
+func AttrSizeViaHelper(act *trace.Active, key *aecrypto.CellKey, cell []byte) {
+	pt, _ := key.Decrypt(cell)
+	tallyAttr(act, int64(len(pt)))
+}
+
+func tallyAttr(act *trace.Active, v int64) {
+	sp := act.StartSpan("enclave.tally")
+	sp.Attr("v", v)
+	sp.End()
+}

@@ -1,0 +1,22 @@
+// Package trace is a fixture stub of the real per-statement tracing
+// package: the analyzer matches its sinks by package path suffix and
+// receiver type, so only the shapes matter.
+package trace
+
+// Active is an in-flight trace.
+type Active struct{}
+
+// StartSpan opens a named span.
+func (a *Active) StartSpan(name string) SpanRef { return SpanRef{} }
+
+// Finish completes the trace.
+func (a *Active) Finish(err error) {}
+
+// SpanRef is a handle on an open span.
+type SpanRef struct{}
+
+// Attr records an integer attribute on the span.
+func (s SpanRef) Attr(key string, v int64) {}
+
+// End closes the span.
+func (s SpanRef) End() {}

@@ -58,6 +58,22 @@ func ObsSink(info *types.Info, call *ast.CallExpr) string {
 	return fn.Name()
 }
 
+// TraceSink returns "<Recv>.<Method>" (or the function name) for calls into
+// the obs/trace package, or "". The trace subsystem exports span names,
+// int64 attributes and statement kinds off the host — its entry points are
+// sinks exactly like the metrics recorders: a plaintext-derived attribute
+// value or span name would ride the trace export to any observer.
+func TraceSink(info *types.Info, call *ast.CallExpr) string {
+	fn := CalleeFunc(info, call)
+	if fn == nil || !analysis.PackagePathIs(fn.Pkg(), "obs/trace") {
+		return ""
+	}
+	if recv := RecvTypeName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
 // CompareSink classifies n as a variable-time comparison of data-carrying
 // operands: an ==/!=/</<=/>/>= between integers, strings or byte arrays, or
 // a bytes.Equal/bytes.Compare call. It returns the sink description and the

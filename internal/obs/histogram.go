@@ -57,6 +57,16 @@ func bucketMid(idx int) int64 {
 	return int64(lo + (hi-lo)/2)
 }
 
+// bucketHi returns the inclusive upper bound of a bucket.
+func bucketHi(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx/subBuckets - 1
+	mant := uint64(subBuckets + idx%subBuckets)
+	return int64((mant+1)<<uint(exp) - 1)
+}
+
 // Observe records one value. Safe for concurrent use; a nil *Histogram is a
 // no-op.
 func (h *Histogram) Observe(v int64) {
@@ -94,6 +104,17 @@ func (h *Histogram) Start() time.Time {
 		return time.Time{}
 	}
 	return h.reg.Now()
+}
+
+// StartSpan opens a span on a pre-resolved histogram: no registry map
+// lookup, just a clock read (skipped entirely when timing is disabled).
+// This is the hot-path form of Registry.StartSpan; engine and enclave
+// call sites cache the *Histogram at construction and span through it.
+func (h *Histogram) StartSpan() Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: h.reg.Now()}
 }
 
 // Count returns the number of recorded samples.
@@ -184,6 +205,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.P50 = h.Quantile(0.50)
 	s.P95 = h.Quantile(0.95)
 	s.P99 = h.Quantile(0.99)
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: bucketHi(i), Count: n})
+		}
+	}
 	return s
 }
 
@@ -191,8 +217,8 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
 
 // HistogramSnapshot is the exported summary of a histogram: counts plus
-// estimated percentiles. Values carry the unit the histogram was fed
-// (nanoseconds for spans).
+// estimated percentiles and the occupied buckets. Values carry the unit
+// the histogram was fed (nanoseconds for spans).
 type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	Sum   int64  `json:"sum"`
@@ -201,4 +227,16 @@ type HistogramSnapshot struct {
 	P50   int64  `json:"p50"`
 	P95   int64  `json:"p95"`
 	P99   int64  `json:"p99"`
+	// Buckets lists the occupied buckets in ascending bound order — an
+	// array, not a map, so the JSON encoding is deterministic and CI
+	// artifact diffs stay stable.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one occupied histogram bucket: the inclusive upper bound
+// (in the histogram's unit) and the sample count at or below it within
+// the bucket's range.
+type BucketCount struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
 }

@@ -175,9 +175,10 @@ func (r *Registry) Now() time.Time {
 	return time.Now()
 }
 
-// StartSpan opens a span recording into the named histogram on End. For hot
-// paths prefer caching the *Histogram and using Registry.Now +
-// Histogram.ObserveSince; StartSpan does a registry lookup per call.
+// StartSpan opens a span recording into the named histogram on End. This
+// form does a registry map lookup per call; hot paths cache the
+// *Histogram at construction and use Histogram.StartSpan (or Registry.Now
+// + Histogram.ObserveSince where recording is conditional).
 func (r *Registry) StartSpan(name string) Span {
 	if r == nil || r.timingOff.Load() {
 		return Span{}
@@ -207,9 +208,10 @@ type Span struct {
 	start time.Time
 }
 
-// End records the elapsed time. A zero Span (disabled timing) is a no-op.
+// End records the elapsed time. A zero Span, or one opened while timing
+// was disabled (zero start time), is a no-op.
 func (s Span) End() {
-	if s.h != nil {
+	if s.h != nil && !s.start.IsZero() {
 		s.h.Observe(time.Since(s.start).Nanoseconds())
 	}
 }

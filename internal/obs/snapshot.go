@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"sort"
 )
 
 // Snapshot is a point-in-time, JSON-stable view of every instrument in a
@@ -89,9 +91,60 @@ func PublishExpvar(name string, r *Registry) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
-// MarshalJSON renders the snapshot with stable key order (encoding/json
-// already sorts map keys; this exists to pin the schema in one place).
+// MarshalJSON renders the snapshot deterministically: instrument names are
+// emitted in explicit sorted order (not left to map-iteration luck) and
+// histogram buckets are ordered arrays, so byte-identical registries yield
+// byte-identical JSON and CI artifact diffs stay stable.
 func (s Snapshot) MarshalJSON() ([]byte, error) {
-	type alias Snapshot // avoid recursion
-	return json.Marshal(alias(s))
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	buf.WriteString(`"registry":`)
+	if err := appendJSON(&buf, s.Registry); err != nil {
+		return nil, err
+	}
+	sections := []struct {
+		label string
+		keys  []string
+		value func(k string) any
+	}{
+		{"counters", sortedKeys(s.Counters), func(k string) any { return s.Counters[k] }},
+		{"gauges", sortedKeys(s.Gauges), func(k string) any { return s.Gauges[k] }},
+		{"histograms", sortedKeys(s.Histograms), func(k string) any { return s.Histograms[k] }},
+	}
+	for _, sec := range sections {
+		buf.WriteString(`,"` + sec.label + `":{`)
+		for i, k := range sec.keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := appendJSON(&buf, k); err != nil {
+				return nil, err
+			}
+			buf.WriteByte(':')
+			if err := appendJSON(&buf, sec.value(k)); err != nil {
+				return nil, err
+			}
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+func appendJSON(buf *bytes.Buffer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf.Write(b)
+	return nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

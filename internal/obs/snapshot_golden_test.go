@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Golden test: a registry with fixed contents must marshal to exactly
+// these bytes, every time. Names are emitted sorted and histogram buckets
+// are ordered arrays, so CI artifact diffs only change when the data does.
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := New("golden")
+	// Insert in deliberately unsorted order.
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha").Inc()
+	r.Gauge("mid").Set(-7)
+	r.Gauge("aaa").Set(12)
+	h := r.Histogram("lat_ns")
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(100)
+
+	const want = `{"registry":"golden",` +
+		`"counters":{"alpha":1,"zeta":3},` +
+		`"gauges":{"aaa":12,"mid":-7},` +
+		`"histograms":{"lat_ns":{"count":3,"sum":110,"mean":36,"max":100,` +
+		`"p50":5,"p95":100,"p99":100,` +
+		`"buckets":[{"le":5,"count":2},{"le":101,"count":1}]}}}`
+
+	for i := 0; i < 20; i++ {
+		got, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("iteration %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// The snapshot must survive a JSON round trip (the bench harness and
+// aetrace both consume it decoded).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New("rt")
+	r.Counter("c").Add(9)
+	r.Histogram("h").Observe(42)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Registry != "rt" || back.Counters["c"] != 9 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	hs := back.Histograms["h"]
+	if hs.Count != 1 || len(hs.Buckets) != 1 {
+		t.Fatalf("histogram lost buckets: %+v", hs)
+	}
+}

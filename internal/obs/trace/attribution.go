@@ -1,0 +1,132 @@
+package trace
+
+import "sort"
+
+// Attribution answers "where did this statement's wall time go" for one
+// exported trace: exclusive (self) time per span name, plus how much of the
+// trace's wall clock the top-level spans cover at all. Both aetrace and the
+// tpcc trace benchmark build their breakdown tables from it.
+type Attribution struct {
+	// ByName aggregates exclusive time per span name.
+	ByName map[string]*SpanStat
+	// AttributedNS is the wall time covered by top-level spans — the part
+	// of the statement the trace explains.
+	AttributedNS int64
+	// WallNS is the trace's total wall time.
+	WallNS int64
+}
+
+// SpanStat is one span name's aggregate.
+type SpanStat struct {
+	Name        string
+	Count       int
+	ExclusiveNS int64
+}
+
+// spanNode is a span plus its nested children, built by interval
+// containment: a span contains another when the second lies entirely
+// within the first's [start, start+dur) window.
+type spanNode struct {
+	span     *ExportSpan
+	children []*spanNode
+}
+
+// buildForest nests a trace's spans into containment trees. Spans are
+// recorded in start order by construction, but sorting is cheap insurance
+// (and ties break longest-first so the outer span becomes the parent).
+func buildForest(spans []ExportSpan) []*spanNode {
+	nodes := make([]*spanNode, len(spans))
+	for i := range spans {
+		nodes[i] = &spanNode{span: &spans[i]}
+	}
+	sort.SliceStable(nodes, func(a, b int) bool {
+		sa, sb := nodes[a].span, nodes[b].span
+		if sa.StartNS != sb.StartNS {
+			return sa.StartNS < sb.StartNS
+		}
+		return sa.DurNS > sb.DurNS
+	})
+	var roots []*spanNode
+	var stack []*spanNode
+	for _, n := range nodes {
+		end := n.span.StartNS + n.span.DurNS
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if n.span.StartNS >= top.span.StartNS && end <= top.span.StartNS+top.span.DurNS {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, n)
+		} else {
+			top := stack[len(stack)-1]
+			top.children = append(top.children, n)
+		}
+		stack = append(stack, n)
+	}
+	return roots
+}
+
+// exclusiveNS returns a span's self time: its duration minus the time
+// covered by its direct children (so nested spans never double-count).
+func exclusiveNS(n *spanNode) int64 {
+	ex := n.span.DurNS
+	for _, c := range n.children {
+		ex -= c.span.DurNS
+	}
+	if ex < 0 {
+		ex = 0
+	}
+	return ex
+}
+
+// Attribute computes the exclusive-time breakdown of one exported trace.
+func Attribute(t *ExportTrace) *Attribution {
+	a := &Attribution{ByName: make(map[string]*SpanStat), WallNS: t.WallNS}
+	roots := buildForest(t.Spans)
+	var walk func(n *spanNode)
+	walk = func(n *spanNode) {
+		st := a.ByName[n.span.Name]
+		if st == nil {
+			st = &SpanStat{Name: n.span.Name}
+			a.ByName[n.span.Name] = st
+		}
+		st.Count++
+		st.ExclusiveNS += exclusiveNS(n)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		a.AttributedNS += r.span.DurNS
+		walk(r)
+	}
+	if a.AttributedNS > a.WallNS && a.WallNS > 0 {
+		a.AttributedNS = a.WallNS
+	}
+	return a
+}
+
+// Sorted returns the per-name stats, largest exclusive time first.
+func (a *Attribution) Sorted() []*SpanStat {
+	out := make([]*SpanStat, 0, len(a.ByName))
+	for _, st := range a.ByName {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExclusiveNS != out[j].ExclusiveNS {
+			return out[i].ExclusiveNS > out[j].ExclusiveNS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Share is attributed wall time as a fraction in [0,1].
+func (a *Attribution) Share() float64 {
+	if a.WallNS <= 0 {
+		return 0
+	}
+	return float64(a.AttributedNS) / float64(a.WallNS)
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Schema identifies the trace export JSON format.
+const Schema = "alwaysencrypted/trace/v1"
+
+// ExportDoc is the wire/file form of a batch of traces. Everything in it
+// is timings (ns), counts, or closed-enum statement kinds; there is no
+// field that could carry query text, parameters or cell plaintext.
+type ExportDoc struct {
+	Schema string        `json:"schema"`
+	Traces []ExportTrace `json:"traces"`
+}
+
+// ExportTrace is one exported trace.
+type ExportTrace struct {
+	ID      string       `json:"id"`
+	Link    string       `json:"link,omitempty"`
+	Kind    string       `json:"kind"`
+	Err     bool         `json:"err,omitempty"`
+	StartNS int64        `json:"start_unix_ns"`
+	WallNS  int64        `json:"wall_ns"`
+	Spans   []ExportSpan `json:"spans"`
+}
+
+// ExportSpan is one exported span. Attrs is int64-valued by construction;
+// encoding/json emits its keys sorted, keeping exports deterministic.
+type ExportSpan struct {
+	Name    string           `json:"name"`
+	StartNS int64            `json:"start_ns"`
+	DurNS   int64            `json:"dur_ns"`
+	Attrs   map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Export converts completed traces (oldest first) to the v1 document.
+func Export(traces []*Trace) ExportDoc {
+	doc := ExportDoc{Schema: Schema, Traces: make([]ExportTrace, 0, len(traces))}
+	for _, t := range traces {
+		et := ExportTrace{
+			ID:      t.ID.String(),
+			Kind:    t.Kind.String(),
+			Err:     t.Err,
+			StartNS: t.Start.UnixNano(),
+			WallNS:  t.Wall.Nanoseconds(),
+			Spans:   make([]ExportSpan, 0, len(t.Spans)),
+		}
+		if !t.Link.IsZero() {
+			et.Link = t.Link.String()
+		}
+		for _, sp := range t.Spans {
+			es := ExportSpan{Name: sp.Name, StartNS: sp.Start.Nanoseconds(), DurNS: sp.Dur.Nanoseconds()}
+			if len(sp.Attrs) > 0 {
+				es.Attrs = make(map[string]int64, len(sp.Attrs))
+				for _, at := range sp.Attrs {
+					es.Attrs[at.Key] += at.Value
+				}
+			}
+			et.Spans = append(et.Spans, es)
+		}
+		doc.Traces = append(doc.Traces, et)
+	}
+	return doc
+}
+
+// Decode parses and validates a v1 export document.
+func Decode(b []byte) (*ExportDoc, error) {
+	var doc ExportDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("trace: decode export: %w", err)
+	}
+	if err := ValidateExport(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// ValidateExport checks the structural contract of a v1 document: schema
+// string, well-formed IDs, closed-enum kinds, named spans within the
+// trace's wall time, and typed (int64) attributes — the last is enforced
+// by the ExportSpan type itself, so a document with string attribute
+// values fails to unmarshal before reaching this check.
+func ValidateExport(doc *ExportDoc) error {
+	if doc.Schema != Schema {
+		return fmt.Errorf("trace: schema %q, want %q", doc.Schema, Schema)
+	}
+	for i := range doc.Traces {
+		t := &doc.Traces[i]
+		if _, err := ParseID(t.ID); err != nil {
+			return fmt.Errorf("trace %d: bad id %q", i, t.ID)
+		}
+		if t.Link != "" {
+			if _, err := ParseID(t.Link); err != nil {
+				return fmt.Errorf("trace %d: bad link %q", i, t.Link)
+			}
+		}
+		if _, ok := KindFromString(t.Kind); !ok {
+			return fmt.Errorf("trace %d: unknown kind %q", i, t.Kind)
+		}
+		if t.WallNS < 0 {
+			return fmt.Errorf("trace %d: negative wall", i)
+		}
+		for j := range t.Spans {
+			sp := &t.Spans[j]
+			if sp.Name == "" {
+				return fmt.Errorf("trace %d span %d: empty name", i, j)
+			}
+			if sp.StartNS < 0 || sp.DurNS < 0 {
+				return fmt.Errorf("trace %d span %q: negative offset", i, sp.Name)
+			}
+			if sp.StartNS > t.WallNS {
+				return fmt.Errorf("trace %d span %q: starts after trace end", i, sp.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the store's resident traces as a v1 document. Reads are
+// non-destructive (Snapshot), so repeated fetches and a live waterfall
+// viewer see consistent data; the ring's drop-oldest policy bounds memory.
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		traces := s.Snapshot()
+		sort.Slice(traces, func(a, b int) bool { return traces[a].Seq < traces[b].Seq })
+		doc := Export(traces)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}

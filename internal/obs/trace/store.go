@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Store is a bounded lock-free ring buffer of completed traces. Add never
+// blocks the request path: on overflow it overwrites (drops) the oldest
+// trace and counts the drop. Readers drain concurrently with writers.
+type Store struct {
+	slots   []atomic.Pointer[Trace]
+	head    atomic.Uint64
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewStore builds a ring with the given capacity (minimum 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Add publishes a completed trace, assigning its sequence number. On
+// overflow the oldest resident trace is dropped; Add never blocks.
+func (s *Store) Add(t *Trace) {
+	t.Seq = s.seq.Add(1)
+	i := (s.head.Add(1) - 1) % uint64(len(s.slots))
+	if old := s.slots[i].Swap(t); old != nil {
+		s.dropped.Add(1)
+	}
+}
+
+// Drain removes and returns all resident traces, oldest first. It is safe
+// to call concurrently with Add; a trace is returned by exactly one of
+// the ring (later Drain/Snapshot) or this call.
+func (s *Store) Drain() []*Trace {
+	out := make([]*Trace, 0, len(s.slots))
+	for i := range s.slots {
+		if t := s.slots[i].Swap(nil); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Snapshot returns the resident traces, oldest first, without removing
+// them.
+func (s *Store) Snapshot() []*Trace {
+	out := make([]*Trace, 0, len(s.slots))
+	for i := range s.slots {
+		if t := s.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Len reports the number of resident traces.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.slots {
+		if s.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped reports how many traces were overwritten before being read.
+func (s *Store) Dropped() uint64 { return s.dropped.Load() }
+
+// Capacity reports the ring size.
+func (s *Store) Capacity() int { return len(s.slots) }

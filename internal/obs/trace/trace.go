@@ -1,0 +1,150 @@
+// Package trace implements per-statement distributed tracing for the
+// Always Encrypted reproduction: each client statement carries a 16-byte
+// trace ID from the driver over TDS into the engine, and every lifecycle
+// phase, enclave crossing and storage wait records a span against it.
+//
+// The leakage contract (§2.6 strong adversary) extends to traces: span
+// attributes are typed — string keys name the attribute, values are int64
+// only (timings, counts, tallies). There is deliberately no string-valued
+// attribute type, so parameter or cell plaintext cannot be smuggled into a
+// trace; statement *kinds* are a closed enum. The obsleak analyzer enforces
+// the same property statically on the recording call sites.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"time"
+)
+
+// ID is a per-statement trace identifier. It is minted from crypto/rand in
+// the driver and rides the TDS request frame; a zero ID means "untraced".
+type ID [16]byte
+
+// NewID mints a random trace ID.
+func NewID() ID {
+	var id ID
+	if _, err := rand.Read(id[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID only
+		// means the statement goes untraced, so degrade instead of panic.
+		return ID{}
+	}
+	return id
+}
+
+// IsZero reports whether the ID is the zero (untraced) ID.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ErrBadID is returned for trace IDs that are not exactly 16 bytes /
+// 32 hex digits. The TDS server rejects oversized trace-context fields
+// with this error before they can bloat a frame.
+var ErrBadID = errors.New("trace: malformed trace ID")
+
+// ParseID parses a 32-hex-digit trace ID.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if len(s) != 2*len(id) {
+		return ID{}, ErrBadID
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return ID{}, ErrBadID
+	}
+	return id, nil
+}
+
+// IDFromBytes validates a wire-format trace ID. Empty input is a valid
+// "no trace context" (old clients never send the field); any other length
+// except 16 is malformed.
+func IDFromBytes(b []byte) (ID, error) {
+	var id ID
+	switch len(b) {
+	case 0:
+		return ID{}, nil
+	case len(id):
+		copy(id[:], b)
+		return id, nil
+	default:
+		return ID{}, ErrBadID
+	}
+}
+
+// Kind is the statement kind of a trace — the only classification a trace
+// export carries about what the statement was. It is a closed enum so the
+// export surface stays free of query text.
+type Kind uint8
+
+// Statement kinds.
+const (
+	KindUnknown Kind = iota
+	KindSelect
+	KindInsert
+	KindUpdate
+	KindDelete
+	KindBegin
+	KindCommit
+	KindRollback
+	KindDDL
+	KindRedo // replica redo apply, linked to the originating statement
+)
+
+var kindNames = [...]string{
+	KindUnknown:  "unknown",
+	KindSelect:   "select",
+	KindInsert:   "insert",
+	KindUpdate:   "update",
+	KindDelete:   "delete",
+	KindBegin:    "begin",
+	KindCommit:   "commit",
+	KindRollback: "rollback",
+	KindDDL:      "ddl",
+	KindRedo:     "redo",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString is the inverse of Kind.String (export validation).
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return KindUnknown, false
+}
+
+// Attr is one typed span attribute. Values are int64 only — counts,
+// byte sizes, tallies, nanosecond durations — never free-form strings.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one completed phase of a trace: a name, offsets relative to the
+// trace start, and typed attributes.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from trace start
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Trace is one completed statement trace.
+type Trace struct {
+	ID    ID
+	Link  ID // originating trace for replica redo traces; zero otherwise
+	Seq   uint64
+	Kind  Kind
+	Err   bool
+	Start time.Time
+	Wall  time.Duration
+	Spans []Span
+}

@@ -11,6 +11,7 @@ import (
 
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/tds"
 )
 
@@ -186,17 +187,51 @@ func (r *Replica) run() {
 			r.applyMu.Unlock()
 			return
 		}
+		// Redo tracing: WAL records carry the originating statement's trace
+		// ID, so each contiguous run of same-origin records becomes one
+		// replica-side trace whose Link points back at the primary trace —
+		// a cross-node statement→redo join with no extra wire traffic.
+		tracer := r.cfg.Engine.Tracer()
+		var redoAct *trace.Active
+		var redoSpan trace.SpanRef
+		var redoOrigin trace.ID
+		var redoRecs int64
+		finishRedo := func() {
+			if redoAct != nil {
+				redoSpan.Attr("records", redoRecs)
+				redoSpan.End()
+				redoAct.Finish(nil)
+				redoAct, redoRecs = nil, 0
+			}
+		}
 		for i := range batch.Records {
 			rec := &batch.Records[i]
+			if tracer != nil && rec.Trace != redoOrigin {
+				finishRedo()
+				redoOrigin = rec.Trace
+				if !redoOrigin.IsZero() {
+					redoAct = tracer.Start(trace.ID{}, trace.KindRedo)
+					redoAct.SetLink(redoOrigin)
+					redoSpan = redoAct.StartSpan("redo.apply")
+					redoRecs = 0
+				}
+			}
 			// Mirror into the local log first: on restart the replica replays
 			// its own WAL from scratch, so the log is the source of truth.
 			wal.AppendAt(*rec)
 			if err := r.applier.Apply(rec); err != nil {
+				if redoAct != nil {
+					redoSpan.End()
+					redoAct.Finish(err)
+				}
 				r.applyMu.Unlock()
 				r.fail(err)
 				return
 			}
+			redoRecs++
 		}
+		finishRedo()
+		redoOrigin = trace.ID{}
 		applied := r.applier.AppliedLSN()
 		r.applyMu.Unlock()
 		r.redoBatch.Inc()

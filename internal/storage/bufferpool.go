@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"alwaysencrypted/internal/obs"
 )
@@ -28,6 +30,12 @@ type BufferPool struct {
 	misses  *obs.Counter
 	evicts  *obs.Counter
 	flushNS *obs.Histogram // per-page write-back latency (evict + checkpoint)
+	stallNS *obs.Histogram // per-miss read stall (time blocked in ReadPage)
+
+	// stallTotal accumulates miss-stall nanoseconds (monotonic, atomic).
+	// The engine snapshots it around a statement and attributes the delta
+	// to the statement's trace — see MissStallNS.
+	stallTotal atomic.Int64
 }
 
 // Frame is a cached page plus pin/dirty bookkeeping. Latch must be held
@@ -71,6 +79,7 @@ func NewBufferPoolObs(store PageStore, capacity int, reg *obs.Registry) *BufferP
 		misses:  reg.Counter("storage.pool.misses"),
 		evicts:  reg.Counter("storage.pool.evictions"),
 		flushNS: reg.Histogram("storage.pool.flush_ns"),
+		stallNS: reg.Histogram("storage.pool.miss_stall_ns"),
 	}
 	reg.GaugeFunc("storage.pool.frames", func() int64 {
 		b.mu.Lock()
@@ -107,8 +116,15 @@ func (b *BufferPool) Fetch(id PageID) (*Frame, error) {
 	f.Latch.Lock()
 	b.mu.Unlock()
 	// Read outside the pool lock; the frame is pinned so it cannot vanish.
+	// The stall is timed unconditionally (a miss is I/O-bound, one clock
+	// read pair is noise): the cumulative total feeds per-statement trace
+	// attribution even when histogram timing is switched off.
+	start := time.Now()
 	err = b.store.ReadPage(id, f.page.Bytes())
+	stall := time.Since(start)
 	f.Latch.Unlock()
+	b.stallTotal.Add(stall.Nanoseconds())
+	b.stallNS.Observe(stall.Nanoseconds())
 	if err != nil {
 		b.mu.Lock()
 		f.pins--
@@ -243,3 +259,12 @@ func (b *BufferPool) FlushAll() error {
 func (b *BufferPool) Stats() (hits, misses, evictions uint64) {
 	return b.hits.Value(), b.misses.Value(), b.evicts.Value()
 }
+
+// MissStallNS returns the cumulative nanoseconds Fetch callers have spent
+// blocked reading missed pages from the store. The engine snapshots it
+// before and after a statement and attributes the delta to the
+// statement's trace. Under concurrent sessions the delta is an upper
+// bound (another session's miss lands in whichever statements overlap
+// it); exact per-page attribution would mean threading trace state
+// through every page access, which the hot path cannot afford.
+func (b *BufferPool) MissStallNS() int64 { return b.stallTotal.Load() }

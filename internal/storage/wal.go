@@ -5,9 +5,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"alwaysencrypted/internal/obs/trace"
 )
 
 // RecType enumerates write-ahead log record types. Heap records carry
@@ -77,6 +80,13 @@ type Record struct {
 	// re-deriving it. A CLR heap insert restores into an exact slot
 	// (RestoreAt) rather than appending at the tail.
 	CLR bool
+	// Trace is the trace ID of the statement that produced this record
+	// (zero when untraced). It rides replication batches so replica redo
+	// apply can link back to the originating statement's trace; it is an
+	// opaque random ID — never derived from data — so shipping it leaks
+	// nothing beyond "these records belong to one statement", which the
+	// txn ID already reveals.
+	Trace trace.ID
 }
 
 // WAL is the write-ahead log: an append-only record sequence with monotonic
@@ -348,6 +358,7 @@ func (w *WAL) Serialize() []byte {
 		} else {
 			buf.WriteByte(0)
 		}
+		buf.Write(r.Trace[:])
 	}
 	return buf.Bytes()
 }
@@ -442,6 +453,9 @@ func LoadWAL(data []byte) (*WAL, error) {
 			return nil, ErrBadWAL
 		}
 		rec.CLR = clr[0] != 0
+		if _, err := io.ReadFull(r, rec.Trace[:]); err != nil {
+			return nil, ErrBadWAL
+		}
 		w.records = append(w.records, rec)
 	}
 	if len(w.records) > 0 {

@@ -25,6 +25,7 @@ import (
 
 	"alwaysencrypted/internal/attestation"
 	"alwaysencrypted/internal/engine"
+	"alwaysencrypted/internal/obs/trace"
 )
 
 // Request is the union of client→server messages; exactly one field is set.
@@ -44,10 +45,14 @@ type DescribeReq struct {
 }
 
 // ExecReq executes a parameterized statement. Parameter values are wire
-// encodings: ciphertext for encrypted parameters.
+// encodings: ciphertext for encrypted parameters. Trace is an optional
+// 16-byte client-minted trace ID: old clients omit it (gob drops absent
+// fields, the server mints an ID server-side), and old servers ignore it —
+// the field is wire-compatible in both directions.
 type ExecReq struct {
 	Query  string
 	Params map[string][]byte
+	Trace  []byte
 }
 
 // InstallCEKReq relays a sealed CEK envelope to the enclave.
@@ -196,6 +201,11 @@ func (s *Server) dispatch(sess *engine.Session, req *Request) *Response {
 		}
 		return &Response{Describe: &DescribeResp{Desc: *desc, Attestation: info, EnclaveSID: sid}}
 	case req.Exec != nil:
+		id, err := trace.IDFromBytes(req.Exec.Trace)
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("tds: bad trace context: %v", err)}
+		}
+		sess.SetTraceID(id)
 		rs, err := sess.Execute(req.Exec.Query, engine.Params(req.Exec.Params))
 		if err != nil {
 			return &Response{Err: err.Error()}
@@ -290,7 +300,18 @@ func (c *Conn) Describe(query string, clientDHPub []byte) (*DescribeResp, error)
 
 // Exec executes a parameterized statement.
 func (c *Conn) Exec(query string, params map[string][]byte) (*engine.ResultSet, error) {
-	resp, err := c.roundTrip(&Request{Exec: &ExecReq{Query: query, Params: params}})
+	return c.ExecTrace(query, params, trace.ID{})
+}
+
+// ExecTrace is Exec with an explicit trace context. A zero ID sends no
+// trace field (old-server compatible); a non-zero ID rides the request so
+// the server's trace of this statement carries the client-minted ID.
+func (c *Conn) ExecTrace(query string, params map[string][]byte, id trace.ID) (*engine.ResultSet, error) {
+	req := &ExecReq{Query: query, Params: params}
+	if !id.IsZero() {
+		req.Trace = id[:]
+	}
+	resp, err := c.roundTrip(&Request{Exec: req})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,207 @@
+package tpcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alwaysencrypted/internal/obs/trace"
+)
+
+// TraceExperimentConfig parameterizes the tracing experiment: the overhead
+// of per-statement tracing at the production sampling rate, and the
+// per-transaction-type attribution profile captured at full sampling.
+type TraceExperimentConfig struct {
+	Scale          Scale
+	Threads        int
+	Duration       time.Duration // measurement window per overhead arm
+	Warmup         time.Duration
+	SampleRate     float64 // overhead arm's head-sampling rate (default 0.01)
+	Reps           int     // interleaved baseline/traced pairs (default 3)
+	EnclaveThreads int
+}
+
+// RunTraceExperiment produces the BENCH_trace.json report on the
+// SQL-AE-RND-STOCK configuration — the mode whose Stock-Level transaction
+// routes its predicate through the enclave, so the captured traces show
+// the crossing spans the tracing subsystem exists to expose.
+//
+// The overhead arms interleave measurement windows on two identically
+// loaded worlds (tracing off vs on at SampleRate) so machine drift hits
+// both; the attribution arm runs the standard mix plus explicit Stock-Level
+// transactions on a third world sampling every statement.
+func RunTraceExperiment(cfg TraceExperimentConfig) (*TraceReport, error) {
+	if cfg.Scale.Warehouses == 0 {
+		cfg.Scale = DefaultScale()
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 0.01
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.EnclaveThreads == 0 {
+		cfg.EnclaveThreads = 4
+	}
+
+	rep := &TraceReport{Schema: TraceSchema, Mode: ModeRNDStock.String()}
+
+	baseline, err := newTraceWorld(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer baseline.Close()
+	traced, err := newTraceWorld(cfg, &trace.Policy{SampleRate: cfg.SampleRate})
+	if err != nil {
+		return nil, err
+	}
+	defer traced.Close()
+
+	var baseTPS, tracedTPS float64
+	for i := 0; i < cfg.Reps; i++ {
+		b, err := RunOnWorld(baseline, BenchConfig{
+			Mode: ModeRNDStock, Scale: cfg.Scale, Threads: cfg.Threads,
+			Duration: cfg.Duration, Warmup: cfg.Warmup})
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: trace baseline: %w", err)
+		}
+		tr, err := RunOnWorld(traced, BenchConfig{
+			Mode: ModeRNDStock, Scale: cfg.Scale, Threads: cfg.Threads,
+			Duration: cfg.Duration, Warmup: cfg.Warmup})
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: trace traced: %w", err)
+		}
+		baseTPS += b.Throughput
+		tracedTPS += tr.Throughput
+	}
+	baseTPS /= float64(cfg.Reps)
+	tracedTPS /= float64(cfg.Reps)
+	rep.Overhead = TraceOverhead{
+		SampleRate:  cfg.SampleRate,
+		BaselineTPS: baseTPS,
+		TracedTPS:   tracedTPS,
+		OverheadPct: 100 * (baseTPS - tracedTPS) / baseTPS,
+	}
+
+	tx, err := captureAttribution(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.TxTypes = tx
+	return rep, nil
+}
+
+func newTraceWorld(cfg TraceExperimentConfig, policy *trace.Policy) (*World, error) {
+	w, err := NewWorld(WorldOptions{
+		Mode: ModeRNDStock, Scale: cfg.Scale,
+		EnclaveThreads: cfg.EnclaveThreads, CTR: true, Trace: policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Load(); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("tpcc: load: %w", err)
+	}
+	return w, nil
+}
+
+// captureAttribution runs the workload with every statement traced and
+// per-terminal trace-ID collection on, then joins the client-side
+// transaction log to the server-side trace ring.
+func captureAttribution(cfg TraceExperimentConfig) (map[string]TraceTxStat, error) {
+	// Capacity must outlast the run: every statement (BEGIN and COMMIT
+	// included) is one kept trace at sample rate 1, and the ring drops
+	// oldest on overflow.
+	w, err := newTraceWorld(cfg, &trace.Policy{SampleRate: 1, Capacity: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	terminals := make([]*Terminal, cfg.Threads)
+	for i := range terminals {
+		conn, err := w.Connect(true, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		terminals[i] = NewTerminal(w, conn, 1+i%w.Scale.Warehouses, int64(2000+i))
+		terminals[i].CollectTraces = true
+	}
+
+	var stop atomic.Bool
+	timer := time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
+	defer timer.Stop()
+	var wg sync.WaitGroup
+	for _, term := range terminals {
+		wg.Add(1)
+		go func(t *Terminal) {
+			defer wg.Done()
+			for !stop.Load() {
+				_ = t.RunOne()
+			}
+		}(term)
+	}
+	wg.Wait()
+
+	// The mix visits Stock-Level only 4% of the time; run it explicitly so
+	// the acceptance anchor always has samples.
+	anchor := terminals[0]
+	for i := 0; i < 10; i++ {
+		anchor.conn.CollectTraceIDs(true)
+		if err := anchor.StockLevel(); err == nil {
+			anchor.Traces[TxStockLevel] = append(anchor.Traces[TxStockLevel],
+				anchor.conn.CollectedTraceIDs()...)
+		}
+	}
+
+	byID := make(map[string]*trace.ExportTrace)
+	doc := trace.Export(w.Engine.Tracer().Store().Drain())
+	for i := range doc.Traces {
+		byID[doc.Traces[i].ID] = &doc.Traces[i]
+	}
+
+	out := make(map[string]TraceTxStat, len(TxTypeNames))
+	for typ, name := range TxTypeNames {
+		var shares []float64
+		phaseNS := make(map[string]int64)
+		var wallNS int64
+		for _, term := range terminals {
+			for _, id := range term.Traces[typ] {
+				et, ok := byID[id.String()]
+				if !ok {
+					continue // dropped from the ring (overflow) — skip, don't fail
+				}
+				a := trace.Attribute(et)
+				shares = append(shares, a.Share())
+				for nm, st := range a.ByName {
+					phaseNS[nm] += st.ExclusiveNS
+				}
+				wallNS += a.WallNS
+			}
+		}
+		st := TraceTxStat{Traces: len(shares)}
+		if len(shares) > 0 {
+			sort.Float64s(shares)
+			st.AttributedShareP50 = shares[len(shares)/2]
+			st.AttributedShareP95 = shares[len(shares)*5/100]
+			st.PhaseShares = make(map[string]float64, len(phaseNS))
+			if wallNS > 0 {
+				for nm, ns := range phaseNS {
+					st.PhaseShares[nm] = float64(ns) / float64(wallNS)
+				}
+			}
+		}
+		out[name] = st
+	}
+	return out, nil
+}

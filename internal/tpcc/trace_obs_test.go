@@ -1,0 +1,58 @@
+package tpcc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTraceReportSchema runs a short trace experiment the way `make bench`
+// does, writes the artifact, validates it byte-for-byte, and checks the
+// acceptance anchor: a Stock-Level trace on SQL-AE-RND-STOCK must attribute
+// at least 95% of its wall time to named spans — the tracing subsystem's
+// "no dark time" guarantee on the enclave-heavy read.
+func TestTraceReportSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace experiment stands up three worlds")
+	}
+	rep, err := RunTraceExperiment(TraceExperimentConfig{
+		Threads: 2, Duration: 400 * time.Millisecond, Warmup: 100 * time.Millisecond,
+		Reps: 1, EnclaveThreads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_trace.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ValidateTraceReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if parsed.Mode != "SQL-AE-RND-STOCK" {
+		t.Fatalf("mode = %q", parsed.Mode)
+	}
+	stock := parsed.TxTypes["stock_level"]
+	if stock.Traces == 0 {
+		t.Fatal("no stock_level traces captured despite the explicit runs")
+	}
+	t.Logf("stock_level: %d traces, attributed share p50=%.3f p95=%.3f, phases=%v",
+		stock.Traces, stock.AttributedShareP50, stock.AttributedShareP95, stock.PhaseShares)
+	if stock.AttributedShareP50 < 0.95 {
+		t.Fatalf("stock_level median attributed share %.3f below the 0.95 acceptance floor",
+			stock.AttributedShareP50)
+	}
+	// The enclave-routed predicate must show up in the breakdown: Stock-Level
+	// statements cross the boundary, and the crossing span carries that time.
+	if stock.PhaseShares["enclave.crossing"] <= 0 {
+		t.Fatalf("stock_level phase shares missing enclave.crossing: %v", stock.PhaseShares)
+	}
+}

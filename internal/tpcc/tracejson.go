@@ -1,0 +1,129 @@
+package tpcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// TraceSchema identifies the BENCH_trace.json layout. Bump only with a new
+// suffix; downstream tooling keys on this string.
+const TraceSchema = "alwaysencrypted/tpcc-trace/v1"
+
+// TraceReport is the stable serialized form of the tracing experiment: what
+// per-statement tracing costs at the production sampling rate, and where
+// each TPC-C transaction type's wall time goes according to the traces —
+// the per-statement analog of the paper's Fig. 8 overhead breakdown.
+type TraceReport struct {
+	Schema string `json:"schema"`
+	Mode   string `json:"mode"`
+
+	Overhead TraceOverhead `json:"overhead"`
+
+	// TxTypes maps each transaction type to the attribution profile of its
+	// statements' server-side traces (captured at sample rate 1).
+	TxTypes map[string]TraceTxStat `json:"tx"`
+}
+
+// TraceOverhead compares throughput with tracing off against tracing at the
+// production sampling rate on identically-configured worlds.
+type TraceOverhead struct {
+	SampleRate  float64 `json:"sample_rate"`
+	BaselineTPS float64 `json:"baseline_tps"`
+	TracedTPS   float64 `json:"traced_tps"`
+	// OverheadPct is (baseline-traced)/baseline*100; negative values mean
+	// the difference drowned in run-to-run noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TraceTxStat profiles one transaction type over its captured traces.
+type TraceTxStat struct {
+	// Traces is how many server-side statement traces the type's committed
+	// transactions produced (every statement of a transaction is one trace).
+	Traces int `json:"traces"`
+	// AttributedShareP50/P95 are percentiles over per-trace attributed
+	// share — the fraction of each statement's wall time covered by named
+	// spans. P95 is the 5th percentile from the bottom: the share 95% of
+	// traces meet or beat.
+	AttributedShareP50 float64 `json:"attributed_share_p50"`
+	AttributedShareP95 float64 `json:"attributed_share_p95"`
+	// PhaseShares is each span name's exclusive time as a fraction of the
+	// type's total traced wall time.
+	PhaseShares map[string]float64 `json:"phase_shares"`
+}
+
+// WriteFile serializes the report to path (the BENCH_trace.json artifact).
+func (rep *TraceReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ValidateTraceReport checks the invariants downstream tooling relies on.
+// It parses from bytes so tests can validate the written artifact verbatim.
+func ValidateTraceReport(b []byte) (*TraceReport, error) {
+	var rep TraceReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("tpcc: trace report: %w", err)
+	}
+	if rep.Schema != TraceSchema {
+		return nil, fmt.Errorf("tpcc: trace report schema %q, want %q", rep.Schema, TraceSchema)
+	}
+	ov := rep.Overhead
+	if ov.SampleRate <= 0 || ov.SampleRate > 1 {
+		return nil, fmt.Errorf("tpcc: trace report sample rate %g out of (0,1]", ov.SampleRate)
+	}
+	if ov.BaselineTPS <= 0 || ov.TracedTPS <= 0 {
+		return nil, fmt.Errorf("tpcc: trace report throughput missing: %+v", ov)
+	}
+	want := 100 * (ov.BaselineTPS - ov.TracedTPS) / ov.BaselineTPS
+	if math.Abs(ov.OverheadPct-want) > 1e-6 {
+		return nil, fmt.Errorf("tpcc: trace report overhead %g inconsistent with %g/%g tps",
+			ov.OverheadPct, ov.BaselineTPS, ov.TracedTPS)
+	}
+	captured := 0
+	for _, name := range TxTypeNames {
+		st, ok := rep.TxTypes[name]
+		if !ok {
+			return nil, fmt.Errorf("tpcc: trace report missing tx section %q", name)
+		}
+		if st.Traces == 0 {
+			continue
+		}
+		captured++
+		for _, s := range []float64{st.AttributedShareP50, st.AttributedShareP95} {
+			if s < 0 || s > 1 {
+				return nil, fmt.Errorf("tpcc: %s: attribution share %g out of [0,1]", name, s)
+			}
+		}
+		if st.AttributedShareP95 > st.AttributedShareP50 {
+			return nil, fmt.Errorf("tpcc: %s: p95 share %g above p50 %g (p95 is the low tail)",
+				name, st.AttributedShareP95, st.AttributedShareP50)
+		}
+		if len(st.PhaseShares) == 0 {
+			return nil, fmt.Errorf("tpcc: %s: captured %d traces but no phase shares", name, st.Traces)
+		}
+		var sum float64
+		for phase, share := range st.PhaseShares {
+			if share < 0 || share > 1 {
+				return nil, fmt.Errorf("tpcc: %s: phase %q share %g out of [0,1]", name, phase, share)
+			}
+			sum += share
+		}
+		if sum > 1+1e-6 {
+			return nil, fmt.Errorf("tpcc: %s: phase shares sum to %g > 1", name, sum)
+		}
+	}
+	// Stock-Level is the acceptance anchor (the enclave-heavy read), and the
+	// experiment runs it explicitly, so it must always be captured.
+	if st, ok := rep.TxTypes[TxTypeNames[TxStockLevel]]; !ok || st.Traces == 0 {
+		return nil, fmt.Errorf("tpcc: trace report captured no stock_level traces")
+	}
+	if captured == 0 {
+		return nil, fmt.Errorf("tpcc: trace report captured no traces at all")
+	}
+	return &rep, nil
+}

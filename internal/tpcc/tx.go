@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
 )
 
@@ -24,6 +25,13 @@ type Terminal struct {
 	Committed int
 	Aborted   int
 	ByType    [5]int
+
+	// CollectTraces turns on per-statement trace-ID collection: every
+	// committed transaction's statement IDs are appended to Traces under
+	// its type, joining client-side transactions to server-side traces
+	// (the trace experiment's attribution capture).
+	CollectTraces bool
+	Traces        [5][]trace.ID
 }
 
 // Transaction type indexes for ByType.
@@ -49,6 +57,9 @@ var errIntentionalRollback = errors.New("tpcc: intentional rollback (invalid ite
 // per-type histogram.
 func (t *Terminal) RunOne() error {
 	roll := t.rng.Intn(100)
+	if t.CollectTraces {
+		t.conn.CollectTraceIDs(true)
+	}
 	start := t.world.Obs.Now()
 	var err error
 	var typ int
@@ -68,6 +79,9 @@ func (t *Terminal) RunOne() error {
 		t.world.latHists[typ].ObserveSince(start)
 		t.Committed++
 		t.ByType[typ]++
+		if t.CollectTraces {
+			t.Traces[typ] = append(t.Traces[typ], t.conn.CollectedTraceIDs()...)
+		}
 		return nil
 	}
 	t.Aborted++

@@ -14,6 +14,7 @@ import (
 	"alwaysencrypted/internal/engine"
 	"alwaysencrypted/internal/keys"
 	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/tds"
 )
 
@@ -55,6 +56,10 @@ type WorldOptions struct {
 	// evaluation; 0 uses engine.DefaultBatchSize. The batch ablation
 	// (-experiment batch) sweeps it.
 	BatchSize int
+	// Trace enables per-statement tracing with the given policy; nil leaves
+	// the world untraced. The trace experiment (-experiment trace) uses it
+	// for both the overhead comparison and the attribution capture.
+	Trace *trace.Policy
 }
 
 // CEKName is the single CEK used for all encrypted columns (§5.3).
@@ -112,8 +117,12 @@ func NewWorld(opt WorldOptions) (*World, error) {
 		MinHostVersion:    10,
 	}
 
+	var tracer *trace.Tracer
+	if opt.Trace != nil {
+		tracer = trace.NewTracer(*opt.Trace)
+	}
 	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR, Obs: w.Obs,
-		BatchSize: opt.BatchSize})
+		BatchSize: opt.BatchSize, Tracer: tracer})
 	w.Server = tds.NewServer(w.Engine)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
