@@ -17,9 +17,14 @@ vet:
 # after the diagnostics, so a red `make verify` shows where the findings
 # concentrate without re-running anything. Set AELINT_JSON=<path> to also
 # write the machine-readable findings report (per-analyzer counts and
-# durations); CI uploads it as an artifact.
+# durations); CI uploads it as an artifact. Every analyzer must finish
+# within AELINT_BUDGET of wall time across the whole tree — the suite is
+# meant to run on every commit, and a pass that quietly becomes quadratic
+# fails the build rather than the developers' patience.
+AELINT_BUDGET ?= 30s
+
 lint:
-	$(GO) run ./cmd/aelint $(if $(AELINT_JSON),-json $(AELINT_JSON)) ./...
+	$(GO) run ./cmd/aelint -budget $(AELINT_BUDGET) $(if $(AELINT_JSON),-json $(AELINT_JSON)) $(if $(AELINT_GITHUB),-github) ./...
 
 test:
 	$(GO) test ./...

@@ -3,17 +3,21 @@
 // "Trust-boundary enforcement"): properties the type system cannot express —
 // state-thread discipline, plaintext containment, boundary signatures, lock
 // ordering, key-material hygiene, constant-time comparison, IV provenance,
-// secret escape and retention, atomic-access consistency — are enforced here
-// and wired into `make verify`.
+// secret escape and retention, atomic-access consistency, and the typestate
+// protocols (attestation ordering, enclave lifecycle, failover reset,
+// resource pairing) — are enforced here and wired into `make verify`.
 //
 // Usage:
 //
-//	aelint [-list] [-json report.json] [packages]
+//	aelint [-list] [-json report.json] [-github] [-budget 30s] [packages]
 //
 // Packages default to ./... . Findings print as
-// file:line:col: analyzer: message, and any finding makes the exit status 1
-// with a per-analyzer finding count on stderr. A finding can be waived with
-// a justified line directive:
+// file:line:col: analyzer: message — the form GitHub's problem matchers
+// annotate — in a deterministic order (file, line, column, analyzer,
+// message), and any finding makes the exit status 1 with a per-analyzer
+// finding count on stderr. With -github, each finding is additionally
+// emitted as a ::error workflow command so GitHub annotates the diff without
+// a matcher. A finding can be waived with a justified line directive:
 //
 //	//aelint:ignore <analyzer> reason=<why this is safe>
 //
@@ -21,7 +25,9 @@
 // themselves findings (reported under the pseudo-analyzer "ignorepolicy").
 // With -json, a machine-readable report — per-analyzer finding counts and
 // wall-clock durations plus the finding list — is written to the given path
-// for CI artifact upload; the human-readable output is unchanged.
+// for CI artifact upload; the human-readable output is unchanged. With
+// -budget, any single analyzer whose total wall time exceeds the budget
+// fails the run: the suite is meant to stay fast enough for every commit.
 package main
 
 import (
@@ -29,18 +35,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"alwaysencrypted/internal/lint/analysis"
 	"alwaysencrypted/internal/lint/atomicmix"
+	"alwaysencrypted/internal/lint/attestchain"
 	"alwaysencrypted/internal/lint/boundaryapi"
 	"alwaysencrypted/internal/lint/callgraph"
 	"alwaysencrypted/internal/lint/ctcompare"
+	"alwaysencrypted/internal/lint/enclavelifecycle"
 	"alwaysencrypted/internal/lint/enclavestate"
+	"alwaysencrypted/internal/lint/failoverprotocol"
 	"alwaysencrypted/internal/lint/ivsanity"
 	"alwaysencrypted/internal/lint/keyzero"
 	"alwaysencrypted/internal/lint/lockorder"
 	"alwaysencrypted/internal/lint/obsleak"
+	"alwaysencrypted/internal/lint/pairing"
 	"alwaysencrypted/internal/lint/plaintextflow"
 	"alwaysencrypted/internal/lint/secretescape"
 	"alwaysencrypted/internal/lint/secretretain"
@@ -58,6 +69,10 @@ var analyzers = []*analysis.Analyzer{
 	secretescape.Analyzer,
 	secretretain.Analyzer,
 	atomicmix.Analyzer,
+	attestchain.Analyzer,
+	enclavelifecycle.Analyzer,
+	failoverprotocol.Analyzer,
+	pairing.Analyzer,
 }
 
 // ignorePolicy is the pseudo-analyzer name for directive-audit findings:
@@ -66,11 +81,11 @@ const ignorePolicy = "ignorepolicy"
 
 // report is the -json output, schema "alwaysencrypted/aelint-report/v1".
 type report struct {
-	Schema    string           `json:"schema"`
-	Packages  []string         `json:"packages"`
-	Findings  int              `json:"findings"`
+	Schema    string            `json:"schema"`
+	Packages  []string          `json:"packages"`
+	Findings  int               `json:"findings"`
 	Analyzers []*analyzerReport `json:"analyzers"`
-	Details   []finding        `json:"details,omitempty"`
+	Details   []finding         `json:"details,omitempty"`
 }
 
 type analyzerReport struct {
@@ -83,17 +98,65 @@ type finding struct {
 	Analyzer string `json:"analyzer"`
 	Position string `json:"position"`
 	Message  string `json:"message"`
+
+	file      string
+	line, col int
+}
+
+// sortFindings orders findings deterministically: file, line, column,
+// analyzer, message. CI report diffs must not churn with package
+// iteration or analyzer registration order.
+func sortFindings(fs []finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := &fs[i], &fs[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// githubAnnotation renders one finding as a GitHub Actions workflow
+// command, so findings annotate the PR diff without a problem matcher.
+func githubAnnotation(f *finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s: %s", f.file, f.line, f.col, f.Analyzer, f.Message)
+}
+
+// overBudget returns the analyzers whose accumulated wall time exceeds
+// the per-analyzer budget.
+func overBudget(ars []*analyzerReport, budget time.Duration) []*analyzerReport {
+	if budget <= 0 {
+		return nil
+	}
+	var out []*analyzerReport
+	for _, ar := range ars {
+		if time.Duration(ar.DurationMS)*time.Millisecond > budget {
+			out = append(out, ar)
+		}
+	}
+	return out
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonPath := flag.String("json", "", "write a JSON findings report to this path")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations too")
+	budget := flag.Duration("budget", 0, "fail if any single analyzer exceeds this wall time (0 = no budget)")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
 		}
-		fmt.Printf("%-15s %s\n", ignorePolicy, "audit //aelint:ignore directives: reasons mandatory, no dead or unknown waivers")
+		fmt.Printf("%-17s %s\n", ignorePolicy, "audit //aelint:ignore directives: reasons mandatory, no dead or unknown waivers")
 		return
 	}
 	patterns := flag.Args()
@@ -122,13 +185,19 @@ func main() {
 	auditRep := &analyzerReport{Name: ignorePolicy}
 	perAnalyzer[ignorePolicy] = auditRep
 	rep.Analyzers = append(rep.Analyzers, auditRep)
-	emit := func(pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+	collect := func(pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
 		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos).String()
-			fmt.Printf("%s: %s: %s\n", pos, name, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
 			rep.Findings++
 			perAnalyzer[name].Findings++
-			rep.Details = append(rep.Details, finding{Analyzer: name, Position: pos, Message: d.Message})
+			rep.Details = append(rep.Details, finding{
+				Analyzer: name,
+				Position: pos.String(),
+				Message:  d.Message,
+				file:     pos.Filename,
+				line:     pos.Line,
+				col:      pos.Column,
+			})
 		}
 	}
 	for _, pkg := range pkgs {
@@ -141,13 +210,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "aelint: %s: %s: %v\n", pkg.PkgPath, a.Name, err)
 				os.Exit(2)
 			}
-			emit(pkg, a.Name, diags)
+			collect(pkg, a.Name, diags)
 		}
 		// Directive audit runs after every analyzer has had its chance to
 		// mark directives used — an unused one is a dead waiver.
 		start := time.Now()
-		emit(pkg, ignorePolicy, analysis.IgnoreFindings(pkg, known))
+		collect(pkg, ignorePolicy, analysis.IgnoreFindings(pkg, known))
 		auditRep.DurationMS += time.Since(start).Milliseconds()
+	}
+	sortFindings(rep.Details)
+	for i := range rep.Details {
+		f := &rep.Details[i]
+		fmt.Printf("%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+		if *github {
+			fmt.Println(githubAnnotation(f))
+		}
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -159,13 +236,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	exit := 0
+	if over := overBudget(rep.Analyzers, *budget); len(over) > 0 {
+		for _, ar := range over {
+			fmt.Fprintf(os.Stderr, "aelint: analyzer %s took %dms, over the %s budget\n", ar.Name, ar.DurationMS, *budget)
+		}
+		exit = 1
+	}
 	if rep.Findings > 0 {
 		fmt.Fprintf(os.Stderr, "aelint: %d finding(s)\n", rep.Findings)
 		for _, ar := range rep.Analyzers {
 			if ar.Findings > 0 {
-				fmt.Fprintf(os.Stderr, "aelint:   %-15s %d\n", ar.Name, ar.Findings)
+				fmt.Fprintf(os.Stderr, "aelint:   %-17s %d\n", ar.Name, ar.Findings)
 			}
 		}
-		os.Exit(1)
+		exit = 1
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestAnalyzerRoster pins the registered analyzer set: the four
+// typestate protocol analyzers ride alongside the original eleven, and
+// the ignore-directive audit knows every name (an //aelint:ignore for
+// anything else is itself a finding).
+func TestAnalyzerRoster(t *testing.T) {
+	want := []string{
+		"enclavestate", "plaintextflow", "boundaryapi", "lockorder",
+		"obsleak", "keyzero", "ctcompare", "ivsanity", "secretescape",
+		"secretretain", "atomicmix", "attestchain", "enclavelifecycle",
+		"failoverprotocol", "pairing",
+	}
+	if len(analyzers) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(analyzers), len(want))
+	}
+	for i, a := range analyzers {
+		if a.Name != want[i] {
+			t.Errorf("analyzers[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+}
+
+// TestSortFindings pins the deterministic finding order: file, line,
+// column, analyzer, message — independent of discovery order.
+func TestSortFindings(t *testing.T) {
+	fs := []finding{
+		{Analyzer: "pairing", Message: "m", file: "b.go", line: 3, col: 1},
+		{Analyzer: "keyzero", Message: "m", file: "a.go", line: 9, col: 2},
+		{Analyzer: "pairing", Message: "m", file: "a.go", line: 9, col: 1},
+		{Analyzer: "attestchain", Message: "m", file: "a.go", line: 9, col: 1},
+		{Analyzer: "attestchain", Message: "a msg", file: "b.go", line: 3, col: 1},
+		{Analyzer: "attestchain", Message: "b msg", file: "b.go", line: 3, col: 1},
+	}
+	sortFindings(fs)
+	got := make([]string, len(fs))
+	for i, f := range fs {
+		got[i] = f.file + "|" + f.Analyzer + "|" + f.Message
+	}
+	want := []string{
+		"a.go|attestchain|m",
+		"a.go|pairing|m",
+		"a.go|keyzero|m",
+		"b.go|attestchain|a msg",
+		"b.go|attestchain|b msg",
+		"b.go|pairing|m",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReportGolden pins the -json report shape and its deterministic
+// ordering against a golden file. Regenerate with UPDATE_GOLDEN=1.
+func TestReportGolden(t *testing.T) {
+	rep := report{
+		Schema:   "alwaysencrypted/aelint-report/v1",
+		Packages: []string{"alwaysencrypted/driver", "alwaysencrypted/storage"},
+		Findings: 3,
+		Analyzers: []*analyzerReport{
+			{Name: "attestchain", Findings: 1, DurationMS: 12},
+			{Name: "pairing", Findings: 2, DurationMS: 7},
+		},
+		Details: []finding{
+			{Analyzer: "pairing", Position: "storage/pool.go:88:2", Message: "pinned buffer-pool frame not unpinned on every path", file: "storage/pool.go", line: 88, col: 2},
+			{Analyzer: "attestchain", Position: "driver/conn.go:41:9", Message: "CEK released to server without attestation verified", file: "driver/conn.go", line: 41, col: 9},
+			{Analyzer: "pairing", Position: "storage/pool.go:17:5", Message: "buffer-pool frame unpinned twice on one path", file: "storage/pool.go", line: 17, col: 5},
+		},
+	}
+	sortFindings(rep.Details)
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "golden_report.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if string(want) != string(data) {
+		t.Errorf("report JSON drifted from golden file:\ngot:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+// TestGithubAnnotation pins the ::error workflow-command form.
+func TestGithubAnnotation(t *testing.T) {
+	f := finding{Analyzer: "pairing", Message: "frame write latch not unlocked on every path", file: "storage/frame.go", line: 12, col: 3}
+	got := githubAnnotation(&f)
+	want := "::error file=storage/frame.go,line=12,col=3::pairing: frame write latch not unlocked on every path"
+	if got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+// TestOverBudget pins the per-analyzer wall-time budget check.
+func TestOverBudget(t *testing.T) {
+	ars := []*analyzerReport{
+		{Name: "fast", DurationMS: 10},
+		{Name: "slow", DurationMS: 5000},
+	}
+	if got := overBudget(ars, 0); got != nil {
+		t.Errorf("no budget should disable the check, got %v", got)
+	}
+	got := overBudget(ars, 1*time.Second)
+	if len(got) != 1 || got[0].Name != "slow" {
+		t.Errorf("overBudget = %v, want just slow", got)
+	}
+	if got := overBudget(ars, 10*time.Second); len(got) != 0 {
+		t.Errorf("generous budget flagged %v", got)
+	}
+}

@@ -1,0 +1,12 @@
+package attestchain_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/attestchain"
+)
+
+func TestAttestChain(t *testing.T) {
+	analysistest.Run(t, "testdata", attestchain.Analyzer, "driver")
+}

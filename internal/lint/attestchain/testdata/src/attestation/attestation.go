@@ -1,0 +1,11 @@
+// Package attestation is an analysistest stub of the attestation
+// verifier.
+package attestation
+
+type Info struct{ Quote []byte }
+
+type Policy struct{}
+
+func (p *Policy) Verify(info *Info, dhPub []byte) ([32]byte, error) {
+	return [32]byte{}, nil
+}

@@ -1,0 +1,40 @@
+package driver
+
+import (
+	"attestation"
+	"enclave"
+)
+
+// Handshake is the ordered happy path: verify, seal, install.
+func (c *Conn) Handshake(info *attestation.Info, cek []byte) error {
+	secret, err := c.policy.Verify(info, nil)
+	if err != nil {
+		return err
+	}
+	c.secret = secret
+	sealed, err := enclave.SealForSession(c.secret, 1, "cek", cek)
+	if err != nil {
+		return err
+	}
+	return c.tds.InstallCEK("k1", 1, sealed)
+}
+
+// Reattest re-establishes verification after a failover before any CEK
+// is released to the (possibly different) server.
+func (c *Conn) Reattest(info *attestation.Info, sealed []byte) error {
+	if !c.failover() {
+		return nil
+	}
+	if _, err := c.policy.Verify(info, nil); err != nil {
+		return err
+	}
+	return c.tds.InstallCEK("k1", 2, sealed)
+}
+
+// Authorize requires the same level once it is established.
+func (c *Conn) AuthorizeDDL(info *attestation.Info, sealed []byte) error {
+	if _, err := c.policy.Verify(info, nil); err != nil {
+		return err
+	}
+	return c.tds.Authorize(1, sealed)
+}

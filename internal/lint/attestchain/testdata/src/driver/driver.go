@@ -1,0 +1,15 @@
+// Package driver mirrors the repo driver's attestation surface.
+package driver
+
+import (
+	"attestation"
+	"tds"
+)
+
+type Conn struct {
+	policy *attestation.Policy
+	tds    *tds.Conn
+	secret [32]byte
+}
+
+func (c *Conn) failover() bool { return true }

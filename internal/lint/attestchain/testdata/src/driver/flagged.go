@@ -1,0 +1,44 @@
+package driver
+
+import "attestation"
+
+// InstallDirect releases a CEK without ever verifying attestation.
+func (c *Conn) InstallDirect(sealed []byte) error {
+	return c.tds.InstallCEK("k1", 1, sealed) // want "CEK released to server without attestation verified"
+}
+
+// SkippedVerify verifies only when an attestation doc happens to be
+// present; the install runs either way, so one path is unverified.
+func (c *Conn) SkippedVerify(info *attestation.Info, sealed []byte) error {
+	if info != nil {
+		if _, err := c.policy.Verify(info, nil); err != nil {
+			return err
+		}
+	}
+	return c.tds.InstallCEK("k1", 1, sealed) // want "CEK released to server without attestation verified"
+}
+
+// IgnoreVerdict discards the attestation verdict: indistinguishable
+// from skipping verification.
+func (c *Conn) IgnoreVerdict(info *attestation.Info) {
+	c.policy.Verify(info, nil) // want "attestation verdict must be checked: error result of Verify discarded"
+}
+
+// ReconnectBad fails over and reuses the old session's trust on the
+// new server.
+func (c *Conn) ReconnectBad(sealed []byte) error {
+	if _, err := c.policy.Verify(nil, nil); err != nil {
+		return err
+	}
+	if !c.failover() {
+		return nil
+	}
+	return c.tds.InstallCEK("k1", 1, sealed) // want "CEK released to server without attestation verified .protocol state reset at"
+}
+
+// reconnectHelper is unexported, but an install after a definite reset
+// is a violation regardless of what the caller established.
+func (c *Conn) reconnectHelper(sealed []byte) error {
+	c.failover()
+	return c.tds.Authorize(1, sealed) // want "statement authorized without attestation verified .protocol state reset at"
+}

@@ -1,0 +1,7 @@
+// Package enclave is an analysistest stub of the client-side sealing
+// helper.
+package enclave
+
+func SealForSession(secret [32]byte, counter uint64, label string, payload []byte) ([]byte, error) {
+	return payload, nil
+}

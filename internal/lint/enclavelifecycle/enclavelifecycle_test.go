@@ -1,0 +1,12 @@
+package enclavelifecycle_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/enclavelifecycle"
+)
+
+func TestEnclaveLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", enclavelifecycle.Analyzer, "core")
+}

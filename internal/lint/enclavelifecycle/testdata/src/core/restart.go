@@ -1,0 +1,66 @@
+// Package core mirrors the repo's enclave restart path.
+package core
+
+import (
+	"enclave"
+	"engine"
+)
+
+type Server struct {
+	Engine  *engine.Engine
+	Enclave *enclave.Enclave
+}
+
+// RestartEnclave mirrors the fixed repo path: replace, then invalidate
+// plans before anything can evaluate a stale expression handle.
+func RestartEnclave(s *Server) {
+	old := s.Enclave
+	fresh := enclave.New()
+	s.Engine.ReplaceEnclave(fresh)
+	s.Engine.InvalidatePlans()
+	s.Enclave = fresh
+	old.Close()
+}
+
+// RestartStale reintroduces the PR 2 stale-plan bug: the plan cache
+// keeps expression handles minted by the old enclave.
+func RestartStale(s *Server) {
+	fresh := enclave.New()
+	s.Engine.ReplaceEnclave(fresh) // want "enclave replaced without invalidating cached plans"
+	s.Enclave = fresh
+}
+
+// invalidateVia discharges the caller's obligation through its
+// must-release summary.
+func invalidateVia(s *Server) {
+	s.Engine.InvalidatePlans()
+}
+
+// RestartViaHelper delegates the invalidation to a same-package
+// helper: clean only because summaries are interprocedural.
+func RestartViaHelper(s *Server) {
+	s.Engine.ReplaceEnclave(enclave.New())
+	invalidateVia(s)
+}
+
+// CloseThenServe uses a closed enclave.
+func CloseThenServe(e *enclave.Enclave) error {
+	e.Close()
+	_, err := e.NewSession(nil) // want "use of closed enclave"
+	return err
+}
+
+// CloseMaybe closes on one branch and then serves on the merged path:
+// a may-use-after-close.
+func CloseMaybe(e *enclave.Enclave, drain bool) error {
+	if drain {
+		e.Close()
+	}
+	return e.InstallCEK(1, nil) // want "use of closed enclave"
+}
+
+// ServeThenClose is the legitimate teardown order.
+func ServeThenClose(e *enclave.Enclave) {
+	_, _ = e.NewSession(nil)
+	e.Close()
+}

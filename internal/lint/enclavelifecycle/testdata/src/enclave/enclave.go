@@ -1,0 +1,21 @@
+// Package enclave is an analysistest stub of the enclave host surface.
+package enclave
+
+type Enclave struct{}
+
+func New() *Enclave { return &Enclave{} }
+
+func (e *Enclave) Close() {}
+
+func (e *Enclave) NewSession(pub []byte) (uint64, error)            { return 1, nil }
+func (e *Enclave) InstallCEK(sid uint64, blob []byte) error         { return nil }
+func (e *Enclave) AuthorizeStatement(sid uint64, stmt string) error { return nil }
+func (e *Enclave) RegisterExpression(sid uint64, expr string) (uint64, error) {
+	return 0, nil
+}
+func (e *Enclave) EvalExpression(h uint64, args [][]byte) ([]byte, error) {
+	return nil, nil
+}
+func (e *Enclave) EvalExpressionBatch(h uint64, rows [][][]byte) ([][]byte, error) {
+	return nil, nil
+}

@@ -1,0 +1,9 @@
+// Package engine is an analysistest stub of the plan-cache owner.
+package engine
+
+import "enclave"
+
+type Engine struct{ enc *enclave.Enclave }
+
+func (g *Engine) ReplaceEnclave(e *enclave.Enclave) { g.enc = e }
+func (g *Engine) InvalidatePlans()                  {}

@@ -1,0 +1,12 @@
+package failoverprotocol_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/failoverprotocol"
+)
+
+func TestFailoverProtocol(t *testing.T) {
+	analysistest.Run(t, "testdata", failoverprotocol.Analyzer, "driver")
+}

@@ -1,0 +1,31 @@
+// Package driver mirrors the repo driver's reconnect surface.
+package driver
+
+import "errors"
+
+// ErrIndeterminate reports a statement whose outcome was lost to a
+// failover mid-flight.
+var ErrIndeterminate = errors.New("driver: statement outcome indeterminate")
+
+type transport struct{}
+
+func dial() (*transport, error) { return &transport{}, nil }
+
+// Cache is the describe-result cache; entries embed enclave session
+// state and die with the session.
+type Cache struct{}
+
+func (c *Cache) invalidateDescribes() {}
+
+type Conn struct {
+	tds           *transport
+	hasSecret     bool
+	secret        [32]byte
+	dh            *byte
+	installedCEKs map[string]struct{}
+	caches        *Cache
+}
+
+func (c *Conn) execOnce(q string) (rows int, sent bool, err error) {
+	return 0, false, nil
+}

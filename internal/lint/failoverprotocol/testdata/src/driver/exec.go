@@ -1,0 +1,45 @@
+package driver
+
+import "fmt"
+
+// Exec mirrors the repo driver: retry read-only statements once after
+// failover, surface ErrIndeterminate for in-flight DML.
+func (c *Conn) Exec(q string, dml bool) (int, error) {
+	rows, sent, err := c.execOnce(q)
+	if err == nil {
+		return rows, nil
+	}
+	if sent && dml {
+		c.failover()
+		return 0, fmt.Errorf("%w: %v", ErrIndeterminate, err)
+	}
+	if c.failover() {
+		rows, _, err = c.execOnce(q)
+	}
+	return rows, err
+}
+
+// ExecSwallow drops the statement outcome after failover: no retry, no
+// ErrIndeterminate.
+func (c *Conn) ExecSwallow(q string) (int, error) {
+	rows, sent, err := c.execOnce(q)
+	if err == nil || !sent {
+		return rows, err
+	}
+	c.failover() // want "failover not followed by a retry or ErrIndeterminate"
+	return rows, nil
+}
+
+// ExecForever resends transparently until the statement sticks —
+// exactly what exactly-once forbids.
+func (c *Conn) ExecForever(q string) (int, error) {
+	for {
+		rows, _, err := c.execOnce(q) // want "statement executed more than 2 times on one path"
+		if err == nil {
+			return rows, nil
+		}
+		if !c.failover() {
+			return 0, err
+		}
+	}
+}

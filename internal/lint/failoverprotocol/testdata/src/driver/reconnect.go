@@ -1,0 +1,52 @@
+package driver
+
+// failover mirrors the repo's full reset: swapping the transport
+// obligates clearing the secret, the installed-CEK set, the DH key,
+// and the describe cache before returning.
+func (c *Conn) failover() bool {
+	nc, err := dial()
+	if err != nil {
+		return false
+	}
+	c.tds = nc
+	c.hasSecret = false
+	c.secret = [32]byte{}
+	c.dh = nil
+	c.installedCEKs = make(map[string]struct{})
+	c.caches.invalidateDescribes()
+	return true
+}
+
+// reconnectNoCEKReset swaps the transport but keeps the old session's
+// installed-CEK bookkeeping.
+func (c *Conn) reconnectNoCEKReset(nc *transport) {
+	c.tds = nc // want "without resetting the installed-CEK set"
+	c.hasSecret = false
+	c.dh = nil
+	c.caches.invalidateDescribes()
+}
+
+// reconnectNoCacheInvalidate keeps describe results from the dead
+// session.
+func (c *Conn) reconnectNoCacheInvalidate(nc *transport) {
+	c.tds = nc // want "without invalidating cached describe results"
+	c.hasSecret = false
+	c.dh = nil
+	c.installedCEKs = nil
+}
+
+// reconnectNoSecretClear leaves hasSecret set across the swap.
+func (c *Conn) reconnectNoSecretClear(nc *transport) {
+	c.tds = nc // want "without clearing the session secret"
+	c.installedCEKs = nil
+	c.dh = nil
+	c.caches.invalidateDescribes()
+}
+
+// reconnectNoDHReset reuses the old client DH key with the new server.
+func (c *Conn) reconnectNoDHReset(nc *transport) {
+	c.tds = nc // want "without discarding the client DH key"
+	c.hasSecret = false
+	c.installedCEKs = nil
+	c.caches.invalidateDescribes()
+}

@@ -1,0 +1,109 @@
+// Package pairing statically enforces acquire/release discipline for
+// the storage and engine resources whose imbalance deadlocks or leaks
+// rather than crashes:
+//
+//   - buffer-pool pins: every Fetch/NewPage/NewPageAt result must be
+//     Unpinned on every exit path (error-return paths while the pin's
+//     error is still unchecked are exempt), never double-unpinned, and
+//     never discarded unbound;
+//   - frame latches: Frame.Latch Lock/Unlock and RLock/RUnlock must
+//     pair on every path;
+//   - WAL stream pins: PinStream/UnpinStream pair per stream id;
+//     re-pinning is legitimate (progress updates), and functions that
+//     never unpin locally (the ack goroutine) are owned elsewhere;
+//   - arena pins: rowBatcher.pinned = true must be cleared on every
+//     path, or join outer-row cells pin the arena forever;
+//   - FrameWriter poison: Write/Flush errors are how the sticky poison
+//     surfaces — discarding them writes to a poisoned stream blind.
+package pairing
+
+import (
+	"alwaysencrypted/internal/lint/analysis"
+	"alwaysencrypted/internal/lint/typestate"
+)
+
+var spec = &typestate.Spec{
+	Name: "pairing",
+	Doc:  "acquire/release pairing for buffer-pool pins, frame latches, WAL stream pins and arena pins; FrameWriter errors must be checked",
+	Resources: []typestate.Resource{
+		{
+			Name: "framepin",
+			Acquire: []typestate.CallPat{
+				{Pkg: "storage", Recv: "BufferPool", Name: "Fetch"},
+				{Pkg: "storage", Recv: "BufferPool", Name: "NewPage"},
+				{Pkg: "storage", Recv: "BufferPool", Name: "NewPageAt"},
+			},
+			AcquireKey: typestate.IdentResult,
+			Release: []typestate.CallPat{
+				{Pkg: "storage", Recv: "BufferPool", Name: "Unpin"},
+			},
+			ReleaseKey: 0,
+			LeakMsg:    "pinned buffer-pool frame not unpinned on every path",
+			DoubleMsg:  "buffer-pool frame unpinned twice on one path",
+		},
+		{
+			Name: "framelatch",
+			Acquire: []typestate.CallPat{
+				{Pkg: "storage", Recv: "Frame", Field: "Latch", Name: "Lock"},
+			},
+			AcquireKey: typestate.IdentRecv,
+			Release: []typestate.CallPat{
+				{Pkg: "storage", Recv: "Frame", Field: "Latch", Name: "Unlock"},
+			},
+			ReleaseKey: typestate.IdentRecv,
+			LeakMsg:    "frame write latch not unlocked on every path",
+			DoubleMsg:  "frame write latch unlocked twice on one path",
+		},
+		{
+			Name: "framerlatch",
+			Acquire: []typestate.CallPat{
+				{Pkg: "storage", Recv: "Frame", Field: "Latch", Name: "RLock"},
+			},
+			AcquireKey: typestate.IdentRecv,
+			Release: []typestate.CallPat{
+				{Pkg: "storage", Recv: "Frame", Field: "Latch", Name: "RUnlock"},
+			},
+			ReleaseKey: typestate.IdentRecv,
+			LeakMsg:    "frame read latch not unlocked on every path",
+			DoubleMsg:  "frame read latch unlocked twice on one path",
+		},
+		{
+			Name: "streampin",
+			Acquire: []typestate.CallPat{
+				{Pkg: "storage", Recv: "WAL", Name: "PinStream"},
+			},
+			AcquireKey: 0,
+			Release: []typestate.CallPat{
+				{Pkg: "storage", Recv: "WAL", Name: "UnpinStream"},
+			},
+			ReleaseKey:            0,
+			Reentrant:             true,
+			LeakNeedsLocalRelease: true,
+			LeakMsg:               "WAL stream pinned but not unpinned on every path: truncation stalls behind a dead replica",
+		},
+		{
+			Name: "arenapin",
+			AcquireSet: []typestate.FieldPat{
+				{Pkg: "engine", Recv: "rowBatcher", Field: "pinned", Value: "true"},
+			},
+			ReleaseSet: []typestate.FieldPat{
+				{Pkg: "engine", Recv: "rowBatcher", Field: "pinned", Value: "false"},
+			},
+			LeakMsg: "rowBatcher.pinned set without a clearing path: arena cells stay pinned after the join",
+		},
+	},
+	MustCheck: []typestate.MustCheck{
+		{
+			Call: typestate.CallPat{Pkg: "tds", Recv: "FrameWriter", Name: "Write"},
+			Msg:  "FrameWriter poison surfaces through its error",
+		},
+		{
+			Call: typestate.CallPat{Pkg: "tds", Recv: "FrameWriter", Name: "Flush"},
+			Msg:  "FrameWriter poison surfaces through its error",
+		},
+	},
+}
+
+// Analyzer enforces acquire/release pairing across the storage and
+// engine layers.
+var Analyzer *analysis.Analyzer = typestate.NewAnalyzer(spec)

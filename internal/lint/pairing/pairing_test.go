@@ -1,0 +1,12 @@
+package pairing_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/pairing"
+)
+
+func TestPairing(t *testing.T) {
+	analysistest.Run(t, "testdata", pairing.Analyzer, "bufuse", "engine", "tds")
+}

@@ -1,0 +1,45 @@
+package bufuse
+
+import "storage"
+
+// readPage is the canonical pin discipline: error path exits while the
+// pin is still pending, everything else unpins via defer.
+func readPage(bp *storage.BufferPool, id storage.PageID) ([]byte, error) {
+	f, err := bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	defer bp.Unpin(f, false)
+	f.Latch.RLock()
+	data := append([]byte(nil), f.Data()...)
+	f.Latch.RUnlock()
+	return data, nil
+}
+
+// writePage pairs the write latch and unpins dirty on both exits.
+func writePage(bp *storage.BufferPool, id storage.PageID, p []byte) error {
+	f, err := bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	copy(f.Data(), p)
+	f.Latch.Unlock()
+	bp.Unpin(f, true)
+	return nil
+}
+
+// ackGoroutine pins a WAL stream it never unpins locally: the pin is
+// owned by the session teardown path, so no leak is reported here
+// (LeakNeedsLocalRelease).
+func ackGoroutine(w *storage.WAL, id string, ack uint64) {
+	w.PinStream(id, ack)
+}
+
+// progress re-pins the same stream to advance its ack LSN: re-pinning
+// is legitimate (Reentrant), and one unpin covers both.
+func progress(w *storage.WAL, id string) {
+	w.PinStream(id, 0)
+	w.PinStream(id, 7)
+	w.UnpinStream(id)
+}

@@ -1,0 +1,63 @@
+package bufuse
+
+import "storage"
+
+// leakOnEarlyReturn unpins on the fall-through path only; the cond
+// early return leaks the pin. The error return while the pin's error
+// is unchecked is exempt.
+func leakOnEarlyReturn(bp *storage.BufferPool, id storage.PageID, cond bool) error {
+	f, err := bp.Fetch(id) // want "pinned buffer-pool frame not unpinned on every path"
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	bp.Unpin(f, false)
+	return nil
+}
+
+// doubleUnpin releases the same pin twice on one path.
+func doubleUnpin(bp *storage.BufferPool, id storage.PageID) {
+	f, _ := bp.Fetch(id)
+	bp.Unpin(f, false)
+	bp.Unpin(f, false) // want "buffer-pool frame unpinned twice on one path"
+}
+
+// discard drops the pinned frame on the floor: nothing can ever
+// release it.
+func discard(bp *storage.BufferPool, id storage.PageID) {
+	bp.Fetch(id) // want "result of Fetch discarded"
+}
+
+// blankFrame binds the pinned frame to _: same leak, different
+// spelling.
+func blankFrame(bp *storage.BufferPool, t uint8) {
+	_, _ = bp.NewPage(t) // want "result assigned to _"
+}
+
+// latchLeak returns with the write latch held on the cond path.
+func latchLeak(f *storage.Frame, cond bool) {
+	f.Latch.Lock() // want "frame write latch not unlocked on every path"
+	if cond {
+		return
+	}
+	f.Latch.Unlock()
+}
+
+// rlatchDouble releases the read latch twice.
+func rlatchDouble(f *storage.Frame) {
+	f.Latch.RLock()
+	f.Latch.RUnlock()
+	f.Latch.RUnlock() // want "frame read latch unlocked twice on one path"
+}
+
+// streamLeak has a local unpin, so the early return that skips it is a
+// real leak, not an ownership transfer.
+func streamLeak(w *storage.WAL, id string, cond bool) {
+	w.PinStream(id, 0) // want "WAL stream pinned but not unpinned on every path"
+	if cond {
+		return
+	}
+	w.UnpinStream(id)
+}

@@ -1,0 +1,27 @@
+package bufuse
+
+import "storage"
+
+// unpinVia releases its frame parameter; callers' obligations are
+// discharged through its must-release summary.
+func unpinVia(bp *storage.BufferPool, f *storage.Frame) {
+	bp.Unpin(f, false)
+}
+
+// helperClean delegates the unpin to a same-package helper.
+func helperClean(bp *storage.BufferPool, id storage.PageID) error {
+	f, err := bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	unpinVia(bp, f)
+	return nil
+}
+
+// helperDouble releases through the helper and then again directly:
+// only the summary makes this visible.
+func helperDouble(bp *storage.BufferPool, id storage.PageID) {
+	f, _ := bp.Fetch(id)
+	unpinVia(bp, f)
+	bp.Unpin(f, false) // want "buffer-pool frame unpinned twice on one path"
+}

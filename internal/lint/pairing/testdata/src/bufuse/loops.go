@@ -1,0 +1,48 @@
+package bufuse
+
+import "storage"
+
+// scanAll holds one pin across the loop and releases after it: clean.
+func scanAll(bp *storage.BufferPool, ids []storage.PageID) (int, error) {
+	f, err := bp.Fetch(ids[0])
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for range ids {
+		n += len(f.Data())
+	}
+	bp.Unpin(f, false)
+	return n, nil
+}
+
+// releaseInLoop acquires before the loop but releases inside it: the
+// second iteration unpins an already-released frame.
+func releaseInLoop(bp *storage.BufferPool, ids []storage.PageID) {
+	f, _ := bp.Fetch(ids[0])
+	for range ids {
+		bp.Unpin(f, false) // want "buffer-pool frame unpinned twice on one path"
+	}
+}
+
+// reacquireInLoop overwrites a still-held pin every iteration and
+// leaks the last one at exit.
+func reacquireInLoop(bp *storage.BufferPool, ids []storage.PageID) {
+	for _, id := range ids {
+		f, _ := bp.Fetch(id) // want "framepin reacquired before release" "pinned buffer-pool frame not unpinned on every path"
+		_ = f.Data()
+	}
+}
+
+// pinPerIteration releases inside the same iteration that acquired:
+// clean loop-carried state.
+func pinPerIteration(bp *storage.BufferPool, ids []storage.PageID) error {
+	for _, id := range ids {
+		f, err := bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		bp.Unpin(f, false)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package engine stubs the join arena pin protocol: rowBatcher.pinned
+// = true pins outer-row cells in the arena until it is cleared.
+package engine
+
+type cellArena struct{}
+
+type rowBatcher struct {
+	arena  *cellArena
+	pinned bool
+}
+
+// drainOK pins the arena for the batch and clears the pin on the
+// deferred path, mirroring the repo's join.
+func drainOK(b *rowBatcher) {
+	b.pinned = true
+	defer func() {
+		b.pinned = false
+	}()
+}
+
+// drainInline clears on the straight-line path.
+func drainInline(b *rowBatcher) {
+	b.pinned = true
+	b.pinned = false
+}
+
+// drainLeak pins and returns early without clearing: arena cells stay
+// pinned after the join.
+func drainLeak(b *rowBatcher, spill bool) {
+	b.pinned = true // want "arena cells stay pinned"
+	if spill {
+		return
+	}
+	b.pinned = false
+}

@@ -1,0 +1,26 @@
+// Package storage is an analysistest stub of the repo's storage layer:
+// just enough surface for the pairing spec's patterns to resolve.
+package storage
+
+import "sync"
+
+type PageID uint64
+
+type Frame struct {
+	Latch sync.RWMutex
+	data  []byte
+}
+
+func (f *Frame) Data() []byte { return f.data }
+
+type BufferPool struct{}
+
+func (b *BufferPool) Fetch(id PageID) (*Frame, error)                  { return &Frame{}, nil }
+func (b *BufferPool) NewPage(class uint8) (*Frame, error)              { return &Frame{}, nil }
+func (b *BufferPool) NewPageAt(id PageID, class uint8) (*Frame, error) { return &Frame{}, nil }
+func (b *BufferPool) Unpin(f *Frame, dirty bool)                       {}
+
+type WAL struct{}
+
+func (w *WAL) PinStream(id string, ackLSN uint64) {}
+func (w *WAL) UnpinStream(id string)              {}

@@ -1,0 +1,22 @@
+// Package tds stubs the poisoned frame writer: Write/Flush errors are
+// how the sticky poison surfaces, so discarding them is flagged.
+package tds
+
+type FrameWriter struct{ poisoned bool }
+
+func (w *FrameWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *FrameWriter) Flush() error                { return nil }
+
+// relayBad discards poison verdicts two ways.
+func relayBad(w *FrameWriter, p []byte) {
+	w.Flush()         // want "FrameWriter poison surfaces through its error: error result of Flush discarded"
+	_, _ = w.Write(p) // want "FrameWriter poison surfaces through its error: error result of Write assigned to _"
+}
+
+// relayOK consumes both errors.
+func relayOK(w *FrameWriter, p []byte) error {
+	if _, err := w.Write(p); err != nil {
+		return err
+	}
+	return w.Flush()
+}

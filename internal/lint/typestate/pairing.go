@@ -1,0 +1,890 @@
+package typestate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alwaysencrypted/internal/lint/cfg"
+	"alwaysencrypted/internal/lint/dataflow"
+	"alwaysencrypted/internal/lint/taint"
+)
+
+// pairKey names one tracked obligation: the (root object, selector
+// path) chain of the acquired value plus the resource index. Terminals
+// use negative res indices (-(terminal index + 1)); singletons use a
+// nil root.
+type pairKey struct {
+	root types.Object
+	path string
+	res  int
+}
+
+// Pairing phases. pending is an acquire whose error result has not
+// been checked yet (an error-return exit while pending is exempt from
+// the leak report); any later use of the object promotes it to held.
+// maybe is the merge of a released path with a holding one — neither a
+// leak nor a definite double release.
+const (
+	phasePending int8 = iota + 1
+	phaseHeld
+	phaseReleased
+	phaseMaybe
+	phaseKilled
+)
+
+type pairState struct {
+	phase int8
+	pos   token.Pos // acquire position (kill position for terminals)
+}
+
+type pairFact map[pairKey]pairState
+
+// pairLat is a may-join lattice over obligation maps: an obligation
+// acquired on one incoming path is still an obligation after the
+// merge, and released+holding merges to maybe.
+type pairLat struct {
+	seed pairFact
+}
+
+func (l pairLat) Bottom() pairFact {
+	return l.Clone(l.seed)
+}
+
+func (l pairLat) Clone(f pairFact) pairFact {
+	cp := make(pairFact, len(f))
+	for k, v := range f {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (l pairLat) Join(dst, src pairFact) (pairFact, bool) {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		nv := joinState(dv, sv)
+		if nv != dv {
+			dst[k] = nv
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func joinState(a, b pairState) pairState {
+	pos := a.pos
+	if pos == 0 || (b.pos != 0 && b.pos < pos) {
+		pos = b.pos
+	}
+	return pairState{phase: joinPhase(a.phase, b.phase), pos: pos}
+}
+
+func joinPhase(a, b int8) int8 {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case b == phaseKilled:
+		return phaseKilled
+	case b == phaseMaybe:
+		return phaseMaybe
+	case a == phasePending && b == phaseHeld:
+		return phaseHeld
+	case b == phaseReleased:
+		// pending/held on one path, released on the other.
+		return phaseMaybe
+	}
+	return b
+}
+
+// relKey is one entry of a must-release summary: parameter slot
+// (slotRecv for the receiver) × resource.
+type relKey struct {
+	slot int
+	res  int
+}
+
+const slotRecv = -2
+
+// releaseSummary records which parameters a function definitely
+// releases on every exit path.
+type releaseSummary struct {
+	released map[relKey]bool
+}
+
+// runPairing runs the pairing machine: must-release summaries first
+// (two passes), then every function body and every function literal as
+// its own obligation scope.
+func (c *checker) runPairing() {
+	c.report = false
+	for pass := 0; pass < 2; pass++ {
+		c.funcDecls(func(fd *ast.FuncDecl, obj *types.Func) {
+			c.releaseSums[obj] = c.summarizeRelease(fd)
+		})
+	}
+	c.funcDecls(func(fd *ast.FuncDecl, _ *types.Func) {
+		c.pairAnalyze(fd.Body)
+		for _, lit := range funcLitsIn(fd.Body) {
+			c.pairAnalyze(lit.Body)
+		}
+	})
+}
+
+func funcLitsIn(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// pairAnalyze checks one body: fixpoint silently, replay with
+// reporting for double-release / reacquire / use-after-kill, then
+// per-exit-path leak checks.
+func (c *checker) pairAnalyze(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := pairLat{}
+	c.report = false
+	res := dataflow.Forward(g, lat, c.pairTransfer)
+	c.report = true
+	res.Replay(func(pairFact, ast.Node) {})
+	c.report = false
+
+	localRelease := map[int]bool{}
+	for ri := range c.spec.Resources {
+		if c.spec.Resources[ri].LeakNeedsLocalRelease {
+			localRelease[ri] = c.hasLocalRelease(body, ri)
+		}
+	}
+	res.AtExit(func(blk *cfg.Block, out pairFact) {
+		for k, st := range out {
+			if k.res < 0 || (st.phase != phaseHeld && st.phase != phasePending) {
+				continue
+			}
+			r := &c.spec.Resources[k.res]
+			if r.LeakNeedsLocalRelease && !localRelease[k.res] {
+				continue
+			}
+			if st.phase == phasePending && errorReturnPath(c.info, blk) {
+				continue
+			}
+			c.reportf(st.pos, "%s", r.LeakMsg)
+		}
+	})
+}
+
+// hasLocalRelease reports whether body syntactically contains any
+// release form of resource ri (closures included).
+func (c *checker) hasLocalRelease(body *ast.BlockStmt, ri int) bool {
+	r := &c.spec.Resources[ri]
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for pi := range r.Release {
+				if _, ok := c.matchCall(&r.Release[pi], n); ok {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				for pi := range r.ReleaseSet {
+					if _, ok := c.matchFieldSet(&r.ReleaseSet[pi], lhs, nil); ok {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			for pi := range r.ReleaseUse {
+				if c.matchIdent(&r.ReleaseUse[pi], n) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// errorReturnPath reports whether the exit-reaching block ends in a
+// return whose error-typed result is anything but the nil identifier.
+func errorReturnPath(info *types.Info, blk *cfg.Block) bool {
+	if len(blk.Nodes) == 0 {
+		return false
+	}
+	ret, ok := blk.Nodes[len(blk.Nodes)-1].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		tv, ok := info.Types[res]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if id, isID := res.(*ast.Ident); isID && id.Name == "nil" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// ---- transfer ----
+
+func (c *checker) pairTransfer(f pairFact, n ast.Node) pairFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.pairAssign(f, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, isVS := spec.(*ast.ValueSpec); isVS && len(vs.Values) > 0 {
+					c.pairDecl(f, vs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		c.pairDefer(f, n)
+	case *ast.GoStmt:
+		c.pairGoStmt(f, n)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			c.pairScan(f, res)
+			c.pairEscapeExpr(f, res)
+		}
+	case *ast.SendStmt:
+		c.pairScan(f, n.Chan)
+		c.pairScan(f, n.Value)
+		c.pairEscapeExpr(f, n.Value)
+	case *ast.RangeStmt:
+		c.pairScan(f, n.X)
+	case *ast.TypeSwitchStmt:
+		if n.Assign != nil {
+			c.pairScan(f, n.Assign)
+		}
+	case *ast.ExprStmt:
+		c.pairScan(f, n.X)
+	default:
+		c.pairScan(f, n)
+	}
+	return f
+}
+
+// pairScan walks an expression tree (function literals opaque),
+// applying ident promotion/discharge, call semantics and escapes.
+func (c *checker) pairScan(f pairFact, n ast.Node) {
+	if n == nil {
+		return
+	}
+	taint.WalkNoFuncLit(n, func(node ast.Node) {
+		switch node := node.(type) {
+		case *ast.Ident:
+			c.pairIdent(f, node)
+		case *ast.CallExpr:
+			c.pairCall(f, node)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				c.pairEscapeExpr(f, node.X)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				c.pairEscapeExpr(f, elt)
+			}
+		}
+	})
+}
+
+// pairIdent applies per-mention effects: ReleaseUse discharges, and
+// any use of a pending object's root promotes it to held.
+func (c *checker) pairIdent(f pairFact, id *ast.Ident) {
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		for pi := range r.ReleaseUse {
+			if !c.matchIdent(&r.ReleaseUse[pi], id) {
+				continue
+			}
+			for k, st := range f {
+				if k.res == ri && (st.phase == phasePending || st.phase == phaseHeld) {
+					f[k] = pairState{phase: phaseReleased, pos: st.pos}
+				}
+			}
+		}
+	}
+	obj := c.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	for k, st := range f {
+		if k.root == obj && st.phase == phasePending {
+			f[k] = pairState{phase: phaseHeld, pos: st.pos}
+		}
+	}
+}
+
+func (c *checker) pairCall(f pairFact, call *ast.CallExpr) {
+	matched := false
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		for pi := range r.Release {
+			if base, ok := c.matchCall(&r.Release[pi], call); ok {
+				matched = true
+				if key, kok := c.pairKeyFor(r, ri, r.ReleaseKey, call, base); kok {
+					c.pairRelease(f, r, key, call.Pos(), true)
+				}
+			}
+		}
+		for pi := range r.Acquire {
+			if base, ok := c.matchCall(&r.Acquire[pi], call); ok {
+				matched = true
+				if r.AcquireKey == IdentResult {
+					if !c.bound[call] && c.report {
+						c.reportf(call.Pos(), "%s: result of %s discarded, nothing can release it", r.LeakMsg, r.Acquire[pi].Name)
+					}
+					continue
+				}
+				if key, kok := c.pairKeyFor(r, ri, r.AcquireKey, call, base); kok {
+					c.pairAcquire(f, r, key, call.Pos(), len(errorResultIndexes(c.info, call)) > 0)
+				}
+			}
+		}
+	}
+	for ti := range c.spec.Terminals {
+		t := &c.spec.Terminals[ti]
+		if base, ok := c.matchCall(&t.Kill, call); ok {
+			matched = true
+			if key, kok := c.termKey(ti, base); kok {
+				f[key] = pairState{phase: phaseKilled, pos: call.Pos()}
+			}
+		}
+		for ui := range t.Use {
+			if base, ok := c.matchCall(&t.Use[ui], call); ok {
+				matched = true
+				if key, kok := c.termKey(ti, base); kok {
+					if st, sok := f[key]; sok && st.phase == phaseKilled && c.report {
+						c.reportf(call.Pos(), "%s (closed at %s)", t.Msg, c.pass.Fset.Position(st.pos))
+					}
+				}
+			}
+		}
+	}
+	if !matched {
+		c.pairUnknownCall(f, call)
+	}
+}
+
+// pairUnknownCall handles a call outside the spec: arguments that name
+// tracked objects either discharge through the callee's must-release
+// summary or escape; the receiver is a borrow unless the summary
+// releases it.
+func (c *checker) pairUnknownCall(f pairFact, call *ast.CallExpr) {
+	fn := taint.CalleeFunc(c.info, call)
+	var sum *releaseSummary
+	if fn != nil && fn.Pkg() == c.pass.Pkg {
+		sum = c.releaseSums[fn]
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if root, _, rok := chainOf(c.info, sel.X); rok {
+			c.calleeEffect(f, root, sum, slotRecv, false)
+		}
+	}
+	for i, arg := range call.Args {
+		if root, _, rok := chainOf(c.info, arg); rok {
+			c.calleeEffect(f, root, sum, i, true)
+		}
+	}
+}
+
+func (c *checker) calleeEffect(f pairFact, root types.Object, sum *releaseSummary, slot int, escapes bool) {
+	for k, st := range f {
+		if k.root != root || k.res < 0 {
+			continue
+		}
+		if st.phase != phaseHeld && st.phase != phasePending {
+			continue
+		}
+		r := &c.spec.Resources[k.res]
+		if sum != nil && sum.released[relKey{slot, k.res}] {
+			f[k] = pairState{phase: phaseReleased, pos: st.pos}
+			continue
+		}
+		// Protocol obligations (RootIdentity, singletons) never escape:
+		// handing the object to a helper does not satisfy them.
+		if escapes && !r.RootIdentity && r.AcquireKey != IdentSingleton {
+			delete(f, k)
+		}
+	}
+}
+
+func (c *checker) pairAcquire(f pairFact, r *Resource, key pairKey, pos token.Pos, pending bool) {
+	if st, ok := f[key]; ok && (st.phase == phaseHeld || st.phase == phasePending) && !r.Reentrant {
+		if c.report {
+			c.reportf(pos, "%s reacquired before release (previous acquisition at %s never released)",
+				r.Name, c.pass.Fset.Position(st.pos))
+		}
+	}
+	ph := phaseHeld
+	if pending || r.AcquirePending {
+		ph = phasePending
+	}
+	f[key] = pairState{phase: ph, pos: pos}
+}
+
+func (c *checker) pairRelease(f pairFact, r *Resource, key pairKey, pos token.Pos, reportDouble bool) {
+	st, ok := f[key]
+	if !ok {
+		// Releasing something this scope never acquired (a parameter,
+		// a field set elsewhere): not an obligation here, but a second
+		// release of it is still a double release.
+		f[key] = pairState{phase: phaseReleased, pos: pos}
+		return
+	}
+	if (st.phase == phaseReleased || st.phase == phaseMaybe) && !r.Idempotent && !r.Reentrant {
+		if c.report && reportDouble {
+			c.reportf(pos, "%s", r.DoubleMsg)
+		}
+	}
+	f[key] = pairState{phase: phaseReleased, pos: st.pos}
+}
+
+func (c *checker) pairKeyFor(r *Resource, ri, keySel int, call *ast.CallExpr, base ast.Expr) (pairKey, bool) {
+	switch {
+	case keySel == IdentSingleton:
+		return pairKey{res: ri}, true
+	case keySel == IdentRecv:
+		return c.keyFromExpr(r, ri, base)
+	case keySel >= 0 && keySel < len(call.Args):
+		return c.keyFromExpr(r, ri, call.Args[keySel])
+	}
+	return pairKey{}, false
+}
+
+func (c *checker) keyFromExpr(r *Resource, ri int, e ast.Expr) (pairKey, bool) {
+	if e == nil {
+		return pairKey{}, false
+	}
+	root, path, ok := chainOf(c.info, e)
+	if !ok {
+		return pairKey{}, false
+	}
+	if r.RootIdentity {
+		path = ""
+	}
+	return pairKey{root: root, path: path, res: ri}, true
+}
+
+func (c *checker) termKey(ti int, base ast.Expr) (pairKey, bool) {
+	if base == nil {
+		return pairKey{}, false
+	}
+	root, path, ok := chainOf(c.info, base)
+	if !ok {
+		return pairKey{}, false
+	}
+	return pairKey{root: root, path: path, res: -(ti + 1)}, true
+}
+
+// pairEscapeExpr removes ownership obligations whose chain the
+// expression names (returned, stored away, sent, address-taken).
+// Protocol obligations are exempt: they must be discharged, not moved.
+func (c *checker) pairEscapeExpr(f pairFact, e ast.Expr) {
+	root, path, ok := chainOf(c.info, e)
+	if !ok {
+		return
+	}
+	for k := range f {
+		if k.root != root || k.res < 0 {
+			continue
+		}
+		r := &c.spec.Resources[k.res]
+		if r.RootIdentity || r.AcquireKey == IdentSingleton {
+			continue
+		}
+		if pathPrefix(k.path, path) || pathPrefix(path, k.path) {
+			delete(f, k)
+		}
+	}
+}
+
+func pathPrefix(prefix, full string) bool {
+	return len(prefix) <= len(full) && full[:len(prefix)] == prefix
+}
+
+// ---- statement forms ----
+
+// pairAssign handles acquisition binding, field-set acquire/release,
+// alias moves and store escapes.
+func (c *checker) pairAssign(f pairFact, n *ast.AssignStmt) {
+	// Mark bound acquire calls before the generic scan sees them.
+	for _, rhs := range n.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok && c.isResultAcquire(call) {
+			c.bound[call] = true
+		}
+	}
+	for _, rhs := range n.Rhs {
+		c.pairScan(f, rhs)
+	}
+	// Bind results of acquire calls to their left-hand sides.
+	if len(n.Rhs) == 1 {
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+			c.bindAcquire(f, call, n.Lhs)
+		}
+	} else if len(n.Rhs) == len(n.Lhs) {
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				c.bindAcquire(f, call, n.Lhs[i:i+1])
+			}
+		}
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Rhs) == len(n.Lhs) {
+			rhs = n.Rhs[i]
+		}
+		c.pairFieldSet(f, lhs, rhs)
+		c.pairAliasOrStore(f, lhs, rhs)
+	}
+}
+
+func (c *checker) pairDecl(f pairFact, vs *ast.ValueSpec) {
+	for _, rhs := range vs.Values {
+		if call, ok := rhs.(*ast.CallExpr); ok && c.isResultAcquire(call) {
+			c.bound[call] = true
+		}
+	}
+	for _, rhs := range vs.Values {
+		c.pairScan(f, rhs)
+	}
+	if len(vs.Values) == 1 {
+		if call, ok := vs.Values[0].(*ast.CallExpr); ok {
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, name := range vs.Names {
+				lhs[i] = name
+			}
+			c.bindAcquire(f, call, lhs)
+		}
+	}
+}
+
+func (c *checker) isResultAcquire(call *ast.CallExpr) bool {
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		if r.AcquireKey != IdentResult {
+			continue
+		}
+		for pi := range r.Acquire {
+			if _, ok := c.matchCall(&r.Acquire[pi], call); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bindAcquire tracks the value result of an IdentResult acquire under
+// the left-hand side it is assigned to.
+func (c *checker) bindAcquire(f pairFact, call *ast.CallExpr, lhs []ast.Expr) {
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		if r.AcquireKey != IdentResult {
+			continue
+		}
+		acquired := false
+		for pi := range r.Acquire {
+			if _, ok := c.matchCall(&r.Acquire[pi], call); ok {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			continue
+		}
+		target := resultTarget(c.info, call, lhs)
+		if target == nil {
+			continue
+		}
+		if id, isID := target.(*ast.Ident); isID && id.Name == "_" {
+			if c.report {
+				c.reportf(call.Pos(), "%s: result assigned to _, nothing can release it", r.LeakMsg)
+			}
+			continue
+		}
+		if key, kok := c.keyFromExpr(r, ri, target); kok {
+			c.pairAcquire(f, r, key, call.Pos(), len(errorResultIndexes(c.info, call)) > 0)
+		}
+	}
+}
+
+// resultTarget picks the left-hand side receiving the call's first
+// non-error result.
+func resultTarget(info *types.Info, call *ast.CallExpr, lhs []ast.Expr) ast.Expr {
+	if len(lhs) == 1 {
+		return lhs[0]
+	}
+	errIdx := map[int]bool{}
+	for _, i := range errorResultIndexes(info, call) {
+		errIdx[i] = true
+	}
+	for i, l := range lhs {
+		if !errIdx[i] {
+			return l
+		}
+	}
+	return nil
+}
+
+func (c *checker) pairFieldSet(f pairFact, lhs, rhs ast.Expr) {
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		for pi := range r.AcquireSet {
+			if base, ok := c.matchFieldSet(&r.AcquireSet[pi], lhs, rhs); ok {
+				if key, kok := c.keyFromExpr(r, ri, base); kok {
+					c.pairAcquire(f, r, key, lhs.Pos(), false)
+				}
+			}
+		}
+		for pi := range r.ReleaseSet {
+			if base, ok := c.matchFieldSet(&r.ReleaseSet[pi], lhs, rhs); ok {
+				if key, kok := c.keyFromExpr(r, ri, base); kok {
+					c.pairRelease(f, r, key, lhs.Pos(), true)
+				}
+			}
+		}
+	}
+}
+
+// pairAliasOrStore moves an obligation along `alias := tracked` and
+// escapes obligations stored into fields, slices or maps.
+func (c *checker) pairAliasOrStore(f pairFact, lhs, rhs ast.Expr) {
+	if rhs == nil {
+		return
+	}
+	rroot, rpath, rok := chainOf(c.info, rhs)
+	if !rok {
+		return
+	}
+	switch lhs.(type) {
+	case *ast.Ident:
+		lroot, lpath, lok := chainOf(c.info, lhs)
+		if !lok {
+			return
+		}
+		for k, st := range f {
+			if k.root != rroot || k.path != rpath || k.res < 0 {
+				continue
+			}
+			if st.phase != phaseHeld && st.phase != phasePending {
+				continue
+			}
+			r := &c.spec.Resources[k.res]
+			if r.RootIdentity || r.AcquireKey == IdentSingleton {
+				continue
+			}
+			delete(f, k)
+			f[pairKey{root: lroot, path: lpath, res: k.res}] = st
+		}
+	default:
+		// Store into a field/index: the object outlives this scope.
+		c.pairEscapeExpr(f, rhs)
+	}
+}
+
+// pairDefer discharges deferred releases at registration time: every
+// path past the defer runs it on exit.
+func (c *checker) pairDefer(f pairFact, n *ast.DeferStmt) {
+	call := n.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		c.deferClosure(f, lit)
+		for _, a := range call.Args {
+			c.pairScan(f, a)
+		}
+		return
+	}
+	matched := false
+	for ri := range c.spec.Resources {
+		r := &c.spec.Resources[ri]
+		for pi := range r.Release {
+			if base, ok := c.matchCall(&r.Release[pi], call); ok {
+				matched = true
+				if key, kok := c.pairKeyFor(r, ri, r.ReleaseKey, call, base); kok {
+					c.pairRelease(f, r, key, call.Pos(), true)
+				}
+			}
+		}
+	}
+	for ti := range c.spec.Terminals {
+		if base, ok := c.matchCall(&c.spec.Terminals[ti].Kill, call); ok {
+			matched = true
+			if key, kok := c.termKey(ti, base); kok {
+				f[key] = pairState{phase: phaseKilled, pos: call.Pos()}
+			}
+		}
+	}
+	if !matched {
+		c.pairUnknownCall(f, call)
+	}
+	for _, a := range call.Args {
+		c.pairScan(f, a)
+	}
+}
+
+// deferClosure scans a deferred function literal for release forms and
+// discharges the matching obligations. Conditions inside the closure
+// are not modelled, so no double-release reporting from here.
+func (c *checker) deferClosure(f pairFact, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for ri := range c.spec.Resources {
+				r := &c.spec.Resources[ri]
+				for pi := range r.Release {
+					if base, ok := c.matchCall(&r.Release[pi], n); ok {
+						if key, kok := c.pairKeyFor(r, ri, r.ReleaseKey, n, base); kok {
+							c.pairRelease(f, r, key, n.Pos(), false)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				for ri := range c.spec.Resources {
+					r := &c.spec.Resources[ri]
+					for pi := range r.ReleaseSet {
+						if base, ok := c.matchFieldSet(&r.ReleaseSet[pi], lhs, rhs); ok {
+							if key, kok := c.keyFromExpr(r, ri, base); kok {
+								c.pairRelease(f, r, key, lhs.Pos(), false)
+							}
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			c.pairIdent(f, n)
+		}
+		return true
+	})
+}
+
+// pairGoStmt hands obligations referenced by a goroutine closure to
+// that goroutine (ownership leaves this scope; the closure body is
+// analyzed as its own scope).
+func (c *checker) pairGoStmt(f pairFact, n *ast.GoStmt) {
+	if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(node ast.Node) bool {
+			id, isID := node.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			obj := c.info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for k := range f {
+				if k.root != obj || k.res < 0 {
+					continue
+				}
+				r := &c.spec.Resources[k.res]
+				if r.RootIdentity || r.AcquireKey == IdentSingleton {
+					continue
+				}
+				delete(f, k)
+			}
+			return true
+		})
+		for _, a := range n.Call.Args {
+			c.pairScan(f, a)
+		}
+		return
+	}
+	for _, a := range n.Call.Args {
+		c.pairEscapeExpr(f, a)
+	}
+}
+
+// ---- must-release summaries ----
+
+// summarizeRelease computes which of fd's parameters it releases on
+// every exit path, so callers can discharge through helper calls.
+func (c *checker) summarizeRelease(fd *ast.FuncDecl) *releaseSummary {
+	slots := map[types.Object]int{}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := c.info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			slots[obj] = slotRecv
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			if len(fl.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range fl.Names {
+				if obj := c.info.Defs[name]; obj != nil {
+					slots[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if len(slots) == 0 || len(c.spec.Resources) == 0 {
+		return &releaseSummary{}
+	}
+	seed := pairFact{}
+	for obj := range slots {
+		for ri := range c.spec.Resources {
+			seed[pairKey{root: obj, path: "", res: ri}] = pairState{phase: phaseHeld, pos: fd.Pos()}
+		}
+	}
+	g := cfg.New(fd.Body)
+	res := dataflow.Forward(g, pairLat{seed: seed}, c.pairTransfer)
+	var released map[relKey]bool
+	res.AtExit(func(_ *cfg.Block, out pairFact) {
+		path := map[relKey]bool{}
+		// A release anywhere under the parameter's root counts: a
+		// helper releasing s.Engine discharges the obligation seeded
+		// at s.
+		for k, st := range out {
+			if st.phase != phaseReleased || k.res < 0 {
+				continue
+			}
+			if slot, ok := slots[k.root]; ok {
+				path[relKey{slot, k.res}] = true
+			}
+		}
+		if released == nil {
+			released = path
+			return
+		}
+		for k := range released {
+			if !path[k] {
+				delete(released, k)
+			}
+		}
+	})
+	if released == nil {
+		released = map[relKey]bool{}
+	}
+	return &releaseSummary{released: released}
+}
