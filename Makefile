@@ -40,14 +40,17 @@ race:
 # boundary traffic (BENCH_tpcc.json), steady-state replication lag, redo
 # throughput and failover timing under the same workload (BENCH_repl.json),
 # the §4.6 batching ablation — enclave crossings per transaction vs the
-# engine's rows-per-batch knob (BENCH_batch.json) — and the tracing
+# engine's rows-per-batch knob (BENCH_batch.json) — the tracing
 # experiment: per-statement tracing overhead at 1% sampling plus
-# per-transaction-type span attribution (BENCH_trace.json).
+# per-transaction-type span attribution (BENCH_trace.json) — and the client
+# pool experiment: Fig. 8 per-connection setup cost amortization plus
+# LSN-bounded replica read scaling at 0/1/2 replicas (BENCH_pool.json).
 bench:
 	$(GO) run ./cmd/tpccbench -experiment bench -duration 2s -out BENCH_tpcc.json
 	$(GO) run ./cmd/tpccbench -experiment repl -duration 2s -repl-out BENCH_repl.json
 	$(GO) run ./cmd/tpccbench -experiment batch -batch-out BENCH_batch.json
 	$(GO) run ./cmd/tpccbench -experiment trace -duration 2s -trace-out BENCH_trace.json
+	$(GO) run ./cmd/tpccbench -experiment pool -duration 2s -pool-out BENCH_pool.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

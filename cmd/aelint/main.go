@@ -53,6 +53,7 @@ import (
 	"alwaysencrypted/internal/lint/obsleak"
 	"alwaysencrypted/internal/lint/pairing"
 	"alwaysencrypted/internal/lint/plaintextflow"
+	"alwaysencrypted/internal/lint/poolconn"
 	"alwaysencrypted/internal/lint/secretescape"
 	"alwaysencrypted/internal/lint/secretretain"
 )
@@ -73,6 +74,7 @@ var analyzers = []*analysis.Analyzer{
 	enclavelifecycle.Analyzer,
 	failoverprotocol.Analyzer,
 	pairing.Analyzer,
+	poolconn.Analyzer,
 }
 
 // ignorePolicy is the pseudo-analyzer name for directive-audit findings:

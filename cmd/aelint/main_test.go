@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-// TestAnalyzerRoster pins the registered analyzer set: the four
+// TestAnalyzerRoster pins the registered analyzer set: the five
 // typestate protocol analyzers ride alongside the original eleven, and
 // the ignore-directive audit knows every name (an //aelint:ignore for
 // anything else is itself a finding).
@@ -17,7 +17,7 @@ func TestAnalyzerRoster(t *testing.T) {
 		"enclavestate", "plaintextflow", "boundaryapi", "lockorder",
 		"obsleak", "keyzero", "ctcompare", "ivsanity", "secretescape",
 		"secretretain", "atomicmix", "attestchain", "enclavelifecycle",
-		"failoverprotocol", "pairing",
+		"failoverprotocol", "pairing", "poolconn",
 	}
 	if len(analyzers) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(analyzers), len(want))

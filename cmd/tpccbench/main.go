@@ -12,6 +12,7 @@
 //	tpccbench -experiment repl [-repl-out BENCH_repl.json]
 //	tpccbench -experiment batch [-batch-out BENCH_batch.json] [-batch-tx 150]
 //	tpccbench -experiment trace [-trace-out BENCH_trace.json] [-trace-sample 0.01]
+//	tpccbench -experiment pool [-pool-out BENCH_pool.json]
 //	tpccbench -experiment all
 //
 // The bench experiment is the `make bench` artifact: one plaintext and one
@@ -21,6 +22,11 @@
 // The batch experiment is the §4.6 ablation: it sweeps the engine's
 // rows-per-batch knob (1/16/64/256) over the SQL-AE-RND-STOCK configuration
 // and reports enclave crossings per NewOrder/Stock-Level transaction.
+//
+// The pool experiment measures the production client subsystem: how much of
+// the Fig. 8 per-connection setup cost (describe round trips + attestation)
+// the connection pool amortizes, and how a read-mostly workload scales as
+// LSN-bounded reads are routed to 0/1/2 read replicas.
 //
 // Absolute numbers depend on the machine; the shape — who wins and by
 // roughly what factor — is the reproduction target.
@@ -50,6 +56,7 @@ func main() {
 	batchTx := flag.Int("batch-tx", 150, "transactions per phase for the batch experiment")
 	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the trace experiment")
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate for the trace overhead arm")
+	poolOut := flag.String("pool-out", "BENCH_pool.json", "output path for the pool experiment")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -71,6 +78,8 @@ func main() {
 		runBatch(scale, *batchTx, *batchOut)
 	case "trace":
 		runTrace(scale, *duration, *warmup, *traceSample, *traceOut)
+	case "pool":
+		runPool(*duration, *poolOut)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()

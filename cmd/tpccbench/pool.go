@@ -1,0 +1,332 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/pool"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// runPool produces the BENCH_pool.json artifact with two arms:
+//
+//   - churn: the Fig. 8 setup cost (describe round trips + attestation
+//     handshakes) per statement, fresh-connection-per-statement vs pooled.
+//     Pooling must amortize setup by at least 10× (the acceptance bar).
+//   - scaling: committed ops/s of a read-mostly (95/5) workload as read
+//     replicas are added, with LSN-bounded routing shares — read-your-writes
+//     is never given up for the extra throughput.
+//
+// Each arm runs against its own deployment: churn wants the raw setup cost
+// with no modeled evaluation latency, scaling wants the enclave to be the
+// bounded per-server resource it is on real hardware.
+func runPool(d time.Duration, out string) {
+	fmt.Println("=== Pool: per-connection setup amortization and replica read scaling ===")
+	churn := runPoolChurn()
+	fmt.Printf("churn: %.2f setup ops/stmt unpooled vs %.3f pooled — %.0f× amortized "+
+		"(%.2fms vs %.2fms per stmt)\n",
+		churn.UnpooledSetupPerStmt, churn.PooledSetupPerStmt, churn.AmortizationFactor,
+		float64(churn.UnpooledNsPerStmt)/1e6, float64(churn.PooledNsPerStmt)/1e6)
+
+	scaling := runPoolScaling(d)
+
+	run := pool.BenchRun{Workload: "pii-enclave-readmostly-95-5", Churn: churn, Scaling: scaling}
+	if err := pool.NewBenchReport(run).WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Round-trip the artifact through the validator CI relies on.
+	data, err := os.ReadFile(out)
+	if err == nil {
+		_, err = pool.ValidateBenchReport(data)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench report validation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", out, pool.BenchSchema)
+}
+
+// poolWorld is one provisioned deployment: an AE driver config and the pii
+// (encrypted ssn) and kv (plaintext) tables, with seedRows rows in pii.
+func poolWorld(cfg core.ServerConfig, seedRows int) (*core.Server, driver.Config) {
+	srv, err := core.StartServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	admin := core.NewKeyAdmin(srv)
+	if err := admin.CreateMasterKey("PoolCMK", true); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := admin.CreateColumnKey("PoolCEK", "PoolCMK"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pol := srv.Policy()
+	dcfg := driver.Config{AlwaysEncrypted: true, Providers: admin.Registry(), Policy: &pol}
+
+	setup, err := driver.Dial(srv.Addr(), dcfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer setup.Close()
+	stmts := []string{
+		"CREATE TABLE pii (id int PRIMARY KEY, ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = PoolCEK, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))",
+		"CREATE TABLE kv (id int PRIMARY KEY, v int)",
+	}
+	for _, s := range stmts {
+		if _, err := setup.Exec(s, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < seedRows; i++ {
+		if _, err := setup.Exec("INSERT INTO pii (id, ssn) VALUES (@id, @ssn)",
+			map[string]sqltypes.Value{"id": sqltypes.Int(int64(i)), "ssn": sqltypes.Str(benchSSN(i))}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return srv, dcfg
+}
+
+// benchSSN is the deterministic ssn seeded for row i.
+func benchSSN(i int) string { return fmt.Sprintf("%03d-00-%04d", i, i) }
+
+// runPoolChurn measures per-statement setup cost: the same statement mix
+// (AE INSERT + enclave-predicate SELECT) run once with a fresh connection
+// per statement and once through the pool.
+func runPoolChurn() pool.ChurnArm {
+	srv, dcfg := poolWorld(core.ServerConfig{EnclaveThreads: 2}, 1)
+	defer srv.Close()
+
+	const statements = 40
+	insert := "INSERT INTO pii (id, ssn) VALUES (@id, @ssn)"
+	query := "SELECT id FROM pii WHERE ssn = @ssn"
+	args := func(i int) (string, map[string]sqltypes.Value) {
+		if i%2 == 0 {
+			return insert, map[string]sqltypes.Value{
+				"id": sqltypes.Int(int64(1000 + i)), "ssn": sqltypes.Str(fmt.Sprintf("%09d", i))}
+		}
+		return query, map[string]sqltypes.Value{"ssn": sqltypes.Str(benchSSN(0))}
+	}
+	setupOps := func(reg *obs.Registry) float64 {
+		return float64(reg.Counter("driver.describe_calls").Value() +
+			reg.Counter("driver.attestations").Value())
+	}
+
+	// Unpooled: every statement pays a fresh dial, describe and (for the
+	// enclave predicate) attestation.
+	unReg := obs.New("pool-churn-unpooled")
+	unCfg := dcfg
+	unCfg.Obs = unReg
+	unStart := time.Now()
+	for i := 0; i < statements; i++ {
+		c, err := driver.Dial(srv.Addr(), unCfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		q, a := args(i)
+		if _, err := c.Exec(q, a); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c.Close()
+	}
+	unElapsed := time.Since(unStart)
+
+	// Pooled: one physical connection, shared describe cache, one attested
+	// session — setup is paid once and amortized over every statement.
+	plReg := obs.New("pool-churn-pooled")
+	p, err := pool.New(pool.Config{
+		Primary: srv.Addr(), Driver: dcfg, HealthInterval: -1, Obs: plReg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	plStart := time.Now()
+	for i := 0; i < statements; i++ {
+		pc, err := p.Acquire(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		q, a := args(i)
+		if i%2 == 0 {
+			a["id"] = sqltypes.Int(int64(2000 + i))
+		}
+		if _, err := pc.Exec(q, a); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pc.Release()
+	}
+	plElapsed := time.Since(plStart)
+
+	arm := pool.ChurnArm{
+		Statements:           statements,
+		UnpooledSetupPerStmt: setupOps(unReg) / statements,
+		PooledSetupPerStmt:   setupOps(plReg) / statements,
+		UnpooledNsPerStmt:    unElapsed.Nanoseconds() / statements,
+		PooledNsPerStmt:      plElapsed.Nanoseconds() / statements,
+	}
+	if arm.PooledSetupPerStmt > 0 {
+		arm.AmortizationFactor = arm.UnpooledSetupPerStmt / arm.PooledSetupPerStmt
+	}
+	return arm
+}
+
+// evalLatency is the modeled per-row enclave evaluation service time for the
+// scaling arm: with it, each deployment's enclave capacity is bounded at
+// threads/latency regardless of host core count, so adding replicas adds
+// real read capacity even on a single-core CI host.
+const evalLatency = 200 * time.Microsecond
+
+// scalingSeedRows keeps the encrypted scan (and so the per-read enclave
+// occupancy) fixed: the workload's writes land in the plaintext kv table.
+const scalingSeedRows = 16
+
+// scalingWrite commits one row into the plaintext side table — the
+// encrypted scan the readers pay stays fixed-size, but the write still
+// advances the LSN the writer's next read must see.
+func scalingWrite(p *pool.Pool, id, v int64) (uint64, error) {
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	defer pc.Release()
+	if _, err := pc.Exec("INSERT INTO kv (id, v) VALUES (@id, @v)",
+		map[string]sqltypes.Value{"id": sqltypes.Int(id), "v": sqltypes.Int(v)}); err != nil {
+		return 0, err
+	}
+	return pc.LastLSN(), nil
+}
+
+// scalingRead runs one enclave-bound equality lookup, bounded by the
+// caller's session watermark.
+func scalingRead(p *pool.Pool, minLSN uint64, ssn string) error {
+	pc, err := p.AcquireRead(context.Background(), minLSN)
+	if err != nil {
+		return err
+	}
+	defer pc.Release()
+	_, err = pc.Exec("SELECT id FROM pii WHERE ssn = @ssn",
+		map[string]sqltypes.Value{"ssn": sqltypes.Str(ssn)})
+	return err
+}
+
+// runPoolScaling runs the 95/5 read-mostly workload at 0, 1 and 2 replicas,
+// each worker holding session read-your-writes. Reads are enclave-bound
+// (Randomized-equality predicate over pii), so the primary's enclave budget
+// is the bottleneck and every replica added brings its own enclave capacity
+// — the scale-out the routing layer exists to harvest.
+func runPoolScaling(d time.Duration) []pool.ScalingArm {
+	srv, dcfg := poolWorld(core.ServerConfig{
+		EnclaveThreads: 2, EnclaveEvalLatency: evalLatency, ReplListen: "127.0.0.1:0",
+	}, scalingSeedRows)
+	defer srv.Close()
+
+	trust := srv.Trust()
+	var replicaAddrs []string
+	for i := 0; i < 2; i++ {
+		rs, err := core.StartReplicaServer(core.ReplicaConfig{
+			Primary: srv.ReplAddr(), ReplicaID: fmt.Sprintf("bench-%d", i),
+			EnclaveThreads: 2, EnclaveEvalLatency: evalLatency, Trust: &trust,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer rs.Close()
+		if err := rs.Replication.WaitForLSN(srv.Engine.WAL().NextLSN(), 60*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "replica catch-up:", err)
+			os.Exit(1)
+		}
+		replicaAddrs = append(replicaAddrs, rs.Addr())
+	}
+
+	const workers = 12
+	var arms []pool.ScalingArm
+	for _, r := range []int{0, 1, 2} {
+		reg := obs.New(fmt.Sprintf("pool-scaling-%d", r))
+		// Per-endpoint cap 4 ≈ the servers' enclave concurrency sweet spot:
+		// once a replica's four slots are busy, further reads spill to the
+		// primary instead of queueing, so every deployment's enclave works.
+		p, err := pool.New(pool.Config{
+			Primary:  srv.Addr(),
+			Replicas: replicaAddrs[:r],
+			Driver:   dcfg,
+			MaxConns: 4,
+			Obs:      reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p.PingReplicas() // seed the watermarks before the first bounded read
+
+		var committed atomic.Uint64
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var lastWrite uint64
+				for i := 0; ctx.Err() == nil; i++ {
+					if i%20 == 19 { // 5% writes
+						// arm r, worker w, iteration i: disjoint id spaces.
+						id := int64(1_000_000*(r+1) + 100_000*w + i)
+						lsn, err := scalingWrite(p, id, int64(i))
+						if err != nil {
+							continue
+						}
+						lastWrite = lsn
+						committed.Add(1)
+						continue
+					}
+					if err := scalingRead(p, lastWrite, benchSSN((w*31+i)%scalingSeedRows)); err == nil {
+						committed.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		cancel()
+		st := p.Stats()
+		p.Close()
+
+		reads := st.ReplicaReads + st.PrimaryReads
+		arm := pool.ScalingArm{
+			Replicas:           r,
+			Workers:            workers,
+			DurationMs:         float64(d.Nanoseconds()) / 1e6,
+			Committed:          committed.Load(),
+			CommittedTPS:       float64(committed.Load()) / d.Seconds(),
+			Reads:              reads,
+			StalenessFallbacks: st.StalenessFallbacks,
+		}
+		if reads > 0 {
+			arm.ReplicaReadShare = float64(st.ReplicaReads) / float64(reads)
+			arm.StalenessFallbackRate = float64(st.StalenessFallbacks) / float64(reads)
+		}
+		arms = append(arms, arm)
+		fmt.Printf("scaling: %d replica(s): %8.1f ops/s, %.0f%% of reads on replicas, %d staleness fallbacks\n",
+			r, arm.CommittedTPS, 100*arm.ReplicaReadShare, arm.StalenessFallbacks)
+	}
+	return arms
+}

@@ -1,0 +1,119 @@
+// Pool demonstrates the production client subsystem in one process: a
+// primary with two read replicas behind it, and an application speaking
+// standard database/sql through the "aedb" driver — connection pooling that
+// amortizes the Fig. 8 per-connection setup cost (describe round trip,
+// attestation, CEK unwrap), and LSN-bounded read routing that offloads reads
+// to replicas without ever giving up read-your-writes.
+package main
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"log"
+	"time"
+
+	"alwaysencrypted/internal/aesql"
+	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/obs"
+)
+
+func main() {
+	// --- Server side: a primary with a replication endpoint... ---
+	srv, err := core.StartServer(core.ServerConfig{ReplListen: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	admin := core.NewKeyAdmin(srv)
+	must(admin.CreateMasterKey("DemoCMK", true))
+	must(admin.CreateColumnKey("DemoCEK", "DemoCMK"))
+
+	// --- ...and two read replicas tailing its WAL. ---
+	trust := srv.Trust()
+	var replicas []string
+	for i := 0; i < 2; i++ {
+		rs, err := core.StartReplicaServer(core.ReplicaConfig{
+			Primary: srv.ReplAddr(), ReplicaID: fmt.Sprintf("replica-%d", i), Trust: &trust,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		replicas = append(replicas, rs.Addr())
+	}
+	fmt.Printf("primary %s, replicas %v\n\n", srv.Addr(), replicas)
+
+	// --- Client side: trust anchors are registered once per process under a
+	// name; the DSN references them instead of carrying key material. ---
+	pol := srv.Policy()
+	reg := obs.New("pool-example")
+	aesql.RegisterTrust("demo", aesql.Trust{Policy: &pol, Providers: admin.Registry(), Obs: reg})
+
+	cfg := aesql.Config{
+		Primary:         srv.Addr(),
+		Replicas:        replicas,
+		AlwaysEncrypted: true,
+		TrustName:       "demo",
+	}
+	connector := aesql.NewConnector(cfg)
+	db := sql.OpenDB(connector)
+	defer db.Close()
+	fmt.Printf("DSN: %s\n\n", cfg.DSN())
+
+	// Standard database/sql from here on.
+	_, err = db.Exec(`CREATE TABLE patients (id int PRIMARY KEY,
+		ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = DemoCEK,
+		ENCRYPTION_TYPE = Randomized,
+		ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`)
+	must(err)
+
+	ssns := []string{"590-10-4466", "221-84-9731", "883-27-5512"}
+	for i, ssn := range ssns {
+		_, err := db.Exec("INSERT INTO patients (id, ssn) VALUES (@id, @ssn)",
+			sql.Named("id", int64(i+1)), sql.Named("ssn", ssn))
+		must(err)
+	}
+
+	// A session (one database/sql connection) gets read-your-writes: the
+	// read immediately after the insert is LSN-bounded, so it lands on the
+	// primary until a replica has applied the write — never a stale row.
+	ctx := context.Background()
+	conn, err := db.Conn(ctx)
+	must(err)
+	_, err = conn.ExecContext(ctx, "INSERT INTO patients (id, ssn) VALUES (@id, @ssn)",
+		sql.Named("id", int64(99)), sql.Named("ssn", "700-00-7007"))
+	must(err)
+	var id int64
+	must(conn.QueryRowContext(ctx, "SELECT id FROM patients WHERE ssn = @ssn",
+		sql.Named("ssn", "700-00-7007")).Scan(&id))
+	fmt.Printf("read-your-writes: row %d visible immediately after the insert\n", id)
+	must(conn.Close())
+
+	// Give the replicas a moment to catch up, then drive a read burst: the
+	// pool routes bounded reads round-robin across fresh replicas.
+	time.Sleep(200 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		ssn := ssns[i%len(ssns)]
+		var got int64
+		must(db.QueryRow("SELECT id FROM patients WHERE ssn = @ssn", sql.Named("ssn", ssn)).Scan(&got))
+	}
+
+	p, err := connector.Pool()
+	must(err)
+	st := p.Stats()
+	fmt.Printf("\npool stats after the read burst:\n")
+	fmt.Printf("  dials=%d reuses=%d (setup paid %d times for %d checkouts)\n",
+		st.Dials, st.Reuses, st.Dials, st.Dials+st.Reuses)
+	fmt.Printf("  replica reads=%d primary reads=%d staleness fallbacks=%d\n",
+		st.ReplicaReads, st.PrimaryReads, st.StalenessFallbacks)
+	fmt.Println("\nevery ssn above crossed the wire and sat in storage as ciphertext;")
+	fmt.Println("the equality predicates ran inside the enclaves of whichever server served them.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -216,6 +216,20 @@ func (k *CellKey) Verify(envelope []byte) bool {
 	return subtle.ConstantTimeCompare(tag, k.tag(iv, ct)) == 1
 }
 
+// WellFormedCiphertext reports whether the bytes have the structure of a
+// ciphertext envelope — version byte, tag, IV, non-empty block-aligned
+// ciphertext — without authenticating it (no key needed). The engine uses it
+// at write time to reject statements whose parameter encryption metadata went
+// stale: a plaintext value bound to an encrypted column is never a
+// well-formed envelope, so storing it would corrupt the column.
+func WellFormedCiphertext(envelope []byte) bool {
+	if len(envelope) < MinCiphertextSize || envelope[0] != versionByte {
+		return false
+	}
+	ct := envelope[1+tagSize+blockSize:]
+	return len(ct) > 0 && len(ct)%blockSize == 0
+}
+
 // CiphertextLen reports the envelope size produced for a plaintext of n bytes.
 func CiphertextLen(n int) int {
 	padded := (n/blockSize + 1) * blockSize

@@ -52,6 +52,9 @@ type ServerConfig struct {
 	Listen string
 	// EnclaveThreads sets the enclave worker count (default 4, as in §5.1).
 	EnclaveThreads int
+	// EnclaveEvalLatency opts into the modeled per-row evaluation service
+	// time (enclave.Options.EvalLatency). Zero disables it.
+	EnclaveEvalLatency time.Duration
 	// SynchronousEnclave disables the §4.6 queue optimization.
 	SynchronousEnclave bool
 	// CTR enables constant-time recovery (§4.5). Default on.
@@ -129,6 +132,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Synchronous:  cfg.SynchronousEnclave,
 		SpinDuration: spin,
 		CrossingCost: time.Microsecond,
+		EvalLatency:  cfg.EnclaveEvalLatency,
 		Obs:          reg,
 	}
 	encl, err := enclave.Load(image, 10, opts)
@@ -178,6 +182,11 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	srv.listener = l
 	srv.addr = l.Addr().String()
+	// Stamp every TDS response with the primary's log watermark: the highest
+	// assigned LSN. Clients use it as their read-your-writes bound when
+	// routing reads to replicas. Must be set before Serve starts handler
+	// goroutines (the field is read without synchronization).
+	srv.TDS.LSN = func() uint64 { return eng.WAL().NextLSN() - 1 }
 	go srv.TDS.Serve(l)
 	if cfg.ReplListen != "" {
 		if err := srv.ServeReplication(cfg.ReplListen); err != nil {
@@ -282,12 +291,13 @@ type ReplicaConfig struct {
 	// ones (cross-process replicas): replication still works, but clients
 	// must fetch the replica's own Policy before attesting post-failover.
 	Trust *Trust
-	// EnclaveThreads, Obs, Trace as in ServerConfig. With tracing enabled,
-	// redo batches applied from the primary produce traces whose Link field
-	// carries the originating statement's trace ID.
-	EnclaveThreads int
-	Obs            *obs.Registry
-	Trace          *trace.Policy
+	// EnclaveThreads, EnclaveEvalLatency, Obs, Trace as in ServerConfig.
+	// With tracing enabled, redo batches applied from the primary produce
+	// traces whose Link field carries the originating statement's trace ID.
+	EnclaveThreads     int
+	EnclaveEvalLatency time.Duration
+	Obs                *obs.Registry
+	Trace              *trace.Policy
 }
 
 // ReplicaServer is a running read replica: a full deployment (enclave, host,
@@ -346,6 +356,7 @@ func StartReplicaServer(cfg ReplicaConfig) (*ReplicaServer, error) {
 		Threads:      cfg.EnclaveThreads,
 		SpinDuration: spin,
 		CrossingCost: time.Microsecond,
+		EvalLatency:  cfg.EnclaveEvalLatency,
 		Obs:          reg,
 	}
 	encl, err := enclave.Load(trust.Image, 10, opts)
@@ -391,8 +402,10 @@ func StartReplicaServer(cfg ReplicaConfig) (*ReplicaServer, error) {
 	}
 	srv.listener = l
 	srv.addr = l.Addr().String()
-	go srv.TDS.Serve(l)
 
+	// Start replication before the TDS front door: the watermark closure
+	// below reads the redo applier, so it must exist before any handler
+	// goroutine can call it.
 	rep, err := repl.StartReplica(repl.ReplicaConfig{
 		PrimaryAddr: cfg.Primary,
 		ReplicaID:   cfg.ReplicaID,
@@ -403,12 +416,30 @@ func StartReplicaServer(cfg ReplicaConfig) (*ReplicaServer, error) {
 		srv.Close()
 		return nil, err
 	}
-	return &ReplicaServer{
+	rs := &ReplicaServer{
 		Server:      srv,
 		Replication: rep,
 		failoverNs:  reg.Histogram("repl.failover_ns"),
 		promotions:  reg.Counter("repl.promotions"),
-	}, nil
+	}
+	// A replica advertises its highest *applied* LSN — not the mirrored WAL
+	// watermark: records shipped but not yet redone are invisible to reads,
+	// so advertising them would let a client read stale state while
+	// believing its read-your-writes bound was met.
+	srv.TDS.LSN = rs.AppliedLSN
+	go srv.TDS.Serve(l)
+	return rs, nil
+}
+
+// AppliedLSN is the replica's read-freshness watermark: the highest LSN the
+// redo loop has applied (everything at or below it is visible to reads).
+// After promotion the engine takes writes directly, so the watermark becomes
+// the WAL's own high-water mark.
+func (rs *ReplicaServer) AppliedLSN() uint64 {
+	if rs.promoted.Load() {
+		return rs.Engine.WAL().NextLSN() - 1
+	}
+	return rs.Replication.AppliedLSN()
 }
 
 // Promote turns the replica into a primary: the redo loop is drained and

@@ -50,9 +50,17 @@ type Config struct {
 	TrustedKeyPaths []string
 	// Policy validates attestation; required for enclave queries.
 	Policy *attestation.Policy
-	// DescribeCache caches describe results per query text. Off by default:
-	// the paper's measured configuration pays the round trip every time, and
-	// §5.4.1 notes caching as the obvious future optimization.
+	// DescribeCache caches describe results per query text. Off by default
+	// on a bare Conn — the paper's measured configuration pays the round
+	// trip every time, and §5.4.1 notes caching as the obvious future
+	// optimization — but internal/pool turns it on by default for pooled
+	// connections, which is where Fig. 8's extra round trip actually
+	// amortizes. The cache is safe to serve stale: an out-of-date describe
+	// makes the driver encrypt against metadata the server will reject (a
+	// ServerError, never silent corruption), and the driver then drops the
+	// entry and retries once against a fresh describe (see Exec). Schema-
+	// changing statements issued through this connection invalidate the
+	// cache eagerly.
 	DescribeCache bool
 	// CEKCacheTTL bounds the plaintext CEK cache (§4.1: "caches the
 	// decrypted CEKs for a duration that can be controlled by clients").
@@ -117,6 +125,11 @@ type Conn struct {
 	// next successful attestation counts as a re-attestation.
 	failedOver bool
 
+	// lastDescribeCached marks that the most recent describe for the current
+	// statement was served from the shared cache — the precondition for the
+	// stale-describe retry in Exec.
+	lastDescribeCached bool
+
 	// Stats
 	DescribeCalls int
 	ExecCalls     int
@@ -135,6 +148,7 @@ type Conn struct {
 	failovers *obs.Counter
 	attests   *obs.Counter
 	reattests *obs.Counter
+	describes *obs.Counter
 }
 
 // Cache holds the process-wide driver caches of §4.1: decrypted CEKs and
@@ -162,6 +176,15 @@ func NewCache() *Cache {
 func (c *Cache) invalidateDescribes() {
 	c.mu.Lock()
 	c.describes = make(map[string]*tds.DescribeResp)
+	c.mu.Unlock()
+}
+
+// dropDescribe evicts one query's cached describe — the stale-describe
+// recovery path: the server rejected a statement whose encryption metadata
+// came from the cache, so that metadata no longer matches the schema.
+func (c *Cache) dropDescribe(query string) {
+	c.mu.Lock()
+	delete(c.describes, query)
 	c.mu.Unlock()
 }
 
@@ -197,6 +220,7 @@ func Open(nc net.Conn, cfg Config, cache *Cache) *Conn {
 		failovers:     cfg.Obs.Counter("driver.failovers"),
 		attests:       cfg.Obs.Counter("driver.attestations"),
 		reattests:     cfg.Obs.Counter("driver.reattestations"),
+		describes:     cfg.Obs.Counter("driver.describe_calls"),
 	}
 }
 
@@ -295,6 +319,18 @@ func retrySafe(query string) bool {
 // Close closes the connection.
 func (c *Conn) Close() error { return c.tds.Close() }
 
+// Ping round-trips a no-op request and returns the server's current log
+// watermark — on a primary the highest assigned LSN, on a read replica the
+// highest applied LSN. The pool's health checker uses it both as a liveness
+// probe and as the replica-freshness signal for read routing.
+func (c *Conn) Ping() (uint64, error) { return c.tds.Ping() }
+
+// LastLSN returns the log watermark piggybacked on the most recent server
+// response (zero before any round trip). After a successful write on a
+// primary this is the write's assigned LSN — the client's read-your-writes
+// watermark.
+func (c *Conn) LastLSN() uint64 { return c.tds.LastLSN() }
+
 // Rows is a decrypted result set.
 type Rows struct {
 	Columns  []string
@@ -317,12 +353,35 @@ func (r *Rows) Row(i int) []sqltypes.Value { return r.Values[i] }
 // either (its state died with the server; the application must restart it).
 func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error) {
 	rows, sent, err := c.execOnce(query, args)
-	if err == nil || !retryable(err) || c.inTxn {
+	if err == nil {
+		c.afterExec(query)
+		return rows, nil
+	}
+	if !retryable(err) {
+		// The server processed the statement and rejected it — nothing was
+		// applied. If its encryption metadata was served from the describe
+		// cache, the rejection may be staleness (another client ran
+		// ALTER ... ENCRYPTED or changed the schema): drop the entry and
+		// retry once against a fresh describe. A rejection for any other
+		// reason just fails again, identically.
+		if c.lastDescribeCached {
+			c.caches.dropDescribe(query)
+			rows, _, err = c.execOnce(query, args)
+			if err == nil {
+				c.afterExec(query)
+			}
+		}
+		return rows, err
+	}
+	if c.inTxn {
 		return rows, err
 	}
 	if !sent || retrySafe(query) {
 		if c.failover() {
 			rows, _, err = c.execOnce(query, args)
+			if err == nil {
+				c.afterExec(query)
+			}
 		}
 		return rows, err
 	}
@@ -332,11 +391,29 @@ func (c *Conn) Exec(query string, args map[string]sqltypes.Value) (*Rows, error)
 	return nil, fmt.Errorf("%w: %v", ErrIndeterminate, err)
 }
 
+// afterExec runs post-success bookkeeping: a schema-changing statement
+// invalidates every cached describe — the metadata it returned may no longer
+// match any statement touching the altered objects.
+func (c *Conn) afterExec(query string) {
+	if c.cfg.DescribeCache && isSchemaChange(query) {
+		c.caches.invalidateDescribes()
+	}
+}
+
+// isSchemaChange reports statements that can invalidate cached describe
+// output: DDL, including ALTER ... ENCRYPTED rewrites.
+func isSchemaChange(query string) bool {
+	q := strings.ToUpper(strings.TrimSpace(query))
+	return strings.HasPrefix(q, "CREATE ") || strings.HasPrefix(q, "DROP ") ||
+		strings.HasPrefix(q, "ALTER ")
+}
+
 // execOnce runs the statement once. sent reports whether the execute request
 // itself may have reached the server — the point past which a transport
 // failure leaves the statement's outcome unknown.
 func (c *Conn) execOnce(query string, args map[string]sqltypes.Value) (rows *Rows, sent bool, err error) {
 	c.ExecCalls++
+	c.lastDescribeCached = false
 	// Mint the statement's trace context client-side: the server trace for
 	// this statement carries our ID, so a client latency sample can be
 	// joined to its server-side span breakdown.
@@ -429,6 +506,7 @@ func (c *Conn) describe(query string) (*tds.DescribeResp, error) {
 		c.caches.mu.Lock()
 		if d, ok := c.caches.describes[query]; ok {
 			c.caches.mu.Unlock()
+			c.lastDescribeCached = true
 			return d, nil
 		}
 		c.caches.mu.Unlock()
@@ -446,6 +524,7 @@ func (c *Conn) describe(query string) (*tds.DescribeResp, error) {
 		clientDHPub = c.dh.pubBytes
 	}
 	c.DescribeCalls++
+	c.describes.Inc()
 	resp, err := c.tds.Describe(query, clientDHPub)
 	if err != nil {
 		return nil, err

@@ -123,6 +123,15 @@ type Options struct {
 	// CrossingCost models one security-boundary transition (the hypervisor
 	// world switch). Figures in the paper imply single-digit microseconds.
 	CrossingCost time.Duration
+	// EvalLatency models the service time of one row's expression evaluation
+	// inside a real enclave (memory-encryption and paging overheads this
+	// functional simulation does not pay). Unlike CrossingCost it sleeps
+	// rather than spins: it occupies an enclave worker thread without
+	// consuming host CPU, so each enclave's evaluation capacity is bounded at
+	// Threads/EvalLatency regardless of host core count. Zero (the default)
+	// disables it; benchmarks that measure capacity scale-out across
+	// deployments on small hosts opt in.
+	EvalLatency time.Duration
 	// Obs is the observability registry the enclave reports into (queue
 	// waits, crossings, evaluation counts — §4.6 decomposition). nil gets a
 	// private registry so independent enclaves never share series. The
@@ -555,7 +564,10 @@ func (e *Enclave) EvalExpression(handle uint64, inputs [][]byte) ([][]byte, erro
 	e.evalRows.Observe(1)
 	var outs [][]byte
 	var err error
-	run := func() { outs, err = e.evalLocked(re, inputs) }
+	run := func() {
+		e.evalSleep(1)
+		outs, err = e.evalLocked(re, inputs)
+	}
 	e.enter(run)
 	sp.End()
 	return outs, err
@@ -587,12 +599,22 @@ func (e *Enclave) EvalExpressionBatch(handle uint64, rows [][][]byte) ([][][]byt
 	outs := make([][][]byte, len(rows))
 	errs := make([]error, len(rows))
 	e.enter(func() {
+		e.evalSleep(len(rows))
 		for i, row := range rows {
 			outs[i], errs[i] = e.evalLocked(re, row)
 		}
 	})
 	sp.End()
 	return outs, errs, nil
+}
+
+// evalSleep charges the modeled per-row evaluation service time for rows
+// evaluations while holding the enclave worker thread. One consolidated
+// sleep per submission keeps timer overshoot independent of batch size.
+func (e *Enclave) evalSleep(rows int) {
+	if e.opts.EvalLatency > 0 && rows > 0 {
+		time.Sleep(time.Duration(rows) * e.opts.EvalLatency)
+	}
 }
 
 // enter runs fn inside the enclave: one queue submit in the default

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"alwaysencrypted/internal/aecrypto"
 	"alwaysencrypted/internal/exprsvc"
 	"alwaysencrypted/internal/obs/trace"
 	"alwaysencrypted/internal/sqltypes"
@@ -615,6 +616,31 @@ func (a *aggState) result(fn AggFunc) []byte {
 	}
 }
 
+// validateEncryptedCells rejects statement writes that contradict the column
+// encryption metadata: a value bound to an encrypted column must be a
+// well-formed ciphertext envelope. This is the server-side half of the §4.1
+// describe protocol — a client whose sp_describe_parameter_encryption result
+// went stale (the column was encrypted after the describe) sends plaintext,
+// and the statement must fail rather than store plaintext in an encrypted
+// column. Drivers treat the rejection as a cache-staleness signal: drop the
+// cached describe entry and retry once with fresh metadata.
+func validateEncryptedCells(tbl *Table, cells [][]byte) error {
+	for i, cell := range cells {
+		if cell == nil {
+			continue
+		}
+		col := &tbl.Cols[i]
+		if col.Enc.IsPlaintext() {
+			continue
+		}
+		if !aecrypto.WellFormedCiphertext(cell) {
+			return fmt.Errorf("engine: operand type clash: value for encrypted column %s.%s is not ciphertext (parameter encryption metadata may be stale)",
+				tbl.Name, col.Name)
+		}
+	}
+	return nil
+}
+
 // executeInsert inserts one row.
 func (e *Engine) executeInsert(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
 	tbl := plan.table
@@ -625,6 +651,9 @@ func (e *Engine) executeInsert(t *Txn, plan *Plan, params Params) (*ResultSet, e
 			return nil, err
 		}
 		cells[bind.colPos] = b
+	}
+	if err := validateEncryptedCells(tbl, cells); err != nil {
+		return nil, err
 	}
 	if _, err := e.insertRow(t, tbl, cells); err != nil {
 		return nil, err
@@ -659,6 +688,9 @@ func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, e
 				return nil, err
 			}
 			newCells[set.colPos] = b
+		}
+		if err := validateEncryptedCells(tbl, newCells); err != nil {
+			return nil, err
 		}
 		if _, err := e.updateRow(t, tbl, rid, cells, newCells); err != nil {
 			return nil, err

@@ -214,10 +214,14 @@ func TestBatchedStopShadowsLaterError(t *testing.T) {
 				env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
 					Params{"i": intParam(id), "v": env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)})
 			}
-			// Poisoned row in heap position 4: the server stores parameter
-			// bytes as-is (it cannot decrypt them), so garbage goes in.
+			// Poisoned row in heap position 4: a structurally well-formed
+			// envelope (it passes the server's write-time shape check — the
+			// server cannot authenticate ciphertext) whose HMAC is garbage,
+			// so enclave evaluation fails on it.
+			poisoned := make([]byte, 65)
+			poisoned[0] = 0x01
 			env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
-				Params{"i": intParam(4), "v": []byte("garbage ciphertext bytes")})
+				Params{"i": intParam(4), "v": poisoned})
 			env.mustExec("INSERT INTO s (id, v) VALUES (@i, @v)",
 				Params{"i": intParam(5), "v": env.enc("CEK1", sqltypes.Int(7), aecrypto.Randomized)})
 

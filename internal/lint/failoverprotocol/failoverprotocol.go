@@ -87,7 +87,12 @@ var spec = &typestate.Spec{
 			ReleaseUse: []typestate.IdentPat{
 				{Pkg: "driver", Name: "ErrIndeterminate"},
 			},
-			LeakMsg: "failover not followed by a retry or ErrIndeterminate: the statement outcome is silently dropped",
+			// Two execOnce calls without an intervening failover (the
+			// stale-describe retry path) are not a protocol violation —
+			// this resource only guards that a failover is followed by an
+			// outcome; the Max budget above separately bounds retries.
+			Idempotent: true,
+			LeakMsg:    "failover not followed by a retry or ErrIndeterminate: the statement outcome is silently dropped",
 		},
 	},
 }

@@ -1,0 +1,12 @@
+package poolconn_test
+
+import (
+	"testing"
+
+	"alwaysencrypted/internal/lint/analysis/analysistest"
+	"alwaysencrypted/internal/lint/poolconn"
+)
+
+func TestPoolconn(t *testing.T) {
+	analysistest.Run(t, "testdata", poolconn.Analyzer, "pooluse")
+}

@@ -1,0 +1,28 @@
+// Package pool is an analysistest stub of the repo's connection pool:
+// just enough surface for the poolconn spec's patterns to resolve.
+package pool
+
+import "context"
+
+type Rows struct{ Affected int }
+
+type Pool struct{}
+
+func (p *Pool) Acquire(ctx context.Context) (*PooledConn, error) {
+	return &PooledConn{}, nil
+}
+
+func (p *Pool) AcquireRead(ctx context.Context, minLSN uint64) (*PooledConn, error) {
+	return &PooledConn{}, nil
+}
+
+type PooledConn struct{}
+
+func (pc *PooledConn) Exec(query string, args map[string]int) (*Rows, error) {
+	return &Rows{}, nil
+}
+func (pc *PooledConn) Begin() error    { return nil }
+func (pc *PooledConn) Commit() error   { return nil }
+func (pc *PooledConn) Rollback() error { return nil }
+func (pc *PooledConn) Release()        {}
+func (pc *PooledConn) LastLSN() uint64 { return 0 }

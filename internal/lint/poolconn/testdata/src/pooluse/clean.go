@@ -1,0 +1,84 @@
+package pooluse
+
+import (
+	"context"
+	"errors"
+	"pool"
+)
+
+var errIndeterminate = errors.New("indeterminate")
+
+// cleanReadPath pairs every path: acquire-error exit, exec-error exit,
+// success exit all release exactly once.
+func cleanReadPath(p *pool.Pool, lsn uint64) (int, error) {
+	pc, err := p.AcquireRead(context.Background(), lsn)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := pc.Exec("SELECT v FROM t", nil)
+	pc.Release()
+	if err != nil {
+		return 0, err
+	}
+	return rows.Affected, nil
+}
+
+// cleanDeferRelease discharges the obligation with defer.
+func cleanDeferRelease(p *pool.Pool) error {
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer pc.Release()
+	_, err = pc.Exec("UPDATE t SET v = v + 1", nil)
+	if errors.Is(err, errIndeterminate) {
+		// Outcome unknown: verify state before retrying.
+		return err
+	}
+	return err
+}
+
+// cleanTxn pins a checkout across Begin/Commit and checks every error.
+func cleanTxn(p *pool.Pool) error {
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer pc.Release()
+	if err := pc.Begin(); err != nil {
+		return err
+	}
+	if _, err := pc.Exec("INSERT INTO t VALUES (@v)", nil); err != nil {
+		pc.Rollback()
+		return err
+	}
+	return pc.Commit()
+}
+
+// cleanEscape hands the checkout to a struct that owns it now: the
+// release obligation transfers with it.
+type session struct{ pc *pool.PooledConn }
+
+func cleanEscape(p *pool.Pool) (*session, error) {
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &session{pc: pc}, nil
+}
+
+// releaseHelper releases its parameter on every path; callers relying
+// on it discharge their obligation through the callee summary.
+func releaseHelper(pc *pool.PooledConn) {
+	pc.Release()
+}
+
+func cleanViaHelper(p *pool.Pool) error {
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	_, execErr := pc.Exec("SELECT 1", nil)
+	releaseHelper(pc)
+	return execErr
+}

@@ -1,0 +1,76 @@
+// Package pooluse exercises the poolconn spec: every function here
+// violates the checkout protocol in one way.
+package pooluse
+
+import (
+	"context"
+	"pool"
+)
+
+// leakOnEarlyReturn releases on the fall-through path only; the cond
+// early return leaks the checkout (and its semaphore slot). The error
+// return while the acquire's error is unchecked is exempt.
+func leakOnEarlyReturn(p *pool.Pool, cond bool) error {
+	pc, err := p.Acquire(context.Background()) // want "pooled connection checked out but not released on every path"
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	pc.Release()
+	return nil
+}
+
+// readLeak leaks an AcquireRead checkout on the early-return path.
+func readLeak(p *pool.Pool, lsn uint64, cond bool) error {
+	pc, err := p.AcquireRead(context.Background(), lsn) // want "pooled connection checked out but not released on every path"
+	if err != nil {
+		return err
+	}
+	_, err = pc.Exec("SELECT v FROM t", nil)
+	if cond {
+		return err
+	}
+	pc.Release()
+	return err
+}
+
+// doubleRelease returns the same checkout twice: two workers would
+// share one physical connection.
+func doubleRelease(p *pool.Pool) {
+	pc, _ := p.Acquire(context.Background())
+	pc.Release()
+	pc.Release() // want "pooled connection released twice on one path"
+}
+
+// discard drops the checkout on the floor: nothing can ever release it.
+func discard(p *pool.Pool) {
+	p.Acquire(context.Background()) // want "result of Acquire discarded"
+}
+
+// blankConn binds the checkout to _: same leak, different spelling.
+func blankConn(p *pool.Pool, lsn uint64) {
+	_, _ = p.AcquireRead(context.Background(), lsn) // want "result assigned to _"
+}
+
+// dropIndeterminate discards Exec's result entirely: a DML statement
+// whose primary died mid-flight reports ErrIndeterminate there, and
+// ignoring it turns exactly-once into maybe-twice.
+func dropIndeterminate(pc *pool.PooledConn) {
+	pc.Exec("UPDATE accounts SET balance = balance - 1", nil) // want "error result of Exec discarded"
+	pc.Release()
+}
+
+// blankExecErr blanks the error-result position explicitly.
+func blankExecErr(pc *pool.PooledConn) {
+	_, _ = pc.Exec("DELETE FROM sessions", nil) // want "error result of Exec assigned to _"
+	pc.Release()
+}
+
+// dropCommitErr ignores Commit's verdict: the transaction may or may
+// not have committed on the dead primary.
+func dropCommitErr(pc *pool.PooledConn) {
+	pc.Commit() // want "error result of Commit discarded"
+	pc.Release()
+}

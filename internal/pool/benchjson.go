@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema identifies the BENCH_pool.json layout. Bump only with a new
+// suffix; downstream tooling keys on this string.
+const BenchSchema = "alwaysencrypted/tpcc-pool/v1"
+
+// BenchReport is the stable serialized form of a pool benchmark run: the
+// connection-churn arm (per-statement setup cost pooled vs fresh-connection-
+// per-statement) and the read-scaling arm (committed tps as replicas are
+// added, with routing shares).
+type BenchReport struct {
+	Schema string   `json:"schema"`
+	Run    BenchRun `json:"run"`
+}
+
+// BenchRun holds one measurement.
+type BenchRun struct {
+	Workload string `json:"workload"`
+
+	Churn   ChurnArm     `json:"churn"`
+	Scaling []ScalingArm `json:"scaling"`
+}
+
+// ChurnArm quantifies Fig. 8's per-connection setup cost and how pooling
+// amortizes it: describe round trips and attestation handshakes per
+// statement, fresh-connection-per-statement vs pooled.
+type ChurnArm struct {
+	Statements int `json:"statements"`
+
+	// Setup round trips per statement (describe calls + attestations).
+	UnpooledSetupPerStmt float64 `json:"unpooled_setup_per_stmt"`
+	PooledSetupPerStmt   float64 `json:"pooled_setup_per_stmt"`
+	// AmortizationFactor = unpooled / pooled (the acceptance bar is ≥ 10).
+	AmortizationFactor float64 `json:"amortization_factor"`
+
+	// Wall-clock per statement, for context.
+	UnpooledNsPerStmt int64 `json:"unpooled_ns_per_stmt"`
+	PooledNsPerStmt   int64 `json:"pooled_ns_per_stmt"`
+}
+
+// ScalingArm is one read-scaling measurement at a fixed replica count.
+type ScalingArm struct {
+	Replicas     int     `json:"replicas"`
+	Workers      int     `json:"workers"`
+	DurationMs   float64 `json:"duration_ms"`
+	Committed    uint64  `json:"committed"`
+	CommittedTPS float64 `json:"committed_tps"`
+
+	// Routing shares over the arm's reads.
+	Reads                 uint64  `json:"reads"`
+	ReplicaReadShare      float64 `json:"replica_read_share"`
+	StalenessFallbacks    uint64  `json:"staleness_fallbacks"`
+	StalenessFallbackRate float64 `json:"staleness_fallback_rate"`
+}
+
+// NewBenchReport wraps a run in the versioned envelope.
+func NewBenchReport(run BenchRun) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Run: run}
+}
+
+// WriteFile serializes the report to path (the BENCH_pool.json artifact).
+func (rep *BenchReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ValidateBenchReport checks the invariants downstream tooling relies on.
+func ValidateBenchReport(b []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("pool: bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("pool: bench report schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.Run.Churn.Statements == 0 {
+		return nil, fmt.Errorf("pool: bench report has no churn arm")
+	}
+	if rep.Run.Churn.PooledSetupPerStmt > 0 &&
+		rep.Run.Churn.AmortizationFactor < 1 {
+		return nil, fmt.Errorf("pool: bench report amortization factor %.2f < 1",
+			rep.Run.Churn.AmortizationFactor)
+	}
+	if len(rep.Run.Scaling) == 0 {
+		return nil, fmt.Errorf("pool: bench report has no scaling arms")
+	}
+	for _, arm := range rep.Run.Scaling {
+		if arm.DurationMs <= 0 {
+			return nil, fmt.Errorf("pool: scaling arm (replicas=%d) has no duration", arm.Replicas)
+		}
+	}
+	return &rep, nil
+}

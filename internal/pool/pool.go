@@ -1,0 +1,598 @@
+// Package pool is the production client path over internal/driver: a
+// connection pool that amortizes the per-connection setup the paper measures
+// in §4.1/Fig. 8 — the sp_describe_parameter_encryption round trip, the
+// attestation handshake and the CEK resolution — by sharing one describe +
+// CEK cache across every pooled connection, and that scales side-effect-free
+// reads across the ciphertext-only replicas of internal/repl.
+//
+// Read routing is LSN-bounded: the pool tracks each replica's highest
+// *applied* LSN (refreshed by a health-ping loop and piggybacked on every
+// response) and hands a read to a replica only when that watermark has
+// reached the caller's read-your-writes bound. The known watermark is a
+// monotone lower bound on the replica's true position, so routing on it can
+// cause a spurious primary fallback but never a stale read. Writes, explicit
+// transactions and insufficiently fresh reads always go to the primary.
+//
+// Failover rides on PR 4's driver semantics: primary connections are dialed
+// with the full address list, so a mid-statement primary death fails over to
+// a promoted replica, surfaces ErrIndeterminate for in-flight DML, retries
+// unsent statements, and re-attests transparently. The pool's job on top is
+// only hygiene — a connection that saw a transport error is health-checked
+// with a Ping before it is allowed back into the idle set.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/tds"
+)
+
+// Config configures a pool.
+type Config struct {
+	// Primary is the primary server's TDS address.
+	Primary string
+	// Replicas lists read-replica TDS addresses, in routing preference order.
+	Replicas []string
+	// Driver is the per-connection driver configuration (AE flag, providers,
+	// trust anchors). The pool overrides its DescribeCache and Obs fields:
+	// every pooled connection shares the pool's describe + CEK cache.
+	Driver driver.Config
+	// MaxConns caps concurrently checked-out connections per endpoint
+	// (default 8). Acquire blocks (or honours its context) when the cap is
+	// reached.
+	MaxConns int
+	// MaxIdle caps idle connections kept per endpoint (default MaxConns).
+	MaxIdle int
+	// HealthInterval is the replica health-ping cadence (default 50ms).
+	// Negative disables the loop (tests drive PingReplicas directly).
+	HealthInterval time.Duration
+	// DisableDescribeCache opts out of the pool's shared describe cache.
+	// The cache is ON by default for pooled connections: that is where
+	// Fig. 8's extra round trip actually amortizes, and staleness is safe
+	// (see driver.Config.DescribeCache).
+	DisableDescribeCache bool
+	// Obs receives pool instruments (pool.conns_open, pool.conns_idle,
+	// pool.acquire_wait_ns, pool.replica_reads, pool.primary_reads,
+	// pool.staleness_fallbacks, pool.dials, pool.reuses); nil disables them.
+	Obs *obs.Registry
+}
+
+// ErrClosed reports an operation on a closed pool.
+var ErrClosed = errors.New("pool: closed")
+
+// ErrReleased reports use of a connection after it was released.
+var ErrReleased = errors.New("pool: connection used after release")
+
+// endpoint is one server address with its checkout semaphore, idle list and
+// freshness watermark.
+type endpoint struct {
+	addr    string
+	replica bool
+	sem     chan struct{} // checkout slots (capacity MaxConns)
+
+	mu   sync.Mutex
+	idle []*PooledConn
+
+	// lsn is the endpoint's last known log watermark — on a replica the
+	// highest applied LSN the pool has observed. Monotone: a piggybacked or
+	// pinged value only ever raises it.
+	lsn  atomic.Uint64
+	down atomic.Bool
+
+	// health is the endpoint's dedicated health-ping connection, outside the
+	// checkout accounting.
+	healthMu sync.Mutex
+	health   *driver.Conn
+}
+
+func (ep *endpoint) observeLSN(lsn uint64) {
+	for {
+		cur := ep.lsn.Load()
+		if lsn <= cur || ep.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Pool is a failover-aware connection pool with LSN-bounded replica read
+// routing. Safe for concurrent use.
+type Pool struct {
+	cfg      Config
+	dcfg     driver.Config
+	cache    *driver.Cache
+	primary  *endpoint
+	replicas []*endpoint
+
+	// addrs is the failover list primary connections are dialed with.
+	addrs []string
+
+	// lastWrite is the pool-global write watermark: the highest LSN observed
+	// on any primary connection. The "global" consistency mode reads it; the
+	// default "session" mode tracks watermarks per client session instead.
+	lastWrite atomic.Uint64
+
+	// rr round-robins replica selection across AcquireRead calls.
+	rr atomic.Uint64
+
+	numOpen atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+
+	dials       *obs.Counter
+	reuses      *obs.Counter
+	replicaRd   *obs.Counter
+	primaryRd   *obs.Counter
+	staleFB     *obs.Counter
+	readSpills  *obs.Counter
+	acquireWait *obs.Histogram
+}
+
+// New creates a pool. No connections are dialed until first use.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("pool: no primary address")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 8
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = cfg.MaxConns
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 50 * time.Millisecond
+	}
+	dcfg := cfg.Driver
+	dcfg.DescribeCache = !cfg.DisableDescribeCache
+	dcfg.Obs = cfg.Obs
+
+	p := &Pool{
+		cfg:   cfg,
+		dcfg:  dcfg,
+		cache: driver.NewCache(),
+		addrs: append([]string{cfg.Primary}, cfg.Replicas...),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+
+		dials:       cfg.Obs.Counter("pool.dials"),
+		reuses:      cfg.Obs.Counter("pool.reuses"),
+		replicaRd:   cfg.Obs.Counter("pool.replica_reads"),
+		primaryRd:   cfg.Obs.Counter("pool.primary_reads"),
+		staleFB:     cfg.Obs.Counter("pool.staleness_fallbacks"),
+		readSpills:  cfg.Obs.Counter("pool.read_spills"),
+		acquireWait: cfg.Obs.Histogram("pool.acquire_wait_ns"),
+	}
+	p.primary = newEndpoint(cfg.Primary, false, cfg.MaxConns)
+	for _, addr := range cfg.Replicas {
+		p.replicas = append(p.replicas, newEndpoint(addr, true, cfg.MaxConns))
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("pool.conns_open", p.numOpen.Load)
+		cfg.Obs.GaugeFunc("pool.conns_idle", func() int64 { return int64(p.idleCount()) })
+	}
+	if cfg.HealthInterval > 0 && len(p.replicas) > 0 {
+		go p.healthLoop()
+	} else {
+		close(p.done)
+	}
+	return p, nil
+}
+
+func newEndpoint(addr string, replica bool, maxConns int) *endpoint {
+	return &endpoint{addr: addr, replica: replica, sem: make(chan struct{}, maxConns)}
+}
+
+// Cache exposes the pool's shared describe + CEK cache (zeroize at process
+// teardown, after Close).
+func (p *Pool) Cache() *driver.Cache { return p.cache }
+
+// LastWrite is the pool-global write watermark: the highest primary LSN any
+// pooled connection has observed. The "global" read-consistency mode uses it
+// as the freshness bound for every read.
+func (p *Pool) LastWrite() uint64 { return p.lastWrite.Load() }
+
+func (p *Pool) observeWrite(lsn uint64) {
+	for {
+		cur := p.lastWrite.Load()
+		if lsn <= cur || p.lastWrite.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Acquire checks out a primary connection, dialing one if no idle connection
+// exists and the per-endpoint cap allows it; otherwise it blocks until a slot
+// frees or ctx is done. The connection carries the full failover address
+// list, so primary death mid-statement follows PR 4's exactly-once rules.
+func (p *Pool) Acquire(ctx context.Context) (*PooledConn, error) {
+	return p.acquire(ctx, p.primary)
+}
+
+// AcquireRead checks out a connection for a side-effect-free read whose
+// session requires all writes up to minLSN to be visible. It routes to a
+// replica only when the pool's known applied LSN for that replica has
+// reached minLSN (read-your-writes); otherwise — replicas lagging, down,
+// absent, or all at their checkout cap — it falls back to the primary, which
+// is always fresh. A fallback caused purely by lag is counted in
+// pool.staleness_fallbacks; one caused purely by saturation (every fresh
+// replica at capacity, so the read spills to the primary rather than queue)
+// in pool.read_spills.
+func (p *Pool) AcquireRead(ctx context.Context, minLSN uint64) (*PooledConn, error) {
+	n := len(p.replicas)
+	if n > 0 {
+		start := int(p.rr.Add(1))
+		stale, busy := false, false
+		for off := 0; off < n; off++ {
+			ep := p.replicas[(start+off)%n]
+			if ep.down.Load() {
+				continue
+			}
+			if ep.lsn.Load() < minLSN {
+				stale = true
+				continue
+			}
+			pc, ok, err := p.tryAcquire(ep)
+			if err == nil && ok {
+				p.replicaRd.Inc()
+				return pc, nil
+			}
+			if err == nil {
+				// Fresh but no free checkout slot right now.
+				busy = true
+				continue
+			}
+			if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+				return nil, err
+			}
+			// Dial failure: the health loop will confirm; route around it.
+			ep.down.Store(true)
+		}
+		if stale {
+			p.staleFB.Inc()
+		} else if busy {
+			p.readSpills.Inc()
+		}
+	}
+	p.primaryRd.Inc()
+	return p.acquire(ctx, p.primary)
+}
+
+func (p *Pool) acquire(ctx context.Context, ep *endpoint) (*PooledConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case ep.sem <- struct{}{}:
+	default:
+		select {
+		case ep.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p.acquireWait.Observe(time.Since(start).Nanoseconds())
+	return p.checkout(ep)
+}
+
+// tryAcquire is acquire without the blocking wait: it takes a checkout slot
+// only if one is free right now. ok reports whether a slot was taken; a
+// false ok with a nil error means the endpoint is saturated.
+func (p *Pool) tryAcquire(ep *endpoint) (pc *PooledConn, ok bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	p.mu.Unlock()
+
+	select {
+	case ep.sem <- struct{}{}:
+	default:
+		return nil, false, nil
+	}
+	pc, err = p.checkout(ep)
+	return pc, true, err
+}
+
+// checkout hands out a connection for an already-reserved slot: an idle one
+// if available, else a fresh dial. On dial failure the slot is returned.
+func (p *Pool) checkout(ep *endpoint) (*PooledConn, error) {
+	ep.mu.Lock()
+	if n := len(ep.idle); n > 0 {
+		pc := ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
+		ep.mu.Unlock()
+		pc.released = false
+		pc.sawError = false
+		p.reuses.Inc()
+		return pc, nil
+	}
+	ep.mu.Unlock()
+
+	conn, err := p.dial(ep)
+	if err != nil {
+		<-ep.sem
+		return nil, err
+	}
+	p.dials.Inc()
+	p.numOpen.Add(1)
+	return &PooledConn{pool: p, ep: ep, conn: conn}, nil
+}
+
+// dial opens a driver connection for the endpoint: primaries get the full
+// failover list, replicas a single endpoint (their failure mode is routing
+// around, not failing over).
+func (p *Pool) dial(ep *endpoint) (*driver.Conn, error) {
+	if ep.replica {
+		return driver.Dial(ep.addr, p.dcfg, p.cache)
+	}
+	return driver.DialMulti(p.addrs, p.dcfg, p.cache)
+}
+
+// PingReplicas health-pings every replica endpoint once, synchronously:
+// refreshes applied-LSN watermarks and down flags. The health loop calls it
+// on a timer; tests call it directly for determinism.
+func (p *Pool) PingReplicas() {
+	for _, ep := range p.replicas {
+		p.pingEndpoint(ep)
+	}
+}
+
+func (p *Pool) pingEndpoint(ep *endpoint) {
+	ep.healthMu.Lock()
+	defer ep.healthMu.Unlock()
+	if ep.health == nil {
+		conn, err := driver.Dial(ep.addr, p.dcfg, p.cache)
+		if err != nil {
+			ep.down.Store(true)
+			return
+		}
+		ep.health = conn
+	}
+	lsn, err := ep.health.Ping()
+	if err != nil {
+		ep.health.Close()
+		ep.health = nil
+		ep.down.Store(true)
+		return
+	}
+	ep.down.Store(false)
+	ep.observeLSN(lsn)
+}
+
+func (p *Pool) healthLoop() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.PingReplicas()
+		}
+	}
+}
+
+func (p *Pool) idleCount() int {
+	n := 0
+	for _, ep := range append([]*endpoint{p.primary}, p.replicas...) {
+		ep.mu.Lock()
+		n += len(ep.idle)
+		ep.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time pool snapshot.
+type Stats struct {
+	Open               int64
+	Idle               int
+	Dials              uint64
+	Reuses             uint64
+	ReplicaReads       uint64
+	PrimaryReads       uint64
+	StalenessFallbacks uint64
+	ReadSpills         uint64
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Open:               p.numOpen.Load(),
+		Idle:               p.idleCount(),
+		Dials:              p.dials.Value(),
+		Reuses:             p.reuses.Value(),
+		ReplicaReads:       p.replicaRd.Value(),
+		PrimaryReads:       p.primaryRd.Value(),
+		StalenessFallbacks: p.staleFB.Value(),
+		ReadSpills:         p.readSpills.Value(),
+	}
+}
+
+// ReplicaLSN returns the pool's known applied LSN for replica i (tests).
+func (p *Pool) ReplicaLSN(i int) uint64 { return p.replicas[i].lsn.Load() }
+
+// Close stops the health loop and closes every idle and health connection.
+// Checked-out connections are closed when released.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+	for _, ep := range append([]*endpoint{p.primary}, p.replicas...) {
+		ep.mu.Lock()
+		idle := ep.idle
+		ep.idle = nil
+		ep.mu.Unlock()
+		for _, pc := range idle {
+			pc.conn.Close()
+			p.numOpen.Add(-1)
+		}
+		ep.healthMu.Lock()
+		if ep.health != nil {
+			ep.health.Close()
+			ep.health = nil
+		}
+		ep.healthMu.Unlock()
+	}
+}
+
+// PooledConn is a checked-out connection. Not safe for concurrent use —
+// like driver.Conn, one PooledConn serves one worker at a time. Every
+// Acquire/AcquireRead must be paired with exactly one Release on every path
+// (the poolconn lint spec enforces this statically).
+type PooledConn struct {
+	pool *Pool
+	ep   *endpoint
+	conn *driver.Conn
+
+	// sawError marks a transport-level failure: the connection must pass a
+	// Ping health check before rejoining the idle set.
+	sawError bool
+	released bool
+}
+
+// Replica reports whether the connection is routed to a read replica.
+func (pc *PooledConn) Replica() bool { return pc.ep.replica }
+
+// Exec runs one statement through the underlying driver connection,
+// piggybacking the response LSN into the pool's watermarks. Error semantics
+// are the driver's: a *tds.ServerError means the server processed and
+// rejected the statement; driver.ErrIndeterminate means in-flight DML died
+// with the primary and MUST be checked by the caller (the poolconn lint spec
+// flags Exec results that are discarded).
+func (pc *PooledConn) Exec(query string, args map[string]sqltypes.Value) (*driver.Rows, error) {
+	if pc.released {
+		return nil, ErrReleased
+	}
+	rows, err := pc.conn.Exec(query, args)
+	pc.noteResult(err)
+	return rows, err
+}
+
+// Begin/Commit/Rollback control an explicit transaction. Transactions are
+// only meaningful on primary connections (replicas reject writes); aesql
+// pins them there.
+func (pc *PooledConn) Begin() error {
+	if pc.released {
+		return ErrReleased
+	}
+	err := pc.conn.Begin()
+	pc.noteResult(err)
+	return err
+}
+
+func (pc *PooledConn) Commit() error {
+	if pc.released {
+		return ErrReleased
+	}
+	err := pc.conn.Commit()
+	pc.noteResult(err)
+	return err
+}
+
+func (pc *PooledConn) Rollback() error {
+	if pc.released {
+		return ErrReleased
+	}
+	err := pc.conn.Rollback()
+	pc.noteResult(err)
+	return err
+}
+
+// noteResult folds one statement outcome into pool state: the response LSN
+// raises the endpoint (and, on a primary, the pool-global write) watermark;
+// a transport-level error quarantines the connection until a health check.
+func (pc *PooledConn) noteResult(err error) {
+	if lsn := pc.conn.LastLSN(); lsn > 0 {
+		pc.ep.observeLSN(lsn)
+		if !pc.ep.replica {
+			pc.pool.observeWrite(lsn)
+		}
+	}
+	if err != nil {
+		var se *tds.ServerError
+		if !errors.As(err, &se) {
+			pc.sawError = true
+		}
+	}
+}
+
+// LastLSN is the log watermark from the connection's most recent response —
+// after a write, the session's read-your-writes bound.
+func (pc *PooledConn) LastLSN() uint64 { return pc.conn.LastLSN() }
+
+// Conn exposes the underlying driver connection (stats, trace IDs).
+func (pc *PooledConn) Conn() *driver.Conn { return pc.conn }
+
+// Release returns the connection to the pool. A connection that saw a
+// transport error must pass a Ping before rejoining the idle set; one that
+// fails the check (or exceeds MaxIdle, or belongs to a closed pool) is
+// closed. Release is idempotent at runtime, but the poolconn lint spec flags
+// double-release paths statically.
+func (pc *PooledConn) Release() {
+	if pc.released {
+		return
+	}
+	pc.released = true
+	p, ep := pc.pool, pc.ep
+
+	healthy := !pc.sawError
+	if pc.sawError {
+		// The driver may have failed the connection over already (in which
+		// case it is live against a promoted replica) or the transport may be
+		// dead. One round trip settles it.
+		if _, err := pc.conn.Ping(); err == nil {
+			healthy = true
+			pc.sawError = false
+		}
+	}
+
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+
+	if healthy && !closed {
+		ep.mu.Lock()
+		if len(ep.idle) < p.cfg.MaxIdle {
+			ep.idle = append(ep.idle, pc)
+			ep.mu.Unlock()
+			<-ep.sem
+			return
+		}
+		ep.mu.Unlock()
+	}
+	pc.conn.Close()
+	p.numOpen.Add(-1)
+	<-ep.sem
+}
+
+// String implements fmt.Stringer for debug logs without leaking row data.
+func (pc *PooledConn) String() string {
+	kind := "primary"
+	if pc.ep.replica {
+		kind = "replica"
+	}
+	return fmt.Sprintf("poolconn(%s %s)", kind, pc.ep.addr)
+}

@@ -1,0 +1,463 @@
+package pool_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/core"
+	"alwaysencrypted/internal/driver"
+	"alwaysencrypted/internal/obs"
+	"alwaysencrypted/internal/pool"
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// startPrimary boots a full AE deployment with provisioned keys and an AE
+// table, returning the server and the driver config pooled clients use.
+func startPrimary(t *testing.T, replListen string) (*core.Server, driver.Config) {
+	t.Helper()
+	srv, err := core.StartServer(core.ServerConfig{EnclaveThreads: 2, ReplListen: replListen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	admin := core.NewKeyAdmin(srv)
+	if err := admin.CreateMasterKey("CMK1", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateColumnKey("CEK1", "CMK1"); err != nil {
+		t.Fatal(err)
+	}
+	pol := srv.Policy()
+	return srv, driver.Config{
+		AlwaysEncrypted: true,
+		Providers:       admin.Registry(),
+		Policy:          &pol,
+	}
+}
+
+func mustExec(t *testing.T, pc *pool.PooledConn, q string, args map[string]sqltypes.Value) *driver.Rows {
+	t.Helper()
+	rows, err := pc.Exec(q, args)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return rows
+}
+
+// One pool, many statements: the describe round trip and the attestation
+// handshake are paid once per physical connection, not once per statement —
+// the Fig. 8 amortization the pool exists for.
+func TestPoolReuseAmortizesSetup(t *testing.T) {
+	srv, dcfg := startPrimary(t, "")
+	reg := obs.New("test")
+	p, err := pool.New(pool.Config{
+		Primary:        srv.Addr(),
+		Driver:         dcfg,
+		HealthInterval: -1,
+		Obs:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	pc, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, pc, "CREATE TABLE pii (id int PRIMARY KEY, ssn varchar(11) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))", nil)
+	pc.Release()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		pc, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, pc, "INSERT INTO pii (id, ssn) VALUES (@id, @ssn)", map[string]sqltypes.Value{
+			"id": sqltypes.Int(int64(i)), "ssn": sqltypes.Str(fmt.Sprintf("%09d", i)),
+		})
+		pc.Release()
+	}
+
+	st := p.Stats()
+	if st.Dials != 1 {
+		t.Errorf("dials = %d, want 1 (every statement reuses the first connection)", st.Dials)
+	}
+	if st.Reuses != n {
+		t.Errorf("reuses = %d, want %d", st.Reuses, n)
+	}
+	// The shared describe cache means one describe round trip per distinct
+	// query text, not one per execution.
+	if got := reg.Counter("driver.describe_calls").Value(); got != 2 {
+		t.Errorf("describe_calls = %d, want 2 (CREATE + INSERT, each described once)", got)
+	}
+	// Randomized equality needs the enclave: the first such predicate
+	// triggers attestation, and every later one on the pool's single
+	// physical connection rides the same attested session.
+	for i := 0; i < 5; i++ {
+		pc, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := mustExec(t, pc, "SELECT id FROM pii WHERE ssn = @ssn",
+			map[string]sqltypes.Value{"ssn": sqltypes.Str("000000007")})
+		pc.Release()
+		if len(rows.Values) != 1 || rows.Values[0][0].I != 7 {
+			t.Fatalf("decrypted predicate read = %+v", rows.Values)
+		}
+	}
+	if got := reg.Counter("driver.attestations").Value(); got != 1 {
+		t.Errorf("attestations = %d, want 1 (one per physical connection, amortized by the pool)", got)
+	}
+}
+
+// Read-your-writes through the pool: a read bounded by the session's last
+// write LSN falls back to the primary while the replica lags (a counted
+// staleness fallback, never a stale row) and routes to the replica once its
+// applied watermark catches up.
+func TestPoolReadYourWrites(t *testing.T) {
+	srv, dcfg := startPrimary(t, "127.0.0.1:0")
+	trust := srv.Trust()
+	rs, err := core.StartReplicaServer(core.ReplicaConfig{
+		Primary: srv.ReplAddr(), EnclaveThreads: 2, Trust: &trust,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	p, err := pool.New(pool.Config{
+		Primary:        srv.Addr(),
+		Replicas:       []string{rs.Addr()},
+		Driver:         dcfg,
+		HealthInterval: -1, // tests drive PingReplicas for determinism
+		Obs:            obs.New("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	pc, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, pc, "CREATE TABLE t (id int PRIMARY KEY, v int)", nil)
+	mustExec(t, pc, "INSERT INTO t (id, v) VALUES (@id, @v)", map[string]sqltypes.Value{
+		"id": sqltypes.Int(1), "v": sqltypes.Int(42),
+	})
+	bound := pc.LastLSN()
+	pc.Release()
+	if bound == 0 {
+		t.Fatal("primary response carried no LSN")
+	}
+
+	// The pool has never observed the replica's watermark: the freshness
+	// bound cannot be met, so the read must fall back to the primary.
+	rd, err := p.AcquireRead(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Replica() {
+		t.Fatal("read routed to a replica whose applied LSN is unknown")
+	}
+	rows := mustExec(t, rd, "SELECT v FROM t WHERE id = @id", map[string]sqltypes.Value{"id": sqltypes.Int(1)})
+	rd.Release()
+	if len(rows.Values) != 1 || rows.Values[0][0].I != 42 {
+		t.Fatalf("fallback read = %+v, want the session's own write", rows.Values)
+	}
+	if st := p.Stats(); st.StalenessFallbacks == 0 || st.PrimaryReads == 0 {
+		t.Errorf("stats = %+v, want a counted staleness fallback and primary read", st)
+	}
+
+	// Let the replica apply everything, refresh the watermark, and the same
+	// bounded read now rides the replica — and still sees the write.
+	if err := rs.Replication.WaitForLSN(srv.Engine.WAL().NextLSN(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.PingReplicas()
+	if got := p.ReplicaLSN(0); got < bound {
+		t.Fatalf("pinged replica LSN = %d, want >= %d", got, bound)
+	}
+	rd, err = p.AcquireRead(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Replica() {
+		t.Fatal("caught-up replica not chosen for bounded read")
+	}
+	rows = mustExec(t, rd, "SELECT v FROM t WHERE id = @id", map[string]sqltypes.Value{"id": sqltypes.Int(1)})
+	rd.Release()
+	if len(rows.Values) != 1 || rows.Values[0][0].I != 42 {
+		t.Fatalf("replica read = %+v, want the session's write", rows.Values)
+	}
+	if st := p.Stats(); st.ReplicaReads != 1 {
+		t.Errorf("replica reads = %d, want 1", st.ReplicaReads)
+	}
+}
+
+// A replica that is down (or stale) is routed around, not failed on: reads
+// fall back to the primary and the pool keeps working.
+func TestPoolRoutesAroundDownReplica(t *testing.T) {
+	srv, dcfg := startPrimary(t, "")
+	// A listener that never speaks TDS stands in for a dead replica.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	p, err := pool.New(pool.Config{
+		Primary:        srv.Addr(),
+		Replicas:       []string{deadAddr},
+		Driver:         dcfg,
+		HealthInterval: -1,
+		Obs:            obs.New("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.PingReplicas() // marks the dead replica down
+
+	ctx := context.Background()
+	pc, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, pc, "CREATE TABLE t (id int PRIMARY KEY)", nil)
+	pc.Release()
+
+	rd, err := p.AcquireRead(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Replica() {
+		t.Fatal("read routed to a down replica")
+	}
+	mustExec(t, rd, "SELECT id FROM t", nil)
+	rd.Release()
+}
+
+// A fresh replica whose checkout slots are all busy does not queue reads:
+// they spill to the primary (counted in ReadSpills), so the whole
+// deployment's capacity serves the read load.
+func TestPoolReadSpillsWhenReplicaSaturated(t *testing.T) {
+	srv, dcfg := startPrimary(t, "127.0.0.1:0")
+	trust := srv.Trust()
+	rs, err := core.StartReplicaServer(core.ReplicaConfig{
+		Primary: srv.ReplAddr(), EnclaveThreads: 2, Trust: &trust,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	p, err := pool.New(pool.Config{
+		Primary:        srv.Addr(),
+		Replicas:       []string{rs.Addr()},
+		Driver:         dcfg,
+		MaxConns:       1, // one checkout slot per endpoint
+		HealthInterval: -1,
+		Obs:            obs.New("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pc, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, pc, "CREATE TABLE t (id int PRIMARY KEY)", nil)
+	pc.Release()
+	if err := rs.Replication.WaitForLSN(srv.Engine.WAL().NextLSN(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.PingReplicas()
+
+	// First read takes the replica's only slot and holds it.
+	held, err := p.AcquireRead(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !held.Replica() {
+		t.Fatal("first read should land on the fresh replica")
+	}
+
+	// Second read finds the replica saturated and spills to the primary.
+	rd, err := p.AcquireRead(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Replica() {
+		t.Fatal("read should have spilled to the primary, not queued on the replica")
+	}
+	mustExec(t, rd, "SELECT id FROM t", nil)
+	rd.Release()
+	held.Release()
+
+	st := p.Stats()
+	if st.ReadSpills != 1 {
+		t.Fatalf("ReadSpills = %d, want 1", st.ReadSpills)
+	}
+	if st.ReplicaReads != 1 || st.PrimaryReads != 1 {
+		t.Fatalf("ReplicaReads = %d, PrimaryReads = %d, want 1 and 1", st.ReplicaReads, st.PrimaryReads)
+	}
+	if st.StalenessFallbacks != 0 {
+		t.Fatalf("StalenessFallbacks = %d, want 0 (saturation is not staleness)", st.StalenessFallbacks)
+	}
+}
+
+// startHalfDeadServer accepts, reads one request frame and closes without
+// responding — the transport failure where the statement may or may not have
+// executed (same shape as the driver's own failover tests).
+func startHalfDeadServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var hdr [4]byte
+				if _, err := io.ReadFull(c, hdr[:]); err != nil {
+					return
+				}
+				io.CopyN(io.Discard, c, int64(binary.BigEndian.Uint32(hdr[:])))
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// Failover through the pool keeps PR 4's exactly-once semantics: in-flight
+// DML on a dying primary surfaces ErrIndeterminate, and the failed-over
+// connection passes its Release health check and is reused — against the
+// surviving server — without a redial.
+func TestPoolFailoverIndeterminateAndQuarantine(t *testing.T) {
+	srv, err := core.StartServer(core.ServerConfig{EnclaveThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	admin, err := srv.Connect(core.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if _, err := admin.Exec("CREATE TABLE t (id int PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pool's primary is half-dead; the failover list continues to the
+	// live server.
+	p, err := pool.New(pool.Config{
+		Primary:        startHalfDeadServer(t),
+		Replicas:       []string{srv.Addr()},
+		Driver:         driver.Config{},
+		HealthInterval: -1,
+		Obs:            obs.New("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	pc, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pc.Exec("INSERT INTO t (id) VALUES (@id)", map[string]sqltypes.Value{"id": sqltypes.Int(1)})
+	if !errors.Is(err, driver.ErrIndeterminate) {
+		t.Fatalf("in-flight DML through pool: err = %v, want ErrIndeterminate", err)
+	}
+	pc.Release() // quarantined: must pass a Ping before rejoining the idle set
+
+	pc, err = p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The application's retry (its decision, not the pool's) lands exactly
+	// once on the survivor.
+	mustExec(t, pc, "INSERT INTO t (id) VALUES (@id)", map[string]sqltypes.Value{"id": sqltypes.Int(1)})
+	rows := mustExec(t, pc, "SELECT id FROM t", nil)
+	pc.Release()
+	if len(rows.Values) != 1 {
+		t.Fatalf("rows after app retry = %d, want 1", len(rows.Values))
+	}
+	if st := p.Stats(); st.Dials != 1 || st.Reuses != 1 {
+		t.Errorf("stats = %+v, want the failed-over connection reused, not redialed", st)
+	}
+}
+
+// Checkout accounting: MaxConns bounds concurrent checkouts, a released
+// connection is dead to its holder, and a closed pool refuses acquires.
+func TestPoolLimitsAndLifecycle(t *testing.T) {
+	srv, err := core.StartServer(core.ServerConfig{EnclaveThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p, err := pool.New(pool.Config{
+		Primary:        srv.Addr(),
+		Driver:         driver.Config{},
+		MaxConns:       1,
+		HealthInterval: -1,
+		Obs:            obs.New("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	pc, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	if _, err := p.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-cap acquire err = %v, want deadline exceeded", err)
+	}
+	cancel()
+
+	pc.Release()
+	if _, err := pc.Exec("SELECT 1", nil); !errors.Is(err, pool.ErrReleased) {
+		t.Fatalf("use-after-release err = %v, want ErrReleased", err)
+	}
+
+	pc, err = p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	pc.Release()
+
+	p.Close()
+	if _, err := p.Acquire(ctx); !errors.Is(err, pool.ErrClosed) {
+		t.Fatalf("acquire on closed pool err = %v, want ErrClosed", err)
+	}
+	if st := p.Stats(); st.Open != 0 || st.Idle != 0 {
+		t.Errorf("stats after close = %+v, want everything closed", st)
+	}
+}

@@ -83,6 +83,11 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		redoBatch:  cfg.Obs.Counter("repl.redo_batches"),
 		done:       make(chan struct{}),
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("repl.applied_lsn", func() int64 {
+			return int64(r.applier.AppliedLSN())
+		})
+	}
 	go r.run()
 	return r, nil
 }

@@ -34,7 +34,16 @@ type Request struct {
 	Exec       *ExecReq
 	InstallCEK *InstallCEKReq
 	Authorize  *AuthorizeReq
+	Ping       *PingReq
 }
+
+// PingReq is a liveness/progress probe: the response carries nothing but the
+// server's LSN watermark (Response.LSN). Connection pools use it both as a
+// health check on idle connections and as the replica-staleness heartbeat
+// that read routing decides on. Old servers decode it as an empty request
+// and answer with an error, which a pool treats as "unhealthy" — safe in
+// both directions.
+type PingReq struct{}
 
 // DescribeReq asks for sp_describe_parameter_encryption output. ClientDHPub
 // is set when the client wants attestation folded in (it has no cached
@@ -73,6 +82,16 @@ type Response struct {
 	Err      string
 	Describe *DescribeResp
 	Result   *engine.ResultSet
+	// LSN is the server's log watermark at response time: on a primary the
+	// highest assigned LSN, on a read replica the highest *applied* LSN (a
+	// mirrored-but-unapplied record is not yet visible to reads, so the
+	// replica must not advertise it). Zero means the server does not report
+	// one — old servers omit the field entirely (gob drops zero fields), so
+	// the protocol stays wire-compatible in both directions. Clients use it
+	// for LSN-bounded replica read routing: a write's response LSN is the
+	// client's read-your-writes watermark, and a replica is eligible for a
+	// read only once its advertised LSN has caught up to that watermark.
+	LSN uint64
 }
 
 // DescribeResp carries the describe output plus attestation when requested.
@@ -90,6 +109,12 @@ type Tap func(dir string, msg any)
 type Server struct {
 	Engine *engine.Engine
 	Tap    Tap
+
+	// LSN, when non-nil, reports the server's log watermark; every response
+	// (including ping responses) carries its value. Set it before Serve:
+	// handler goroutines read it concurrently. A primary reports the highest
+	// assigned LSN; a replica reports the highest applied LSN.
+	LSN func() uint64
 
 	// IdleTimeout bounds the wait for the next request frame; WriteTimeout
 	// bounds writing one response. Zero means the package defaults — a
@@ -180,6 +205,9 @@ func (s *Server) handle(conn net.Conn) {
 			s.Tap("c→s", &req)
 		}
 		resp := s.dispatch(sess, &req)
+		if s.LSN != nil {
+			resp.LSN = s.LSN()
+		}
 		if s.Tap != nil {
 			s.Tap("s→c", resp)
 		}
@@ -221,6 +249,9 @@ func (s *Server) dispatch(sess *engine.Session, req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{}
+	case req.Ping != nil:
+		// Nothing to do: handle stamps the LSN watermark on the way out.
+		return &Response{}
 	default:
 		return &Response{Err: "tds: empty request"}
 	}
@@ -234,6 +265,10 @@ type Conn struct {
 	fw   *FrameWriter
 	dec  *gob.Decoder
 	enc  *gob.Encoder
+	// lastLSN is the watermark from the most recent response (0 until the
+	// server reports one). Error responses update it too: the server stamps
+	// its watermark on every answer it produces.
+	lastLSN uint64
 }
 
 // Dial connects to a server address.
@@ -278,10 +313,29 @@ func (c *Conn) roundTrip(req *Request) (*Response, error) {
 		}
 		return nil, fmt.Errorf("tds: recv: %w", err)
 	}
+	if resp.LSN > 0 {
+		c.lastLSN = resp.LSN
+	}
 	if resp.Err != "" {
 		return &resp, &ServerError{Msg: resp.Err}
 	}
 	return &resp, nil
+}
+
+// LastLSN returns the server's log watermark from the most recent response
+// on this connection (0 if the server never reported one). After an Exec
+// that committed a write, this is the write's read-your-writes watermark.
+func (c *Conn) LastLSN() uint64 { return c.lastLSN }
+
+// Ping round-trips a liveness probe and returns the server's current LSN
+// watermark. Pools use it to health-check idle connections and to refresh
+// replica staleness knowledge.
+func (c *Conn) Ping() (uint64, error) {
+	resp, err := c.roundTrip(&Request{Ping: &PingReq{}})
+	if err != nil {
+		return 0, err
+	}
+	return resp.LSN, nil
 }
 
 // ServerError is an error reported by the server.

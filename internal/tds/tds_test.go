@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"alwaysencrypted/internal/engine"
@@ -173,6 +174,74 @@ func TestPipeTransport(t *testing.T) {
 	}
 	if _, err := c.Exec("INSERT INTO p (id) VALUES (@i)", map[string][]byte{"i": sqltypes.Int(1).Encode()}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Every response carries the server's log watermark when one is wired, and
+// Ping fetches it in a bare round trip — the primitives LSN-bounded read
+// routing is built on.
+func TestLSNStampAndPing(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := NewServer(eng)
+	var watermark atomic.Uint64
+	watermark.Store(7)
+	srv.LSN = watermark.Load // before Serve: handlers read it unsynchronized
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { l.Close(); srv.Close() })
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.LastLSN(); got != 0 {
+		t.Fatalf("LastLSN before any round trip = %d, want 0", got)
+	}
+	if _, err := c.Exec("CREATE TABLE w (id int PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastLSN(); got != 7 {
+		t.Fatalf("LastLSN after exec = %d, want the stamped watermark 7", got)
+	}
+	// Even an error response is stamped: the watermark tracks the server,
+	// not statement success.
+	watermark.Store(8)
+	if _, err := c.Exec("SELECT broken syntax", nil); err == nil {
+		t.Fatal("want server error")
+	}
+	if got := c.LastLSN(); got != 8 {
+		t.Fatalf("LastLSN after error response = %d, want 8", got)
+	}
+	watermark.Store(9)
+	lsn, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 9 || c.LastLSN() != 9 {
+		t.Fatalf("Ping = %d (LastLSN %d), want 9", lsn, c.LastLSN())
+	}
+}
+
+// A server with no LSN source (the pre-routing deployment shape) answers
+// pings with a zero watermark and stamps nothing — wire-compatible in both
+// directions.
+func TestPingWithoutLSNSource(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	lsn, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 0 || c.LastLSN() != 0 {
+		t.Fatalf("Ping on LSN-less server = %d (LastLSN %d), want 0", lsn, c.LastLSN())
 	}
 }
 

@@ -1,8 +1,10 @@
 package alwaysencrypted_test
 
 import (
+	"database/sql"
 	"testing"
 
+	"alwaysencrypted/internal/aesql"
 	"alwaysencrypted/internal/core"
 )
 
@@ -49,6 +51,58 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 	if len(rows.Values) != 1 || rows.Values[0][0].I != 2 {
 		t.Fatalf("rows = %+v", rows.Values)
+	}
+	if srv.Enclave.Dump().Evaluations == 0 {
+		t.Fatal("the query should have routed through the enclave")
+	}
+}
+
+// TestDatabaseSQLSmoke runs the same running example through the production
+// client path: the standard database/sql interface over the "aedb" driver,
+// the connection pool and the named-parameter binding — the stack an
+// application would actually program against.
+func TestDatabaseSQLSmoke(t *testing.T) {
+	srv, err := core.StartServer(core.ServerConfig{EnclaveThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	admin := core.NewKeyAdmin(srv)
+	if err := admin.CreateMasterKey("MyCMK", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateColumnKey("MyCEK", "MyCMK"); err != nil {
+		t.Fatal(err)
+	}
+	pol := srv.Policy()
+	aesql.RegisterTrust("smoke", aesql.Trust{Policy: &pol, Providers: admin.Registry()})
+
+	cfg := aesql.Config{Primary: srv.Addr(), AlwaysEncrypted: true, TrustName: "smoke"}
+	db, err := sql.Open("aedb", cfg.DSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`CREATE TABLE T(id int PRIMARY KEY,
+		value int ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK,
+		ENCRYPTION_TYPE = Randomized,
+		ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if _, err := db.Exec("INSERT INTO T (id, value) VALUES (@id, @v)",
+			sql.Named("id", i), sql.Named("v", i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var id int64
+	if err := db.QueryRow("SELECT id FROM T WHERE value = @v", sql.Named("v", 14)).Scan(&id); err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("id = %d, want 2", id)
 	}
 	if srv.Enclave.Dump().Evaluations == 0 {
 		t.Fatal("the query should have routed through the enclave")
