@@ -51,6 +51,7 @@ bench:
 	$(GO) run ./cmd/tpccbench -experiment batch -batch-out BENCH_batch.json
 	$(GO) run ./cmd/tpccbench -experiment trace -duration 2s -trace-out BENCH_trace.json
 	$(GO) run ./cmd/tpccbench -experiment pool -duration 2s -pool-out BENCH_pool.json
+	$(GO) run ./cmd/tpccbench -experiment write -duration 2s -write-out BENCH_write.json
 
 microbench:
 	$(GO) test -bench=. -benchmem .

@@ -13,6 +13,7 @@
 //	tpccbench -experiment batch [-batch-out BENCH_batch.json] [-batch-tx 150]
 //	tpccbench -experiment trace [-trace-out BENCH_trace.json] [-trace-sample 0.01]
 //	tpccbench -experiment pool [-pool-out BENCH_pool.json]
+//	tpccbench -experiment write [-write-out BENCH_write.json] [-write-warehouses 64] [-write-sync 200µs]
 //	tpccbench -experiment all
 //
 // The bench experiment is the `make bench` artifact: one plaintext and one
@@ -27,6 +28,10 @@
 // the Fig. 8 per-connection setup cost (describe round trips + attestation)
 // the connection pool amortizes, and how a read-mostly workload scales as
 // LSN-bounded reads are routed to 0/1/2 read replicas.
+//
+// The write experiment is the write-path ablation: committed TPC-C
+// throughput at 1/8/16 threads with WAL group commit on vs off, and the
+// world-load rate on the bulk-insert fast path vs row-at-a-time.
 //
 // Absolute numbers depend on the machine; the shape — who wins and by
 // roughly what factor — is the reproduction target.
@@ -57,6 +62,11 @@ func main() {
 	traceOut := flag.String("trace-out", "BENCH_trace.json", "output path for the trace experiment")
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate for the trace overhead arm")
 	poolOut := flag.String("pool-out", "BENCH_pool.json", "output path for the pool experiment")
+	writeOut := flag.String("write-out", "BENCH_write.json", "output path for the write experiment")
+	writeWindow := flag.Duration("write-window", 0, "group-commit window for the write experiment's on arm")
+	writeWarehouses := flag.Int("write-warehouses", 64, "warehouse count for the write experiment's load arms")
+	writeSync := flag.Duration("write-sync", 2*time.Millisecond, "simulated log-flush latency for the write experiment's throughput arms (a remote cloud log volume)")
+	writeLoadSync := flag.Duration("write-load-sync", 200*time.Microsecond, "simulated log-flush latency for the write experiment's load arms (a local NVMe device)")
 	flag.IntVar(&reps, "reps", 3, "repetitions per data point (median is reported)")
 	flag.Parse()
 
@@ -80,6 +90,8 @@ func main() {
 		runTrace(scale, *duration, *warmup, *traceSample, *traceOut)
 	case "pool":
 		runPool(*duration, *poolOut)
+	case "write":
+		runWrite(scale, *duration, *warmup, *writeWindow, *writeSync, *writeLoadSync, *writeWarehouses, *writeOut)
 	case "all":
 		runFigure8(scale, *duration, *warmup)
 		fmt.Println()

@@ -1,0 +1,71 @@
+package aesql
+
+import (
+	"context"
+	"fmt"
+
+	"alwaysencrypted/internal/sqltypes"
+)
+
+// BulkInserter is the bulk-load fast path of aesql driver connections.
+// database/sql has no bulk API, so reach it through sql.Conn.Raw:
+//
+//	conn, _ := db.Conn(ctx)
+//	err := conn.Raw(func(dc any) error {
+//		n, err := dc.(aesql.BulkInserter).BulkInsert(ctx, "orders", cols, rows)
+//		...
+//		return err
+//	})
+//
+// Cell values accept the same Go types as statement arguments (int64,
+// float64, string, []byte, bool, time.Time, nil). Encrypted columns are
+// encrypted client-side before anything reaches the wire, exactly as for
+// single-row inserts.
+type BulkInserter interface {
+	BulkInsert(ctx context.Context, table string, cols []string, rows [][]any) (int64, error)
+}
+
+// BulkInsert implements BulkInserter. Inside an explicit transaction the
+// load rides the pinned primary connection and the transaction's commit;
+// outside one it routes to the primary and commits in driver-sized chunks
+// (bulkcopy batch semantics — a mid-load failure leaves earlier chunks
+// committed, and the returned count says how many rows are in).
+func (c *conn) BulkInsert(ctx context.Context, table string, cols []string, rows [][]any) (int64, error) {
+	if c.closed {
+		return 0, errClosed
+	}
+	conv := make([][]sqltypes.Value, len(rows))
+	for r, row := range rows {
+		cells := make([]sqltypes.Value, len(row))
+		for i, raw := range row {
+			v, err := toValue(raw)
+			if err != nil {
+				return 0, fmt.Errorf("aesql: bulk row %d col %d: %w", r, i, err)
+			}
+			sv, ok := v.(sqltypes.Value)
+			if !ok {
+				return 0, fmt.Errorf("aesql: bulk row %d col %d: unexpected %T", r, i, v)
+			}
+			cells[i] = sv
+		}
+		conv[r] = cells
+	}
+
+	if c.txn != nil {
+		n, err := c.txn.Conn().BulkInsert(table, cols, conv)
+		if err == nil {
+			c.lastWrite = c.txn.LastLSN()
+		}
+		return int64(n), err
+	}
+	pc, err := c.pool.Acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := pc.Conn().BulkInsert(table, cols, conv)
+	if err == nil && !pc.Replica() {
+		c.lastWrite = pc.LastLSN()
+	}
+	pc.Release()
+	return int64(n), err
+}

@@ -1,0 +1,116 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/tds"
+)
+
+// TestBulkAndSnapshotWireCarryOnlyCiphertext extends the §2.6 wire-adversary
+// check to the two new read/write paths: the multi-row bulk-insert message
+// and snapshot (version-chain) reads. The bulk fast path must ship the same
+// ciphertext envelopes single-row inserts ship, and a snapshot read served
+// from a retained pre-image must return that pre-image's ciphertext — the
+// version store retains heap bytes, never plaintext.
+func TestBulkAndSnapshotWireCarryOnlyCiphertext(t *testing.T) {
+	env := newServerEnv(t)
+	env.provision("CMK1", "CEK1", true)
+
+	var mu sync.Mutex
+	var observed [][]byte // every byte slice an adversary could grab
+	var bulkRows int
+	env.server.Tap = func(dir string, msg any) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch m := msg.(type) {
+		case *tds.Request:
+			if m.Exec != nil {
+				for _, v := range m.Exec.Params {
+					observed = append(observed, append([]byte(nil), v...))
+				}
+			}
+			if m.BulkInsert != nil {
+				// The whole flat batch payload is adversary-visible bytes.
+				observed = append(observed, append([]byte(nil), m.BulkInsert.Rows...))
+				if rows, err := tds.DecodeCellRows(m.BulkInsert.Rows); err == nil {
+					bulkRows += len(rows)
+				}
+			}
+		case *tds.Response:
+			if m.Result != nil {
+				for _, row := range m.Result.Rows {
+					for _, cell := range row {
+						observed = append(observed, append([]byte(nil), cell...))
+					}
+				}
+			}
+		}
+	}
+
+	admin := env.dial(Config{})
+	mustExec(t, admin, `CREATE TABLE wb (id int PRIMARY KEY,
+		secret varchar(64) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK1, ENCRYPTION_TYPE = Randomized, ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))`, nil)
+	c := env.dial(Config{AlwaysEncrypted: true})
+
+	// Bulk-load plaintext values; the driver must encrypt every cell before
+	// they hit the wire.
+	const n = 64
+	secret := func(i int) string { return fmt.Sprintf("BULK-CONFIDENTIAL-%02d", i) }
+	rows := make([][]sqltypes.Value, n)
+	for i := range rows {
+		rows[i] = []sqltypes.Value{sqltypes.Int(int64(i + 1)), sqltypes.Str(secret(i + 1))}
+	}
+	if got, err := c.BulkInsert("wb", []string{"id", "secret"}, rows); err != nil || got != n {
+		t.Fatalf("BulkInsert = %d, %v; want %d", got, err, n)
+	}
+
+	// Snapshot read across a concurrent rewrite: the reader pins its
+	// snapshot, a writer replaces the row, and the re-read is served from
+	// the version chain's retained pre-image — as ciphertext.
+	const rewritten = "REWRITTEN-CONFIDENTIAL-PAYLOAD"
+	reader := env.dial(Config{AlwaysEncrypted: true})
+	writer := env.dial(Config{AlwaysEncrypted: true})
+	mustExec(t, reader, "BEGIN TRANSACTION", nil)
+	got := mustExec(t, reader, "SELECT secret FROM wb WHERE id = @i",
+		map[string]sqltypes.Value{"i": sqltypes.Int(7)})
+	if got.Values[0][0].S != secret(7) {
+		t.Fatalf("first read = %v, want %q", got.Values[0][0], secret(7))
+	}
+	mustExec(t, writer, "UPDATE wb SET secret = @s WHERE id = @i",
+		map[string]sqltypes.Value{"s": sqltypes.Str(rewritten), "i": sqltypes.Int(7)})
+	got = mustExec(t, reader, "SELECT secret FROM wb WHERE id = @i",
+		map[string]sqltypes.Value{"i": sqltypes.Int(7)})
+	if got.Values[0][0].S != secret(7) {
+		t.Fatalf("snapshot re-read = %v, want retained %q", got.Values[0][0], secret(7))
+	}
+	mustExec(t, reader, "COMMIT", nil)
+	got = mustExec(t, reader, "SELECT secret FROM wb WHERE id = @i",
+		map[string]sqltypes.Value{"i": sqltypes.Int(7)})
+	if got.Values[0][0].S != rewritten {
+		t.Fatalf("post-commit read = %v, want %q", got.Values[0][0], rewritten)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if bulkRows != n {
+		t.Fatalf("tap saw %d bulk rows on the wire, want %d", bulkRows, n)
+	}
+	if len(observed) == 0 {
+		t.Fatal("tap observed nothing")
+	}
+	needles := [][]byte{[]byte(rewritten), []byte("BULK-CONFIDENTIAL")}
+	for i := 1; i <= n; i++ {
+		needles = append(needles, []byte(secret(i)))
+	}
+	for i, b := range observed {
+		for _, needle := range needles {
+			if bytes.Contains(b, needle) {
+				t.Fatalf("plaintext %q visible on the wire in message %d", needle, i)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"alwaysencrypted/internal/attestation"
 	"alwaysencrypted/internal/btree"
@@ -41,6 +42,23 @@ type Config struct {
 	// crossings, WAL waits). nil disables tracing: every trace call site
 	// degrades to a nil-receiver no-op.
 	Tracer *trace.Tracer
+	// DisableGroupCommit makes every committer append its own commit record
+	// (the pre-group-commit behaviour, kept for the write benchmark's
+	// baseline arm). Default off: commits coalesce through the WAL's
+	// leader protocol.
+	DisableGroupCommit bool
+	// CommitWindow stretches the group-commit leader's collection window.
+	// Zero (the default) coalesces only what queues naturally behind the
+	// previous append round, adding no latency.
+	CommitWindow time.Duration
+	// LockTimeout overrides the lock manager's wait bound (tests drive
+	// write-write conflicts with short timeouts); zero keeps the default.
+	LockTimeout time.Duration
+	// LogSyncDelay models the stable-media flush the commit path must wait
+	// out (storage.WAL.SyncDelay). Zero — the default — keeps the in-memory
+	// log free; the write benchmark sets it so the group-commit ablation
+	// has a real per-round cost to amortize.
+	LogSyncDelay time.Duration
 }
 
 // Engine is the database engine instance — the untrusted server process.
@@ -80,6 +98,10 @@ type Engine struct {
 	// batch is the normalized Config.BatchSize.
 	batch int
 
+	// Group-commit settings (from Config).
+	groupCommit  bool
+	commitWindow time.Duration
+
 	// tracer mints per-statement traces; nil when tracing is disabled.
 	tracer *trace.Tracer
 }
@@ -99,13 +121,21 @@ func New(cfg Config) *Engine {
 	if reg == nil {
 		reg = obs.New("engine")
 	}
+	locks := storage.NewLockManager()
+	if cfg.LockTimeout > 0 {
+		locks.Timeout = cfg.LockTimeout
+	}
+	versions := storage.NewVersionStore()
+	reg.GaugeFunc("storage.version.retained_bytes", versions.RetainedBytes)
+	wal := storage.NewWAL()
+	wal.SyncDelay = cfg.LogSyncDelay
 	return &Engine{
 		cfg:       cfg,
 		catalog:   NewCatalog(),
 		pool:      storage.NewBufferPoolObs(cfg.Store, cfg.BufferPoolPages, reg),
-		wal:       storage.NewWAL(),
-		locks:     storage.NewLockManager(),
-		versions:  storage.NewVersionStore(),
+		wal:       wal,
+		locks:     locks,
+		versions:  versions,
 		plans:     make(map[string]*Plan),
 		nextTxn:   1,
 		active:    make(map[uint64]*Txn),
@@ -119,8 +149,10 @@ func New(cfg Config) *Engine {
 		spanBind:  reg.Histogram("engine.stmt.bind_ns"),
 		spanPlan:  reg.Histogram("engine.stmt.plan_ns"),
 		spanExec:  reg.Histogram("engine.stmt.exec_ns"),
-		batch:     cfg.BatchSize,
-		tracer:    cfg.Tracer,
+		batch:        cfg.BatchSize,
+		groupCommit:  !cfg.DisableGroupCommit,
+		commitWindow: cfg.CommitWindow,
+		tracer:       cfg.Tracer,
 	}
 }
 
@@ -185,11 +217,35 @@ type Txn struct {
 	ops      []txnOp
 	engine   *Engine
 
+	// snap is the transaction's read snapshot, acquired lazily at its first
+	// SELECT and held to commit/rollback — repeatable reads within the
+	// transaction. Owned by the transaction lifecycle, never released on a
+	// statement path.
+	snap *storage.Snapshot
+
 	// act is the active trace of the statement currently running in this
 	// transaction (explicit transactions span statements, so it is reset
 	// per statement). WAL records logged through the txn carry its trace
 	// ID, and appends record wal.append spans against it. nil is fine.
 	act *trace.Active
+}
+
+// snapshot returns the transaction's read snapshot, acquiring it on first
+// use. Self-visibility is keyed by the txn id: the snapshot sees the
+// transaction's own uncommitted writes (read-your-writes).
+func (t *Txn) snapshot() *storage.Snapshot {
+	if t.snap == nil {
+		t.snap = t.engine.versions.Acquire(t.id)
+	}
+	return t.snap
+}
+
+// releaseSnapshot ends the transaction's snapshot, if one was acquired.
+func (t *Txn) releaseSnapshot() {
+	if t.snap != nil {
+		t.snap.Release()
+		t.snap = nil
+	}
 }
 
 // txnOp is one logged operation, kept for rollback in reverse order.
@@ -260,11 +316,21 @@ func (e *Engine) beginTxn(act *trace.Active) *Txn {
 }
 
 func (e *Engine) commitTxn(t *Txn) error {
+	t.releaseSnapshot()
 	sp := t.act.StartSpan("wal.commit")
-	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecCommit, Trace: t.act.ID()})
+	rec := storage.Record{Txn: t.id, Type: storage.RecCommit, Trace: t.act.ID()}
+	if e.groupCommit {
+		e.wal.AppendCommitGroup(rec, e.commitWindow)
+	} else {
+		// Ablation path: this committer alone pays the flush round.
+		e.wal.AppendSync(rec)
+	}
 	sp.End()
-	e.versions.MarkCommitted(t.id)
-	e.versions.Drop(t.id)
+	// Stamping the versions IS the commit point for snapshot readers: a
+	// snapshot acquired before this sees the pre-images, one acquired after
+	// sees the heap. Retention past this point is bounded by the oldest
+	// active snapshot; with no readers the images evict immediately.
+	e.versions.Commit(t.id)
 	e.locks.ReleaseAll(t.id)
 	e.txnMu.Lock()
 	delete(e.active, t.id)
@@ -276,6 +342,7 @@ func (e *Engine) commitTxn(t *Txn) error {
 // logically (B+-tree navigation — the enclave-dependent path), heap changes
 // physically via before-images.
 func (e *Engine) rollbackTxn(t *Txn) error {
+	t.releaseSnapshot()
 	err := e.undoOps(t.id, t.ops)
 	e.wal.Append(storage.Record{Txn: t.id, Type: storage.RecAbort, Trace: t.act.ID()})
 	e.versions.Drop(t.id)
@@ -411,7 +478,12 @@ func (e *Engine) insertRow(t *Txn, tbl *Table, cells [][]byte) (storage.RowID, e
 	rec := encodeRow(cells)
 	opStart := len(t.ops)
 	tbl.mu.Lock()
-	rid, err := tbl.Heap.Insert(rec)
+	// Register the version chain under the page latch, before the row is
+	// reachable by any scan: a nil pre-image marks "invisible before this
+	// txn", so concurrent snapshots never see the uncommitted insert.
+	rid, err := tbl.Heap.InsertObserved(rec, func(r storage.RowID) {
+		e.versions.Record(t.id, tbl.Name, r, nil)
+	})
 	if err != nil {
 		tbl.mu.Unlock()
 		return 0, err
@@ -456,7 +528,12 @@ func (e *Engine) updateRow(t *Txn, tbl *Table, rid storage.RowID, oldCells, newC
 
 	opStart := len(t.ops)
 	tbl.mu.Lock()
-	newRID, err := tbl.Heap.Update(rid, newRec)
+	// If the update relocates the row, the new slot gets a nil pre-image
+	// chain under the page latch (invisible to concurrent snapshots until
+	// commit), matching the insert path.
+	newRID, err := tbl.Heap.UpdateObserved(rid, newRec, func(r storage.RowID) {
+		e.versions.Record(t.id, tbl.Name, r, nil)
+	})
 	if err != nil {
 		tbl.mu.Unlock()
 		return 0, err

@@ -114,7 +114,7 @@ func (s *Session) execute(act *trace.Active, query string, params Params) (*Resu
 	case RollbackStmt:
 		return &ResultSet{}, s.Rollback()
 	case SelectStmt:
-		return e.executeSelect(act, plan, st, params)
+		return s.executeSelect(act, plan, st, params)
 	case InsertStmt:
 		return s.withTxn(func(t *Txn) (*ResultSet, error) {
 			return e.executeInsert(t, plan, params)
@@ -241,13 +241,55 @@ type matchedRow struct {
 	slots [][]byte // combined slot row (join: outer+inner)
 }
 
+// visibleCells resolves a row's cells under a snapshot, given the outcome of
+// the heap read. rec is the raw heap record, or nil when the heap did not
+// surface the row (deleted). The snapshot chain is consulted strictly AFTER
+// the heap bytes were read — writers record pre-images before mutating the
+// page, so heap-then-chain reads can never observe an uncommitted mutation
+// without also finding its pre-image. A nil snapshot reads the heap as-is.
+//
+// The second return reports visibility: false means the row does not exist
+// in this snapshot (uncommitted insert, or deleted before the snapshot).
+func visibleCells(snap *storage.Snapshot, table string, rid storage.RowID, rec []byte) ([][]byte, bool, error) {
+	if snap != nil {
+		if img, overridden := snap.RowImage(table, rid); overridden {
+			if img == nil {
+				return nil, false, nil
+			}
+			// Version images are stable copies owned by the version store;
+			// no arena copy is needed.
+			cells, err := decodeRow(img)
+			if err != nil {
+				return nil, false, err
+			}
+			return cells, true, nil
+		}
+	}
+	if rec == nil {
+		return nil, false, nil
+	}
+	cells, err := decodeRow(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return cells, true, nil
+}
+
 // iterateOuter streams outer-table rows through the access path and the
 // batched residual filter: candidate rows accumulate in a rowBatcher and the
 // filter program runs once per batch (one enclave crossing per batch for
 // enclave predicates, §4.6). fn receives surviving rows — for joins, one
 // call per joined pair — in the same order row-at-a-time execution would
 // produce.
-func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn func(m *matchedRow) (bool, error)) error {
+//
+// snap, when non-nil, makes the iteration a snapshot read: every row image is
+// resolved through the version store's visibility rules, and rows the access
+// path no longer surfaces (deleted, or index keys moved by post-snapshot
+// commits) are recovered from the snapshot's ghost pass. Ghost rows run
+// through the same residual filter as live rows — the filter program carries
+// every predicate plus the join equality conjunct, so a ghost that no longer
+// matches is rejected exactly like a live non-match.
+func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, snap *storage.Snapshot, fn func(m *matchedRow) (bool, error)) error {
 	ev, err := plan.evaluator()
 	if err != nil {
 		return err
@@ -271,7 +313,36 @@ func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn f
 			}
 			return b.add(rid, slots)
 		}
-		return e.probeJoin(plan, b, rid, cells, params)
+		return e.probeJoin(plan, b, rid, cells, params, snap)
+	}
+
+	// seen tracks which row ids the access path already resolved, so the
+	// ghost pass emits only rows the path missed. It is maintained whenever
+	// a snapshot is active — version chains can appear mid-scan, so there is
+	// no safe "table untouched" fast path for the scan as a whole.
+	var seen map[storage.RowID]bool
+	if snap != nil {
+		seen = make(map[storage.RowID]bool)
+	}
+	seenFn := func(r storage.RowID) bool { return seen[r] }
+
+	ghostPass := func() error {
+		if snap == nil {
+			return nil
+		}
+		for _, g := range snap.Ghosts(plan.table.Name, seenFn) {
+			cells, err := decodeRow(g.Data)
+			if err != nil {
+				return err
+			}
+			if err := probe(g.Row, cells); err != nil {
+				return err
+			}
+			if b.stopped {
+				return nil
+			}
+		}
+		return nil
 	}
 
 	if plan.access.index != nil {
@@ -284,12 +355,19 @@ func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn f
 			rec, err := plan.table.Heap.Get(ent.Row)
 			if err != nil {
 				// The index may briefly point at rows deleted by concurrent
-				// transactions; skip.
-				continue
+				// transactions; the snapshot chain (consulted below) decides
+				// whether a pre-image is still visible.
+				rec = nil
 			}
-			cells, err := decodeRow(rec)
+			if seen != nil {
+				seen[ent.Row] = true
+			}
+			cells, vis, err := visibleCells(snap, plan.table.Name, ent.Row, rec)
 			if err != nil {
 				return err
+			}
+			if !vis {
+				continue
 			}
 			if err := probe(ent.Row, cells); err != nil {
 				return err
@@ -298,20 +376,51 @@ func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn f
 				return nil
 			}
 		}
+		if err := ghostPass(); err != nil {
+			return err
+		}
+		if b.stopped {
+			return nil
+		}
 		return b.flush()
 	}
 
 	e.scans.Add(1)
 	stop := errors.New("stop")
 	err = plan.table.Heap.Scan(func(rid storage.RowID, rec []byte) (bool, error) {
-		cells, err := decodeRow(rec)
-		if err != nil {
-			return false, err
+		var cells [][]byte
+		if snap != nil {
+			seen[rid] = true
+			// Single RowImage consult, after the heap bytes are in hand (the
+			// scan callback runs under the page read latch).
+			if img, overridden := snap.RowImage(plan.table.Name, rid); overridden {
+				if img == nil {
+					return true, nil // row not visible in this snapshot
+				}
+				c, err := decodeRow(img)
+				if err != nil {
+					return false, err
+				}
+				cells = c // version-store image: stable memory, no arena copy
+			} else {
+				c, err := decodeRow(rec)
+				if err != nil {
+					return false, err
+				}
+				cells = b.arena.copyRow(c)
+			}
+		} else {
+			var err error
+			cells, err = decodeRow(rec)
+			if err != nil {
+				return false, err
+			}
+			// Heap scan cells alias page memory: copy into the batch arena,
+			// reclaimed wholesale once the batch drains instead of one heap
+			// allocation per cell whether or not the row survives the filter.
+			cells = b.arena.copyRow(cells)
 		}
-		// Heap scan cells alias page memory: copy into the batch arena,
-		// reclaimed wholesale once the batch drains instead of one heap
-		// allocation per cell whether or not the row survives the filter.
-		if err := probe(rid, b.arena.copyRow(cells)); err != nil {
+		if err := probe(rid, cells); err != nil {
 			return false, err
 		}
 		if b.stopped {
@@ -322,6 +431,14 @@ func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn f
 	if err != nil && !errors.Is(err, stop) {
 		return err
 	}
+	if !b.stopped {
+		if err := ghostPass(); err != nil {
+			return err
+		}
+	}
+	if b.stopped {
+		return nil
+	}
 	return b.flush()
 }
 
@@ -329,8 +446,16 @@ func (e *Engine) iterateOuter(act *trace.Active, plan *Plan, params Params, fn f
 // into the shared batch. Pairs accumulate ACROSS outer rows — a per-outer
 // batch would hold only the handful of pairs one outer row produces and
 // amortize nothing.
+//
+// Under a snapshot, inner rows resolve through the same visibility rules as
+// the outer side, and inner rows the probe missed (deleted, or index key
+// moved by a post-snapshot commit) are recovered from the snapshot's ghost
+// pass. Ghosts are not pre-filtered by join key bytes — for enclave-ordered
+// encrypted columns byte equality is not value equality — so every unseen
+// ghost goes through the filter program, which carries the join equality
+// conjunct and evaluates it correctly for every scheme.
 func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [][]byte,
-	params Params) error {
+	params Params, snap *storage.Snapshot) error {
 	j := plan.join
 	// The outer row's cells (arena-backed on the heap-scan path) are shared
 	// by every pair this probe adds; pin the arena so an intermediate flush
@@ -349,6 +474,29 @@ func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [
 		return b.add(rid, slots)
 	}
 
+	var seen map[storage.RowID]bool
+	if snap != nil {
+		seen = make(map[storage.RowID]bool)
+	}
+	ghostPass := func() error {
+		if snap == nil {
+			return nil
+		}
+		for _, g := range snap.Ghosts(j.table.Name, func(r storage.RowID) bool { return seen[r] }) {
+			cells, err := decodeRow(g.Data)
+			if err != nil {
+				return err
+			}
+			if err := add(cells); err != nil {
+				return err
+			}
+			if b.stopped {
+				return nil
+			}
+		}
+		return nil
+	}
+
 	if j.innerIndex != nil {
 		joinKey := [][]byte{nil}
 		if j.outerCol < len(outer) {
@@ -365,11 +513,17 @@ func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [
 		for _, ent := range entries {
 			rec, err := j.table.Heap.Get(ent.Row)
 			if err != nil {
-				continue
+				rec = nil
 			}
-			cells, err := decodeRow(rec)
+			if seen != nil {
+				seen[ent.Row] = true
+			}
+			cells, vis, err := visibleCells(snap, j.table.Name, ent.Row, rec)
 			if err != nil {
 				return err
+			}
+			if !vis {
+				continue
 			}
 			if err := add(cells); err != nil {
 				return err
@@ -378,18 +532,40 @@ func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [
 				return nil
 			}
 		}
-		return nil
+		return ghostPass()
 	}
 
 	// Inner scan: the join equality is part of the filter program.
 	e.scans.Add(1)
 	stop := errors.New("stop")
-	err := j.table.Heap.Scan(func(_ storage.RowID, rec []byte) (bool, error) {
-		cells, err := decodeRow(rec)
-		if err != nil {
-			return false, err
+	err := j.table.Heap.Scan(func(irid storage.RowID, rec []byte) (bool, error) {
+		var cells [][]byte
+		if snap != nil {
+			seen[irid] = true
+			if img, overridden := snap.RowImage(j.table.Name, irid); overridden {
+				if img == nil {
+					return true, nil
+				}
+				c, err := decodeRow(img)
+				if err != nil {
+					return false, err
+				}
+				cells = c // stable version-store memory
+			} else {
+				c, err := decodeRow(rec)
+				if err != nil {
+					return false, err
+				}
+				cells = b.arena.copyRow(c)
+			}
+		} else {
+			c, err := decodeRow(rec)
+			if err != nil {
+				return false, err
+			}
+			cells = b.arena.copyRow(c)
 		}
-		if err := add(b.arena.copyRow(cells)); err != nil {
+		if err := add(cells); err != nil {
 			return false, err
 		}
 		if b.stopped {
@@ -400,7 +576,10 @@ func (e *Engine) probeJoin(plan *Plan, b *rowBatcher, rid storage.RowID, outer [
 	if err != nil && !errors.Is(err, stop) {
 		return err
 	}
-	return nil
+	if b.stopped {
+		return nil
+	}
+	return ghostPass()
 }
 
 // indexEntries executes the plan's index access path.
@@ -470,7 +649,22 @@ type indexEntry struct {
 }
 
 // executeSelect runs a SELECT and materializes the result set.
-func (e *Engine) executeSelect(act *trace.Active, plan *Plan, st SelectStmt, params Params) (*ResultSet, error) {
+//
+// Snapshot policy: inside an explicit transaction the SELECT reads through
+// the transaction's snapshot (acquired lazily at the first read and held to
+// commit/rollback — repeatable reads, plus visibility of the transaction's
+// own writes). An autocommit SELECT takes a statement-local snapshot with no
+// self transaction and releases it when the statement finishes. Readers
+// never touch the lock manager — write-write conflicts remain its only job.
+func (s *Session) executeSelect(act *trace.Active, plan *Plan, st SelectStmt, params Params) (*ResultSet, error) {
+	e := s.engine
+	var snap *storage.Snapshot
+	if s.txn != nil {
+		snap = s.txn.snapshot()
+	} else {
+		snap = e.versions.Acquire(0)
+		defer snap.Release()
+	}
 	rs := &ResultSet{}
 	for _, item := range plan.items {
 		rs.Columns = append(rs.Columns, ColumnMeta{Name: item.name, Kind: item.kind, Enc: item.enc})
@@ -485,7 +679,7 @@ func (e *Engine) executeSelect(act *trace.Active, plan *Plan, st SelectStmt, par
 	}
 
 	if !hasAgg {
-		err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
+		err := e.iterateOuter(act, plan, params, snap, func(m *matchedRow) (bool, error) {
 			row := make([][]byte, len(plan.items))
 			for i, item := range plan.items {
 				if item.slot < len(m.slots) && len(m.slots[item.slot]) > 0 {
@@ -506,7 +700,7 @@ func (e *Engine) executeSelect(act *trace.Active, plan *Plan, st SelectStmt, par
 	for i := range plan.items {
 		aggs[i] = &aggState{distinct: make(map[string]bool)}
 	}
-	err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
+	err := e.iterateOuter(act, plan, params, snap, func(m *matchedRow) (bool, error) {
 		for i, item := range plan.items {
 			var cell []byte
 			if item.slot >= 0 && item.slot < len(m.slots) {
@@ -667,7 +861,7 @@ func (e *Engine) executeInsert(t *Txn, plan *Plan, params Params) (*ResultSet, e
 // latest committed value or updates are lost.
 func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
 	tbl := plan.table
-	rids, err := e.collectTargetRIDs(t.act, plan, params)
+	rids, err := e.collectTargetRIDs(t, plan, params)
 	if err != nil {
 		return nil, err
 	}
@@ -701,10 +895,16 @@ func (e *Engine) executeUpdate(t *Txn, plan *Plan, params Params) (*ResultSet, e
 }
 
 // collectTargetRIDs materializes the row ids matching the plan (mutating
-// while scanning is unsound).
-func (e *Engine) collectTargetRIDs(act *trace.Active, plan *Plan, params Params) ([]storage.RowID, error) {
+// while scanning is unsound). Discovery runs under a fresh statement
+// snapshot keyed to the transaction — it sees the latest committed state
+// plus the transaction's own writes — and every candidate is re-read and
+// re-validated under its row lock before mutation, so a stale discovery can
+// only skip work, never corrupt it.
+func (e *Engine) collectTargetRIDs(t *Txn, plan *Plan, params Params) ([]storage.RowID, error) {
+	snap := t.engine.versions.Acquire(t.id)
+	defer snap.Release()
 	var rids []storage.RowID
-	err := e.iterateOuter(act, plan, params, func(m *matchedRow) (bool, error) {
+	err := t.engine.iterateOuter(t.act, plan, params, snap, func(m *matchedRow) (bool, error) {
 		rids = append(rids, m.rid)
 		return true, nil
 	})
@@ -847,7 +1047,7 @@ func toFloat(v sqltypes.Value) float64 {
 // executeDelete removes every matching row, re-validating under the lock.
 func (e *Engine) executeDelete(t *Txn, plan *Plan, params Params) (*ResultSet, error) {
 	tbl := plan.table
-	rids, err := e.collectTargetRIDs(t.act, plan, params)
+	rids, err := e.collectTargetRIDs(t, plan, params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"alwaysencrypted/internal/sqltypes"
+	"alwaysencrypted/internal/storage"
+)
+
+// Isolation shadow suite: the anomalies snapshot reads must rule out, each
+// checked at the SQL surface with two concurrent sessions, at the degenerate
+// and production batch sizes. Run under -race these double as a data-race
+// probe of the scan-vs-writer paths.
+
+func forEachBatchSize(t *testing.T, fn func(t *testing.T, batch int)) {
+	for _, size := range []int{1, 256} {
+		t.Run(fmt.Sprintf("batch=%d", size), func(t *testing.T) {
+			fn(t, size)
+		})
+	}
+}
+
+func selInt(t *testing.T, s *Session, query string, params Params) int64 {
+	t.Helper()
+	rs, err := s.Execute(query, params)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("%s: %d rows, want 1", query, len(rs.Rows))
+	}
+	v, err := sqltypes.Decode(rs.Rows[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.I
+}
+
+// TestNoDirtyReads: another transaction's uncommitted update, insert and
+// delete are all invisible, to autocommit readers and to readers inside a
+// transaction alike.
+func TestNoDirtyReads(t *testing.T) {
+	forEachBatchSize(t, func(t *testing.T, batch int) {
+		env := newTestEnv(t, false)
+		env.engine.batch = batch
+		env.mustExec("CREATE TABLE d (id int PRIMARY KEY, v int)", nil)
+		env.mustExec("INSERT INTO d (id, v) VALUES (@i, @v)", Params{"i": intParam(1), "v": intParam(10)})
+		env.mustExec("INSERT INTO d (id, v) VALUES (@i, @v)", Params{"i": intParam(2), "v": intParam(20)})
+
+		writer := env.engine.NewSession()
+		if _, err := writer.Execute("BEGIN TRANSACTION", nil); err != nil {
+			t.Fatal(err)
+		}
+		mustWriter := func(q string, p Params) {
+			t.Helper()
+			if _, err := writer.Execute(q, p); err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+		}
+		mustWriter("UPDATE d SET v = @v WHERE id = @i", Params{"v": intParam(99), "i": intParam(1)})
+		mustWriter("DELETE FROM d WHERE id = @i", Params{"i": intParam(2)})
+		mustWriter("INSERT INTO d (id, v) VALUES (@i, @v)", Params{"i": intParam(3), "v": intParam(30)})
+
+		check := func(s *Session, label string) {
+			if got := selInt(t, s, "SELECT v FROM d WHERE id = @i", Params{"i": intParam(1)}); got != 10 {
+				t.Fatalf("%s: dirty update visible: v = %d", label, got)
+			}
+			if got := selInt(t, s, "SELECT v FROM d WHERE id = @i", Params{"i": intParam(2)}); got != 20 {
+				t.Fatalf("%s: dirty delete visible: v = %d", label, got)
+			}
+			if got := selInt(t, s, "SELECT COUNT(*) FROM d", nil); got != 2 {
+				t.Fatalf("%s: count = %d, want 2", label, got)
+			}
+		}
+		check(env.session, "autocommit")
+
+		txReader := env.engine.NewSession()
+		if _, err := txReader.Execute("BEGIN TRANSACTION", nil); err != nil {
+			t.Fatal(err)
+		}
+		check(txReader, "in-txn")
+		if _, err := txReader.Execute("COMMIT", nil); err != nil {
+			t.Fatal(err)
+		}
+
+		mustWriter("COMMIT", nil)
+		if got := selInt(t, env.session, "SELECT v FROM d WHERE id = @i", Params{"i": intParam(1)}); got != 99 {
+			t.Fatalf("committed update lost: v = %d", got)
+		}
+		if got := selInt(t, env.session, "SELECT COUNT(*) FROM d", nil); got != 2 {
+			t.Fatalf("post-commit count = %d, want 2", got)
+		}
+	})
+}
+
+// TestRepeatableSnapshotReads: a transaction's reads are stable across a
+// concurrent committed update, delete and insert — and catch up after its
+// own commit.
+func TestRepeatableSnapshotReads(t *testing.T) {
+	forEachBatchSize(t, func(t *testing.T, batch int) {
+		env := newTestEnv(t, false)
+		env.engine.batch = batch
+		env.mustExec("CREATE TABLE r (id int PRIMARY KEY, v int)", nil)
+		env.mustExec("CREATE INDEX ix_rv ON r (v)", nil)
+		env.mustExec("INSERT INTO r (id, v) VALUES (@i, @v)", Params{"i": intParam(1), "v": intParam(10)})
+		env.mustExec("INSERT INTO r (id, v) VALUES (@i, @v)", Params{"i": intParam(2), "v": intParam(20)})
+
+		reader := env.engine.NewSession()
+		if _, err := reader.Execute("BEGIN TRANSACTION", nil); err != nil {
+			t.Fatal(err)
+		}
+		// First read pins the transaction's snapshot.
+		if got := selInt(t, reader, "SELECT v FROM r WHERE id = @i", Params{"i": intParam(1)}); got != 10 {
+			t.Fatalf("initial read: v = %d", got)
+		}
+
+		env.mustExec("UPDATE r SET v = @v WHERE id = @i", Params{"v": intParam(11), "i": intParam(1)})
+		env.mustExec("DELETE FROM r WHERE id = @i", Params{"i": intParam(2)})
+		env.mustExec("INSERT INTO r (id, v) VALUES (@i, @v)", Params{"i": intParam(3), "v": intParam(30)})
+
+		// Point read, deleted-row read (ghost path) and scan all repeat.
+		if got := selInt(t, reader, "SELECT v FROM r WHERE id = @i", Params{"i": intParam(1)}); got != 10 {
+			t.Fatalf("repeat read moved: v = %d", got)
+		}
+		if got := selInt(t, reader, "SELECT v FROM r WHERE id = @i", Params{"i": intParam(2)}); got != 20 {
+			t.Fatalf("deleted row vanished from snapshot: v = %d", got)
+		}
+		if got := selInt(t, reader, "SELECT COUNT(*) FROM r", nil); got != 2 {
+			t.Fatalf("snapshot count = %d, want 2", got)
+		}
+		// Index probe over v sees the snapshot too.
+		if got := selInt(t, reader, "SELECT id FROM r WHERE v = @v", Params{"v": intParam(20)}); got != 2 {
+			t.Fatalf("index probe lost deleted-but-visible row: id = %d", got)
+		}
+		if _, err := reader.Execute("COMMIT", nil); err != nil {
+			t.Fatal(err)
+		}
+
+		// A fresh statement reads the new state.
+		if got := selInt(t, reader, "SELECT v FROM r WHERE id = @i", Params{"i": intParam(1)}); got != 11 {
+			t.Fatalf("post-commit read stale: v = %d", got)
+		}
+		if got := selInt(t, reader, "SELECT COUNT(*) FROM r", nil); got != 2 {
+			t.Fatalf("post-commit count = %d, want 2 (delete+insert)", got)
+		}
+	})
+}
+
+// TestReadYourWrites: inside a transaction, its own insert, update and
+// delete are visible to its reads even though no commit happened.
+func TestReadYourWrites(t *testing.T) {
+	forEachBatchSize(t, func(t *testing.T, batch int) {
+		env := newTestEnv(t, false)
+		env.engine.batch = batch
+		env.mustExec("CREATE TABLE y (id int PRIMARY KEY, v int)", nil)
+		env.mustExec("INSERT INTO y (id, v) VALUES (@i, @v)", Params{"i": intParam(1), "v": intParam(10)})
+		env.mustExec("INSERT INTO y (id, v) VALUES (@i, @v)", Params{"i": intParam(2), "v": intParam(20)})
+
+		env.mustExec("BEGIN TRANSACTION", nil)
+		env.mustExec("UPDATE y SET v = @v WHERE id = @i", Params{"v": intParam(99), "i": intParam(1)})
+		env.mustExec("DELETE FROM y WHERE id = @i", Params{"i": intParam(2)})
+		env.mustExec("INSERT INTO y (id, v) VALUES (@i, @v)", Params{"i": intParam(3), "v": intParam(30)})
+
+		if got := selInt(t, env.session, "SELECT v FROM y WHERE id = @i", Params{"i": intParam(1)}); got != 99 {
+			t.Fatalf("own update invisible: v = %d", got)
+		}
+		if got := selInt(t, env.session, "SELECT COUNT(*) FROM y", nil); got != 2 {
+			t.Fatalf("own delete/insert miscounted: %d, want 2", got)
+		}
+		if got := selInt(t, env.session, "SELECT v FROM y WHERE id = @i", Params{"i": intParam(3)}); got != 30 {
+			t.Fatalf("own insert invisible: v = %d", got)
+		}
+		env.mustExec("ROLLBACK", nil)
+
+		if got := selInt(t, env.session, "SELECT v FROM y WHERE id = @i", Params{"i": intParam(1)}); got != 10 {
+			t.Fatalf("rollback lost: v = %d", got)
+		}
+		if got := selInt(t, env.session, "SELECT COUNT(*) FROM y", nil); got != 2 {
+			t.Fatalf("rollback count = %d, want 2", got)
+		}
+	})
+}
+
+// TestWriteWriteConflict: two transactions updating the same row do NOT
+// proceed concurrently — the second blocks on the row lock and times out
+// with ErrLockTimeout. Snapshot reads must not have widened write-write
+// behaviour.
+func TestWriteWriteConflict(t *testing.T) {
+	env := newTestEnv(t, false)
+	env.engine.locks.Timeout = 100 * time.Millisecond
+	env.mustExec("CREATE TABLE w (id int PRIMARY KEY, v int)", nil)
+	env.mustExec("INSERT INTO w (id, v) VALUES (@i, @v)", Params{"i": intParam(1), "v": intParam(1)})
+
+	env.mustExec("BEGIN TRANSACTION", nil)
+	env.mustExec("UPDATE w SET v = @v WHERE id = @i", Params{"v": intParam(2), "i": intParam(1)})
+
+	other := env.engine.NewSession()
+	_, err := other.Execute("UPDATE w SET v = @v WHERE id = @i", Params{"v": intParam(3), "i": intParam(1)})
+	if !errors.Is(err, storage.ErrLockTimeout) {
+		t.Fatalf("conflicting update err = %v, want ErrLockTimeout", err)
+	}
+
+	env.mustExec("COMMIT", nil)
+	// With the lock gone the other session's retry lands.
+	if _, err := other.Execute("UPDATE w SET v = @v WHERE id = @i",
+		Params{"v": intParam(3), "i": intParam(1)}); err != nil {
+		t.Fatalf("post-commit update: %v", err)
+	}
+	if got := selInt(t, env.session, "SELECT v FROM w WHERE id = @i", Params{"i": intParam(1)}); got != 3 {
+		t.Fatalf("v = %d, want 3", got)
+	}
+}
+
+// TestSnapshotSumInvariant hammers concurrent transfer transactions against
+// concurrent scans: every read — autocommit or transactional — must see a
+// state where the total is exactly the invariant, never a half-applied
+// transfer. Run under -race this also exercises scan-vs-writer memory
+// safety.
+func TestSnapshotSumInvariant(t *testing.T) {
+	forEachBatchSize(t, func(t *testing.T, batch int) {
+		env := newTestEnv(t, false)
+		env.engine.batch = batch
+		env.mustExec("CREATE TABLE acct (id int PRIMARY KEY, v int)", nil)
+		const rows, per = 8, 100
+		for i := int64(1); i <= rows; i++ {
+			env.mustExec("INSERT INTO acct (id, v) VALUES (@i, @v)",
+				Params{"i": intParam(i), "v": intParam(per)})
+		}
+		const invariant = rows * per
+
+		stop := make(chan struct{})
+		var writers, readers sync.WaitGroup
+		errCh := make(chan error, 8)
+
+		for g := 0; g < 3; g++ {
+			writers.Add(1)
+			go func(seed int64) {
+				defer writers.Done()
+				s := env.engine.NewSession()
+				a, b := seed%rows+1, (seed+3)%rows+1
+				if a == b {
+					b = b%rows + 1
+				}
+				if a > b {
+					a, b = b, a // lock in id order: no deadlocks, only waits
+				}
+				for i := 0; i < 40; i++ {
+					if _, err := s.Execute("BEGIN TRANSACTION", nil); err != nil {
+						errCh <- err
+						return
+					}
+					_, err := s.Execute("UPDATE acct SET v = v - @d WHERE id = @i",
+						Params{"d": intParam(1), "i": intParam(a)})
+					if err == nil {
+						_, err = s.Execute("UPDATE acct SET v = v + @d WHERE id = @i",
+							Params{"d": intParam(1), "i": intParam(b)})
+					}
+					if err != nil {
+						s.Execute("ROLLBACK", nil)
+						errCh <- err
+						return
+					}
+					if _, err := s.Execute("COMMIT", nil); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(int64(g))
+		}
+
+		for g := 0; g < 2; g++ {
+			readers.Add(1)
+			go func(txnReader bool) {
+				defer readers.Done()
+				s := env.engine.NewSession()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if txnReader {
+						if _, err := s.Execute("BEGIN TRANSACTION", nil); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					rs, err := s.Execute("SELECT SUM(v) FROM acct", nil)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					sum, _ := sqltypes.Decode(rs.Rows[0][0])
+					if sum.F != invariant && sum.I != invariant {
+						errCh <- fmt.Errorf("sum = %v, want %d (torn read)", sum, invariant)
+						return
+					}
+					if txnReader {
+						// Re-read inside the txn: must repeat exactly.
+						rs2, err := s.Execute("SELECT SUM(v) FROM acct", nil)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						sum2, _ := sqltypes.Decode(rs2.Rows[0][0])
+						if sum2.I != sum.I || sum2.F != sum.F {
+							errCh <- fmt.Errorf("re-read moved: %v then %v", sum, sum2)
+							return
+						}
+						if _, err := s.Execute("COMMIT", nil); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}
+			}(g == 0)
+		}
+
+		// Writers finish on their own; readers loop until told to stop.
+		writersDone := make(chan struct{})
+		go func() {
+			writers.Wait()
+			close(writersDone)
+		}()
+		select {
+		case err := <-errCh:
+			close(stop)
+			t.Fatal(err)
+		case <-writersDone:
+		case <-time.After(60 * time.Second):
+			close(stop)
+			t.Fatal("writers did not finish in time")
+		}
+		close(stop)
+		readers.Wait()
+		select {
+		case err := <-errCh:
+			t.Fatal(err)
+		default:
+		}
+		rs := env.mustExec("SELECT SUM(v) FROM acct", nil)
+		if got, _ := sqltypes.Decode(rs.Rows[0][0]); got.I != invariant && got.F != invariant {
+			t.Fatalf("final sum = %v, want %d", got, invariant)
+		}
+	})
+}

@@ -94,6 +94,9 @@ func (e *Engine) Recover() *RecoveryReport {
 
 	rep := &RecoveryReport{CTR: e.cfg.CTR}
 	for _, t := range inflight {
+		// A crashed session never releases its read snapshot; drop it here so
+		// it stops pinning the version-store watermark.
+		t.releaseSnapshot()
 		if e.undoTxnForRecovery(t, rep) {
 			rep.UndoneTxns = append(rep.UndoneTxns, t.id)
 		} else {

@@ -123,6 +123,10 @@ func crashWithInflightEncryptedIndexTxn(t *testing.T, ctr bool) *testEnv {
 	}
 	// In-flight transaction (never committed): bulk-load style inserts.
 	env.mustExec("BEGIN TRANSACTION", nil)
+	// Also touch a committed row: snapshot discovery skips the uncommitted
+	// inserts (invisible), so the writer-blocking demonstration below needs
+	// the deferred transaction to hold a lock on a row readers can see.
+	env.mustExec("UPDATE T SET id = id WHERE id = @i", Params{"i": intParam(3)})
 	for i := int64(100); i < 110; i++ {
 		env.mustExec("INSERT INTO T (id, value) VALUES (@i, @v)", Params{
 			"i": intParam(i), "v": env.enc("CEK1", sqltypes.Int(i), aecrypto.Randomized)})
@@ -161,10 +165,12 @@ func TestRecoveryDefersWithoutKeys(t *testing.T) {
 	if err := env.engine.WAL().TruncateBefore(last); !errors.Is(err, storage.ErrTruncationBlocked) {
 		t.Fatalf("truncation: %v", err)
 	}
-	// A writer touching a locked row times out.
+	// A writer touching a locked, visible row times out. (The uncommitted
+	// inserts 100..109 are invisible to the writer's snapshot discovery, so
+	// the target is the committed row the deferred transaction updated.)
 	env.engine.locksTimeoutForTest(50 * time.Millisecond)
 	s2 := env.engine.NewSession()
-	_, err := s2.Execute("UPDATE T SET id = id WHERE id = @i", Params{"i": intParam(105)})
+	_, err := s2.Execute("UPDATE T SET id = id WHERE id = @i", Params{"i": intParam(3)})
 	if err == nil {
 		t.Fatal("update of a row locked by a deferred txn succeeded")
 	}

@@ -117,8 +117,14 @@ func (ra *RedoApplier) applyRecord(rec *storage.Record) error {
 	case storage.RecHeapInsert, storage.RecHeapDelete, storage.RecHeapUpdate:
 		return ra.applyHeap(rec)
 
+	case storage.RecHeapInsertMulti:
+		return ra.applyHeapMulti(rec)
+
 	case storage.RecIndexInsert, storage.RecIndexDelete:
 		return ra.applyIndex(rec)
+
+	case storage.RecIndexInsertMulti:
+		return ra.applyIndexMulti(rec)
 
 	case storage.RecDDL:
 		return ra.applyDDL(rec)
@@ -170,16 +176,69 @@ func (ra *RedoApplier) applyHeap(rec *storage.Record) error {
 	return nil
 }
 
+// applyHeapMulti performs physical redo of a multi-row bulk insert: every row
+// lands at the exact slot the primary allocated, and the owning transaction's
+// undo list mirrors per-row inserts — rollback and promotion never need to
+// know the rows arrived in one record.
+func (ra *RedoApplier) applyHeapMulti(rec *storage.Record) error {
+	e := ra.e
+	tbl, err := e.catalog.Table(rec.Table)
+	if err != nil {
+		return err
+	}
+	rids, rows, err := storage.DecodeHeapRows(rec.New)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRedoDiverged, err)
+	}
+	tbl.mu.Lock()
+	for i, rid := range rids {
+		if err := tbl.Heap.ApplyInsert(rid, rows[i]); err != nil {
+			tbl.mu.Unlock()
+			return err
+		}
+	}
+	tbl.mu.Unlock()
+	if rt := ra.txns[rec.Txn]; rt != nil {
+		for i, rid := range rids {
+			rt.txn.ops = append(rt.txn.ops, txnOp{
+				typ: storage.RecHeapInsert, table: rec.Table, row: rid, new: rows[i],
+			})
+		}
+	}
+	return nil
+}
+
 // applyIndex performs logical redo of one index record, deferring encrypted
 // work the replica's key-less enclave cannot do.
 func (ra *RedoApplier) applyIndex(rec *storage.Record) error {
-	e := ra.e
 	op := txnOp{typ: rec.Type, table: rec.Table, row: rec.Row, key: rec.Key}
-	if ra.invalidIdx[rec.Table] {
+	return ra.applyIndexOp(rec.Txn, op)
+}
+
+// applyIndexMulti unpacks a bulk-insert index record and replays each entry
+// through the same path as a single-row record, so per-index deferral and
+// invalidation behave identically however the primary batched.
+func (ra *RedoApplier) applyIndexMulti(rec *storage.Record) error {
+	keys, rids, err := storage.DecodeIndexEntries(rec.New)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRedoDiverged, err)
+	}
+	for i := range rids {
+		op := txnOp{typ: storage.RecIndexInsert, table: rec.Table, row: rids[i], key: keys[i]}
+		if err := ra.applyIndexOp(rec.Txn, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ra *RedoApplier) applyIndexOp(txn uint64, op txnOp) error {
+	e := ra.e
+	if ra.invalidIdx[op.table] {
 		return nil // index will be rebuilt from the heap after promotion
 	}
-	rt := ra.txns[rec.Txn]
-	if !ra.blockedIdx[rec.Table] {
+	rt := ra.txns[txn]
+	if !ra.blockedIdx[op.table] {
 		err := e.applyOne(&op)
 		if err == nil {
 			if rt != nil {
@@ -190,7 +249,7 @@ func (ra *RedoApplier) applyIndex(rec *storage.Record) error {
 		if !IsKeyMissing(err) {
 			return err
 		}
-		ra.blockedIdx[rec.Table] = true
+		ra.blockedIdx[op.table] = true
 	}
 	if rt == nil {
 		// Keyed work outside any mirrored transaction: nothing to attach the

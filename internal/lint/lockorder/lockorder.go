@@ -2,10 +2,15 @@
 // Deadlock freedom in the buffer pool / heap / lock-manager stack depends on
 // every code path acquiring locks in one global order (outermost first):
 //
-//	rank 10  LockManager.mu, Heap.mu, VersionStore.mu, WAL.mu   (structure locks)
-//	rank 20  BufferPool.mu                                      (pool map + LRU)
-//	rank 30  Frame.Latch                                        (per-page latch)
-//	rank 40  MemStore.mu, FileStore.mu                          (PageStore I/O)
+//	rank  5  WAL.gcMu                             (group-commit leader queue)
+//	rank 10  LockManager.mu, Heap.mu, WAL.mu      (structure locks)
+//	rank 15  WAL.syncMu                           (simulated log-device flush;
+//	         held across the sleep, never over other locks)
+//	rank 20  BufferPool.mu                        (pool map + LRU)
+//	rank 30  Frame.Latch                          (per-page latch)
+//	rank 35  VersionStore.mu                      (version chains; insert
+//	         observers register chains under the page write latch)
+//	rank 40  MemStore.mu, FileStore.mu            (PageStore I/O)
 //
 // A goroutine may only acquire a lock of strictly greater rank than any lock
 // it already holds. The analyzer runs a must-hold dataflow over the
@@ -48,17 +53,19 @@ var Analyzer = &analysis.Analyzer{
 // lockRank maps "Type.field" to its position in the hierarchy. Lower rank =
 // outer lock, acquired first.
 var lockRank = map[string]int{
+	"WAL.gcMu":        5,
 	"LockManager.mu":  10,
 	"Heap.mu":         10,
-	"VersionStore.mu": 10,
 	"WAL.mu":          10,
+	"WAL.syncMu":      15,
 	"BufferPool.mu":   20,
 	"Frame.Latch":     30,
+	"VersionStore.mu": 35,
 	"MemStore.mu":     40,
 	"FileStore.mu":    40,
 }
 
-const orderDoc = "lock order is LockManager/Heap/VersionStore/WAL.mu -> BufferPool.mu -> Frame.Latch -> PageStore"
+const orderDoc = "lock order is WAL.gcMu -> LockManager/Heap/WAL.mu -> WAL.syncMu -> BufferPool.mu -> Frame.Latch -> VersionStore.mu -> PageStore"
 
 // pageStoreLock is the pseudo-lock charged to calls through the PageStore
 // interface: both implementations serialize on a rank-40 mutex.

@@ -38,6 +38,26 @@ func (m *MemStore) badIface(b *BufferPool, id PageID, buf []byte) {
 	b.store.ReadPage(id, buf) // want `PageStore call may acquire PageStore \(MemStore\.mu/FileStore\.mu\) \(rank 40\) while holding MemStore\.mu \(rank 40\)`
 }
 
+// badGroupCommit enqueues under the append lock: the group-commit queue
+// lock is the outermost storage lock and may never be taken under WAL.mu.
+func badGroupCommit(w *WAL) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gcMu.Lock() // want `acquires WAL\.gcMu \(rank 5\) while holding WAL\.mu \(rank 10\)`
+	w.gcQueue = append(w.gcQueue, w.lsn)
+	w.gcMu.Unlock()
+}
+
+// badVersionUnderStore registers a version chain during PageStore I/O:
+// rank 35 under a rank-40 store lock.
+func (m *MemStore) badVersionUnderStore(vs *VersionStore) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs.mu.Lock() // want `acquires VersionStore\.mu \(rank 35\) while holding MemStore\.mu \(rank 40\)`
+	vs.chains++
+	vs.mu.Unlock()
+}
+
 // badLeakedBranch: the latch survives the if body (no return), so the
 // fall-through acquisition is still under it.
 func badLeakedBranch(b *BufferPool, f *Frame, cold bool) {

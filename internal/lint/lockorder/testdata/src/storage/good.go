@@ -49,6 +49,28 @@ func earlyRelease(b *BufferPool, f *Frame, hot bool) {
 	b.mu.Unlock()
 }
 
+// groupCommit is the legal leader protocol: the rank-5 queue lock strictly
+// precedes the rank-10 append lock, and the two are never held together.
+func groupCommit(w *WAL) {
+	w.gcMu.Lock()
+	batch := w.gcQueue
+	w.gcQueue = nil
+	w.gcMu.Unlock()
+	w.mu.Lock()
+	w.lsn += uint64(len(batch))
+	w.mu.Unlock()
+}
+
+// observeInsert registers a version chain under the page write latch —
+// rank 30 then 35, the descent the heap's insert observers take.
+func observeInsert(f *Frame, vs *VersionStore) {
+	f.Latch.Lock()
+	vs.mu.Lock()
+	vs.chains++
+	vs.mu.Unlock()
+	f.Latch.Unlock()
+}
+
 // sequential reacquisition in either order is fine — never held together.
 func sequential(b *BufferPool, f *Frame) {
 	f.Latch.Lock()

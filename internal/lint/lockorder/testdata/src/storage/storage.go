@@ -55,8 +55,17 @@ type Heap struct {
 	rows int64
 }
 
-// WAL owns a rank-10 structure lock.
+// WAL owns a rank-10 structure lock and the rank-5 group-commit queue lock.
 type WAL struct {
-	mu  sync.Mutex
-	lsn uint64
+	mu      sync.Mutex
+	lsn     uint64
+	gcMu    sync.Mutex
+	gcQueue []uint64
+}
+
+// VersionStore owns the rank-35 version-chain lock: insert observers
+// register chains while the rank-30 page latch is held.
+type VersionStore struct {
+	mu     sync.RWMutex
+	chains int64
 }

@@ -13,6 +13,10 @@
 //     never unpin locally (the ack goroutine) are owned elsewhere;
 //   - arena pins: rowBatcher.pinned = true must be cleared on every
 //     path, or join outer-row cells pin the arena forever;
+//   - snapshot handles: every VersionStore.Acquire result must be
+//     Released exactly once — a leaked snapshot pins the oldest-active
+//     watermark and version-chain eviction stalls behind it (functions
+//     that hand the handle to another owner are exempt);
 //   - FrameWriter poison: Write/Flush errors are how the sticky poison
 //     surfaces — discarding them writes to a poisoned stream blind.
 package pairing
@@ -80,6 +84,20 @@ var spec = &typestate.Spec{
 			Reentrant:             true,
 			LeakNeedsLocalRelease: true,
 			LeakMsg:               "WAL stream pinned but not unpinned on every path: truncation stalls behind a dead replica",
+		},
+		{
+			Name: "snapshot",
+			Acquire: []typestate.CallPat{
+				{Pkg: "storage", Recv: "VersionStore", Name: "Acquire"},
+			},
+			AcquireKey: typestate.IdentResult,
+			Release: []typestate.CallPat{
+				{Pkg: "storage", Recv: "Snapshot", Name: "Release"},
+			},
+			ReleaseKey:            typestate.IdentRecv,
+			LeakNeedsLocalRelease: true,
+			LeakMsg:               "snapshot handle not released on every path: the read watermark pins version-chain eviction",
+			DoubleMsg:             "snapshot released twice on one path",
 		},
 		{
 			Name: "arenapin",

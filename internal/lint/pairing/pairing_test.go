@@ -8,5 +8,5 @@ import (
 )
 
 func TestPairing(t *testing.T) {
-	analysistest.Run(t, "testdata", pairing.Analyzer, "bufuse", "engine", "tds")
+	analysistest.Run(t, "testdata", pairing.Analyzer, "bufuse", "engine", "snapuse", "tds")
 }

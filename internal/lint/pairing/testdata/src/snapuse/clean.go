@@ -1,0 +1,31 @@
+package snapuse
+
+import "storage"
+
+// statementRead is the canonical statement-snapshot discipline: acquire,
+// then release on every exit via defer.
+func statementRead(vs *storage.VersionStore) uint64 {
+	snap := vs.Acquire(0)
+	defer snap.Release()
+	return snap.TS()
+}
+
+// txnOwned hands the handle to its caller (the transaction keeps it until
+// commit or rollback): no local release, so no leak is reported here
+// (LeakNeedsLocalRelease).
+func txnOwned(vs *storage.VersionStore, txn uint64) *storage.Snapshot {
+	snap := vs.Acquire(txn)
+	return snap
+}
+
+// branchRelease releases on both the early-exit and fall-through paths.
+func branchRelease(vs *storage.VersionStore, hot bool) uint64 {
+	snap := vs.Acquire(0)
+	if hot {
+		snap.Release()
+		return 0
+	}
+	ts := snap.TS()
+	snap.Release()
+	return ts
+}

@@ -1,0 +1,22 @@
+package snapuse
+
+import "storage"
+
+// leakOnEarlyReturn releases on the fall-through path only: the early
+// return leaks the snapshot, and the watermark stops advancing.
+func leakOnEarlyReturn(vs *storage.VersionStore, cond bool) uint64 {
+	snap := vs.Acquire(0) // want "snapshot handle not released on every path"
+	if cond {
+		return 0
+	}
+	ts := snap.TS()
+	snap.Release()
+	return ts
+}
+
+// doubleRelease frees the same handle twice on one path.
+func doubleRelease(vs *storage.VersionStore) {
+	snap := vs.Acquire(0)
+	snap.Release()
+	snap.Release() // want "snapshot released twice on one path"
+}

@@ -24,3 +24,12 @@ type WAL struct{}
 
 func (w *WAL) PinStream(id string, ackLSN uint64) {}
 func (w *WAL) UnpinStream(id string)              {}
+
+type Snapshot struct{ ts uint64 }
+
+func (s *Snapshot) TS() uint64 { return s.ts }
+func (s *Snapshot) Release()   {}
+
+type VersionStore struct{}
+
+func (vs *VersionStore) Acquire(selfTxn uint64) *Snapshot { return &Snapshot{} }

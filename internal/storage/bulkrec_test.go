@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestHeapRowsRoundTrip(t *testing.T) {
+	rids := []RowID{3, 9, 1 << 40}
+	recs := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	payload := EncodeHeapRows(rids, recs)
+	gotRids, gotRecs, err := DecodeHeapRows(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRids) != len(rids) {
+		t.Fatalf("decoded %d rows, want %d", len(gotRids), len(rids))
+	}
+	for i := range rids {
+		if gotRids[i] != rids[i] || !bytes.Equal(gotRecs[i], recs[i]) {
+			t.Fatalf("row %d: (%d,%q), want (%d,%q)", i, gotRids[i], gotRecs[i], rids[i], recs[i])
+		}
+	}
+}
+
+func TestIndexEntriesRoundTrip(t *testing.T) {
+	keys := [][][]byte{
+		{[]byte("k1"), []byte("comp2")},
+		{[]byte("solo")},
+	}
+	rids := []RowID{7, 8}
+	payload := EncodeIndexEntries(keys, rids)
+	gotKeys, gotRids, err := DecodeIndexEntries(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotKeys) != 2 || gotRids[0] != 7 || gotRids[1] != 8 {
+		t.Fatalf("decoded %d entries, rids %v", len(gotKeys), gotRids)
+	}
+	for i := range keys {
+		if len(gotKeys[i]) != len(keys[i]) {
+			t.Fatalf("entry %d: %d components, want %d", i, len(gotKeys[i]), len(keys[i]))
+		}
+		for j := range keys[i] {
+			if !bytes.Equal(gotKeys[i][j], keys[i][j]) {
+				t.Fatalf("entry %d comp %d: %q, want %q", i, j, gotKeys[i][j], keys[i][j])
+			}
+		}
+	}
+}
+
+// TestDecodeBulkMalformed: truncated, overrun and trailing-garbage payloads
+// must all surface ErrBadBulkPayload, never panic or misparse.
+func TestDecodeBulkMalformed(t *testing.T) {
+	heap := EncodeHeapRows([]RowID{1, 2}, [][]byte{[]byte("aa"), []byte("bb")})
+	index := EncodeIndexEntries([][][]byte{{[]byte("k")}}, []RowID{1})
+
+	cases := map[string][]byte{
+		"heap empty":           {},
+		"heap truncated count": heap[:3],
+		"heap truncated row":   heap[:len(heap)-1],
+		"heap trailing bytes":  append(append([]byte(nil), heap...), 0xFF),
+		"index truncated":      index[:len(index)-2],
+		"index trailing":       append(append([]byte(nil), index...), 0),
+	}
+	for name, payload := range cases {
+		var err error
+		if name[0] == 'h' {
+			_, _, err = DecodeHeapRows(payload)
+		} else {
+			_, _, err = DecodeIndexEntries(payload)
+		}
+		if !errors.Is(err, ErrBadBulkPayload) {
+			t.Fatalf("%s: err = %v, want ErrBadBulkPayload", name, err)
+		}
+	}
+}

@@ -81,11 +81,28 @@ func (h *Heap) Rows() int64 {
 // given the sequence of operations, which recovery relies on when replaying
 // the log onto a fresh heap.
 func (h *Heap) Insert(rec []byte) (RowID, error) {
+	return h.InsertObserved(rec, nil)
+}
+
+// InsertObserved appends a record, invoking observe with the assigned RowID
+// *before* the row becomes reachable by concurrent scans (while the page
+// write latch — or, for a freshly grown page, the unlinked page — is still
+// held). Snapshot readers rely on this: the engine registers the row's
+// version-store entry in the observer, so no scan can ever see the new slot
+// without its visibility chain already in place. observe must not block and
+// may only take locks ranked above Frame.Latch (VersionStore.mu).
+func (h *Heap) InsertObserved(rec []byte, observe func(RowID)) (RowID, error) {
 	if len(rec) > MaxRecordSize {
 		return 0, ErrRecordSize
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.insertLocked(rec, observe)
+}
+
+// insertLocked is the Insert body, factored out so batch inserts pay for
+// the heap mutex once.
+func (h *Heap) insertLocked(rec []byte, observe func(RowID)) (RowID, error) {
 	f, err := h.pool.Fetch(h.last)
 	if err != nil {
 		return 0, err
@@ -94,6 +111,9 @@ func (h *Heap) Insert(rec []byte) (RowID, error) {
 	slot, err := f.Page().Insert(rec)
 	if err == nil {
 		rid := NewRowID(h.last, slot)
+		if observe != nil {
+			observe(rid)
+		}
 		f.Latch.Unlock()
 		h.pool.Unpin(f, true)
 		h.rows++
@@ -112,6 +132,11 @@ func (h *Heap) Insert(rec []byte) (RowID, error) {
 	newID := nf.Page().ID()
 	nf.Latch.Lock()
 	slot, err = nf.Page().Insert(rec)
+	if err == nil && observe != nil {
+		// The page is not linked into the chain yet, but the observer runs
+		// before that happens all the same.
+		observe(NewRowID(newID, slot))
+	}
 	nf.Latch.Unlock()
 	h.pool.Unpin(nf, true)
 	if err != nil {
@@ -129,6 +154,32 @@ func (h *Heap) Insert(rec []byte) (RowID, error) {
 	h.last = newID
 	h.rows++
 	return NewRowID(newID, slot), nil
+}
+
+// InsertBatch appends records under one heap-mutex acquisition — the bulk
+// insert fast path. observe is invoked per row exactly as in
+// InsertObserved. On a mid-batch failure the rows already placed are
+// removed again and the error returned; the heap is unchanged.
+func (h *Heap) InsertBatch(recs [][]byte, observe func(RowID)) ([]RowID, error) {
+	for _, rec := range recs {
+		if len(rec) > MaxRecordSize {
+			return nil, ErrRecordSize
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rids := make([]RowID, 0, len(recs))
+	for _, rec := range recs {
+		rid, err := h.insertLocked(rec, observe)
+		if err != nil {
+			for _, placed := range rids {
+				h.deleteLocked(placed)
+			}
+			return nil, err
+		}
+		rids = append(rids, rid)
+	}
+	return rids, nil
 }
 
 // ErrRedoDiverged reports that replaying a logged operation produced a
@@ -278,6 +329,14 @@ func (h *Heap) Get(rid RowID) ([]byte, error) {
 // page, it is deleted and reinserted elsewhere; the returned RowID is the
 // (possibly new) location.
 func (h *Heap) Update(rid RowID, rec []byte) (RowID, error) {
+	return h.UpdateObserved(rid, rec, nil)
+}
+
+// UpdateObserved is Update with an insert observer: when the row relocates,
+// observe fires with the new RowID before the new slot becomes scannable
+// (see InsertObserved). In-place updates never invoke it — the caller has
+// already versioned the pre-image under the old RowID.
+func (h *Heap) UpdateObserved(rid RowID, rec []byte, observe func(RowID)) (RowID, error) {
 	if len(rec) > MaxRecordSize {
 		return 0, ErrRecordSize
 	}
@@ -297,7 +356,7 @@ func (h *Heap) Update(rid RowID, rec []byte) (RowID, error) {
 		if derr := h.Delete(rid); derr != nil {
 			return 0, derr
 		}
-		return h.Insert(rec)
+		return h.InsertObserved(rec, observe)
 	default:
 		h.pool.Unpin(f, false)
 		return 0, fmt.Errorf("%w: %s", ErrRowNotFound, rid)
@@ -306,6 +365,25 @@ func (h *Heap) Update(rid RowID, rec []byte) (RowID, error) {
 
 // Delete removes the record at rid.
 func (h *Heap) Delete(rid RowID) error {
+	if err := h.deletePage(rid); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.rows--
+	h.mu.Unlock()
+	return nil
+}
+
+// deleteLocked is Delete for callers already holding h.mu (batch rollback).
+func (h *Heap) deleteLocked(rid RowID) error {
+	if err := h.deletePage(rid); err != nil {
+		return err
+	}
+	h.rows--
+	return nil
+}
+
+func (h *Heap) deletePage(rid RowID) error {
 	f, err := h.pool.Fetch(rid.Page())
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
@@ -317,9 +395,6 @@ func (h *Heap) Delete(rid RowID) error {
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrRowNotFound, rid)
 	}
-	h.mu.Lock()
-	h.rows--
-	h.mu.Unlock()
 	return nil
 }
 

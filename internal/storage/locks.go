@@ -106,6 +106,30 @@ func (lm *LockManager) Lock(txn uint64, table string, row RowID) error {
 	}
 }
 
+// LockNew acquires locks on freshly allocated rows — rows no other
+// transaction can have seen, so no lock can already exist and no waiting
+// can occur. One mutex acquisition covers the whole batch, which at
+// bulk-insert rates matters. It must NOT be used for pre-existing rows:
+// an existing lock entry for any of them (even our own) is a caller bug.
+func (lm *LockManager) LockNew(txn uint64, table string, rows []RowID) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	set, ok := lm.held[txn]
+	if !ok {
+		set = make(map[lockKey]struct{}, len(rows))
+		lm.held[txn] = set
+	}
+	for _, row := range rows {
+		key := lockKey{Table: table, Row: row}
+		if _, exists := lm.locks[key]; exists {
+			return fmt.Errorf("storage: LockNew on contended row %s%s", table, row)
+		}
+		lm.locks[key] = &lockState{owner: txn}
+		set[key] = struct{}{}
+	}
+	return nil
+}
+
 // noteHeld records ownership; called with lm.mu held.
 func (lm *LockManager) noteHeld(txn uint64, key lockKey) {
 	set, ok := lm.held[txn]

@@ -32,6 +32,10 @@ const (
 	RecCheckpoint
 	RecDDL      // DDL statement text; Row carries the first heap page for CREATE TABLE
 	RecAlterEnc // encryption-scheme change for one column (Table, DDL = encoded spec)
+	// Bulk-insert fast path: one record carries N rows. The packed payload
+	// rides in the New field, so the serialized format is unchanged.
+	RecHeapInsertMulti  // Table, Row = first RowID, New = EncodeHeapRows payload
+	RecIndexInsertMulti // Index (in Table field), New = EncodeIndexEntries payload
 )
 
 func (t RecType) String() string {
@@ -58,6 +62,10 @@ func (t RecType) String() string {
 		return "DDL"
 	case RecAlterEnc:
 		return "ALTER-ENC"
+	case RecHeapInsertMulti:
+		return "HEAP-INSERT-MULTI"
+	case RecIndexInsertMulti:
+		return "INDEX-INSERT-MULTI"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -103,6 +111,36 @@ type WAL struct {
 	streams map[string]uint64 // replica id -> highest acked LSN
 	base    uint64            // LSN of records[0]
 	waiter  chan struct{}     // closed (and replaced) on every append
+
+	// Group commit: concurrent committers enqueue under gcMu (rank 5, the
+	// outermost storage lock) and one leader drains the queue into a single
+	// append+publish round under mu — one lock acquisition and one waiter
+	// wake per batch, and correspondingly fatter Follow batches for
+	// replication.
+	gcMu     sync.Mutex
+	gcQueue  []*gcWaiter
+	gcLeader bool
+
+	// SyncDelay models the latency of forcing the log to stable media. The
+	// in-memory log has no real device, so the cost group commit exists to
+	// amortize — one flush round per batch instead of per commit — is
+	// invisible unless the model charges it. Zero (the default) keeps the
+	// log free, as every functional test expects; the write benchmark sets
+	// it to study commit-path batching. Set before use; not synchronized.
+	SyncDelay time.Duration
+
+	// syncMu serializes simulated flushes (rank 15): a log device retires
+	// one flush at a time, which is exactly why a per-commit flush is a
+	// throughput ceiling and a per-batch flush is not.
+	syncMu sync.Mutex
+}
+
+// gcWaiter is one queued commit append.
+type gcWaiter struct {
+	rec      Record
+	lsn      uint64
+	done     chan struct{}
+	promoted bool // woken to take over leadership, not to return
 }
 
 // NewWAL returns an empty log.
@@ -124,6 +162,35 @@ func (w *WAL) Append(rec Record) uint64 {
 	return rec.LSN
 }
 
+// sync charges one stable-media flush round, if the log models one.
+// Sub-millisecond delays spin (time.Sleep overshoots by a timer tick, which
+// at device scale is the whole budget — the enclave's crossing-cost model
+// spins for the same reason); longer delays sleep and yield the CPU, as a
+// real driver blocked on a device would.
+func (w *WAL) sync() {
+	if w.SyncDelay <= 0 {
+		return
+	}
+	w.syncMu.Lock()
+	if w.SyncDelay < time.Millisecond {
+		for start := time.Now(); time.Since(start) < w.SyncDelay; {
+		}
+	} else {
+		time.Sleep(w.SyncDelay)
+	}
+	w.syncMu.Unlock()
+}
+
+// AppendSync appends a record and forces the log to stable media before
+// returning — the ablation commit path, where every committer pays its own
+// flush round. DML records go through plain Append: they live in the log
+// buffer and are made durable by the commit flush, as in ARIES.
+func (w *WAL) AppendSync(rec Record) uint64 {
+	lsn := w.Append(rec)
+	w.sync()
+	return lsn
+}
+
 // AppendAt mirrors a record that already carries an LSN assigned elsewhere —
 // the replica's local copy of the primary's log. Records whose LSN is below
 // the local high-water mark are ignored, which makes replaying an overlapping
@@ -140,6 +207,76 @@ func (w *WAL) AppendAt(rec Record) {
 	w.records = append(w.records, rec)
 	w.nextLSN = rec.LSN + 1
 	w.wakeLocked()
+}
+
+// AppendCommitGroup appends a commit record through the group-commit
+// protocol: the caller enqueues and either becomes the leader — waiting out
+// the window, then flushing every queued commit in one append round — or
+// blocks until a leader has published its record. The returned LSN is
+// assigned only after the record is in the log, so an acknowledged commit is
+// always durable at acknowledgment time. window <= 0 coalesces whatever has
+// queued behind the previous leader's round without adding latency.
+func (w *WAL) AppendCommitGroup(rec Record, window time.Duration) uint64 {
+	g := &gcWaiter{rec: rec, done: make(chan struct{})}
+	w.gcMu.Lock()
+	w.gcQueue = append(w.gcQueue, g)
+	lead := !w.gcLeader
+	w.gcLeader = true
+	w.gcMu.Unlock()
+
+	if !lead {
+		<-g.done
+		if !g.promoted {
+			return g.lsn
+		}
+		// Promoted: the previous leader retired while this waiter's record
+		// was still queued; it takes over the flush (its own record included).
+	}
+	if window > 0 {
+		time.Sleep(window)
+	}
+	w.gcMu.Lock()
+	batch := w.gcQueue
+	w.gcQueue = nil
+	// gcLeader stays set: commits arriving during the append become
+	// followers of this round and are flushed by the next one.
+	w.gcMu.Unlock()
+
+	w.mu.Lock()
+	for _, m := range batch {
+		r := m.rec
+		r.LSN = w.nextLSN
+		w.nextLSN++
+		if len(w.records) == 0 {
+			w.base = r.LSN
+		}
+		w.records = append(w.records, r)
+		m.lsn = r.LSN
+	}
+	w.wakeLocked()
+	w.mu.Unlock()
+
+	// One flush round covers the whole batch — the amortization that is the
+	// point of the protocol. Commits arriving while the device is busy queue
+	// behind this round and ride the next leader's (fatter) batch.
+	w.sync()
+
+	w.gcMu.Lock()
+	if len(w.gcQueue) > 0 {
+		next := w.gcQueue[0]
+		next.promoted = true
+		close(next.done)
+	} else {
+		w.gcLeader = false
+	}
+	w.gcMu.Unlock()
+
+	for _, m := range batch {
+		if m != g {
+			close(m.done)
+		}
+	}
+	return g.lsn
 }
 
 func (w *WAL) wakeLocked() {

@@ -32,6 +32,7 @@ import (
 type Request struct {
 	Describe   *DescribeReq
 	Exec       *ExecReq
+	BulkInsert *BulkInsertReq
 	InstallCEK *InstallCEKReq
 	Authorize  *AuthorizeReq
 	Ping       *PingReq
@@ -62,6 +63,23 @@ type ExecReq struct {
 	Query  string
 	Params map[string][]byte
 	Trace  []byte
+}
+
+// BulkInsertReq carries a multi-row insert batch — the bulkcopy fast path.
+// Rows is the EncodeCellRows flat framing of the batch: wire encodings cell
+// by cell in Cols order — ciphertext envelopes for encrypted columns (the
+// client encrypted them before sending, exactly like Exec parameters),
+// canonical value encodings for plaintext ones. A flat payload instead of
+// nested slices keeps gob from reflecting over every cell, which at bulk
+// rates is the dominant wire cost. The server never sees plaintext for
+// encrypted cells; the batch only changes how many rows share one round
+// trip and one set of log records. Old servers reject the unknown request
+// as empty; old clients never send it.
+type BulkInsertReq struct {
+	Table string
+	Cols  []string
+	Rows  []byte
+	Trace []byte
 }
 
 // InstallCEKReq relays a sealed CEK envelope to the enclave.
@@ -239,6 +257,21 @@ func (s *Server) dispatch(sess *engine.Session, req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{Result: rs}
+	case req.BulkInsert != nil:
+		id, err := trace.IDFromBytes(req.BulkInsert.Trace)
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("tds: bad trace context: %v", err)}
+		}
+		sess.SetTraceID(id)
+		rows, err := DecodeCellRows(req.BulkInsert.Rows)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		n, err := sess.BulkInsert(req.BulkInsert.Table, req.BulkInsert.Cols, rows)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Result: &engine.ResultSet{Affected: n}}
 	case req.InstallCEK != nil:
 		if err := sess.InstallCEK(req.InstallCEK.Name, req.InstallCEK.Nonce, req.InstallCEK.Sealed); err != nil {
 			return &Response{Err: err.Error()}
@@ -370,6 +403,20 @@ func (c *Conn) ExecTrace(query string, params map[string][]byte, id trace.ID) (*
 		return nil, err
 	}
 	return resp.Result, nil
+}
+
+// BulkInsert sends one multi-row insert batch. Cells must already be wire
+// encodings (ciphertext for encrypted columns). Returns rows inserted.
+func (c *Conn) BulkInsert(table string, cols []string, rows [][][]byte, id trace.ID) (int, error) {
+	req := &BulkInsertReq{Table: table, Cols: cols, Rows: EncodeCellRows(rows)}
+	if !id.IsZero() {
+		req.Trace = id[:]
+	}
+	resp, err := c.roundTrip(&Request{BulkInsert: req})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Result.Affected, nil
 }
 
 // InstallCEK ships a sealed CEK to the enclave via the server.

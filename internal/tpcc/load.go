@@ -3,11 +3,98 @@ package tpcc
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"alwaysencrypted/internal/driver"
 	"alwaysencrypted/internal/sqltypes"
 )
+
+// loader buffers generated rows for one table and flushes them through the
+// driver's bulk-insert fast path. With the world's RowAtATimeLoad option it
+// degrades to one INSERT statement per row — the pre-bulk behaviour, kept as
+// the write benchmark's baseline arm. Both paths consume the generator's
+// random draws in exactly the same order, so they load identical worlds.
+type loader struct {
+	conn   *driver.Conn
+	bulk   bool
+	table  string
+	cols   []string
+	query  string
+	rows   [][]sqltypes.Value
+	loaded *int64 // world-wide row count, for load-rate reporting
+}
+
+// loadFlushRows bounds how many rows a loader buffers before flushing, so a
+// large world never materializes a whole table in memory.
+const loadFlushRows = 4096
+
+func newLoader(conn *driver.Conn, bulk bool, table string, cols ...string) *loader {
+	ps := make([]string, len(cols))
+	for i := range cols {
+		ps[i] = fmt.Sprintf("@p%d", i+1)
+	}
+	return &loader{
+		conn: conn, bulk: bulk, table: table, cols: cols,
+		query: fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+			table, strings.Join(cols, ", "), strings.Join(ps, ", ")),
+	}
+}
+
+func (l *loader) add(vals ...sqltypes.Value) error {
+	if l.loaded != nil {
+		*l.loaded++
+	}
+	if !l.bulk {
+		params := make(map[string]sqltypes.Value, len(vals))
+		for i, v := range vals {
+			params[fmt.Sprintf("p%d", i+1)] = v
+		}
+		_, err := l.conn.Exec(l.query, params)
+		return err
+	}
+	l.rows = append(l.rows, vals)
+	if len(l.rows) >= loadFlushRows {
+		return l.flush()
+	}
+	return nil
+}
+
+func (l *loader) flush() error {
+	if len(l.rows) == 0 {
+		return nil
+	}
+	n, err := l.conn.BulkInsert(l.table, l.cols, l.rows)
+	if err != nil {
+		return fmt.Errorf("tpcc: bulk loading %s: %w", l.table, err)
+	}
+	if n != len(l.rows) {
+		return fmt.Errorf("tpcc: bulk loading %s: %d of %d rows acknowledged", l.table, n, len(l.rows))
+	}
+	l.rows = l.rows[:0]
+	return nil
+}
+
+// loaders holds one loader per TPC-C table.
+type loaders struct {
+	item, warehouse, stock, district, customer, orders, neworder, orderline *loader
+}
+
+func (ld *loaders) all() []*loader {
+	return []*loader{
+		ld.item, ld.warehouse, ld.stock, ld.district,
+		ld.customer, ld.orders, ld.neworder, ld.orderline,
+	}
+}
+
+func (ld *loaders) flushAll() error {
+	for _, l := range ld.all() {
+		if err := l.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Load populates the world per the (scaled) TPC-C population rules. It runs
 // through the driver over an in-process connection, so in encrypted modes
@@ -18,61 +105,71 @@ func (w *World) Load() error {
 	rng := rand.New(rand.NewSource(7))
 	now := time.Now().UnixMicro()
 	s := w.Scale
+	bulk := !w.rowLoad
+	ld := &loaders{
+		item:      newLoader(conn, bulk, "item", "i_id", "i_im_id", "i_name", "i_price", "i_data"),
+		warehouse: newLoader(conn, bulk, "warehouse", "w_id", "w_name", "w_street_1", "w_city", "w_state", "w_zip", "w_tax", "w_ytd"),
+		stock:     newLoader(conn, bulk, "stock", "s_w_id", "s_i_id", "s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt", "s_data"),
+		district:  newLoader(conn, bulk, "district", "d_w_id", "d_id", "d_name", "d_street_1", "d_city", "d_state", "d_zip", "d_tax", "d_ytd", "d_next_o_id"),
+		customer: newLoader(conn, bulk, "customer", "c_w_id", "c_d_id", "c_id", "c_first", "c_middle", "c_last",
+			"c_street_1", "c_street_2", "c_city", "c_state", "c_zip", "c_phone", "c_since", "c_credit",
+			"c_credit_lim", "c_discount", "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt", "c_data"),
+		orders:    newLoader(conn, bulk, "orders", "o_w_id", "o_d_id", "o_id", "o_c_id", "o_entry_d", "o_carrier_id", "o_ol_cnt", "o_all_local"),
+		neworder:  newLoader(conn, bulk, "neworder", "no_w_id", "no_d_id", "no_o_id"),
+		orderline: newLoader(conn, bulk, "orderline", "ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "ol_i_id",
+			"ol_supply_w_id", "ol_delivery_d", "ol_quantity", "ol_amount", "ol_dist_info"),
+	}
+	w.rowsLoaded = 0
+	for _, l := range ld.all() {
+		l.loaded = &w.rowsLoaded
+	}
 
 	for i := 1; i <= s.Items; i++ {
-		if _, err := conn.Exec(
-			"INSERT INTO item (i_id, i_im_id, i_name, i_price, i_data) VALUES (@a, @b, @c, @d, @e)",
-			map[string]sqltypes.Value{
-				"a": iv(int64(i)), "b": iv(int64(rng.Intn(10000))),
-				"c": sv(fmt.Sprintf("item-%06d", i)),
-				"d": fv(1 + rng.Float64()*99),
-				"e": sv(randData(rng, 26)),
-			}); err != nil {
+		if err := ld.item.add(
+			iv(int64(i)), iv(int64(rng.Intn(10000))),
+			sv(fmt.Sprintf("item-%06d", i)),
+			fv(1+rng.Float64()*99),
+			sv(randData(rng, 26)),
+		); err != nil {
 			return fmt.Errorf("tpcc: loading item %d: %w", i, err)
 		}
 	}
 
 	for wid := 1; wid <= s.Warehouses; wid++ {
-		if _, err := conn.Exec(
-			"INSERT INTO warehouse (w_id, w_name, w_street_1, w_city, w_state, w_zip, w_tax, w_ytd) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
-			map[string]sqltypes.Value{
-				"a": iv(int64(wid)), "b": sv(fmt.Sprintf("wh-%d", wid)),
-				"c": sv("1 Main St"), "d": sv("Seattle"), "e": sv("WA"),
-				"f": sv("981090000"), "g": fv(rng.Float64() * 0.2), "h": fv(300000),
-			}); err != nil {
+		if err := ld.warehouse.add(
+			iv(int64(wid)), sv(fmt.Sprintf("wh-%d", wid)),
+			sv("1 Main St"), sv("Seattle"), sv("WA"),
+			sv("981090000"), fv(rng.Float64()*0.2), fv(300000),
+		); err != nil {
 			return err
 		}
 		for i := 1; i <= s.Items; i++ {
-			if _, err := conn.Exec(
-				"INSERT INTO stock (s_w_id, s_i_id, s_quantity, s_ytd, s_order_cnt, s_remote_cnt, s_data) VALUES (@a, @b, @c, @d, @e, @f, @g)",
-				map[string]sqltypes.Value{
-					"a": iv(int64(wid)), "b": iv(int64(i)),
-					"c": iv(int64(10 + rng.Intn(91))), "d": fv(0),
-					"e": iv(0), "f": iv(0), "g": sv(randData(rng, 26)),
-				}); err != nil {
+			if err := ld.stock.add(
+				iv(int64(wid)), iv(int64(i)),
+				iv(int64(10+rng.Intn(91))), fv(0),
+				iv(0), iv(0), sv(randData(rng, 26)),
+			); err != nil {
 				return err
 			}
 		}
 		for did := 1; did <= s.DistrictsPerWarehouse; did++ {
-			if err := w.loadDistrict(conn, rng, wid, did, now); err != nil {
+			if err := w.loadDistrict(ld, rng, wid, did, now); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	return ld.flushAll()
 }
 
-func (w *World) loadDistrict(conn *driver.Conn, rng *rand.Rand, wid, did int, now int64) error {
+func (w *World) loadDistrict(ld *loaders, rng *rand.Rand, wid, did int, now int64) error {
 	s := w.Scale
 	nextOID := s.InitialOrdersPerDistrict + 1
-	if _, err := conn.Exec(
-		"INSERT INTO district (d_w_id, d_id, d_name, d_street_1, d_city, d_state, d_zip, d_tax, d_ytd, d_next_o_id) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j)",
-		map[string]sqltypes.Value{
-			"a": iv(int64(wid)), "b": iv(int64(did)),
-			"c": sv(fmt.Sprintf("d-%d-%d", wid, did)), "d": sv("2 Side St"),
-			"e": sv("Zurich"), "f": sv("ZH"), "g": sv("800100000"),
-			"h": fv(rng.Float64() * 0.2), "i": fv(30000), "j": iv(int64(nextOID)),
-		}); err != nil {
+	if err := ld.district.add(
+		iv(int64(wid)), iv(int64(did)),
+		sv(fmt.Sprintf("d-%d-%d", wid, did)), sv("2 Side St"),
+		sv("Zurich"), sv("ZH"), sv("800100000"),
+		fv(rng.Float64()*0.2), fv(30000), iv(int64(nextOID)),
+	); err != nil {
 		return err
 	}
 
@@ -82,18 +179,16 @@ func (w *World) loadDistrict(conn *driver.Conn, rng *rand.Rand, wid, did int, no
 		if rng.Intn(10) == 0 {
 			credit = "BC"
 		}
-		if _, err := conn.Exec(
-			`INSERT INTO customer (c_w_id, c_d_id, c_id, c_first, c_middle, c_last, c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j, @k, @l, @m, @n, @o, @p, @q, @r, @s, @t, @u)`,
-			map[string]sqltypes.Value{
-				"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(cid)),
-				"d": sv(fmt.Sprintf("First%04d", rng.Intn(10000))), "e": sv("OE"),
-				"f": sv(last),
-				"g": sv(fmt.Sprintf("%d Cust St", cid)), "h": sv("Apt 1"),
-				"i": sv("Portland"), "j": sv("OR"), "k": sv("970010000"),
-				"l": sv("555-0100"), "m": sqltypes.Datetime(now), "n": sv(credit),
-				"o": fv(50000), "p": fv(rng.Float64() * 0.5), "q": fv(-10),
-				"r": fv(10), "s": iv(1), "t": iv(0), "u": sv(randData(rng, 100)),
-			}); err != nil {
+		if err := ld.customer.add(
+			iv(int64(wid)), iv(int64(did)), iv(int64(cid)),
+			sv(fmt.Sprintf("First%04d", rng.Intn(10000))), sv("OE"),
+			sv(last),
+			sv(fmt.Sprintf("%d Cust St", cid)), sv("Apt 1"),
+			sv("Portland"), sv("OR"), sv("970010000"),
+			sv("555-0100"), sqltypes.Datetime(now), sv(credit),
+			fv(50000), fv(rng.Float64()*0.5), fv(-10),
+			fv(10), iv(1), iv(0), sv(randData(rng, 100)),
+		); err != nil {
 			return fmt.Errorf("tpcc: loading customer %d/%d/%d: %w", wid, did, cid, err)
 		}
 	}
@@ -108,19 +203,15 @@ func (w *World) loadDistrict(conn *driver.Conn, rng *rand.Rand, wid, did int, no
 		if !delivered {
 			carrier = 0
 		}
-		if _, err := conn.Exec(
-			"INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local) VALUES (@a, @b, @c, @d, @e, @f, @g, @h)",
-			map[string]sqltypes.Value{
-				"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid)),
-				"d": iv(int64(cid)), "e": sqltypes.Datetime(now),
-				"f": iv(carrier), "g": iv(int64(olCnt)), "h": iv(1),
-			}); err != nil {
+		if err := ld.orders.add(
+			iv(int64(wid)), iv(int64(did)), iv(int64(oid)),
+			iv(int64(cid)), sqltypes.Datetime(now),
+			iv(carrier), iv(int64(olCnt)), iv(1),
+		); err != nil {
 			return err
 		}
 		if !delivered {
-			if _, err := conn.Exec(
-				"INSERT INTO neworder (no_w_id, no_d_id, no_o_id) VALUES (@a, @b, @c)",
-				map[string]sqltypes.Value{"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid))}); err != nil {
+			if err := ld.neworder.add(iv(int64(wid)), iv(int64(did)), iv(int64(oid))); err != nil {
 				return err
 			}
 		}
@@ -131,14 +222,12 @@ func (w *World) loadDistrict(conn *driver.Conn, rng *rand.Rand, wid, did int, no
 				amount = 0.01 + rng.Float64()*9999
 				deliveryD = 0
 			}
-			if _, err := conn.Exec(
-				"INSERT INTO orderline (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES (@a, @b, @c, @d, @e, @f, @g, @h, @i, @j)",
-				map[string]sqltypes.Value{
-					"a": iv(int64(wid)), "b": iv(int64(did)), "c": iv(int64(oid)),
-					"d": iv(int64(ol)), "e": iv(int64(1 + rng.Intn(w.Scale.Items))),
-					"f": iv(int64(wid)), "g": sqltypes.Datetime(deliveryD),
-					"h": iv(5), "i": fv(amount), "j": sv(randData(rng, 24)),
-				}); err != nil {
+			if err := ld.orderline.add(
+				iv(int64(wid)), iv(int64(did)), iv(int64(oid)),
+				iv(int64(ol)), iv(int64(1+rng.Intn(w.Scale.Items))),
+				iv(int64(wid)), sqltypes.Datetime(deliveryD),
+				iv(5), fv(amount), sv(randData(rng, 24)),
+			); err != nil {
 				return err
 			}
 		}

@@ -39,8 +39,14 @@ type World struct {
 	Policy   attestation.Policy
 	Vault    *keys.MemoryVault
 
-	listener net.Listener
+	listener   net.Listener
+	rowLoad    bool
+	rowsLoaded int64
 }
+
+// RowsLoaded reports how many rows the last Load populated — the
+// denominator of the write benchmark's load-rate arm.
+func (w *World) RowsLoaded() int64 { return w.rowsLoaded }
 
 // TxTypeNames names the five transaction types, indexed like ByType.
 var TxTypeNames = [5]string{"new_order", "payment", "order_status", "delivery", "stock_level"}
@@ -60,6 +66,20 @@ type WorldOptions struct {
 	// the world untraced. The trace experiment (-experiment trace) uses it
 	// for both the overhead comparison and the attribution capture.
 	Trace *trace.Policy
+	// RowAtATimeLoad makes Load insert one row per statement instead of
+	// batching through the driver's bulk path — the pre-bulk behaviour, kept
+	// as the write benchmark's world-load baseline.
+	RowAtATimeLoad bool
+	// DisableGroupCommit makes every committer append its own WAL commit
+	// record (the write benchmark's baseline arm).
+	DisableGroupCommit bool
+	// CommitWindow stretches the group-commit leader's collection window;
+	// zero coalesces only what queues naturally.
+	CommitWindow time.Duration
+	// LogSyncDelay models the commit path's stable-media flush latency; the
+	// write benchmark sets it so commit batching has a real cost to
+	// amortize. Zero keeps the in-memory log free.
+	LogSyncDelay time.Duration
 }
 
 // CEKName is the single CEK used for all encrypted columns (§5.3).
@@ -76,7 +96,7 @@ func NewWorld(opt WorldOptions) (*World, error) {
 	if opt.EnclaveThreads == 0 {
 		opt.EnclaveThreads = 4
 	}
-	w := &World{Mode: opt.Mode, Scale: opt.Scale, Obs: obs.New("tpcc")}
+	w := &World{Mode: opt.Mode, Scale: opt.Scale, Obs: obs.New("tpcc"), rowLoad: opt.RowAtATimeLoad}
 	for i, name := range TxTypeNames {
 		w.latHists[i] = w.Obs.Histogram("tpcc.latency." + name)
 	}
@@ -122,7 +142,9 @@ func NewWorld(opt WorldOptions) (*World, error) {
 		tracer = trace.NewTracer(*opt.Trace)
 	}
 	w.Engine = engine.New(engine.Config{Enclave: w.Encl, Host: host, HGS: hgs, CTR: opt.CTR, Obs: w.Obs,
-		BatchSize: opt.BatchSize, Tracer: tracer})
+		BatchSize: opt.BatchSize, Tracer: tracer,
+		DisableGroupCommit: opt.DisableGroupCommit, CommitWindow: opt.CommitWindow,
+		LogSyncDelay: opt.LogSyncDelay})
 	w.Server = tds.NewServer(w.Engine)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

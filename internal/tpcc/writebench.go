@@ -1,0 +1,87 @@
+package tpcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteBenchSchema identifies the BENCH_write.json layout. Bump only with a
+// new suffix; downstream tooling keys on this string.
+const WriteBenchSchema = "alwaysencrypted/write-bench/v1"
+
+// WriteBenchReport is the write-path experiment artifact: committed TPC-C
+// throughput across thread counts with group commit on and off, and the
+// world-load rate on the bulk fast path vs row-at-a-time.
+type WriteBenchReport struct {
+	Schema     string          `json:"schema"`
+	Throughput []WriteTpsPoint `json:"throughput"`
+	Load       []WriteLoadArm  `json:"load"`
+}
+
+// WriteTpsPoint is one (threads, group-commit configuration) measurement.
+type WriteTpsPoint struct {
+	Threads        int     `json:"threads"`
+	Warehouses     int     `json:"warehouses"`
+	GroupCommit    bool    `json:"group_commit"`
+	CommitWindowUS int64   `json:"commit_window_us"`
+	SyncDelayUS    int64   `json:"sync_delay_us"`
+	Committed      int     `json:"committed"`
+	Throughput     float64 `json:"throughput_tps"`
+}
+
+// WriteLoadArm is one world-load measurement.
+type WriteLoadArm struct {
+	Path          string  `json:"path"` // "bulk" or "row_at_a_time"
+	Warehouses    int     `json:"warehouses"`
+	SyncDelayUS   int64   `json:"sync_delay_us"`
+	Rows          int64   `json:"rows"`
+	DurationMs    float64 `json:"duration_ms"`
+	RowsPerSecond float64 `json:"rows_per_second"`
+}
+
+// NewWriteBenchReport wraps the measurements in the versioned envelope.
+func NewWriteBenchReport(tps []WriteTpsPoint, load []WriteLoadArm) *WriteBenchReport {
+	return &WriteBenchReport{Schema: WriteBenchSchema, Throughput: tps, Load: load}
+}
+
+// WriteFile serializes the report to path (the BENCH_write.json artifact).
+func (rep *WriteBenchReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ValidateWriteBenchReport checks the invariants downstream tooling relies
+// on. It parses from bytes so tests can validate the written artifact
+// verbatim.
+func ValidateWriteBenchReport(b []byte) (*WriteBenchReport, error) {
+	var rep WriteBenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("tpcc: write-bench report: %w", err)
+	}
+	if rep.Schema != WriteBenchSchema {
+		return nil, fmt.Errorf("tpcc: write-bench report schema %q, want %q", rep.Schema, WriteBenchSchema)
+	}
+	if len(rep.Throughput) == 0 {
+		return nil, fmt.Errorf("tpcc: write-bench report has no throughput points")
+	}
+	for i, p := range rep.Throughput {
+		if p.Threads <= 0 || p.Throughput < 0 {
+			return nil, fmt.Errorf("tpcc: write-bench point %d: %+v", i, p)
+		}
+	}
+	paths := make(map[string]bool, len(rep.Load))
+	for i, arm := range rep.Load {
+		if arm.Rows <= 0 || arm.RowsPerSecond <= 0 {
+			return nil, fmt.Errorf("tpcc: write-bench load arm %d: %+v", i, arm)
+		}
+		paths[arm.Path] = true
+	}
+	if !paths["bulk"] || !paths["row_at_a_time"] {
+		return nil, fmt.Errorf("tpcc: write-bench report needs bulk and row_at_a_time load arms")
+	}
+	return &rep, nil
+}
